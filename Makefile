@@ -1,0 +1,26 @@
+# Convenience targets for the repro project.
+
+.PHONY: install test bench exhibits examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper exhibit, printing the renderings.
+exhibits:
+	pytest benchmarks/ --benchmark-only -s -k "table or figure"
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		python $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,43 @@
+"""Regenerate Figure 3: stream hit rate vs number of streams.
+
+Paper reference shapes: the majority of benchmarks reach 50-80% hit
+rates; curves rise with stream count and plateau by seven-to-eight
+streams; embar/mgrid/cgm sit at the top; fftpde/appsp (non-unit strides)
+and adm/dyfesm (indirection) sit at the bottom.
+"""
+
+from conftest import publish
+
+from repro.reporting import experiments
+from repro.reporting.paper_data import FIGURE3_HIT_AT_10
+
+
+def test_figure3(benchmark, miss_cache, results_dir):
+    data = benchmark.pedantic(
+        lambda: experiments.figure3(cache=miss_cache), iterations=1, rounds=1
+    )
+    rendered = experiments.render_figure3(data)
+    publish(results_dir, "figure3", rendered)
+
+    final = {name: series[10] for name, series in data.items()}
+
+    # Shape 1: the majority of benchmarks land in the 50-80+% band.
+    in_band = sum(1 for rate in final.values() if rate >= 50)
+    assert in_band >= 9, f"only {in_band} benchmarks above 50%"
+
+    # Shape 2: curves saturate - ten streams adds little over eight.
+    for name, series in data.items():
+        assert series[10] - series[8] < 6, name
+
+    # Shape 3: the paper's best and worst groups are ours too.
+    for name in ("embar", "mgrid", "cgm"):
+        assert final[name] > 70, name
+    for name in ("fftpde", "adm", "dyfesm"):
+        assert final[name] < 40, name
+
+    # Shape 4: every benchmark within a generous band of the paper curve.
+    for name, paper_rate in FIGURE3_HIT_AT_10.items():
+        assert abs(final[name] - paper_rate) <= 20, (
+            f"{name}: measured {final[name]:.1f} vs paper ~{paper_rate}"
+        )
+    benchmark.extra_info["hit_at_10"] = {k: round(v, 1) for k, v in final.items()}

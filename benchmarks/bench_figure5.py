@@ -1,0 +1,47 @@
+"""Regenerate Figure 5: the unit-stride filter's effect.
+
+Paper reference: the filter usually cuts EB by more than half at a small
+or negligible hit-rate cost (trfd 96->11, is 48->7, appsp 134->45, cgm
+30->13); fftpde's hit rate *rises* (active streams stop being
+disturbed); appbt, dominated by short streams, loses ~20 points
+(65->45).
+"""
+
+from conftest import publish
+
+from repro.reporting import experiments
+
+
+def test_figure5(benchmark, miss_cache, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.figure5(cache=miss_cache), iterations=1, rounds=1
+    )
+    rendered = experiments.render_figure5(rows)
+    publish(results_dir, "figure5", rendered)
+
+    by_name = {r.name: r for r in rows}
+
+    # Shape 1: EB falls for every benchmark, by >50% for most.
+    halved = 0
+    for row in rows:
+        assert row.eb_with_filter <= row.eb_no_filter + 1.0, row.name
+        if row.eb_with_filter < 0.5 * max(row.eb_no_filter, 1e-9):
+            halved += 1
+    assert halved >= 11, f"EB halved for only {halved}/15"
+
+    # Shape 2: trfd / buk / cgm keep their hit rate (paper's examples).
+    for name in ("trfd", "buk", "cgm"):
+        row = by_name[name]
+        assert row.hit_no_filter - row.hit_with_filter < 8, name
+
+    # Shape 3: the short-stream benchmark pays (appbt: 65 -> 45).
+    appbt = by_name["appbt"]
+    assert appbt.hit_no_filter - appbt.hit_with_filter > 10
+
+    # Shape 4: fftpde does not lose (the filter protects its streams).
+    fftpde = by_name["fftpde"]
+    assert fftpde.hit_with_filter >= fftpde.hit_no_filter - 1.0
+
+    benchmark.extra_info["eb_with_filter"] = {
+        r.name: round(r.eb_with_filter, 1) for r in rows
+    }

@@ -1,0 +1,39 @@
+"""Regenerate Figure 9: hit-rate sensitivity to czone size.
+
+Paper reference: fftpde needs czone sizes of roughly 16-23 bits (too
+small and three strided references straddle partitions; too large and
+unrelated walks alias into one partition); appsp and trfd are satisfied
+by any sufficiently large czone.
+"""
+
+from conftest import publish
+
+from repro.reporting import experiments
+
+
+def test_figure9(benchmark, miss_cache, results_dir):
+    data = benchmark.pedantic(
+        lambda: experiments.figure9(cache=miss_cache), iterations=1, rounds=1
+    )
+    rendered = experiments.render_figure9(data)
+    publish(results_dir, "figure9", rendered)
+
+    fftpde = data["fftpde"]
+    appsp = data["appsp"]
+    trfd = data["trfd"]
+
+    # Shape 1: fftpde has a band - low at both ends, high in the middle.
+    best = max(fftpde.values())
+    assert best > 60
+    assert fftpde[10] < best - 20, "small czone should fail for fftpde"
+    assert fftpde[26] < best - 20, "huge czone should fail for fftpde"
+
+    # Shape 2: appsp and trfd stay good once the czone is large enough.
+    for series, name in ((appsp, "appsp"), (trfd, "trfd")):
+        peak = max(series.values())
+        assert series[24] > peak - 8, f"{name} should tolerate large czones"
+        assert series[10] < peak - 8, f"{name} should fail with a tiny czone"
+
+    benchmark.extra_info["fftpde_band"] = {
+        bits: round(v) for bits, v in fftpde.items()
+    }

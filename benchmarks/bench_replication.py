@@ -1,0 +1,47 @@
+"""Seed-stability check: the reproduced shapes are not one-seed flukes.
+
+Replicates the headline Figure 3 / Table 2 metrics across five workload
+seeds for a representative subset and asserts the spread is small
+relative to the effects the paper reports (tens of points between
+benchmarks; a few points of seed noise).
+"""
+
+from conftest import publish
+
+from repro.core.config import StreamConfig
+from repro.reporting.tables import render_table
+from repro.sim.replication import replicate
+from repro.sim.runner import MissTraceCache
+
+BENCHES = ("buk", "appbt", "mdg", "trfd")
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def test_seed_stability(benchmark, results_dir):
+    cache = MissTraceCache()
+
+    def run():
+        out = {}
+        for name in BENCHES:
+            _, summaries = replicate(
+                name, StreamConfig.jouppi(n_streams=10), seeds=SEEDS, cache=cache
+            )
+            out[name] = summaries
+        return out
+
+    data = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = []
+    for name, summaries in data.items():
+        hit = summaries["hit_pct"]
+        eb = summaries["eb_pct"]
+        rows.append([name, hit.mean, hit.std, hit.spread, eb.mean, eb.std])
+    rendered = render_table(
+        ["bench", "hit mean %", "hit std", "hit spread", "EB mean %", "EB std"],
+        rows,
+        title=f"Seed stability over seeds {SEEDS}",
+    )
+    publish(results_dir, "replication", rendered)
+
+    for name, summaries in data.items():
+        assert summaries["hit_pct"].spread < 6.0, name
+        assert summaries["eb_pct"].std < 8.0, name

@@ -1,0 +1,42 @@
+"""Regenerate Table 2: extra bandwidth of ordinary streams.
+
+Paper reference: EB ranges from 8% (embar) to 158% (fftpde); the
+benchmarks with poor hit rates waste the most bandwidth because every
+stream miss reallocates a stream and flushes its outstanding prefetches.
+"""
+
+from conftest import publish
+
+from repro.reporting import experiments
+from repro.reporting.paper_data import FIGURE3_HIT_AT_10, TABLE2_EB
+
+
+def test_table2(benchmark, miss_cache, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiments.table2(cache=miss_cache), iterations=1, rounds=1
+    )
+    rendered = experiments.render_table2(rows)
+    publish(results_dir, "table2", rendered)
+
+    measured = {r.name: r.eb_measured_pct for r in rows}
+
+    # Shape 1: embar wastes almost nothing; the worst offenders waste
+    # more than 100%.
+    assert measured["embar"] < 15
+    assert max(measured.values()) > 100
+
+    # Shape 2: EB anti-correlates with hit rate (Spearman-style check on
+    # the paper's own grouping).
+    low_hit = [n for n, h in FIGURE3_HIT_AT_10.items() if h <= 35]
+    high_hit = [n for n, h in FIGURE3_HIT_AT_10.items() if h >= 70]
+    avg = lambda names: sum(measured[n] for n in names) / len(names)
+    assert avg(low_hit) > 2 * avg(high_hit)
+
+    # Shape 3: within 2x-ish of the paper's magnitudes for most rows.
+    close = sum(
+        1
+        for name, paper in TABLE2_EB.items()
+        if 0.4 * paper <= max(measured[name], 4) <= 2.5 * paper
+    )
+    assert close >= 11, f"only {close}/15 within band"
+    benchmark.extra_info["eb"] = {k: round(v, 1) for k, v in measured.items()}

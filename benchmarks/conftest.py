@@ -1,0 +1,37 @@
+"""Shared state for the exhibit benchmarks.
+
+All benches share one session-scoped miss-trace cache, so each
+(workload, scale) pair pays its L1 simulation exactly once regardless of
+how many stream/L2 configurations replay it — the paper's methodology.
+
+Rendered exhibits are printed (run with ``-s`` to see them) and written
+to ``benchmarks/results/<exhibit>.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.sim.runner import MissTraceCache
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def miss_cache() -> MissTraceCache:
+    return MissTraceCache()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: pathlib.Path, name: str, rendered: str) -> None:
+    """Print an exhibit and persist it under benchmarks/results/."""
+    print()
+    print(rendered)
+    (results_dir / f"{name}.txt").write_text(rendered + "\n")

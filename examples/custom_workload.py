@@ -1,0 +1,78 @@
+"""Build and evaluate your own workload model.
+
+Defines a small out-of-place matrix transpose — reads are row-major
+(unit stride), writes are column-major (constant non-unit stride) — and
+shows how each stream-buffer feature handles each half of its traffic.
+
+This is the template for adding new benchmark models: subclass
+``Workload``, allocate arrays from ``self.arena``, compose the trace
+from the kernels, and (optionally) ``@register`` it so the CLI and
+experiment drivers can find it.
+
+Usage:
+    python examples/custom_workload.py
+"""
+
+from repro import StreamConfig
+from repro.sim import MissTraceCache, run_result
+from repro.trace.events import Trace
+from repro.workloads.base import BenchmarkInfo, Workload
+from repro.workloads.kernels import ascending, loop, read, strided, write
+
+
+class Transpose(Workload):
+    """B = A^T over n x n doubles: half unit stride, half large stride."""
+
+    info = BenchmarkInfo(
+        name="transpose-example",
+        suite="micro",
+        description="Out-of-place matrix transpose",
+    )
+
+    N = 512  # 2MB per matrix
+
+    def build(self) -> Trace:
+        n = self.dim(self.N, minimum=64)
+        a = self.arena.alloc_words("A", n * n)
+        b = self.arena.alloc_words("B", n * n)
+        row_bytes = n * 8
+        phases = []
+        for j in range(n):
+            phases.append(
+                loop(
+                    [
+                        # Read row j of A: unit stride.
+                        read(ascending(a.base + j * row_bytes, n)),
+                        # Write column j of B: stride of one row.
+                        write(strided(b.base + j * 8, n, row_bytes)),
+                    ]
+                )
+            )
+        return Trace.concat(phases)
+
+
+def main() -> None:
+    workload = Transpose()
+    cache = MissTraceCache()
+
+    print(f"transpose of {workload.dim(Transpose.N)}^2 doubles "
+          f"({workload.data_set_bytes / (1 << 20):.0f} MB total)")
+    print()
+    for label, config in {
+        "no filter": StreamConfig.jouppi(),
+        "unit filter": StreamConfig.filtered(),
+        "unit filter + czone detector": StreamConfig.non_unit(czone_bits=19),
+    }.items():
+        result = run_result(workload, config, cache=cache)
+        print(
+            f"{label:30s} hit {result.hit_rate_percent:5.1f}%   "
+            f"EB {result.eb_percent:6.1f}%"
+        )
+    print()
+    print("Reading rows streams perfectly; the column writes are invisible")
+    print("to unit-stride streams but constant-stride, so the czone")
+    print("detector recovers them - the fftpde/appsp story in miniature.")
+
+
+if __name__ == "__main__":
+    main()

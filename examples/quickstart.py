@@ -1,0 +1,47 @@
+"""Quickstart: simulate stream buffers behind the paper's on-chip cache.
+
+Runs three stream-buffer configurations over one of the paper's
+benchmark models (mgrid) and prints hit rates and bandwidth overheads —
+the minimal end-to-end tour of the library.
+
+Usage:
+    python examples/quickstart.py [workload]
+"""
+
+import sys
+
+from repro import StreamConfig, run_result
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mgrid"
+
+    configs = {
+        "Jouppi streams (no filter)": StreamConfig.jouppi(n_streams=10),
+        "with unit-stride filter": StreamConfig.filtered(n_streams=10, entries=16),
+        "with non-unit stride detector": StreamConfig.non_unit(n_streams=10, czone_bits=19),
+    }
+
+    print(f"workload: {workload} (64K I + 64K D 4-way on-chip cache, 10 streams, depth 2)")
+    print()
+    header = f"{'configuration':34s} {'hit rate':>9s} {'extra bandwidth':>16s}"
+    print(header)
+    print("-" * len(header))
+    for label, config in configs.items():
+        result = run_result(workload, config)
+        print(
+            f"{label:34s} {result.hit_rate_percent:8.1f}% "
+            f"{result.eb_percent:15.1f}%"
+        )
+    print()
+    result = run_result(workload, StreamConfig.filtered())
+    print(f"primary cache: {result.l1.misses} misses over {result.l1.trace_length} references "
+          f"({100 * result.l1.miss_rate:.2f}% miss rate)")
+    row = result.streams.lengths.as_row()
+    buckets = ("1-5", "6-10", "11-15", "16-20", ">20")
+    print("stream lengths (% of hits): "
+          + "  ".join(f"{b}: {v:.0f}%" for b, v in zip(buckets, row)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""The Section 8 argument, interactively: streams scale; caches don't.
+
+Sweeps a benchmark's input size and reports, at each size, the stream
+hit rate and the minimum secondary cache matching it.  On regular codes
+the required cache tracks the data set while the streams stay flat —
+the paper's case for spending SRAM money on memory bandwidth instead.
+
+Usage:
+    python examples/scaling_study.py [workload] [scales...]
+    python examples/scaling_study.py applu 0.7 1.0 1.3
+"""
+
+import sys
+
+from repro.sim import MissTraceCache, format_size, min_matching_l2_size
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "applu"
+    scales = [float(s) for s in sys.argv[2:]] or [0.7, 1.0, 1.3]
+
+    cache = MissTraceCache()
+    print(f"workload: {workload}   (10 streams, 16-entry unit + czone filters)")
+    print()
+    header = f"{'scale':>6s} {'data set':>10s} {'stream hit':>11s} {'matching L2':>12s}"
+    print(header)
+    print("-" * len(header))
+    for scale in scales:
+        match = min_matching_l2_size(workload, scale=scale, cache=cache)
+        _, summary = cache.get(workload, scale=scale)
+        print(
+            f"{scale:6.2f} {summary.data_set_bytes / (1 << 20):9.2f}M "
+            f"{match.stream_hit_rate_percent:10.1f}% "
+            f"{format_size(match.matched_size):>12s}"
+        )
+    print()
+    print("The stream buffers are a fixed, tiny structure (10 comparators,")
+    print("10 adders, ~1.3KB of SRAM); each row's matching cache is the")
+    print("SRAM you would otherwise have to buy.")
+
+
+if __name__ == "__main__":
+    main()

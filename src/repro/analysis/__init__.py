@@ -1,0 +1,20 @@
+"""Analytic layer: closed-form stream predictions from miss-stream structure."""
+
+from repro.analysis.predict import (
+    StreamPrediction,
+    predict_no_filter,
+    predict_with_filter,
+)
+from repro.analysis.runs import RunDecomposition, decompose_runs
+from repro.analysis.stack import StackProfile, profile_block_stream, stack_distances
+
+__all__ = [
+    "RunDecomposition",
+    "StackProfile",
+    "StreamPrediction",
+    "decompose_runs",
+    "predict_no_filter",
+    "predict_with_filter",
+    "profile_block_stream",
+    "stack_distances",
+]

@@ -1,0 +1,82 @@
+"""Closed-form stream-buffer predictions from run structure.
+
+Given the run-length decomposition of a miss stream, idealised
+(enough-buffers) stream behaviour follows arithmetically:
+
+* **No filter** (Section 5): a run of length L costs one allocation
+  miss and then hits L-1 times, so
+
+      hit_rate = sum (L-1) n_L / sum L n_L
+
+  and every run's reallocation flushes up to ``depth`` prefetches:
+
+      EB ~= depth x (number of runs) / (number of misses)
+
+* **With the unit filter** (Section 6): two misses arm the filter
+  before the stream exists, so a run contributes max(L-2, 0) hits, and
+  only runs of length >= 2 allocate at all.
+
+These are upper bounds (no stream-count pressure, no LRU churn, no
+cross-run interference) and exact in the limit; comparing them with the
+simulator both validates the simulator and quantifies how much of the
+paper's results is pure trace structure.  ``bench_analysis.py`` does
+the comparison for every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.runs import RunDecomposition
+
+__all__ = ["StreamPrediction", "predict_no_filter", "predict_with_filter"]
+
+
+@dataclass(frozen=True)
+class StreamPrediction:
+    """Analytic expectations for one configuration.
+
+    Attributes:
+        hit_rate: predicted stream hit rate (0..1).
+        eb: predicted extra bandwidth (percent).
+        allocations: predicted stream allocations.
+    """
+
+    hit_rate: float
+    eb: float
+    allocations: int
+
+    @property
+    def hit_rate_percent(self) -> float:
+        return 100.0 * self.hit_rate
+
+
+def predict_no_filter(runs: RunDecomposition, depth: int = 2) -> StreamPrediction:
+    """Idealised Section 5 streams: allocate on every stream miss."""
+    if depth <= 0:
+        raise ValueError(f"depth must be positive, got {depth}")
+    misses = runs.total_misses
+    if not misses:
+        return StreamPrediction(hit_rate=0.0, eb=0.0, allocations=0)
+    hits = sum((length - 1) * count for length, count in runs.histogram.items())
+    allocations = runs.total_runs
+    eb = 100.0 * depth * allocations / misses
+    return StreamPrediction(hit_rate=hits / misses, eb=eb, allocations=allocations)
+
+
+def predict_with_filter(runs: RunDecomposition, depth: int = 2) -> StreamPrediction:
+    """Idealised Section 6 streams: the filter eats two misses per run
+    and suppresses allocations for isolated references entirely."""
+    if depth <= 0:
+        raise ValueError(f"depth must be positive, got {depth}")
+    misses = runs.total_misses
+    if not misses:
+        return StreamPrediction(hit_rate=0.0, eb=0.0, allocations=0)
+    hits = sum(
+        max(length - 2, 0) * count for length, count in runs.histogram.items()
+    )
+    allocations = sum(
+        count for length, count in runs.histogram.items() if length >= 2
+    )
+    eb = 100.0 * depth * allocations / misses
+    return StreamPrediction(hit_rate=hits / misses, eb=eb, allocations=allocations)

@@ -1,0 +1,15 @@
+"""Prefetch baselines from the paper's related work (Section 2)."""
+
+from repro.baselines.base import BaselineStats, PrefetchBaseline
+from repro.baselines.obl import OneBlockLookahead
+from repro.baselines.prefetch_cache import PrefetchingCache
+from repro.baselines.rpt import ReferencePredictionTable, RptState
+
+__all__ = [
+    "BaselineStats",
+    "OneBlockLookahead",
+    "PrefetchBaseline",
+    "PrefetchingCache",
+    "ReferencePredictionTable",
+    "RptState",
+]

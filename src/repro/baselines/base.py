@@ -1,0 +1,97 @@
+"""Common machinery for prefetch baselines.
+
+The paper's related work surveys the alternatives to stream buffers:
+Smith's one-block-lookahead, the Rambus small prefetching cache, and
+Baer & Chen's PC-indexed reference prediction table.  Each baseline here
+sits in the stream buffers' position — between the primary cache and
+main memory, observing the L1 miss stream — and reports the same metrics
+(hit rate over demand misses, extra bandwidth), so the comparison bench
+can rank them against `StreamPrefetcher` directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.caches.cache import MissEventKind, MissTrace
+from repro.core.bandwidth import BandwidthReport
+
+__all__ = ["BaselineStats", "PrefetchBaseline"]
+
+
+@dataclass
+class BaselineStats:
+    """Counters shared by every baseline (mirrors ``StreamStats``)."""
+
+    name: str
+    demand_misses: int = 0
+    hits: int = 0
+    prefetches_issued: int = 0
+    prefetches_used: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.demand_misses:
+            return 0.0
+        return self.hits / self.demand_misses
+
+    @property
+    def hit_rate_percent(self) -> float:
+        return 100.0 * self.hit_rate
+
+    @property
+    def bandwidth(self) -> BandwidthReport:
+        return BandwidthReport(
+            prefetches_issued=self.prefetches_issued,
+            prefetches_used=self.prefetches_used,
+            l1_misses=self.demand_misses,
+            allocations=0,
+            depth=1,
+        )
+
+
+class PrefetchBaseline(abc.ABC):
+    """A prefetcher sitting between the L1 and main memory."""
+
+    name: str = "baseline"
+
+    def __init__(self, block_bits: int = 6):
+        self.block_bits = block_bits
+        self.stats = BaselineStats(name=self.name)
+
+    @abc.abstractmethod
+    def handle_miss(self, addr: int, pc: int = 0) -> bool:
+        """One demand miss; returns True if serviced from prefetched data."""
+
+    def handle_writeback(self, addr: int) -> None:
+        """A dirty block travelling to memory (default: ignore)."""
+
+    def run(self, miss_trace: MissTrace) -> BaselineStats:
+        """Consume a whole miss trace.
+
+        Raises:
+            ValueError: on block-geometry mismatch.
+        """
+        if miss_trace.block_bits != self.block_bits:
+            raise ValueError(
+                f"miss trace block_bits {miss_trace.block_bits} != "
+                f"baseline block_bits {self.block_bits}"
+            )
+        wb_kind = int(MissEventKind.WRITEBACK)
+        stats = self.stats
+        for addr, kind, pc in zip(
+            miss_trace.addrs.tolist(),
+            miss_trace.kinds.tolist(),
+            miss_trace.pcs_or_zeros().tolist(),
+        ):
+            if kind == wb_kind:
+                stats.writebacks += 1
+                self.handle_writeback(addr)
+                continue
+            stats.demand_misses += 1
+            if self.handle_miss(addr, pc):
+                stats.hits += 1
+        return stats

@@ -1,0 +1,78 @@
+"""One-block-lookahead prefetching (Smith, surveyed in Section 2).
+
+The OBL policy prefetches block ``i+1`` whenever block ``i`` is
+referenced.  Placed off-chip in the stream buffers' position, the
+natural embodiment is a small fully-associative buffer of prefetched
+blocks: every demand miss to block ``b`` triggers a prefetch of ``b+1``
+into the buffer; a miss that finds its block already prefetched is an
+OBL hit (and, under the *tagged* variant, chains a further prefetch).
+
+Differences from a stream buffer: the buffer is associative (no
+head-only restriction) but has no notion of a stream — one entry per
+prefetch, LRU-replaced — so it cannot run ahead of the processor more
+than one block per demand reference.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.baselines.base import PrefetchBaseline
+
+__all__ = ["OneBlockLookahead"]
+
+
+class OneBlockLookahead(PrefetchBaseline):
+    """OBL with a fully-associative prefetched-block buffer.
+
+    Args:
+        entries: buffer capacity in blocks.
+        tagged: Smith's tagged variant — a hit on a prefetched block
+            triggers the next lookahead prefetch, letting sequential
+            runs chain; untagged OBL only prefetches on demand misses.
+        block_bits: cache-block geometry.
+    """
+
+    name = "obl"
+
+    def __init__(self, entries: int = 16, tagged: bool = True, block_bits: int = 6):
+        super().__init__(block_bits=block_bits)
+        if entries <= 0:
+            raise ValueError(f"entries must be positive, got {entries}")
+        self.entries = entries
+        self.tagged = tagged
+        self.name = "obl-tagged" if tagged else "obl"
+        self.stats.name = self.name
+        # prefetched block -> None, LRU order (oldest first).
+        self._buffer: "OrderedDict[int, None]" = OrderedDict()
+
+    def _prefetch(self, block: int) -> None:
+        if block in self._buffer:
+            self._buffer.move_to_end(block)
+            return
+        self.stats.prefetches_issued += 1
+        self._buffer[block] = None
+        if len(self._buffer) > self.entries:
+            self._buffer.popitem(last=False)
+
+    def handle_miss(self, addr: int, pc: int = 0) -> bool:
+        block = addr >> self.block_bits
+        hit = block in self._buffer
+        if hit:
+            del self._buffer[block]
+            self.stats.prefetches_used += 1
+            if self.tagged:
+                self._prefetch(block + 1)
+        else:
+            self._prefetch(block + 1)
+        return hit
+
+    def handle_writeback(self, addr: int) -> None:
+        block = addr >> self.block_bits
+        if block in self._buffer:
+            del self._buffer[block]
+            self.stats.invalidations += 1
+
+    def buffered_blocks(self):
+        """Currently prefetched blocks, oldest first (for tests)."""
+        return list(self._buffer)

@@ -1,0 +1,77 @@
+"""A small prefetching secondary cache (the Rambus design, Section 2).
+
+Rambus proposed a ~1KB prefetching cache backed by high-bandwidth DRAM
+as an alternative to a conventional 256KB secondary cache.  Model: a
+fully-associative LRU cache of a few dozen blocks that, on every demand
+miss, installs the missing block *and* prefetches the next sequential
+block into itself.  Unlike stream buffers it retains demand-fetched
+blocks (so it captures short-range temporal reuse the streams ignore),
+but its single pool is shared between history and lookahead.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.baselines.base import PrefetchBaseline
+
+__all__ = ["PrefetchingCache"]
+
+
+class PrefetchingCache(PrefetchBaseline):
+    """Fully-associative LRU block cache with one-block lookahead fill.
+
+    Args:
+        blocks: capacity in cache blocks (16 x 64B = the Rambus 1KB).
+        lookahead: sequential blocks prefetched per miss.
+    """
+
+    name = "prefetch-cache"
+
+    def __init__(self, blocks: int = 16, lookahead: int = 1, block_bits: int = 6):
+        super().__init__(block_bits=block_bits)
+        if blocks <= 0:
+            raise ValueError(f"blocks must be positive, got {blocks}")
+        if lookahead < 0:
+            raise ValueError(f"lookahead must be non-negative, got {lookahead}")
+        self.blocks = blocks
+        self.lookahead = lookahead
+        # block -> was_prefetched flag, LRU order (oldest first).
+        self._cache: "OrderedDict[int, bool]" = OrderedDict()
+
+    def _install(self, block: int, prefetched: bool) -> None:
+        if block in self._cache:
+            # Keep the strongest claim about bandwidth: once demanded,
+            # a block is no longer speculative.
+            self._cache[block] = self._cache[block] and prefetched
+            self._cache.move_to_end(block)
+            return
+        if prefetched:
+            self.stats.prefetches_issued += 1
+        self._cache[block] = prefetched
+        if len(self._cache) > self.blocks:
+            self._cache.popitem(last=False)
+
+    def handle_miss(self, addr: int, pc: int = 0) -> bool:
+        block = addr >> self.block_bits
+        hit = block in self._cache
+        if hit:
+            if self._cache[block]:
+                self.stats.prefetches_used += 1
+                self._cache[block] = False
+            self._cache.move_to_end(block)
+        else:
+            self._install(block, prefetched=False)
+        for ahead in range(1, self.lookahead + 1):
+            self._install(block + ahead, prefetched=True)
+        return hit
+
+    def handle_writeback(self, addr: int) -> None:
+        block = addr >> self.block_bits
+        if block in self._cache:
+            del self._cache[block]
+            self.stats.invalidations += 1
+
+    def cached_blocks(self):
+        """Resident blocks, oldest first (for tests)."""
+        return list(self._cache)

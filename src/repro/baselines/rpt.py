@@ -1,0 +1,138 @@
+"""Baer & Chen's reference prediction table (Section 2's on-chip rival).
+
+The RPT keeps one entry per load/store instruction (indexed by PC): the
+last address it touched, its current stride guess and a two-bit-style
+state machine (initial / transient / steady / no-prediction).  A steady
+entry prefetches ``addr + stride`` ahead of the access.
+
+The paper's argument for stream buffers is that the PC is *not
+available* off-chip, so this scheme needs processor modification.  We
+implement it with the synthetic PCs the workload kernels attach to
+their loop columns, which makes this an *oracle* comparison: RPT gets
+exactly the per-instruction information the paper says commodity
+systems cannot export.  Phases built without ``loop()`` (block solves,
+gathers) carry PC 0 and collapse into one entry — a fair reflection of
+missing PC information.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.baselines.base import PrefetchBaseline
+
+__all__ = ["RptState", "ReferencePredictionTable"]
+
+
+class RptState(enum.Enum):
+    """Baer & Chen's per-entry states."""
+
+    INITIAL = "initial"
+    TRANSIENT = "transient"
+    STEADY = "steady"
+    NO_PRED = "no-pred"
+
+
+@dataclass
+class _Entry:
+    last_addr: int
+    stride: int = 0
+    state: RptState = RptState.INITIAL
+
+
+class ReferencePredictionTable(PrefetchBaseline):
+    """PC-indexed stride prefetcher with a prefetched-block buffer.
+
+    Args:
+        table_entries: RPT capacity (instructions tracked), LRU.
+        buffer_entries: prefetched-block buffer capacity.
+        block_bits: cache-block geometry.
+    """
+
+    name = "rpt"
+
+    def __init__(
+        self,
+        table_entries: int = 64,
+        buffer_entries: int = 32,
+        block_bits: int = 6,
+    ):
+        super().__init__(block_bits=block_bits)
+        if table_entries <= 0 or buffer_entries <= 0:
+            raise ValueError("table_entries and buffer_entries must be positive")
+        self.table_entries = table_entries
+        self.buffer_entries = buffer_entries
+        self._table: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._buffer: "OrderedDict[int, None]" = OrderedDict()
+
+    # -- prefetch buffer ----------------------------------------------------
+
+    def _prefetch(self, block: int) -> None:
+        if block in self._buffer:
+            self._buffer.move_to_end(block)
+            return
+        self.stats.prefetches_issued += 1
+        self._buffer[block] = None
+        if len(self._buffer) > self.buffer_entries:
+            self._buffer.popitem(last=False)
+
+    # -- RPT state machine ----------------------------------------------------
+
+    def _update_entry(self, entry: _Entry, addr: int) -> bool:
+        """Advance the B&C state machine; return True if prediction holds."""
+        delta = addr - entry.last_addr
+        correct = delta == entry.stride and delta != 0
+        if entry.state is RptState.INITIAL:
+            entry.state = RptState.TRANSIENT if not correct else RptState.STEADY
+            entry.stride = delta
+        elif entry.state is RptState.TRANSIENT:
+            if correct:
+                entry.state = RptState.STEADY
+            else:
+                entry.stride = delta
+                entry.state = RptState.NO_PRED
+        elif entry.state is RptState.STEADY:
+            if not correct:
+                entry.state = RptState.INITIAL
+        else:  # NO_PRED
+            if correct:
+                entry.state = RptState.TRANSIENT
+            else:
+                entry.stride = delta
+        entry.last_addr = addr
+        return entry.state is RptState.STEADY
+
+    def handle_miss(self, addr: int, pc: int = 0) -> bool:
+        block = addr >> self.block_bits
+        hit = block in self._buffer
+        if hit:
+            del self._buffer[block]
+            self.stats.prefetches_used += 1
+
+        entry = self._table.get(pc)
+        if entry is None:
+            entry = _Entry(last_addr=addr)
+            self._table[pc] = entry
+            if len(self._table) > self.table_entries:
+                self._table.popitem(last=False)
+        else:
+            self._table.move_to_end(pc)
+            if self._update_entry(entry, addr):
+                target = addr + entry.stride
+                target_block = target >> self.block_bits
+                if target_block != block:
+                    self._prefetch(target_block)
+        return hit
+
+    def handle_writeback(self, addr: int) -> None:
+        block = addr >> self.block_bits
+        if block in self._buffer:
+            del self._buffer[block]
+            self.stats.invalidations += 1
+
+    def entry_state(self, pc: int) -> RptState:
+        """State of the entry for ``pc`` (NO_PRED if absent); for tests."""
+        entry = self._table.get(pc)
+        return entry.state if entry is not None else RptState.NO_PRED

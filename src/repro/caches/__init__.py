@@ -1,0 +1,51 @@
+"""Cache simulators: the substrate beneath the stream buffers."""
+
+from repro.caches.cache import Cache, CacheConfig, CacheStats, MissEventKind, MissTrace
+from repro.caches.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    POLICY_NAMES,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.caches.sampling import SamplingPlan, sampled_hit_rate, sampling_error_bound
+from repro.caches.secondary import (
+    PAPER_L2_ASSOCS,
+    PAPER_L2_BLOCKS,
+    PAPER_L2_SIZES,
+    SecondaryResult,
+    best_hit_rate_at_size,
+    candidate_configs,
+    simulate_secondary,
+)
+from repro.caches.split import SplitL1, SplitL1Config
+from repro.caches.victim import CacheWithVictim, VictimCacheConfig
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "CacheWithVictim",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "MissEventKind",
+    "MissTrace",
+    "PAPER_L2_ASSOCS",
+    "PAPER_L2_BLOCKS",
+    "PAPER_L2_SIZES",
+    "POLICY_NAMES",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SamplingPlan",
+    "SecondaryResult",
+    "SplitL1",
+    "SplitL1Config",
+    "VictimCacheConfig",
+    "best_hit_rate_at_size",
+    "candidate_configs",
+    "make_policy",
+    "sampled_hit_rate",
+    "sampling_error_bound",
+    "simulate_secondary",
+]

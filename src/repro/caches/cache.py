@@ -1,0 +1,505 @@
+"""Set-associative cache simulator.
+
+This is the substrate under everything in the paper: the 64K+64K 4-way
+random-replacement on-chip caches whose *miss stream* drives the stream
+buffers (Section 4.1), and the 64KB–4MB secondary caches of the Section 8
+comparison.
+
+The simulator is functional, not timed: it tracks hits, misses and
+write-back traffic.  ``simulate`` is the bulk entry point and produces a
+:class:`MissTrace` — the ordered stream of fetches and write-backs that the
+next level of the hierarchy (stream buffers, L2 or memory) observes.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.caches.replacement import POLICY_NAMES
+from repro.mem.address import is_power_of_two, log2_int
+from repro.trace.events import AccessKind, Trace
+
+__all__ = ["CacheConfig", "CacheStats", "MissEventKind", "MissTrace", "Cache"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one cache.
+
+    Attributes:
+        capacity: total data bytes.
+        assoc: set associativity (1 = direct mapped).
+        block_size: block size in bytes.
+        policy: replacement policy name (``lru``/``fifo``/``random``).
+        write_back: write-back if True (the paper's L1), else write-through.
+        write_allocate: allocate on write miss (the paper's L1) if True.
+        seed: RNG seed for random replacement (reproducible runs).
+    """
+
+    capacity: int
+    assoc: int
+    block_size: int = 64
+    policy: str = "random"
+    write_back: bool = True
+    write_allocate: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(f"unknown policy {self.policy!r}; expected one of {POLICY_NAMES}")
+        if not is_power_of_two(self.block_size):
+            raise ValueError(f"block_size must be a power of two, got {self.block_size}")
+        if self.assoc <= 0:
+            raise ValueError(f"assoc must be positive, got {self.assoc}")
+        if self.capacity <= 0 or self.capacity % (self.assoc * self.block_size):
+            raise ValueError(
+                f"capacity {self.capacity} must be a positive multiple of "
+                f"assoc*block_size = {self.assoc * self.block_size}"
+            )
+        if not is_power_of_two(self.n_sets):
+            raise ValueError(
+                f"number of sets must be a power of two, got {self.n_sets} "
+                f"(capacity={self.capacity}, assoc={self.assoc}, block={self.block_size})"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.capacity // (self.assoc * self.block_size)
+
+    @property
+    def block_bits(self) -> int:
+        return log2_int(self.block_size)
+
+    @classmethod
+    def paper_l1(cls, seed: int = 0) -> "CacheConfig":
+        """The paper's on-chip cache: 64KB, 4-way, random, WB+WA."""
+        return cls(capacity=64 * 1024, assoc=4, block_size=64, policy="random", seed=seed)
+
+
+@dataclass
+class CacheStats:
+    """Access-level counters for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / accesses (0.0 when there were no accesses)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses (0.0 when there were no accesses)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Element-wise sum with ``other`` (new object)."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            read_misses=self.read_misses + other.read_misses,
+            write_misses=self.write_misses + other.write_misses,
+            writebacks=self.writebacks + other.writebacks,
+            invalidations=self.invalidations + other.invalidations,
+        )
+
+
+class MissEventKind(enum.IntEnum):
+    """Events a cache presents to the next memory-hierarchy level."""
+
+    READ_MISS = 0
+    WRITE_MISS = 1
+    WRITEBACK = 2
+    IFETCH_MISS = 3  # emitted by SplitL1 so unified/partitioned streams can route
+
+
+@dataclass(frozen=True)
+class MissTrace:
+    """Ordered fetch/write-back stream emitted by a cache.
+
+    Attributes:
+        addrs: byte addresses — the missing access's address for misses,
+            the block base address for write-backs.
+        kinds: :class:`MissEventKind` values (uint8).
+        block_bits: block-offset bits of the emitting cache, kept so
+            consumers agree on block geometry.
+        pcs: optional PCs of the missing accesses (zero for write-backs);
+            present only when the source trace carried PCs.  Used by
+            PC-indexed prefetch baselines, never by the stream buffers.
+    """
+
+    addrs: np.ndarray
+    kinds: np.ndarray
+    block_bits: int
+    pcs: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.addrs.shape != self.kinds.shape:
+            raise ValueError("addrs and kinds must have the same shape")
+        if self.pcs is not None and self.pcs.shape != self.addrs.shape:
+            raise ValueError("pcs must match addrs shape")
+
+    def pcs_or_zeros(self) -> np.ndarray:
+        """The PC array, or zeros when the trace carried no PCs."""
+        if self.pcs is not None:
+            return self.pcs
+        return np.zeros(self.addrs.shape, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self.addrs.shape[0])
+
+    @property
+    def n_misses(self) -> int:
+        """Demand fetches (read + write misses)."""
+        return int(np.count_nonzero(self.kinds != int(MissEventKind.WRITEBACK)))
+
+    @property
+    def n_writebacks(self) -> int:
+        return int(np.count_nonzero(self.kinds == int(MissEventKind.WRITEBACK)))
+
+    def misses_only(self) -> "MissTrace":
+        """The demand-fetch sub-stream (write-backs removed)."""
+        mask = self.kinds != int(MissEventKind.WRITEBACK)
+        pcs = self.pcs[mask] if self.pcs is not None else None
+        return MissTrace(self.addrs[mask], self.kinds[mask], self.block_bits, pcs)
+
+    @classmethod
+    def concat(cls, parts: List["MissTrace"]) -> "MissTrace":
+        """Concatenate miss traces (all must share ``block_bits``)."""
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            raise ValueError("cannot concat zero non-empty miss traces")
+        bits = parts[0].block_bits
+        if any(p.block_bits != bits for p in parts):
+            raise ValueError("cannot concat miss traces with different block_bits")
+        return cls(
+            np.concatenate([p.addrs for p in parts]),
+            np.concatenate([p.kinds for p in parts]),
+            bits,
+        )
+
+
+class Cache:
+    """A single set-associative cache.
+
+    Use :meth:`access` for per-access stepping (tests, composition) and
+    :meth:`simulate` to run a whole :class:`~repro.trace.events.Trace`.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        self._block_bits = config.block_bits
+        self._set_mask = config.n_sets - 1
+        self._assoc = config.assoc
+        self._write_back = config.write_back
+        self._write_allocate = config.write_allocate
+        self._rng = random.Random(config.seed)
+        # One dict per set mapping block address -> dirty flag.  For random
+        # replacement a parallel slot list supports O(1) victim choice.
+        self._sets: List = [OrderedDict() for _ in range(config.n_sets)]
+        if config.policy == "random":
+            self._sets = [dict() for _ in range(config.n_sets)]
+            self._slots: List[List[int]] = [[] for _ in range(config.n_sets)]
+        self._policy = config.policy
+
+    # -- single-access API --------------------------------------------------
+
+    def access(self, addr: int, is_write: bool = False) -> Tuple[bool, Optional[int]]:
+        """Access byte address ``addr``.
+
+        Returns:
+            ``(hit, writeback_block)`` — ``writeback_block`` is the evicted
+            dirty block's block address, or ``None``.
+        """
+        return self.access_block(addr >> self._block_bits, is_write)
+
+    def access_block(self, block: int, is_write: bool = False) -> Tuple[bool, Optional[int]]:
+        """Access a block address directly (see :meth:`access`)."""
+        self.stats.accesses += 1
+        set_index = block & self._set_mask
+        entries = self._sets[set_index]
+        if block in entries:
+            self.stats.hits += 1
+            if self._policy == "lru":
+                entries.move_to_end(block)
+            if is_write:
+                if self._write_back:
+                    entries[block] = True
+                    return True, None
+                return True, block  # write-through store travels to memory
+            return True, None
+        # Miss.
+        self.stats.misses += 1
+        if is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        if is_write and not self._write_allocate:
+            return False, block  # no fetch; store goes straight to memory
+        writeback = self._install(set_index, block, dirty=is_write and self._write_back)
+        if not self._write_back and is_write:
+            return False, block
+        return False, writeback
+
+    def access_block_ex(
+        self, block: int, is_write: bool = False
+    ) -> Tuple[bool, Optional[int], bool]:
+        """Like :meth:`access_block` but reports *all* evictions.
+
+        Returns:
+            ``(hit, evicted_block, evicted_dirty)`` — ``evicted_block`` is
+            the block displaced by this access (clean or dirty), or None.
+            Needed by composites (victim caches) that capture clean
+            evictions too.  Write-through modes are not supported here.
+        """
+        if not (self._write_back and self._write_allocate):
+            raise ValueError("access_block_ex requires a write-back, write-allocate cache")
+        self.stats.accesses += 1
+        set_index = block & self._set_mask
+        entries = self._sets[set_index]
+        if block in entries:
+            self.stats.hits += 1
+            if self._policy == "lru":
+                entries.move_to_end(block)
+            if is_write:
+                entries[block] = True
+            return True, None, False
+        self.stats.misses += 1
+        if is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        evicted, evicted_dirty = self._install_ex(set_index, block, dirty=is_write)
+        return False, evicted, evicted_dirty
+
+    def fill_block(self, block: int, dirty: bool = False) -> Tuple[Optional[int], bool]:
+        """Install ``block`` without counting an access (victim swap-in).
+
+        Returns the displaced ``(block, dirty)`` pair (``(None, False)`` if
+        no eviction, or if the block was already resident, in which case
+        its dirty bit is OR-ed with ``dirty``).
+        """
+        set_index = block & self._set_mask
+        entries = self._sets[set_index]
+        if block in entries:
+            if dirty:
+                entries[block] = True
+            return None, False
+        return self._install_ex(set_index, block, dirty=dirty)
+
+    def _install_ex(
+        self, set_index: int, block: int, dirty: bool
+    ) -> Tuple[Optional[int], bool]:
+        """Insert ``block``; return (evicted block or None, evicted dirty)."""
+        entries = self._sets[set_index]
+        evicted = None
+        evicted_dirty = False
+        if self._policy == "random":
+            slots = self._slots[set_index]
+            if len(slots) >= self._assoc:
+                slot = self._rng.randrange(self._assoc)
+                evicted = slots[slot]
+                evicted_dirty = entries.pop(evicted)
+                if evicted_dirty:
+                    self.stats.writebacks += 1
+                slots[slot] = block
+            else:
+                slots.append(block)
+            entries[block] = dirty
+        else:
+            if len(entries) >= self._assoc:
+                evicted, evicted_dirty = entries.popitem(last=False)
+                if evicted_dirty:
+                    self.stats.writebacks += 1
+            entries[block] = dirty
+        return evicted, evicted_dirty
+
+    def _install(self, set_index: int, block: int, dirty: bool) -> Optional[int]:
+        """Insert ``block``; return evicted dirty block address or None."""
+        evicted, evicted_dirty = self._install_ex(set_index, block, dirty)
+        return evicted if evicted_dirty else None
+
+    def probe(self, addr: int) -> bool:
+        """Non-mutating lookup: is the block containing ``addr`` resident?"""
+        block = addr >> self._block_bits
+        return block in self._sets[block & self._set_mask]
+
+    def invalidate_block(self, block: int) -> bool:
+        """Drop ``block`` if resident (dirty data is discarded).
+
+        Returns True if the block was resident.
+        """
+        set_index = block & self._set_mask
+        entries = self._sets[set_index]
+        if block not in entries:
+            return False
+        del entries[block]
+        if self._policy == "random":
+            slots = self._slots[set_index]
+            slots.remove(block)
+        self.stats.invalidations += 1
+        return True
+
+    def flush(self) -> List[int]:
+        """Empty the cache; return dirty block addresses in set order."""
+        dirty_blocks = []
+        for set_index, entries in enumerate(self._sets):
+            for block, dirty in entries.items():
+                if dirty:
+                    dirty_blocks.append(block)
+            entries.clear()
+            if self._policy == "random":
+                self._slots[set_index].clear()
+        self.stats.writebacks += len(dirty_blocks)
+        return dirty_blocks
+
+    def resident_blocks(self) -> List[int]:
+        """All resident block addresses (for tests/inspection)."""
+        blocks: List[int] = []
+        for entries in self._sets:
+            blocks.extend(entries)
+        return blocks
+
+    # -- bulk API -------------------------------------------------------------
+
+    def simulate(self, trace: Trace, weights: Optional[np.ndarray] = None) -> MissTrace:
+        """Run a whole trace through the cache, returning its miss trace.
+
+        Args:
+            trace: accesses to run (instruction fetches are treated as
+                reads; callers route I/D split upstream).
+            weights: optional per-access run weights from
+                :func:`~repro.trace.compress.compress_consecutive`.  When
+                given, ``stats.accesses``/``stats.hits`` are corrected to
+                original-trace counts (misses are exact either way).
+
+        Statistics accumulate into :attr:`stats`.
+        """
+        out_addrs: List[int] = []
+        out_kinds: List[int] = []
+        out_pcs: List[int] = []
+        carry_pcs = trace.has_pcs
+
+        if (
+            self._policy == "random"
+            and self._write_back
+            and self._write_allocate
+            and not carry_pcs
+        ):
+            self._simulate_fast_random(trace, out_addrs, out_kinds)
+        else:
+            write_kind = int(AccessKind.WRITE)
+            block_bits = self._block_bits
+            wb_kind = int(MissEventKind.WRITEBACK)
+            read_miss_kind = int(MissEventKind.READ_MISS)
+            write_miss_kind = int(MissEventKind.WRITE_MISS)
+            access_block = self.access_block
+            pcs_list = trace.pcs_or_zeros().tolist()
+            for addr, kind, pc in zip(
+                trace.addrs.tolist(), trace.kinds.tolist(), pcs_list
+            ):
+                is_write = kind == write_kind
+                hit, writeback = access_block(addr >> block_bits, is_write)
+                if not hit:
+                    out_addrs.append(addr)
+                    out_kinds.append(write_miss_kind if is_write else read_miss_kind)
+                    if carry_pcs:
+                        out_pcs.append(pc)
+                if writeback is not None:
+                    out_addrs.append(writeback << block_bits)
+                    out_kinds.append(wb_kind)
+                    if carry_pcs:
+                        out_pcs.append(0)
+
+        if weights is not None:
+            if weights.shape[0] != len(trace):
+                raise ValueError(
+                    f"weights length {weights.shape[0]} != trace length {len(trace)}"
+                )
+            true_accesses = int(weights.sum())
+            # Per-access counters counted compressed accesses; correct them.
+            self.stats.accesses += true_accesses - len(trace)
+            self.stats.hits += true_accesses - len(trace)
+
+        return MissTrace(
+            np.asarray(out_addrs, dtype=np.int64),
+            np.asarray(out_kinds, dtype=np.uint8),
+            self._block_bits,
+            np.asarray(out_pcs, dtype=np.int64) if carry_pcs else None,
+        )
+
+    def _simulate_fast_random(
+        self, trace: Trace, out_addrs: List[int], out_kinds: List[int]
+    ) -> None:
+        """Inlined hot loop for the paper's L1 (random, WB+WA)."""
+        block_bits = self._block_bits
+        set_mask = self._set_mask
+        assoc = self._assoc
+        sets = self._sets
+        slots_by_set = self._slots
+        randrange = self._rng.randrange
+        write_kind = int(AccessKind.WRITE)
+        wb_kind = int(MissEventKind.WRITEBACK)
+        read_miss_kind = int(MissEventKind.READ_MISS)
+        write_miss_kind = int(MissEventKind.WRITE_MISS)
+        append_addr = out_addrs.append
+        append_kind = out_kinds.append
+
+        accesses = 0
+        hits = 0
+        read_misses = 0
+        write_misses = 0
+        writebacks = 0
+
+        for addr, kind in zip(trace.addrs.tolist(), trace.kinds.tolist()):
+            accesses += 1
+            block = addr >> block_bits
+            set_index = block & set_mask
+            entries = sets[set_index]
+            is_write = kind == write_kind
+            if block in entries:
+                hits += 1
+                if is_write:
+                    entries[block] = True
+                continue
+            if is_write:
+                write_misses += 1
+                append_kind(write_miss_kind)
+            else:
+                read_misses += 1
+                append_kind(read_miss_kind)
+            append_addr(addr)
+            slots = slots_by_set[set_index]
+            if len(slots) >= assoc:
+                slot = randrange(assoc)
+                victim = slots[slot]
+                if entries.pop(victim):
+                    writebacks += 1
+                    append_addr(victim << block_bits)
+                    append_kind(wb_kind)
+                slots[slot] = block
+            else:
+                slots.append(block)
+            entries[block] = is_write
+
+        stats = self.stats
+        stats.accesses += accesses
+        stats.hits += hits
+        stats.misses += read_misses + write_misses
+        stats.read_misses += read_misses
+        stats.write_misses += write_misses
+        stats.writebacks += writebacks

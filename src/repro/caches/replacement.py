@@ -1,0 +1,165 @@
+"""Replacement policies.
+
+The paper's on-chip caches use random replacement ("The caches use a
+random replacement policy", Section 4.1); the secondary-cache comparison
+and the stream-buffer bank use LRU.  FIFO is included for completeness and
+ablations.
+
+Each policy manages the contents of a single cache set: which keys are
+resident and which key to evict when the set is full.  The cache hot path
+in :mod:`repro.caches.cache` inlines equivalent logic for speed; these
+classes are the reference implementations, used directly by the
+lower-traffic components (victim cache, stream-bank LRU) and by the
+property tests that check the inlined logic against them.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Hashable, List, Optional
+
+__all__ = ["ReplacementPolicy", "LRUPolicy", "FIFOPolicy", "RandomPolicy", "make_policy", "POLICY_NAMES"]
+
+
+class ReplacementPolicy:
+    """Tracks residents of one set and picks eviction victims.
+
+    Subclasses implement the policy-specific bookkeeping.  Capacity is the
+    set associativity.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+
+    def touch(self, key: Hashable) -> None:
+        """Record a hit on ``key`` (must be resident)."""
+        raise NotImplementedError
+
+    def insert(self, key: Hashable) -> Optional[Hashable]:
+        """Insert ``key``; return the evicted key if the set was full."""
+        raise NotImplementedError
+
+    def remove(self, key: Hashable) -> None:
+        """Remove ``key`` if resident (invalidation)."""
+        raise NotImplementedError
+
+    def __contains__(self, key: Hashable) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def keys(self) -> List[Hashable]:
+        """Resident keys (order is policy-specific)."""
+        raise NotImplementedError
+
+
+class _OrderedPolicy(ReplacementPolicy):
+    """Shared machinery for recency/insertion ordered policies."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._entries: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def insert(self, key: Hashable) -> Optional[Hashable]:
+        if key in self._entries:
+            raise ValueError(f"key {key!r} already resident")
+        victim = None
+        if len(self._entries) >= self.capacity:
+            victim, _ = self._entries.popitem(last=False)
+        self._entries[key] = None
+        return victim
+
+    def remove(self, key: Hashable) -> None:
+        self._entries.pop(key, None)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> List[Hashable]:
+        return list(self._entries)
+
+
+class LRUPolicy(_OrderedPolicy):
+    """Least recently used: hits refresh recency."""
+
+    def touch(self, key: Hashable) -> None:
+        self._entries.move_to_end(key)
+
+
+class FIFOPolicy(_OrderedPolicy):
+    """First in, first out: hits do not affect eviction order."""
+
+    def touch(self, key: Hashable) -> None:
+        if key not in self._entries:
+            raise KeyError(key)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random victim selection (the paper's L1 policy)."""
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None):
+        super().__init__(capacity)
+        self._rng = rng if rng is not None else random.Random(0)
+        self._slots: List[Hashable] = []
+        self._index = {}
+
+    def touch(self, key: Hashable) -> None:
+        if key not in self._index:
+            raise KeyError(key)
+
+    def insert(self, key: Hashable) -> Optional[Hashable]:
+        if key in self._index:
+            raise ValueError(f"key {key!r} already resident")
+        if len(self._slots) < self.capacity:
+            self._index[key] = len(self._slots)
+            self._slots.append(key)
+            return None
+        slot = self._rng.randrange(self.capacity)
+        victim = self._slots[slot]
+        del self._index[victim]
+        self._slots[slot] = key
+        self._index[key] = slot
+        return victim
+
+    def remove(self, key: Hashable) -> None:
+        slot = self._index.pop(key, None)
+        if slot is None:
+            return
+        last = self._slots.pop()
+        if last is not key:
+            self._slots[slot] = last
+            self._index[last] = slot
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def keys(self) -> List[Hashable]:
+        return list(self._slots)
+
+
+POLICY_NAMES = ("lru", "fifo", "random")
+
+
+def make_policy(name: str, capacity: int, rng: Optional[random.Random] = None) -> ReplacementPolicy:
+    """Construct a policy by name (one of :data:`POLICY_NAMES`).
+
+    Raises:
+        ValueError: for an unknown policy name.
+    """
+    if name == "lru":
+        return LRUPolicy(capacity)
+    if name == "fifo":
+        return FIFOPolicy(capacity)
+    if name == "random":
+        return RandomPolicy(capacity, rng=rng)
+    raise ValueError(f"unknown replacement policy {name!r}; expected one of {POLICY_NAMES}")

@@ -1,0 +1,154 @@
+"""Secondary (L2) cache evaluation over an L1 miss stream (paper Section 8).
+
+The paper asks: what is the minimum secondary cache size whose *local* hit
+rate (fraction of on-chip misses that hit in the L2) matches the stream
+buffer hit rate?  It considers associativities one to four and block sizes
+of 64 and 128 bytes, i.e. the best configuration at each size.
+
+The L2 consumes the L1's :class:`~repro.caches.cache.MissTrace`: demand
+fetches look up (and on miss allocate in) the L2 and count toward the local
+hit rate; L1 write-backs update the L2 (write-allocate) but do not count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.caches.cache import Cache, CacheConfig, MissEventKind, MissTrace
+
+__all__ = [
+    "SecondaryResult",
+    "simulate_secondary",
+    "candidate_configs",
+    "best_hit_rate_at_size",
+    "PAPER_L2_SIZES",
+    "PAPER_L2_ASSOCS",
+    "PAPER_L2_BLOCKS",
+]
+
+# The size ladder of Table 4 (64 KB ... 4 MB).
+PAPER_L2_SIZES: Tuple[int, ...] = tuple(64 * 1024 * (1 << i) for i in range(7))
+PAPER_L2_ASSOCS: Tuple[int, ...] = (1, 2, 4)
+PAPER_L2_BLOCKS: Tuple[int, ...] = (64, 128)
+
+
+@dataclass(frozen=True)
+class SecondaryResult:
+    """Outcome of simulating one L2 configuration.
+
+    Attributes:
+        config: the simulated configuration.
+        demand_accesses: L1 demand misses presented to the L2.
+        demand_hits: those that hit in the L2.
+        writebacks_received: L1 write-backs absorbed.
+        sampled_sets: number of sets actually simulated (< config.n_sets
+            when set sampling was used).
+    """
+
+    config: CacheConfig
+    demand_accesses: int
+    demand_hits: int
+    writebacks_received: int
+    sampled_sets: int
+
+    @property
+    def local_hit_rate(self) -> float:
+        """Demand hits / demand accesses (0.0 with no demand accesses)."""
+        if not self.demand_accesses:
+            return 0.0
+        return self.demand_hits / self.demand_accesses
+
+
+def simulate_secondary(
+    miss_trace: MissTrace,
+    config: CacheConfig,
+    sample_every: int = 1,
+) -> SecondaryResult:
+    """Simulate an L2 over ``miss_trace``.
+
+    Args:
+        miss_trace: the L1's fetch/write-back stream.
+        config: L2 geometry/policy.
+        sample_every: set-sampling factor — only accesses mapping to sets
+            whose index is a multiple of ``sample_every`` are simulated
+            (paper's Table 4 cites Kessler/Hill/Wood set sampling).  1
+            simulates every set.
+
+    Returns:
+        A :class:`SecondaryResult` whose hit rate estimates the full
+        cache's local hit rate.
+    """
+    if sample_every <= 0:
+        raise ValueError(f"sample_every must be positive, got {sample_every}")
+    cache = Cache(config)
+    block_bits = config.block_bits
+    set_mask = config.n_sets - 1
+    wb_kind = int(MissEventKind.WRITEBACK)
+    write_miss_kind = int(MissEventKind.WRITE_MISS)
+    demand = 0
+    hits = 0
+    writebacks = 0
+    access_block = cache.access_block
+    sampling = sample_every > 1
+    for addr, kind in zip(miss_trace.addrs.tolist(), miss_trace.kinds.tolist()):
+        block = addr >> block_bits
+        if sampling and (block & set_mask) % sample_every:
+            continue
+        if kind == wb_kind:
+            writebacks += 1
+            access_block(block, True)
+            continue
+        demand += 1
+        hit, _ = access_block(block, kind == write_miss_kind)
+        if hit:
+            hits += 1
+    n_sets = config.n_sets
+    sampled_sets = (n_sets + sample_every - 1) // sample_every if sampling else n_sets
+    return SecondaryResult(
+        config=config,
+        demand_accesses=demand,
+        demand_hits=hits,
+        writebacks_received=writebacks,
+        sampled_sets=sampled_sets,
+    )
+
+
+def candidate_configs(
+    size: int,
+    assocs: Sequence[int] = PAPER_L2_ASSOCS,
+    block_sizes: Sequence[int] = PAPER_L2_BLOCKS,
+    policy: str = "lru",
+) -> List[CacheConfig]:
+    """All L2 configurations the paper considers at one capacity."""
+    configs = []
+    for assoc in assocs:
+        for block_size in block_sizes:
+            configs.append(
+                CacheConfig(
+                    capacity=size,
+                    assoc=assoc,
+                    block_size=block_size,
+                    policy=policy,
+                    write_back=True,
+                    write_allocate=True,
+                )
+            )
+    return configs
+
+
+def best_hit_rate_at_size(
+    miss_trace: MissTrace,
+    size: int,
+    assocs: Sequence[int] = PAPER_L2_ASSOCS,
+    block_sizes: Sequence[int] = PAPER_L2_BLOCKS,
+    sample_every: int = 1,
+) -> SecondaryResult:
+    """Best local hit rate over the paper's configuration grid at ``size``."""
+    best: Optional[SecondaryResult] = None
+    for config in candidate_configs(size, assocs=assocs, block_sizes=block_sizes):
+        result = simulate_secondary(miss_trace, config, sample_every=sample_every)
+        if best is None or result.local_hit_rate > best.local_hit_rate:
+            best = result
+    assert best is not None  # candidate_configs never returns an empty grid
+    return best

@@ -1,0 +1,141 @@
+"""Jouppi victim cache.
+
+The paper sidesteps conflict misses by using a 4-way L1 ("In a
+direct-mapped cache, Jouppi's victim buffers may also be needed", Section
+4.1).  This module implements the victim buffer so that the direct-mapped
+configuration can be studied as an ablation: a small fully-associative LRU
+buffer holding blocks evicted from the main cache (clean or dirty).  On a
+main-cache miss that hits the victim buffer, the block (and its dirty bit)
+is swapped back into the main cache without any memory traffic; dirty
+blocks are written back to memory only when they age out of the victim
+buffer itself.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.caches.cache import Cache, CacheConfig, MissEventKind, MissTrace
+from repro.trace.events import AccessKind, Trace
+
+__all__ = ["VictimCacheConfig", "CacheWithVictim"]
+
+
+@dataclass(frozen=True)
+class VictimCacheConfig:
+    """Victim buffer parameters.
+
+    Attributes:
+        entries: number of victim lines (Jouppi evaluated 1-16).
+    """
+
+    entries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError(f"entries must be positive, got {self.entries}")
+
+
+class CacheWithVictim:
+    """A write-back cache backed by a fully-associative victim buffer."""
+
+    def __init__(
+        self,
+        cache_config: CacheConfig,
+        victim_config: VictimCacheConfig = VictimCacheConfig(),
+    ):
+        if not (cache_config.write_back and cache_config.write_allocate):
+            raise ValueError("CacheWithVictim requires a write-back, write-allocate cache")
+        self.cache = Cache(cache_config)
+        self.victim_config = victim_config
+        # block -> dirty, LRU order (oldest first).
+        self._victims: "OrderedDict[int, bool]" = OrderedDict()
+        self.victim_hits = 0
+        self.victim_probes = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.cache.stats.accesses
+
+    @property
+    def combined_hits(self) -> int:
+        """Accesses serviced on-chip (main cache or victim buffer)."""
+        return self.cache.stats.hits + self.victim_hits
+
+    @property
+    def combined_hit_rate(self) -> float:
+        accesses = self.accesses
+        return self.combined_hits / accesses if accesses else 0.0
+
+    def access(self, addr: int, is_write: bool = False) -> Tuple[bool, Optional[int]]:
+        """Access ``addr``.
+
+        Returns:
+            ``(serviced_on_chip, writeback_block)`` — the write-back, if
+            any, is a dirty block aged out of the victim buffer.
+        """
+        block = addr >> self.cache.config.block_bits
+        hit, evicted, evicted_dirty = self.cache.access_block_ex(block, is_write)
+        if hit:
+            return True, None
+        self.victim_probes += 1
+        recovered_dirty = None
+        if block in self._victims:
+            self.victim_hits += 1
+            recovered_dirty = self._victims.pop(block)
+        writeback = self._stash(evicted, evicted_dirty)
+        if recovered_dirty is None:
+            return False, writeback
+        if recovered_dirty:
+            # access_block_ex installed the block clean (read) or dirty
+            # (write); restore the recovered dirty bit either way.
+            self.cache.fill_block(block, dirty=True)
+        return True, writeback
+
+    def _stash(self, evicted: Optional[int], dirty: bool) -> Optional[int]:
+        """Insert an evicted block; return a dirty block aged out, if any."""
+        if evicted is None:
+            return None
+        self._victims[evicted] = dirty
+        self._victims.move_to_end(evicted)
+        if len(self._victims) <= self.victim_config.entries:
+            return None
+        old_block, old_dirty = self._victims.popitem(last=False)
+        return old_block if old_dirty else None
+
+    def drain(self) -> List[int]:
+        """Empty the victim buffer, returning dirty blocks needing write-back."""
+        dirty = [block for block, is_dirty in self._victims.items() if is_dirty]
+        self._victims.clear()
+        return dirty
+
+    def resident_victims(self) -> List[int]:
+        """Blocks currently in the victim buffer, oldest first."""
+        return list(self._victims)
+
+    def simulate(self, trace: Trace) -> MissTrace:
+        """Run a trace; the miss trace contains only off-chip events."""
+        out_addrs = []
+        out_kinds = []
+        write_kind = int(AccessKind.WRITE)
+        block_bits = self.cache.config.block_bits
+        for addr, kind in zip(trace.addrs.tolist(), trace.kinds.tolist()):
+            is_write = kind == write_kind
+            serviced, writeback = self.access(addr, is_write)
+            if not serviced:
+                out_addrs.append(addr)
+                out_kinds.append(
+                    int(MissEventKind.WRITE_MISS) if is_write else int(MissEventKind.READ_MISS)
+                )
+            if writeback is not None:
+                out_addrs.append(writeback << block_bits)
+                out_kinds.append(int(MissEventKind.WRITEBACK))
+        return MissTrace(
+            np.asarray(out_addrs, dtype=np.int64),
+            np.asarray(out_kinds, dtype=np.uint8),
+            block_bits,
+        )

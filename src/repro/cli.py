@@ -1,0 +1,261 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands::
+
+    repro list                     # available workload models
+    repro run WORKLOAD [options]   # one stream-buffer simulation
+    repro exhibit NAME [...]       # regenerate a paper table/figure
+    repro profile WORKLOAD         # trace statistics of a model
+    repro compare WORKLOAD         # streams vs related-work baselines
+    repro timing WORKLOAD          # price the stream vs L2 designs
+
+Every exhibit prints measured values beside the paper's published ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import StreamConfig, StrideDetector
+from repro.reporting import experiments
+from repro.sim.runner import run_result
+from repro.trace.stats import profile_trace
+from repro.workloads import all_benchmarks, get_workload
+
+__all__ = ["main", "build_parser"]
+
+_EXHIBITS = {
+    "table1": (experiments.table1, experiments.render_table1),
+    "figure3": (experiments.figure3, experiments.render_figure3),
+    "table2": (experiments.table2, experiments.render_table2),
+    "table3": (experiments.table3, experiments.render_table3),
+    "figure5": (experiments.figure5, experiments.render_figure5),
+    "figure8": (experiments.figure8, experiments.render_figure8),
+    "figure9": (experiments.figure9, experiments.render_figure9),
+    "table4": (experiments.table4, experiments.render_table4),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stream buffers as a secondary cache replacement (ISCA '94) — reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workload models")
+
+    run = sub.add_parser("run", help="simulate one workload under one stream config")
+    run.add_argument("workload", help="workload name (see `repro list`)")
+    run.add_argument("--streams", type=int, default=10, help="number of stream buffers")
+    run.add_argument("--depth", type=int, default=2, help="stream depth")
+    run.add_argument("--scale", type=float, default=1.0, help="input scale factor")
+    run.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    run.add_argument(
+        "--filter",
+        dest="filter_entries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="unit-stride filter entries (0 = no filter)",
+    )
+    run.add_argument(
+        "--stride-detector",
+        choices=StrideDetector.ALL,
+        default=StrideDetector.NONE,
+        help="non-unit stride scheme",
+    )
+    run.add_argument("--czone-bits", type=int, default=19, help="concentration zone bits")
+
+    exhibit = sub.add_parser("exhibit", help="regenerate a paper table/figure")
+    exhibit.add_argument("name", choices=sorted(_EXHIBITS), help="exhibit to run")
+    exhibit.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        help="restrict to these benchmarks (default: the paper's set)",
+    )
+
+    profile = sub.add_parser("profile", help="show trace statistics of a workload model")
+    profile.add_argument("workload")
+    profile.add_argument("--scale", type=float, default=1.0)
+    profile.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser(
+        "compare", help="compare streams against the related-work prefetch baselines"
+    )
+    compare.add_argument("workload")
+    compare.add_argument("--scale", type=float, default=1.0)
+    compare.add_argument("--seed", type=int, default=0)
+
+    timing = sub.add_parser(
+        "timing", help="price the stream design against a conventional L2 design"
+    )
+    timing.add_argument("workload")
+    timing.add_argument("--scale", type=float, default=1.0)
+    timing.add_argument(
+        "--l2-kb", type=int, default=512, help="conventional design's L2 capacity (KB)"
+    )
+    timing.add_argument(
+        "--bandwidth",
+        type=float,
+        default=2.0,
+        help="stream design's memory-bandwidth advantage (x)",
+    )
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print(f"{'name':12s} {'suite':8s} description")
+    print("-" * 60)
+    for info in all_benchmarks():
+        print(f"{info.name:12s} {info.suite:8s} {info.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    entries = args.filter_entries
+    if args.stride_detector != StrideDetector.NONE and entries == 0:
+        entries = 16  # the detector requires the unit filter in front
+    config = StreamConfig(
+        n_streams=args.streams,
+        depth=args.depth,
+        unit_filter_entries=entries,
+        stride_detector=args.stride_detector,
+        czone_bits=args.czone_bits,
+    )
+    result = run_result(args.workload, config, scale=args.scale, seed=args.seed)
+    bw = result.streams.bandwidth
+    print(f"workload        : {result.workload} (scale {result.scale:g})")
+    print(f"trace length    : {result.l1.trace_length}")
+    print(f"L1 miss rate    : {100 * result.l1.miss_rate:.2f}%  ({result.l1.misses} misses)")
+    print(f"stream hit rate : {result.hit_rate_percent:.1f}%")
+    print(f"extra bandwidth : {bw.eb_measured:.1f}% measured ({bw.eb_estimate:.1f}% by S*D/M)")
+    print(f"prefetches      : {bw.prefetches_issued} issued, {bw.prefetches_used} used")
+    row = result.streams.lengths.as_row()
+    print("stream lengths  : " + "  ".join(f"{label}:{pct:.0f}%" for label, pct in
+          zip(("1-5", "6-10", "11-15", "16-20", ">20"), row)))
+    return 0
+
+
+def _cmd_exhibit(args: argparse.Namespace) -> int:
+    driver, renderer = _EXHIBITS[args.name]
+    if args.benchmarks:
+        if args.name == "table4":
+            from repro.workloads import TABLE4_SCALES
+
+            scales = {k: v for k, v in TABLE4_SCALES.items() if k in args.benchmarks}
+            data = driver(scales=scales)
+        else:
+            data = driver(names=args.benchmarks)
+    else:
+        data = driver()
+    print(renderer(data))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload, scale=args.scale, seed=args.seed)
+    profile = profile_trace(workload.trace())
+    print(f"workload          : {workload.name} (scale {workload.scale:g})")
+    print(f"trace length      : {profile.length}")
+    print(f"data accesses     : {profile.data_accesses} ({profile.writes} writes)")
+    print(f"footprint         : {profile.footprint_bytes / (1 << 20):.2f} MB touched")
+    print(f"allocated         : {workload.data_set_bytes / (1 << 20):.2f} MB")
+    print(f"unit-stride pairs : {100 * profile.unit_stride_fraction:.1f}%")
+    print(f"mean block run    : {profile.mean_block_run:.1f} blocks")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        OneBlockLookahead,
+        PrefetchingCache,
+        ReferencePredictionTable,
+    )
+    from repro.core.prefetcher import StreamPrefetcher
+    from repro.reporting.tables import render_table
+    from repro.sim.runner import MissTraceCache
+
+    cache = MissTraceCache(keep_pcs=True)
+    miss_trace, _ = cache.get(args.workload, scale=args.scale, seed=args.seed)
+    rows = []
+    contenders = [
+        ("streams (no filter)", StreamPrefetcher(StreamConfig.jouppi())),
+        ("streams + filter + czone", StreamPrefetcher(StreamConfig.non_unit(czone_bits=19))),
+        ("OBL tagged (16)", OneBlockLookahead(entries=16)),
+        ("prefetching cache (1KB)", PrefetchingCache(blocks=16)),
+        ("RPT, oracle PCs", ReferencePredictionTable()),
+    ]
+    for label, engine in contenders:
+        stats = engine.run(miss_trace)
+        rows.append(
+            [label, stats.hit_rate_percent, stats.bandwidth.eb_measured]
+        )
+    print(
+        render_table(
+            ["prefetcher", "hit %", "EB %"],
+            rows,
+            title=f"Related-work comparison on {args.workload} (scale {args.scale:g})",
+        )
+    )
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from repro.caches.cache import CacheConfig
+    from repro.caches.secondary import simulate_secondary
+    from repro.core.prefetcher import StreamPrefetcher
+    from repro.sim.runner import MissTraceCache
+    from repro.timing import TimingModel, l2_system_timing, stream_system_timing
+
+    cache = MissTraceCache()
+    miss_trace, summary = cache.get(args.workload, scale=args.scale)
+    streams = StreamPrefetcher(StreamConfig.non_unit(czone_bits=19)).run(miss_trace)
+    l2 = simulate_secondary(
+        miss_trace,
+        CacheConfig(capacity=args.l2_kb * 1024, assoc=4, block_size=64, policy="lru"),
+    )
+    model = TimingModel()
+    l2_report = l2_system_timing(summary, l2, model)
+    stream_report = stream_system_timing(
+        summary, streams, model.with_bandwidth_factor(args.bandwidth)
+    )
+    print(f"workload           : {args.workload} (scale {args.scale:g})")
+    print(f"stream hit rate    : {streams.hit_rate_percent:.1f}%")
+    print(f"{args.l2_kb}KB L2 hit rate  : {100 * l2.local_hit_rate:.1f}%")
+    print(f"L2 design AMAT     : {l2_report.amat:.2f} cycles")
+    print(
+        f"stream design AMAT : {stream_report.amat:.2f} cycles "
+        f"(at {args.bandwidth:g}x bandwidth)"
+    )
+    speedup = l2_report.amat / stream_report.amat
+    verdict = "stream design wins" if speedup > 1 else "L2 design wins"
+    print(f"speedup            : {speedup:.2f}x  ({verdict})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "exhibit":
+        return _cmd_exhibit(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "timing":
+        return _cmd_timing(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

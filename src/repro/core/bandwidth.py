@@ -1,0 +1,98 @@
+"""Extra-bandwidth (EB) accounting (paper Sections 5-6, Table 2).
+
+Streams speculate: every prefetched block that is never consumed wasted
+main-memory bandwidth.  The paper quantifies the waste relative to the
+memory traffic the program needs *without* streams — its primary-cache
+miss fetches:
+
+    EB = useless prefetches / primary-cache misses
+
+and derives closed-form estimates from the allocation policy:
+
+* without a filter, every stream miss allocates (flushing up to ``depth``
+  outstanding prefetches), so useless ≈ stream_misses × depth;
+* with the filter, only filter hits allocate, so useless ≈
+  filter_allocations × depth.
+
+We report both the estimate and an exact measurement (prefetches issued
+minus prefetches consumed, which also captures entries invalidated by
+write-backs and entries left in the FIFOs at the end of the run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["extra_bandwidth_measured", "extra_bandwidth_estimate", "BandwidthReport"]
+
+
+def extra_bandwidth_measured(useless_prefetches: int, l1_misses: int) -> float:
+    """Measured EB as a percentage (0.0 when there were no misses)."""
+    if useless_prefetches < 0:
+        raise ValueError(f"useless_prefetches must be non-negative, got {useless_prefetches}")
+    if l1_misses < 0:
+        raise ValueError(f"l1_misses must be non-negative, got {l1_misses}")
+    if not l1_misses:
+        return 0.0
+    return 100.0 * useless_prefetches / l1_misses
+
+
+def extra_bandwidth_estimate(allocations: int, depth: int, l1_misses: int) -> float:
+    """The paper's closed-form EB estimate as a percentage.
+
+    ``allocations`` is the number of stream (re)allocations: equal to the
+    stream misses without a filter, or to the filter hits with one.
+    """
+    if allocations < 0:
+        raise ValueError(f"allocations must be non-negative, got {allocations}")
+    if depth <= 0:
+        raise ValueError(f"depth must be positive, got {depth}")
+    if not l1_misses:
+        return 0.0
+    return 100.0 * allocations * depth / l1_misses
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """EB summary for one run.
+
+    Attributes:
+        prefetches_issued: blocks fetched by streams.
+        prefetches_used: issued blocks consumed by hits.
+        l1_misses: demand misses (the no-streams traffic baseline).
+        allocations: stream (re)allocations performed.
+        depth: stream depth (for the estimate).
+    """
+
+    prefetches_issued: int
+    prefetches_used: int
+    l1_misses: int
+    allocations: int
+    depth: int
+
+    @property
+    def useless_prefetches(self) -> int:
+        return self.prefetches_issued - self.prefetches_used
+
+    @property
+    def eb_measured(self) -> float:
+        """Exact EB percentage."""
+        return extra_bandwidth_measured(self.useless_prefetches, self.l1_misses)
+
+    @property
+    def eb_estimate(self) -> float:
+        """The paper's closed-form EB percentage."""
+        return extra_bandwidth_estimate(self.allocations, self.depth, self.l1_misses)
+
+    @property
+    def traffic_ratio(self) -> float:
+        """Total fetched blocks (demand + prefetch) over demand blocks.
+
+        1.0 means no overhead; the paper's EB relates as
+        ``traffic_ratio = 1 + EB/100`` when every demand miss fetches.
+        """
+        if not self.l1_misses:
+            return 1.0
+        # Demand fetches not covered by prefetching plus all prefetches.
+        demand_fetches = self.l1_misses - self.prefetches_used
+        return (demand_fetches + self.prefetches_issued) / self.l1_misses

@@ -1,0 +1,203 @@
+"""Multi-way stream buffers (paper Section 3).
+
+The bank holds ``n_streams`` stream buffers.  A primary-cache miss address
+is compared with the head of every stream in parallel; a hit pulls the
+block into the primary cache and advances that stream; a miss (under the
+no-filter policy) flushes the least recently used stream and reallocates
+it to the miss target.  The bank owns all prefetch-bandwidth accounting
+and the Table 3 stream-length histogram.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.core.lengths import StreamLengthHistogram
+from repro.core.stream_buffer import StreamBuffer
+
+__all__ = ["Lookup", "StreamBufferBank"]
+
+
+class Lookup(enum.IntEnum):
+    """Outcome of presenting a miss address to the bank."""
+
+    MISS = 0
+    HIT = 1
+    #: The head matched but, under the ``min_lead`` latency model, the
+    #: prefetched data has not returned yet.  The demand fetch coalesces
+    #: with the in-flight prefetch: the stream advances and the prefetch
+    #: counts as used bandwidth, but the reference is *not* a stream hit
+    #: and no stream should be (re)allocated for it.
+    IN_FLIGHT = 2
+
+
+class StreamBufferBank:
+    """A set of stream buffers with LRU reallocation.
+
+    Attributes:
+        prefetches_issued: blocks fetched from memory by any stream.
+        prefetches_used: issued blocks later consumed by a head hit.
+        hits: head hits serviced.
+        lookups: miss addresses presented.
+        invalidations: entries invalidated by write-backs.
+        lengths: completed-stream length histogram (Table 3).
+    """
+
+    def __init__(
+        self,
+        n_streams: int,
+        depth: int,
+        min_lead: int = 0,
+        lookup_depth: int = 1,
+    ):
+        if n_streams <= 0:
+            raise ValueError(f"n_streams must be positive, got {n_streams}")
+        if not 1 <= lookup_depth <= depth:
+            raise ValueError(
+                f"lookup_depth must be in [1, depth]; got {lookup_depth} with depth {depth}"
+            )
+        self._lookup_depth = lookup_depth
+        self._streams = [StreamBuffer(depth) for _ in range(n_streams)]
+        # Parallel head-block cache for fast comparator scans; None when a
+        # stream is inactive or its head is invalid.
+        self._heads: List[Optional[int]] = [None] * n_streams
+        # LRU order of stream indices, least recent first.
+        self._lru: List[int] = list(range(n_streams))
+        self._min_lead = min_lead
+        self._seq = 0  # demand-miss sequence number for the latency model
+        self.prefetches_issued = 0
+        self.prefetches_used = 0
+        self.hits = 0
+        self.lookups = 0
+        self.invalidations = 0
+        self.lengths = StreamLengthHistogram()
+
+    @property
+    def n_streams(self) -> int:
+        return len(self._streams)
+
+    @property
+    def depth(self) -> int:
+        return self._streams[0].depth
+
+    @property
+    def prefetches_useless(self) -> int:
+        """Issued prefetches never consumed (flushed, stale or residual)."""
+        return self.prefetches_issued - self.prefetches_used
+
+    def streams(self) -> List[StreamBuffer]:
+        """The underlying buffers (index order, not LRU order)."""
+        return list(self._streams)
+
+    def lru_order(self) -> List[int]:
+        """Stream indices, least recently used first."""
+        return list(self._lru)
+
+    # -- operations -----------------------------------------------------------
+
+    def lookup(self, block: int) -> Lookup:
+        """Present a primary-cache miss to the bank.
+
+        On a head hit the stream advances and issues a replacement
+        prefetch.  Allocation on a miss is the caller's decision (the
+        filters of Sections 6-7 gate it), via :meth:`allocate`.
+        """
+        self.lookups += 1
+        self._seq += 1
+        try:
+            index = self._heads.index(block)
+        except ValueError:
+            index = self._deep_find(block)
+            if index < 0:
+                return Lookup.MISS
+        stream = self._streams[index]
+        result = Lookup.HIT
+        if self._min_lead:
+            head = stream.head
+            assert head is not None  # _heads said so
+            if self._seq - head.issue_seq < self._min_lead:
+                result = Lookup.IN_FLIGHT
+        if result is Lookup.HIT:
+            self.hits += 1
+        # Either way the entry's data is consumed (for IN_FLIGHT, the
+        # demand fetch coalesces with the prefetch), so the prefetch was
+        # not wasted bandwidth and the stream advances.
+        self.prefetches_used += 1
+        stream.consume_head(issue_seq=self._seq)
+        self.prefetches_issued += 1
+        self._heads[index] = self._current_head(index)
+        self._touch(index)
+        return result
+
+    def allocate(self, start_block: int, stride: int) -> int:
+        """Reallocate the LRU stream to prefetch ``start_block``, +stride...
+
+        Returns the index of the stream used.
+        """
+        index = self._lru[0]
+        stream = self._streams[index]
+        if stream.active:
+            self.lengths.record(stream.hits_since_alloc)
+        stream.flush()
+        issued = stream.allocate(start_block, stride, issue_seq=self._seq)
+        self.prefetches_issued += len(issued)
+        self._heads[index] = self._current_head(index)
+        self._touch(index)
+        return index
+
+    def invalidate(self, block: int) -> int:
+        """Invalidate stale copies of ``block`` in every stream.
+
+        Called for write-backs travelling to memory (paper Section 3).
+        Returns the number of entries invalidated.
+        """
+        count = 0
+        for index, stream in enumerate(self._streams):
+            invalidated = stream.invalidate(block)
+            if invalidated:
+                count += invalidated
+                self._heads[index] = self._current_head(index)
+        self.invalidations += count
+        return count
+
+    def finalize(self) -> None:
+        """Record the lengths of still-active streams (end of simulation)."""
+        for index, stream in enumerate(self._streams):
+            if stream.active:
+                self.lengths.record(stream.hits_since_alloc)
+                stream.flush()
+                self._heads[index] = None
+
+    # -- internals --------------------------------------------------------
+
+    def _deep_find(self, block: int) -> int:
+        """Quasi-associative lookup past the head (``lookup_depth`` > 1).
+
+        On a match at position k > 0, the k stale entries ahead of it
+        are skipped (their prefetches were wasted) and the FIFO is
+        topped back up; the caller then services the match as a normal
+        head hit.  Returns the stream index, or -1.
+        """
+        if self._lookup_depth <= 1:
+            return -1
+        for index, stream in enumerate(self._streams):
+            position = stream.find(block, self._lookup_depth)
+            if position > 0:
+                stream.skip(position)
+                issued = stream.refill(issue_seq=self._seq)
+                self.prefetches_issued += len(issued)
+                self._heads[index] = self._current_head(index)
+                return index
+        return -1
+
+    def _current_head(self, index: int) -> Optional[int]:
+        head = self._streams[index].head
+        if head is None or not head.valid:
+            return None
+        return head.block
+
+    def _touch(self, index: int) -> None:
+        """Move stream ``index`` to the most-recently-used position."""
+        self._lru.remove(index)
+        self._lru.append(index)

@@ -1,0 +1,167 @@
+"""Stream buffer system configuration.
+
+One frozen dataclass carries every knob of the paper's design space:
+
+* number of streams and their depth (Section 3; depth fixed at 2 in the
+  paper),
+* the unit-stride allocation filter (Section 6; 16 entries in Figure 5),
+* the non-unit stride ("czone") filter (Section 7; 16 entries, czone size
+  swept in Figure 9), or the alternative minimum-delta detector,
+* extensions beyond the paper: negative strides, a prefetch-latency model
+  (the Section 8 caveat) and partitioned I/D streams (the MacroTek
+  variant mentioned in Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["StreamConfig", "StrideDetector"]
+
+
+class StrideDetector:
+    """Names for the non-unit stride detection scheme choices."""
+
+    NONE = "none"
+    CZONE = "czone"
+    MIN_DELTA = "min-delta"
+
+    ALL = (NONE, CZONE, MIN_DELTA)
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Full configuration of a stream-buffer prefetch system.
+
+    Attributes:
+        n_streams: number of stream buffers (paper sweeps 1-10, settles
+            on 10 for Sections 6-8).
+        depth: prefetched entries per stream (paper: 2).
+        block_bits: log2 of the cache block size in bytes.
+        unit_filter_entries: history-buffer entries for the unit-stride
+            allocation filter; 0 disables the filter (Section 5
+            behaviour), 16 is the paper's Figure 5 setting.
+        stride_detector: non-unit stride scheme — ``none``, ``czone``
+            (paper Section 7) or ``min-delta`` (Section 7 alternative).
+        czone_filter_entries: entries in the non-unit stride filter.
+        czone_bits: low-order byte-address bits forming the concentration
+            zone (Figure 9 sweeps 10-26).
+        min_delta_entries: history entries for the minimum-delta scheme.
+        allow_negative_strides: accept descending strides from the stride
+            detector (extension; the paper is silent on sign).
+        min_lead: latency extension — a stream entry only counts as a hit
+            if at least this many demand misses occurred since its
+            prefetch was issued (0 reproduces the paper's assumption that
+            prefetched data is always available, per its Section 8
+            caveat).
+        partitioned: use separate instruction and data stream banks
+            (MacroTek variant); the paper's streams are unified.
+        i_streams: streams in the instruction bank when ``partitioned``
+            (the data bank gets ``n_streams``); ignored otherwise.
+        lookup_depth: entries compared per stream (extension; the paper
+            compares the head only).  Values > 1 model a
+            quasi-associative buffer that can skip entries made stale
+            by lucky primary-cache hits, at the cost of ``lookup_depth``
+            comparators per stream.
+    """
+
+    n_streams: int = 10
+    depth: int = 2
+    block_bits: int = 6
+    unit_filter_entries: int = 0
+    stride_detector: str = StrideDetector.NONE
+    czone_filter_entries: int = 16
+    czone_bits: int = 16
+    min_delta_entries: int = 16
+    allow_negative_strides: bool = True
+    min_lead: int = 0
+    partitioned: bool = False
+    i_streams: int = 2
+    lookup_depth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_streams <= 0:
+            raise ValueError(f"n_streams must be positive, got {self.n_streams}")
+        if self.depth <= 0:
+            raise ValueError(f"depth must be positive, got {self.depth}")
+        if self.block_bits < 0:
+            raise ValueError(f"block_bits must be non-negative, got {self.block_bits}")
+        if self.unit_filter_entries < 0:
+            raise ValueError(
+                f"unit_filter_entries must be non-negative, got {self.unit_filter_entries}"
+            )
+        if self.stride_detector not in StrideDetector.ALL:
+            raise ValueError(
+                f"unknown stride_detector {self.stride_detector!r}; "
+                f"expected one of {StrideDetector.ALL}"
+            )
+        if self.czone_filter_entries <= 0:
+            raise ValueError(
+                f"czone_filter_entries must be positive, got {self.czone_filter_entries}"
+            )
+        if self.czone_bits < self.block_bits:
+            raise ValueError(
+                f"czone_bits ({self.czone_bits}) must be at least block_bits "
+                f"({self.block_bits}): a concentration zone smaller than a "
+                "block can never see two distinct miss blocks"
+            )
+        if self.min_delta_entries <= 0:
+            raise ValueError(
+                f"min_delta_entries must be positive, got {self.min_delta_entries}"
+            )
+        if self.min_lead < 0:
+            raise ValueError(f"min_lead must be non-negative, got {self.min_lead}")
+        if self.i_streams <= 0:
+            raise ValueError(f"i_streams must be positive, got {self.i_streams}")
+        if not 1 <= self.lookup_depth <= self.depth:
+            raise ValueError(
+                f"lookup_depth must be in [1, depth]; got {self.lookup_depth} "
+                f"with depth {self.depth}"
+            )
+        if self.stride_detector != StrideDetector.NONE and not self.has_unit_filter:
+            raise ValueError(
+                "a non-unit stride detector sits behind the unit-stride filter "
+                "(paper Section 7); set unit_filter_entries > 0"
+            )
+
+    @property
+    def has_unit_filter(self) -> bool:
+        return self.unit_filter_entries > 0
+
+    @property
+    def block_size(self) -> int:
+        return 1 << self.block_bits
+
+    # -- the paper's named configurations ---------------------------------
+
+    @classmethod
+    def jouppi(cls, n_streams: int = 10, depth: int = 2) -> "StreamConfig":
+        """Original unfiltered unit-stride streams (Section 5)."""
+        return cls(n_streams=n_streams, depth=depth)
+
+    @classmethod
+    def filtered(cls, n_streams: int = 10, entries: int = 16) -> "StreamConfig":
+        """Unit-stride streams behind the allocation filter (Section 6)."""
+        return cls(n_streams=n_streams, unit_filter_entries=entries)
+
+    @classmethod
+    def non_unit(
+        cls,
+        n_streams: int = 10,
+        czone_bits: int = 16,
+        entries: int = 16,
+    ) -> "StreamConfig":
+        """Filtered unit-stride streams plus the czone stride detector
+        (Section 7: a 16-entry non-unit stride filter *behind* a similarly
+        sized unit-stride filter)."""
+        return cls(
+            n_streams=n_streams,
+            unit_filter_entries=entries,
+            stride_detector=StrideDetector.CZONE,
+            czone_filter_entries=entries,
+            czone_bits=czone_bits,
+        )
+
+    def with_(self, **changes) -> "StreamConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,67 @@
+"""The unit-stride allocation filter (paper Section 6, Figure 4).
+
+Ordinary streams allocate on *every* stream miss, wasting memory bandwidth
+on isolated references.  The filter delays allocation until two misses to
+consecutive cache blocks are observed: a history buffer stores ``a+1`` for
+each miss to block ``a``; a later miss that matches a stored entry proves
+the pattern ``a, a+1`` and triggers allocation (the stream then prefetches
+``a+2, a+3, ...``).  Entries are freed as soon as their stream is detected;
+the buffer replaces the oldest entry when full (the paper found eight to
+ten entries sufficient and uses sixteen in Figure 5).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+__all__ = ["UnitStrideFilter"]
+
+
+class UnitStrideFilter:
+    """History buffer of expected-next block addresses.
+
+    Attributes:
+        hits: matches (each triggers a stream allocation).
+        misses: non-matches (each inserts a new expectation).
+    """
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError(f"entries must be positive, got {entries}")
+        self.capacity = entries
+        self.hits = 0
+        self.misses = 0
+        # expected next block -> None, insertion order (oldest first).
+        self._table: "OrderedDict[int, None]" = OrderedDict()
+
+    def observe(self, block: int) -> bool:
+        """Present a stream-missing block address.
+
+        Returns:
+            True if a stream should be allocated (the block completed a
+            consecutive pair); False otherwise (an expectation for
+            ``block + 1`` was recorded instead).
+        """
+        if block in self._table:
+            del self._table[block]  # freed as soon as the stream is detected
+            self.hits += 1
+            return True
+        self.misses += 1
+        expected = block + 1
+        if expected in self._table:
+            # Refresh rather than duplicate: move to newest position so a
+            # live pattern is not evicted early.
+            self._table.move_to_end(expected)
+            return False
+        if len(self._table) >= self.capacity:
+            self._table.popitem(last=False)
+        self._table[expected] = None
+        return False
+
+    def contents(self) -> List[int]:
+        """Expected-next blocks, oldest first (for tests/inspection)."""
+        return list(self._table)
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,102 @@
+"""Stream-length bookkeeping (paper Table 3).
+
+The paper defines *stream length* as the number of references a stream
+services before the regular access pattern breaks — operationally, the
+number of head hits a stream provides between its allocation and its
+reallocation (or the end of the run).  Table 3 reports, for each
+benchmark, the percentage of all stream *hits* contributed by streams
+whose length falls in the buckets 1-5, 6-10, 11-15, 16-20 and >20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["LENGTH_BUCKETS", "bucket_label", "bucket_of", "StreamLengthHistogram"]
+
+# (low, high) inclusive bounds; high None = unbounded (the paper's ">20").
+LENGTH_BUCKETS: Tuple[Tuple[int, int], ...] = (
+    (1, 5),
+    (6, 10),
+    (11, 15),
+    (16, 20),
+    (21, 0),  # 0 sentinel = unbounded
+)
+
+
+def bucket_label(bucket: Tuple[int, int]) -> str:
+    """Human-readable label matching the paper's column headings."""
+    low, high = bucket
+    if high == 0:
+        return f">{low - 1}"
+    return f"{low}-{high}"
+
+
+def bucket_of(length: int) -> Tuple[int, int]:
+    """The bucket containing ``length`` (which must be >= 1).
+
+    Raises:
+        ValueError: for lengths < 1 (zero-length streams contribute no
+            hits and are tracked separately).
+    """
+    if length < 1:
+        raise ValueError(f"stream length must be >= 1, got {length}")
+    for low, high in LENGTH_BUCKETS:
+        if high == 0 or length <= high:
+            if length >= low:
+                return (low, high)
+    raise AssertionError("unreachable: buckets cover all lengths >= 1")
+
+
+@dataclass
+class StreamLengthHistogram:
+    """Accumulates completed stream lengths, weighted by hits.
+
+    Attributes:
+        hits_by_bucket: total hits contributed by streams of each bucket.
+        streams_by_bucket: number of completed streams in each bucket.
+        zero_length_streams: allocations that never serviced a hit.
+    """
+
+    hits_by_bucket: Dict[Tuple[int, int], int] = field(
+        default_factory=lambda: {bucket: 0 for bucket in LENGTH_BUCKETS}
+    )
+    streams_by_bucket: Dict[Tuple[int, int], int] = field(
+        default_factory=lambda: {bucket: 0 for bucket in LENGTH_BUCKETS}
+    )
+    zero_length_streams: int = 0
+
+    def record(self, length: int) -> None:
+        """Record a completed stream that serviced ``length`` hits."""
+        if length < 0:
+            raise ValueError(f"stream length must be non-negative, got {length}")
+        if length == 0:
+            self.zero_length_streams += 1
+            return
+        bucket = bucket_of(length)
+        self.hits_by_bucket[bucket] += length
+        self.streams_by_bucket[bucket] += 1
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits_by_bucket.values())
+
+    @property
+    def total_streams(self) -> int:
+        """Completed streams including zero-length allocations."""
+        return sum(self.streams_by_bucket.values()) + self.zero_length_streams
+
+    def percent_hits(self) -> Dict[Tuple[int, int], float]:
+        """Table 3's row: percent of hits per bucket (0.0 if no hits)."""
+        total = self.total_hits
+        if not total:
+            return {bucket: 0.0 for bucket in LENGTH_BUCKETS}
+        return {
+            bucket: 100.0 * hits / total for bucket, hits in self.hits_by_bucket.items()
+        }
+
+    def as_row(self) -> List[float]:
+        """Percent-hits values in bucket order (for table rendering)."""
+        percents = self.percent_hits()
+        return [percents[bucket] for bucket in LENGTH_BUCKETS]

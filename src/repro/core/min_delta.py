@@ -1,0 +1,93 @@
+"""The minimum-delta stride scheme (paper Section 7, last paragraph).
+
+The alternative the paper considered and rejected on hardware cost: cache
+the last N miss addresses; on a stream miss, find the history entry at the
+minimum absolute distance from the new address and use that distance as
+the stride of a newly allocated stream.  The paper reports performance
+similar to the partition (czone) scheme but a less attractive
+implementation (an N-way magnitude comparison instead of a tag match).
+
+We implement it both to reproduce that claim and as a baseline for the
+czone scheme's ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.core.nonunit import StrideHit
+
+__all__ = ["MinDeltaDetector"]
+
+
+class MinDeltaDetector:
+    """History buffer with minimum-distance stride inference.
+
+    Attributes:
+        hits: strides returned (allocations triggered).
+        observations: miss addresses presented.
+    """
+
+    def __init__(
+        self,
+        entries: int,
+        block_bits: int,
+        allow_negative: bool = True,
+        max_stride_blocks: int = 1 << 20,
+    ):
+        if entries <= 0:
+            raise ValueError(f"entries must be positive, got {entries}")
+        if max_stride_blocks <= 0:
+            raise ValueError(f"max_stride_blocks must be positive, got {max_stride_blocks}")
+        self.capacity = entries
+        self.block_bits = block_bits
+        self.allow_negative = allow_negative
+        self.max_stride_blocks = max_stride_blocks
+        self.hits = 0
+        self.observations = 0
+        self._history: Deque[int] = deque(maxlen=entries)
+
+    def observe(self, addr: int) -> Optional[StrideHit]:
+        """Present a miss address that missed the unit-stride filter.
+
+        Returns:
+            A :class:`StrideHit` with the minimum-delta stride, or None
+            when the history is empty or no usable delta exists (all
+            deltas sub-block, over the stride cap, or negative with
+            negative strides disabled).
+        """
+        self.observations += 1
+        best: Optional[int] = None
+        for past in self._history:
+            delta = addr - past
+            if delta == 0:
+                continue
+            if best is None or abs(delta) < abs(best):
+                best = delta
+        self._history.append(addr)
+        if best is None:
+            return None
+        stride_blocks = self._block_stride(best)
+        if stride_blocks == 0:
+            return None
+        if stride_blocks < 0 and not self.allow_negative:
+            return None
+        if abs(stride_blocks) > self.max_stride_blocks:
+            return None
+        self.hits += 1
+        block = addr >> self.block_bits
+        return StrideHit(
+            start_block=block + stride_blocks,
+            stride_blocks=stride_blocks,
+            stride_bytes=best,
+        )
+
+    def _block_stride(self, delta_bytes: int) -> int:
+        if delta_bytes >= 0:
+            return delta_bytes >> self.block_bits
+        return -((-delta_bytes) >> self.block_bits)
+
+    def history(self) -> List[int]:
+        """Recorded miss addresses, oldest first."""
+        return list(self._history)

@@ -1,0 +1,125 @@
+"""Non-unit stride detection via address-space partitioning (Section 7).
+
+Off-chip logic cannot see the program counter, so per-instruction stride
+tables (Baer & Chen) are unavailable.  The paper instead partitions the
+physical address space: the low ``czone_bits`` of an address are the
+*concentration zone* and the remaining high bits the partition *tag*.
+Misses that share a tag are assumed to come from the same array walk and
+are fed to a per-partition :class:`~repro.core.stride_fsm.StrideFsm`.  Once
+the FSM verifies a constant stride, a stream is allocated with that stride
+and the filter entry is freed.
+
+The czone size matters (Figure 9): too small and three consecutive strided
+references straddle partitions; too large and unrelated walks alias into
+one partition and keep breaking the FSM.  The paper suggests a little more
+than twice the access stride, set by software via a memory-mapped mask.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.stride_fsm import StrideFsm
+
+__all__ = ["StrideHit", "CzoneFilter"]
+
+
+@dataclass(frozen=True)
+class StrideHit:
+    """A verified stride, ready for stream allocation.
+
+    Attributes:
+        start_block: first block the new stream should prefetch.
+        stride_blocks: stream stride in blocks (may be negative).
+        stride_bytes: the raw verified byte stride.
+    """
+
+    start_block: int
+    stride_blocks: int
+    stride_bytes: int
+
+
+class CzoneFilter:
+    """The non-unit stride filter: partition table + per-entry FSM.
+
+    Attributes:
+        hits: verified strides returned (allocations triggered).
+        observations: miss addresses presented.
+        sub_block_rejections: verified strides too small to advance a
+            whole block (no allocation; the unit filter owns that case).
+    """
+
+    def __init__(
+        self,
+        entries: int,
+        czone_bits: int,
+        block_bits: int,
+        allow_negative: bool = True,
+    ):
+        if entries <= 0:
+            raise ValueError(f"entries must be positive, got {entries}")
+        if czone_bits < block_bits:
+            raise ValueError(
+                f"czone_bits ({czone_bits}) must be >= block_bits ({block_bits})"
+            )
+        self.capacity = entries
+        self.czone_bits = czone_bits
+        self.block_bits = block_bits
+        self.allow_negative = allow_negative
+        self.hits = 0
+        self.observations = 0
+        self.sub_block_rejections = 0
+        self.negative_rejections = 0
+        # partition tag -> FSM, insertion order (oldest first).
+        self._table: "OrderedDict[int, StrideFsm]" = OrderedDict()
+
+    def observe(self, addr: int) -> Optional[StrideHit]:
+        """Present a miss address that missed the unit-stride filter.
+
+        Returns:
+            A :class:`StrideHit` when this address completes a verified
+            stride (the entry is freed), else None.
+        """
+        self.observations += 1
+        tag = addr >> self.czone_bits
+        fsm = self._table.get(tag)
+        if fsm is None:
+            if len(self._table) >= self.capacity:
+                self._table.popitem(last=False)
+            self._table[tag] = StrideFsm.starting_at(addr)
+            return None
+        stride_bytes = fsm.observe(addr)
+        if stride_bytes is None:
+            return None
+        stride_blocks = self._block_stride(stride_bytes)
+        if stride_blocks == 0:
+            # A verified sub-block stride: consecutive misses this close
+            # belong to the unit-stride case; keep watching.
+            self.sub_block_rejections += 1
+            return None
+        if stride_blocks < 0 and not self.allow_negative:
+            self.negative_rejections += 1
+            return None
+        del self._table[tag]  # freed on stream detection, like the unit filter
+        self.hits += 1
+        block = addr >> self.block_bits
+        return StrideHit(
+            start_block=block + stride_blocks,
+            stride_blocks=stride_blocks,
+            stride_bytes=stride_bytes,
+        )
+
+    def _block_stride(self, delta_bytes: int) -> int:
+        """Byte stride -> block stride, rounding toward zero."""
+        if delta_bytes >= 0:
+            return delta_bytes >> self.block_bits
+        return -((-delta_bytes) >> self.block_bits)
+
+    def active_partitions(self) -> List[int]:
+        """Partition tags currently tracked, oldest first."""
+        return list(self._table)
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,194 @@
+"""A single stream buffer (paper Figure 2).
+
+Each stream buffer is a FIFO of prefetched cache-block entries.  An entry
+holds the block's tag plus a valid bit (we do not model the data bytes —
+only addresses matter for hit/miss behaviour).  An adder generates the next
+prefetch address; for the paper's original unit-stride streams the adder is
+an incrementer (stride 1); the Section 7 extension stores a stride field
+and uses a general adder.
+
+The processor's miss address is compared against the *head* of the FIFO
+only.  On a head hit the entry is popped, handed to the primary cache, and
+a new prefetch is issued to keep the buffer ``depth`` deep.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+__all__ = ["StreamEntry", "StreamBuffer"]
+
+
+@dataclass
+class StreamEntry:
+    """One slot of a stream buffer FIFO.
+
+    Attributes:
+        block: prefetched block address (the tag in Figure 2).
+        valid: cleared when a write-back invalidates a stale copy.
+        issue_seq: global miss sequence number when the prefetch was
+            issued; used by the optional latency ("min lead") model.
+    """
+
+    block: int
+    valid: bool = True
+    issue_seq: int = 0
+
+
+class StreamBuffer:
+    """One FIFO prefetch buffer.
+
+    A buffer is inactive until :meth:`allocate` points it at a miss
+    target.  Prefetch issue is reported to the caller (the bank) through
+    return values so that a single component owns bandwidth accounting.
+    """
+
+    def __init__(self, depth: int):
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        self.depth = depth
+        self.active = False
+        self.stride = 1
+        self.hits_since_alloc = 0
+        self._fifo: Deque[StreamEntry] = deque()
+        self._next_block = 0  # block the adder would prefetch next
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def head(self) -> Optional[StreamEntry]:
+        """The entry the comparator sees, or None when empty/inactive."""
+        if not self.active or not self._fifo:
+            return None
+        return self._fifo[0]
+
+    def head_matches(self, block: int) -> bool:
+        """Would a miss on ``block`` hit this stream?"""
+        head = self.head
+        return head is not None and head.valid and head.block == block
+
+    def find(self, block: int, lookup_depth: int = 1) -> int:
+        """Position of ``block`` within the first ``lookup_depth`` entries.
+
+        Position 0 is the head.  Returns -1 when absent (or invalid).
+        ``lookup_depth=1`` is the paper's head-only comparator; larger
+        values model a quasi-associative buffer that can skip entries a
+        lucky primary-cache hit made stale (see ``StreamConfig.lookup_depth``).
+        """
+        if not self.active:
+            return -1
+        for position, entry in enumerate(self._fifo):
+            if position >= lookup_depth:
+                break
+            if entry.valid and entry.block == block:
+                return position
+        return -1
+
+    def skip(self, count: int) -> int:
+        """Drop ``count`` entries from the head without consuming them.
+
+        Used when a deeper-entry match skips past stale entries; the
+        dropped prefetches were wasted.  Returns the number dropped.
+
+        Raises:
+            ValueError: if ``count`` exceeds the FIFO occupancy.
+        """
+        if count < 0 or count > len(self._fifo):
+            raise ValueError(f"cannot skip {count} of {len(self._fifo)} entries")
+        for _ in range(count):
+            self._fifo.popleft()
+        return count
+
+    def entries(self) -> List[StreamEntry]:
+        """Snapshot of the FIFO, head first."""
+        return list(self._fifo)
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    # -- operations -----------------------------------------------------------
+
+    def allocate(self, start_block: int, stride: int, issue_seq: int = 0) -> List[int]:
+        """(Re)allocate the stream to prefetch ``start_block``, +stride, ...
+
+        Any entries still in the FIFO are discarded (the caller counts
+        them as useless prefetches via :meth:`flush`).
+
+        Returns:
+            The block addresses of the ``depth`` prefetches issued.
+
+        Raises:
+            ValueError: if ``stride`` is zero (a stream that never
+                advances is meaningless).
+        """
+        if stride == 0:
+            raise ValueError("stream stride must be non-zero")
+        self._fifo.clear()
+        self.active = True
+        self.stride = stride
+        self.hits_since_alloc = 0
+        issued = []
+        block = start_block
+        for _ in range(self.depth):
+            self._fifo.append(StreamEntry(block=block, issue_seq=issue_seq))
+            issued.append(block)
+            block += stride
+        self._next_block = block
+        return issued
+
+    def flush(self) -> int:
+        """Deactivate the stream; return the number of entries discarded."""
+        discarded = len(self._fifo)
+        self._fifo.clear()
+        self.active = False
+        self.hits_since_alloc = 0
+        return discarded
+
+    def consume_head(self, issue_seq: int = 0) -> int:
+        """Service a head hit: pop the head, issue the next prefetch.
+
+        Returns:
+            The block address of the newly issued prefetch.
+
+        Raises:
+            RuntimeError: if the stream is inactive or empty.
+        """
+        if not self.active or not self._fifo:
+            raise RuntimeError("consume_head on an inactive or empty stream")
+        self._fifo.popleft()
+        self.hits_since_alloc += 1
+        issued_block = self._next_block
+        self._fifo.append(StreamEntry(block=issued_block, issue_seq=issue_seq))
+        self._next_block = issued_block + self.stride
+        return issued_block
+
+    def refill(self, issue_seq: int = 0) -> List[int]:
+        """Top the FIFO back up to ``depth`` entries (after skips).
+
+        Returns the block addresses of the prefetches issued.
+        """
+        if not self.active:
+            raise RuntimeError("refill on an inactive stream")
+        issued = []
+        while len(self._fifo) < self.depth:
+            block = self._next_block
+            self._fifo.append(StreamEntry(block=block, issue_seq=issue_seq))
+            issued.append(block)
+            self._next_block = block + self.stride
+        return issued
+
+    def invalidate(self, block: int) -> int:
+        """Invalidate entries holding ``block`` (write-back coherence).
+
+        Returns:
+            The number of entries invalidated (0 or 1 in practice; a
+            stream never holds duplicates, but the scan is general).
+        """
+        count = 0
+        for entry in self._fifo:
+            if entry.valid and entry.block == block:
+                entry.valid = False
+                count += 1
+        return count

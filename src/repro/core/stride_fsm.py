@@ -1,0 +1,78 @@
+"""The stride-verification finite state machine (paper Figure 7).
+
+One FSM instance lives in each non-unit stride filter entry.  It watches
+the sequence of miss addresses falling into one address-space partition
+and verifies a constant stride: the difference between the third and
+second addresses must equal the difference between the second and first.
+
+States::
+
+    INVALID --a--> META1 (last_addr = a)
+    META1  --a--> META2 (stride = a - last_addr; last_addr = a)
+    META2  --a--> verified  if a - last_addr == stride  -> allocate stream
+           --a--> META2     otherwise (stride = a - last_addr; last_addr = a)
+
+The FSM works on raw byte addresses; converting the verified stride to a
+block stride is the caller's job.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["FsmState", "StrideFsm"]
+
+
+class FsmState(enum.Enum):
+    """Figure 7's states."""
+
+    INVALID = "invalid"
+    META1 = "meta1"
+    META2 = "meta2"
+
+
+@dataclass
+class StrideFsm:
+    """Per-partition stride detector.
+
+    Attributes:
+        state: current FSM state.
+        last_addr: the previous miss address seen in this partition.
+        stride: the current stride guess (meaningful in META2).
+    """
+
+    state: FsmState = FsmState.INVALID
+    last_addr: int = 0
+    stride: int = 0
+
+    def observe(self, addr: int) -> Optional[int]:
+        """Feed the next miss address in this partition.
+
+        Returns:
+            The verified byte-address stride when the third consecutive
+            strided reference confirms it (the caller then allocates a
+            stream and frees this entry), else None.
+        """
+        if self.state is FsmState.INVALID:
+            self.last_addr = addr
+            self.state = FsmState.META1
+            return None
+        if self.state is FsmState.META1:
+            self.stride = addr - self.last_addr
+            self.last_addr = addr
+            self.state = FsmState.META2
+            return None
+        # META2: verify.
+        delta = addr - self.last_addr
+        if delta == self.stride and delta != 0:
+            return delta
+        self.stride = delta
+        self.last_addr = addr
+        return None
+
+    @classmethod
+    def starting_at(cls, addr: int) -> "StrideFsm":
+        """An FSM that has already observed its first address."""
+        return cls(state=FsmState.META1, last_addr=addr)

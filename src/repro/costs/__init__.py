@@ -1,0 +1,17 @@
+"""Cost extension: the paper's SRAM-vs-bandwidth economics."""
+
+from repro.costs.model import (
+    CostModel,
+    SystemCost,
+    bandwidth_affordable,
+    l2_design_cost,
+    stream_design_cost,
+)
+
+__all__ = [
+    "CostModel",
+    "SystemCost",
+    "bandwidth_affordable",
+    "l2_design_cost",
+    "stream_design_cost",
+]

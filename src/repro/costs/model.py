@@ -1,0 +1,113 @@
+"""The paper's economic argument, as a model.
+
+Section 1 motivates the whole study with system cost: "Gigabytes of
+SRAM are required to implement the conventional workstation memory
+system design for each processor in these [1K-processor] systems; this
+is an exorbitant cost if the caches are not being effectively used",
+and the conclusion proposes spending the SRAM savings on main-memory
+bandwidth instead.
+
+This module prices both designs per processor:
+
+* **Conventional**: an SRAM secondary cache of a given capacity plus
+  baseline memory bandwidth.
+* **Stream-based**: the stream buffers' tiny SRAM/logic plus however
+  much extra bandwidth the budget difference buys.
+
+Costs are parameterised in abstract *units* (1 unit = the baseline
+per-processor memory system) so the comparison is about ratios, as the
+paper's argument is.  Combined with the timing extension this answers:
+at equal cost, which design is faster?  (``examples/cost_study.py`` and
+``bench_costs.py`` do exactly that.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "SystemCost", "l2_design_cost", "stream_design_cost", "bandwidth_affordable"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Relative component costs.
+
+    Attributes:
+        sram_cost_per_mb: cost units per MB of secondary-cache SRAM
+            (includes tags/control amortised).
+        baseline_memory_cost: cost units of the baseline-bandwidth
+            memory system (1x bandwidth).
+        bandwidth_cost_per_x: cost units per extra 1x of memory
+            bandwidth (interleaving, wider paths, faster parts).
+        stream_buffer_cost: cost units of the whole stream-buffer unit
+            (the paper: "very little logic" — ten comparators/adders and
+            ~1.3KB of SRAM).
+    """
+
+    sram_cost_per_mb: float = 1.0
+    baseline_memory_cost: float = 1.0
+    bandwidth_cost_per_x: float = 0.5
+    stream_buffer_cost: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in (
+            "sram_cost_per_mb",
+            "baseline_memory_cost",
+            "bandwidth_cost_per_x",
+            "stream_buffer_cost",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class SystemCost:
+    """A per-processor memory-system bill of materials."""
+
+    sram_mb: float
+    bandwidth_x: float
+    total: float
+
+    def scaled(self, processors: int) -> "SystemCost":
+        """The bill for a parallel machine of ``processors`` nodes."""
+        if processors <= 0:
+            raise ValueError(f"processors must be positive, got {processors}")
+        return SystemCost(
+            sram_mb=self.sram_mb * processors,
+            bandwidth_x=self.bandwidth_x,
+            total=self.total * processors,
+        )
+
+
+def l2_design_cost(l2_mb: float, model: CostModel = CostModel()) -> SystemCost:
+    """Cost of the conventional design: L2 SRAM + 1x-bandwidth memory."""
+    if l2_mb < 0:
+        raise ValueError(f"l2_mb must be non-negative, got {l2_mb}")
+    total = l2_mb * model.sram_cost_per_mb + model.baseline_memory_cost
+    return SystemCost(sram_mb=l2_mb, bandwidth_x=1.0, total=total)
+
+
+def stream_design_cost(bandwidth_x: float, model: CostModel = CostModel()) -> SystemCost:
+    """Cost of the stream design at ``bandwidth_x`` memory bandwidth."""
+    if bandwidth_x < 1.0:
+        raise ValueError(f"bandwidth_x must be >= 1, got {bandwidth_x}")
+    total = (
+        model.stream_buffer_cost
+        + model.baseline_memory_cost
+        + (bandwidth_x - 1.0) * model.bandwidth_cost_per_x
+    )
+    return SystemCost(sram_mb=0.0, bandwidth_x=bandwidth_x, total=total)
+
+
+def bandwidth_affordable(l2_mb: float, model: CostModel = CostModel()) -> float:
+    """Bandwidth the stream design can buy at the L2 design's price.
+
+    The heart of the paper's conclusion: drop an ``l2_mb`` secondary
+    cache, keep the budget constant, return the bandwidth multiplier
+    the savings purchase (at least 1.0).
+    """
+    budget = l2_design_cost(l2_mb, model).total
+    spare = budget - model.stream_buffer_cost - model.baseline_memory_cost
+    if spare <= 0:
+        return 1.0
+    return 1.0 + spare / model.bandwidth_cost_per_x

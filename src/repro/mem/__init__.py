@@ -1,0 +1,14 @@
+"""Memory substrate: address arithmetic, allocation and array layout."""
+
+from repro.mem.address import AddressSpace, is_power_of_two, log2_int
+from repro.mem.allocator import Allocation, Arena
+from repro.mem.layout import ArrayLayout
+
+__all__ = [
+    "AddressSpace",
+    "Allocation",
+    "Arena",
+    "ArrayLayout",
+    "is_power_of_two",
+    "log2_int",
+]

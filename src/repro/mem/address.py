@@ -1,0 +1,119 @@
+"""Address arithmetic shared by every simulator component.
+
+All addresses in the library are plain Python integers denoting *byte*
+addresses.  Cache simulators and stream buffers reason about *block*
+addresses (byte address divided by the cache block size); the non-unit
+stride filter reasons about *czone tags* (high-order bits of the byte
+address).  This module centralises those conversions so that every
+component agrees on the same geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "AddressSpace",
+    "is_power_of_two",
+    "log2_int",
+]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """Geometry of the simulated physical address space.
+
+    Attributes:
+        word_size: bytes per machine word (default 8, a 64-bit word).
+        block_size: bytes per cache block (default 64, the paper's primary
+            cache block size; the L2 comparison also uses 128).
+    """
+
+    word_size: int = 8
+    block_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.word_size):
+            raise ValueError(f"word_size must be a power of two, got {self.word_size}")
+        if not is_power_of_two(self.block_size):
+            raise ValueError(f"block_size must be a power of two, got {self.block_size}")
+        if self.block_size < self.word_size:
+            raise ValueError(
+                f"block_size ({self.block_size}) must be >= word_size ({self.word_size})"
+            )
+
+    @property
+    def block_bits(self) -> int:
+        """Number of byte-offset bits within a block."""
+        return log2_int(self.block_size)
+
+    @property
+    def word_bits(self) -> int:
+        """Number of byte-offset bits within a word."""
+        return log2_int(self.word_size)
+
+    @property
+    def words_per_block(self) -> int:
+        return self.block_size // self.word_size
+
+    def block_of(self, addr: int) -> int:
+        """Block address (block index) containing byte address ``addr``."""
+        return addr >> self.block_bits
+
+    def block_base(self, addr: int) -> int:
+        """Byte address of the first byte of the block containing ``addr``."""
+        return addr & ~(self.block_size - 1)
+
+    def block_offset(self, addr: int) -> int:
+        """Byte offset of ``addr`` within its block."""
+        return addr & (self.block_size - 1)
+
+    def word_of(self, addr: int) -> int:
+        """Word address (word index) containing byte address ``addr``."""
+        return addr >> self.word_bits
+
+    def addr_of_block(self, block: int) -> int:
+        """Byte address of the first byte of block number ``block``."""
+        return block << self.block_bits
+
+    def addr_of_word(self, word: int) -> int:
+        """Byte address of the first byte of word number ``word``."""
+        return word << self.word_bits
+
+    def czone_tag(self, addr: int, czone_bits: int) -> int:
+        """Partition tag for the non-unit stride filter (paper Section 7).
+
+        The paper dynamically partitions the physical address space: two
+        references belong to the same partition when their addresses share
+        the same high-order (tag) bits.  ``czone_bits`` is the number of
+        low-order byte-address bits inside the *concentration zone*.
+        """
+        if czone_bits < 0:
+            raise ValueError(f"czone_bits must be non-negative, got {czone_bits}")
+        return addr >> czone_bits
+
+    def block_stride(self, delta_bytes: int) -> int:
+        """Convert a byte-address delta into a block-address stride.
+
+        Rounds toward zero so that sub-block deltas map to stride zero,
+        which callers treat as "not a non-unit stride".
+        """
+        if delta_bytes >= 0:
+            return delta_bytes >> self.block_bits
+        return -((-delta_bytes) >> self.block_bits)

@@ -1,0 +1,130 @@
+"""A bump allocator for laying out workload data structures in memory.
+
+Workload models allocate their arrays from an :class:`Arena` so that each
+array gets a stable, non-overlapping base address.  The allocator mimics how
+a Fortran runtime lays out COMMON blocks and heap arrays: consecutive
+allocations are placed one after another, aligned to a configurable
+boundary, with an optional guard gap so that distinct arrays never share a
+cache block (which would create artificial streams across array ends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Arena", "Allocation"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A region of memory handed out by :class:`Arena`.
+
+    Attributes:
+        name: human-readable label (the array name in the workload model).
+        base: byte address of the first byte.
+        size: size in bytes.
+    """
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte address of the allocation."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        """Return ``True`` if ``addr`` falls inside this allocation."""
+        return self.base <= addr < self.end
+
+
+@dataclass
+class Arena:
+    """Bump allocator over a simulated physical address space.
+
+    Args:
+        base: starting byte address of the arena (default 1 MiB, leaving
+            low memory for the "code" segment used by instruction fetch
+            modelling).
+        alignment: every allocation is aligned to this many bytes
+            (default 64, one cache block).
+        guard: bytes of unused padding inserted after every allocation so
+            that arrays never abut within a block (default one block).
+    """
+
+    base: int = 1 << 20
+    alignment: int = 64
+    guard: int = 64
+    _cursor: int = field(init=False)
+    _allocations: List[Allocation] = field(init=False, default_factory=list)
+    _by_name: Dict[str, Allocation] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.alignment <= 0:
+            raise ValueError(f"alignment must be positive, got {self.alignment}")
+        if self.guard < 0:
+            raise ValueError(f"guard must be non-negative, got {self.guard}")
+        if self.base < 0:
+            raise ValueError(f"base must be non-negative, got {self.base}")
+        self._cursor = self._align(self.base)
+
+    def _align(self, addr: int) -> int:
+        rem = addr % self.alignment
+        if rem:
+            addr += self.alignment - rem
+        return addr
+
+    def alloc(self, name: str, size: int) -> Allocation:
+        """Allocate ``size`` bytes and return the :class:`Allocation`.
+
+        Raises:
+            ValueError: if ``size`` is not positive or ``name`` was already
+                allocated.
+        """
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if name in self._by_name:
+            raise ValueError(f"array {name!r} already allocated")
+        allocation = Allocation(name=name, base=self._cursor, size=size)
+        self._cursor = self._align(allocation.end + self.guard)
+        self._allocations.append(allocation)
+        self._by_name[name] = allocation
+        return allocation
+
+    def alloc_words(self, name: str, n_words: int, word_size: int = 8) -> Allocation:
+        """Allocate ``n_words`` machine words."""
+        return self.alloc(name, n_words * word_size)
+
+    def __getitem__(self, name: str) -> Allocation:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def allocations(self) -> List[Allocation]:
+        """All allocations in allocation order (a copy)."""
+        return list(self._allocations)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes handed out (excluding guards and padding)."""
+        return sum(a.size for a in self._allocations)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Span from arena base to the current cursor (including padding)."""
+        return self._cursor - self.base
+
+    def find(self, addr: int) -> Allocation:
+        """Return the allocation containing ``addr``.
+
+        Raises:
+            KeyError: if no allocation contains the address.
+        """
+        for allocation in self._allocations:
+            if allocation.contains(addr):
+                return allocation
+        raise KeyError(f"address {addr:#x} is not inside any allocation")

@@ -1,0 +1,128 @@
+"""N-dimensional array layouts mapping element indices to byte addresses.
+
+Workload kernels describe accesses in terms of array *elements* (e.g.
+``u[i, j, k]`` in a stencil sweep); :class:`ArrayLayout` turns those into
+byte addresses given the array's base address, element size and dimension
+order.  Fortran arrays are column-major; since the benchmarks were Fortran
+codes run through f2c, the models use column-major order by default, which
+is what makes "sweep the first index" a unit-stride stream and "sweep a
+later index" a large constant stride — the distinction the paper's Section
+7 is all about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = ["ArrayLayout"]
+
+
+@dataclass(frozen=True)
+class ArrayLayout:
+    """Maps an N-D element index to a byte address.
+
+    Attributes:
+        base: byte address of element (0, 0, ..., 0).
+        shape: extent of each dimension.
+        element_size: bytes per element (8 for double precision).
+        order: ``"F"`` for column-major (Fortran, default) or ``"C"`` for
+            row-major.
+    """
+
+    base: int
+    shape: Tuple[int, ...]
+    element_size: int = 8
+    order: str = "F"
+
+    def __post_init__(self) -> None:
+        if self.element_size <= 0:
+            raise ValueError(f"element_size must be positive, got {self.element_size}")
+        if not self.shape:
+            raise ValueError("shape must have at least one dimension")
+        if any(extent <= 0 for extent in self.shape):
+            raise ValueError(f"all extents must be positive, got {self.shape}")
+        if self.order not in ("F", "C"):
+            raise ValueError(f"order must be 'F' or 'C', got {self.order!r}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def n_elements(self) -> int:
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n_elements * self.element_size
+
+    @property
+    def strides(self) -> Tuple[int, ...]:
+        """Byte stride of each dimension."""
+        strides = [0] * self.ndim
+        acc = self.element_size
+        dims = range(self.ndim) if self.order == "F" else range(self.ndim - 1, -1, -1)
+        for dim in dims:
+            strides[dim] = acc
+            acc *= self.shape[dim]
+        return tuple(strides)
+
+    def addr(self, *index: int) -> int:
+        """Byte address of the element at ``index``.
+
+        Raises:
+            IndexError: if the index has the wrong arity or is out of range.
+        """
+        if len(index) != self.ndim:
+            raise IndexError(
+                f"expected {self.ndim} indices for shape {self.shape}, got {len(index)}"
+            )
+        addr = self.base
+        for i, extent, stride in zip(index, self.shape, self.strides):
+            if not 0 <= i < extent:
+                raise IndexError(f"index {index} out of range for shape {self.shape}")
+            addr += i * stride
+        return addr
+
+    def flat_addr(self, flat_index: int) -> int:
+        """Byte address of the ``flat_index``-th element in layout order."""
+        if not 0 <= flat_index < self.n_elements:
+            raise IndexError(
+                f"flat index {flat_index} out of range for {self.n_elements} elements"
+            )
+        return self.base + flat_index * self.element_size
+
+    @classmethod
+    def vector(cls, base: int, n: int, element_size: int = 8) -> "ArrayLayout":
+        """Convenience constructor for a 1-D array."""
+        return cls(base=base, shape=(n,), element_size=element_size)
+
+    @classmethod
+    def from_allocation(
+        cls,
+        allocation,
+        shape: Sequence[int],
+        element_size: int = 8,
+        order: str = "F",
+    ) -> "ArrayLayout":
+        """Build a layout over an :class:`~repro.mem.allocator.Allocation`.
+
+        Raises:
+            ValueError: if the array does not fit in the allocation.
+        """
+        layout = cls(
+            base=allocation.base,
+            shape=tuple(shape),
+            element_size=element_size,
+            order=order,
+        )
+        if layout.size_bytes > allocation.size:
+            raise ValueError(
+                f"array of {layout.size_bytes} bytes does not fit allocation "
+                f"{allocation.name!r} of {allocation.size} bytes"
+            )
+        return layout

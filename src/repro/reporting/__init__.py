@@ -1,0 +1,6 @@
+"""Rendering of the paper's tables and figures."""
+
+from repro.reporting.figures import render_bars, render_series
+from repro.reporting.tables import format_cell, render_table
+
+__all__ = ["format_cell", "render_bars", "render_series", "render_table"]

@@ -1,0 +1,419 @@
+"""One driver per table and figure of the paper's evaluation.
+
+Each ``table*``/``figure*`` function runs the experiment and returns
+structured data; the matching ``render_*`` function produces the
+plain-text exhibit with the paper's published value beside every measured
+one.  The benchmark harness under ``benchmarks/`` calls these and prints
+the rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import StreamConfig
+from repro.core.lengths import LENGTH_BUCKETS, bucket_label
+from repro.reporting import paper_data
+from repro.reporting.figures import render_series
+from repro.reporting.tables import render_table
+from repro.sim.compare import MatchResult, format_size, min_matching_l2_size
+from repro.sim.runner import MissTraceCache, default_cache, run_streams
+from repro.sim.sweep import sweep_czone_bits, sweep_n_streams
+from repro.workloads import (
+    NON_UNIT_STRIDE_BENCHMARKS,
+    PAPER_BENCHMARKS,
+    TABLE4_SCALES,
+)
+
+__all__ = [
+    "table1",
+    "render_table1",
+    "figure3",
+    "render_figure3",
+    "table2",
+    "render_table2",
+    "table3",
+    "render_table3",
+    "figure5",
+    "render_figure5",
+    "figure8",
+    "render_figure8",
+    "figure9",
+    "render_figure9",
+    "table4",
+    "render_table4",
+]
+
+#: The czone size used wherever the paper's non-unit stride filter is on
+#: but Figure 9 is not being swept (a value inside every benchmark's
+#: effective band).
+DEFAULT_CZONE_BITS = 19
+
+
+# -- Table 1 ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Benchmark characteristics, measured vs paper."""
+
+    name: str
+    suite: str
+    model_data_mb: float
+    model_miss_rate_pct: float
+    paper_data_mb: float
+    paper_miss_rate_pct: float
+
+
+def table1(
+    names: Sequence[str] = PAPER_BENCHMARKS,
+    cache: Optional[MissTraceCache] = None,
+) -> List[Table1Row]:
+    """Benchmark characteristics (model vs paper Table 1)."""
+    cache = cache if cache is not None else default_cache()
+    rows = []
+    for name in names:
+        _, summary = cache.get(name)
+        suite, _input, data_mb, miss_pct, _mpi = paper_data.TABLE1[name]
+        rows.append(
+            Table1Row(
+                name=name,
+                suite=suite,
+                model_data_mb=summary.data_set_bytes / (1 << 20),
+                model_miss_rate_pct=100.0 * summary.miss_rate,
+                paper_data_mb=data_mb,
+                paper_miss_rate_pct=miss_pct,
+            )
+        )
+    return rows
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    """Render Table 1 with paper values beside measured ones."""
+    return render_table(
+        ["bench", "suite", "data MB", "paper MB", "miss %", "paper miss %"],
+        [
+            [
+                r.name,
+                r.suite,
+                r.model_data_mb,
+                r.paper_data_mb,
+                r.model_miss_rate_pct,
+                r.paper_miss_rate_pct,
+            ]
+            for r in rows
+        ],
+        title="Table 1: benchmark characteristics (model vs paper)",
+        precision=2,
+    )
+
+
+# -- Figure 3 ---------------------------------------------------------------
+
+
+def figure3(
+    names: Sequence[str] = PAPER_BENCHMARKS,
+    n_values: Sequence[int] = tuple(range(1, 11)),
+    cache: Optional[MissTraceCache] = None,
+) -> Dict[str, Dict[int, float]]:
+    """Hit rate vs number of streams (unfiltered, depth 2)."""
+    cache = cache if cache is not None else default_cache()
+    data = {}
+    for name in names:
+        sweep = sweep_n_streams(name, n_values, cache=cache)
+        data[name] = {n: stats.hit_rate_percent for n, stats in sweep.items()}
+    return data
+
+
+def render_figure3(data: Dict[str, Dict[int, float]]) -> str:
+    """Render Figure 3 as an ASCII chart plus an endpoint table."""
+    chart = render_series(
+        {name: {float(n): hit for n, hit in series.items()} for name, series in data.items()},
+        y_label="stream hit rate %",
+        x_label="number of streams",
+        y_max=100.0,
+        title="Figure 3: hit rate vs number of streams",
+    )
+    rows = []
+    for name, series in data.items():
+        final = series[max(series)]
+        rows.append([name, final, paper_data.FIGURE3_HIT_AT_10.get(name)])
+    table = render_table(
+        ["bench", "hit % @ max streams", "paper ~%"],
+        rows,
+        title="Figure 3 endpoints (ten streams)",
+    )
+    return chart + "\n\n" + table
+
+
+# -- Table 2 ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    name: str
+    eb_measured_pct: float
+    eb_estimate_pct: float
+    paper_eb_pct: Optional[int]
+
+
+def table2(
+    names: Sequence[str] = PAPER_BENCHMARKS,
+    n_streams: int = 10,
+    cache: Optional[MissTraceCache] = None,
+) -> List[Table2Row]:
+    """Extra bandwidth of ordinary (unfiltered) streams."""
+    cache = cache if cache is not None else default_cache()
+    rows = []
+    for name in names:
+        stats = run_streams(name, StreamConfig.jouppi(n_streams=n_streams), cache=cache)
+        rows.append(
+            Table2Row(
+                name=name,
+                eb_measured_pct=stats.bandwidth.eb_measured,
+                eb_estimate_pct=stats.bandwidth.eb_estimate,
+                paper_eb_pct=paper_data.TABLE2_EB.get(name),
+            )
+        )
+    return rows
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    """Render Table 2 (measured and closed-form EB vs paper)."""
+    return render_table(
+        ["bench", "EB % (measured)", "EB % (S*D/M)", "paper EB %"],
+        [[r.name, r.eb_measured_pct, r.eb_estimate_pct, r.paper_eb_pct] for r in rows],
+        title="Table 2: extra bandwidth of ordinary streams",
+    )
+
+
+# -- Table 3 ----------------------------------------------------------------
+
+
+def table3(
+    names: Sequence[str] = PAPER_BENCHMARKS,
+    n_streams: int = 10,
+    cache: Optional[MissTraceCache] = None,
+) -> Dict[str, List[float]]:
+    """Stream length distribution (% hits per bucket), ten streams."""
+    cache = cache if cache is not None else default_cache()
+    data = {}
+    for name in names:
+        stats = run_streams(name, StreamConfig.jouppi(n_streams=n_streams), cache=cache)
+        data[name] = stats.lengths.as_row()
+    return data
+
+
+def render_table3(data: Dict[str, List[float]]) -> str:
+    """Render Table 3 with the paper's 1-5 / >20 endpoints."""
+    headers = ["bench"] + [bucket_label(b) for b in LENGTH_BUCKETS] + [
+        "paper 1-5",
+        "paper >20",
+    ]
+    rows = []
+    for name, buckets in data.items():
+        short, long_ = paper_data.TABLE3_SHORT_LONG.get(name, (None, None))
+        rows.append([name] + [round(v) for v in buckets] + [short, long_])
+    return render_table(
+        headers, rows, title="Table 3: distribution of stream lengths (% of hits)"
+    )
+
+
+# -- Figure 5 ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure5Row:
+    name: str
+    hit_no_filter: float
+    hit_with_filter: float
+    eb_no_filter: float
+    eb_with_filter: float
+
+
+def figure5(
+    names: Sequence[str] = PAPER_BENCHMARKS,
+    n_streams: int = 10,
+    filter_entries: int = 16,
+    cache: Optional[MissTraceCache] = None,
+) -> List[Figure5Row]:
+    """Hit rate and EB with vs without the unit-stride filter."""
+    cache = cache if cache is not None else default_cache()
+    rows = []
+    for name in names:
+        plain = run_streams(name, StreamConfig.jouppi(n_streams=n_streams), cache=cache)
+        filtered = run_streams(
+            name,
+            StreamConfig.filtered(n_streams=n_streams, entries=filter_entries),
+            cache=cache,
+        )
+        rows.append(
+            Figure5Row(
+                name=name,
+                hit_no_filter=plain.hit_rate_percent,
+                hit_with_filter=filtered.hit_rate_percent,
+                eb_no_filter=plain.bandwidth.eb_measured,
+                eb_with_filter=filtered.bandwidth.eb_measured,
+            )
+        )
+    return rows
+
+
+def render_figure5(rows: List[Figure5Row]) -> str:
+    """Render the Figure 5 filter-effect table."""
+    return render_table(
+        ["bench", "hit %", "hit % w/ filter", "EB %", "EB % w/ filter"],
+        [
+            [r.name, r.hit_no_filter, r.hit_with_filter, r.eb_no_filter, r.eb_with_filter]
+            for r in rows
+        ],
+        title="Figure 5: effect of the unit-stride filter (16 entries, 10 streams)",
+    )
+
+
+# -- Figure 8 ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure8Row:
+    name: str
+    hit_unit_only: float
+    hit_constant_stride: float
+    paper_unit: Optional[float]
+    paper_stride: Optional[float]
+
+
+def figure8(
+    names: Sequence[str] = PAPER_BENCHMARKS,
+    n_streams: int = 10,
+    czone_bits: int = DEFAULT_CZONE_BITS,
+    cache: Optional[MissTraceCache] = None,
+) -> List[Figure8Row]:
+    """Unit-stride-only vs constant-stride-detecting streams (filtered)."""
+    cache = cache if cache is not None else default_cache()
+    rows = []
+    for name in names:
+        unit = run_streams(name, StreamConfig.filtered(n_streams=n_streams), cache=cache)
+        stride = run_streams(
+            name,
+            StreamConfig.non_unit(n_streams=n_streams, czone_bits=czone_bits),
+            cache=cache,
+        )
+        paper = paper_data.FIGURE8_GAINS.get(name)
+        rows.append(
+            Figure8Row(
+                name=name,
+                hit_unit_only=unit.hit_rate_percent,
+                hit_constant_stride=stride.hit_rate_percent,
+                paper_unit=paper[0] if paper else None,
+                paper_stride=paper[1] if paper else None,
+            )
+        )
+    return rows
+
+
+def render_figure8(rows: List[Figure8Row]) -> str:
+    """Render the Figure 8 stride-detection table."""
+    return render_table(
+        ["bench", "unit-only %", "const-stride %", "paper unit", "paper stride"],
+        [
+            [r.name, r.hit_unit_only, r.hit_constant_stride, r.paper_unit, r.paper_stride]
+            for r in rows
+        ],
+        title="Figure 8: non-unit stride detection (10 streams, 16-entry filters)",
+    )
+
+
+# -- Figure 9 ---------------------------------------------------------------
+
+
+def figure9(
+    names: Sequence[str] = NON_UNIT_STRIDE_BENCHMARKS,
+    czone_bits_values: Sequence[int] = tuple(range(10, 27, 2)),
+    cache: Optional[MissTraceCache] = None,
+) -> Dict[str, Dict[int, float]]:
+    """Hit rate vs czone size for the non-unit stride benchmarks."""
+    cache = cache if cache is not None else default_cache()
+    data = {}
+    for name in names:
+        sweep = sweep_czone_bits(name, czone_bits_values, cache=cache)
+        data[name] = {bits: stats.hit_rate_percent for bits, stats in sweep.items()}
+    return data
+
+
+def render_figure9(data: Dict[str, Dict[int, float]]) -> str:
+    """Render Figure 9 as an ASCII chart plus a band summary."""
+    chart = render_series(
+        {name: {float(b): h for b, h in series.items()} for name, series in data.items()},
+        y_label="stream hit rate %",
+        x_label="czone bits",
+        y_max=100.0,
+        title="Figure 9: hit-rate sensitivity to czone size",
+    )
+    rows = []
+    for name, series in data.items():
+        best_bits = max(series, key=series.get)
+        rows.append([name, best_bits, series[best_bits], min(series.values())])
+    table = render_table(
+        ["bench", "best czone bits", "best hit %", "worst hit %"],
+        rows,
+        title="Figure 9 summary",
+    )
+    return chart + "\n\n" + table
+
+
+# -- Table 4 ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    name: str
+    scale: float
+    stream_hit_pct: float
+    min_l2: str
+    paper_input: Optional[str]
+    paper_hit_pct: Optional[int]
+    paper_min_l2: Optional[str]
+    match: MatchResult
+
+
+def table4(
+    scales: Optional[Dict[str, Tuple[float, float]]] = None,
+    cache: Optional[MissTraceCache] = None,
+) -> List[Table4Row]:
+    """Streams vs secondary caches across input scales."""
+    scales = scales if scales is not None else TABLE4_SCALES
+    cache = cache if cache is not None else default_cache()
+    rows = []
+    for name, pair in scales.items():
+        paper_pair = paper_data.TABLE4.get(name)
+        for index, scale in enumerate(pair):
+            match = min_matching_l2_size(name, scale=scale, cache=cache)
+            paper_cell = paper_pair[index] if paper_pair else None
+            rows.append(
+                Table4Row(
+                    name=name,
+                    scale=scale,
+                    stream_hit_pct=match.stream_hit_rate_percent,
+                    min_l2=format_size(match.matched_size),
+                    paper_input=paper_cell[0] if paper_cell else None,
+                    paper_hit_pct=paper_cell[1] if paper_cell else None,
+                    paper_min_l2=paper_cell[2] if paper_cell else None,
+                    match=match,
+                )
+            )
+    return rows
+
+
+def render_table4(rows: List[Table4Row]) -> str:
+    """Render Table 4 (stream hit and min matching L2 vs paper)."""
+    return render_table(
+        ["bench", "scale", "stream hit %", "min L2", "paper hit %", "paper min L2"],
+        [
+            [r.name, r.scale, r.stream_hit_pct, r.min_l2, r.paper_hit_pct, r.paper_min_l2]
+            for r in rows
+        ],
+        title="Table 4: stream buffers versus secondary cache across input scales",
+        precision=2,
+    )

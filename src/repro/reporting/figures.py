@@ -1,0 +1,86 @@
+"""Plain-text line charts for the paper's figures.
+
+``render_series`` plots one or more (x -> y) series as an ASCII chart —
+enough to see the saturation of Figure 3, the filter deltas of Figure 5
+and the czone band of Figure 9 in a terminal or a benchmark log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["render_series", "render_bars"]
+
+_MARKS = "ox+*#@%&abcdefgh"
+
+
+def render_series(
+    series: Dict[str, Dict[float, float]],
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+    y_max: Optional[float] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Plot several named series sharing an x-axis.
+
+    Args:
+        series: label -> {x: y}.  All x values are collected and sorted
+            into discrete columns.
+        height: chart rows.
+        y_max: fixed y ceiling (auto from data when omitted).
+
+    Raises:
+        ValueError: if there is nothing to plot.
+    """
+    points = {
+        label: dict(sorted(data.items())) for label, data in series.items() if data
+    }
+    if not points:
+        raise ValueError("render_series needs at least one non-empty series")
+    xs: List[float] = sorted({x for data in points.values() for x in data})
+    top = y_max if y_max is not None else max(y for d in points.values() for y in d.values())
+    if top <= 0:
+        top = 1.0
+    grid = [[" "] * len(xs) for _ in range(height)]
+    for index, (label, data) in enumerate(points.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for col, x in enumerate(xs):
+            if x not in data:
+                continue
+            level = min(height - 1, int(round((data[x] / top) * (height - 1))))
+            grid[height - 1 - level][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        level_value = top * (height - 1 - row_index) / (height - 1)
+        axis = f"{level_value:7.1f} |" if row_index % 4 == 0 or row_index == height - 1 else "        |"
+        lines.append(axis + " " + "  ".join(row))
+    lines.append("        +" + "-" * (3 * len(xs)))
+    x_cells = "  ".join(f"{x:g}"[:2].rjust(1) for x in xs)
+    lines.append("          " + x_cells + ("   " + x_label if x_label else ""))
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]}={label}" for i, label in enumerate(points)
+    )
+    lines.append("  legend: " + legend + (f"   (y: {y_label})" if y_label else ""))
+    return "\n".join(lines)
+
+
+def render_bars(
+    values: Dict[str, float],
+    width: int = 50,
+    unit: str = "%",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart (used for Figure 5/8 style comparisons)."""
+    if not values:
+        raise ValueError("render_bars needs at least one value")
+    top = max(max(values.values()), 1e-9)
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(0, int(round(width * value / top)))
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.1f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""The paper's published numbers, transcribed for side-by-side reporting.
+
+Values come from Table 1 (benchmark characteristics), Figure 3 (hit rate
+at ten streams, read off the curves), Table 2 (extra bandwidth), Table 3
+(stream length distribution), the Figure 5/8 discussion in the text, and
+Table 4 (the scaling study).  Where a figure had to be read by eye the
+value is approximate — these are *shape* references, not gospel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "TABLE1",
+    "FIGURE3_HIT_AT_10",
+    "TABLE2_EB",
+    "TABLE3_SHORT_LONG",
+    "FIGURE5_TEXT",
+    "FIGURE8_GAINS",
+    "TABLE4",
+]
+
+#: name -> (suite, input, data MB, D-miss rate %, MPI %).
+TABLE1: Dict[str, Tuple[str, str, float, float, float]] = {
+    "embar": ("NAS", "2^16-number batches", 1.0, 0.28, 0.10),
+    "mgrid": ("NAS", "32x32x32 grid", 1.0, 0.84, 0.08),
+    "cgm": ("NAS", "1400x1400, 78148 nnz", 2.9, 3.33, 1.43),
+    "fftpde": ("NAS", "64x64x64 complex", 14.7, 3.08, 0.50),
+    "buk": ("NAS", "64K ints, maxkey 2048", 0.80, 0.53, 0.20),
+    "appsp": ("NAS", "24x24x24, 50 iters", 2.2, 2.24, 0.38),
+    "appbt": ("NAS", "18x18x18, 30 iters", 4.2, 1.88, 0.45),
+    "applu": ("NAS", "18x18x18, 50 iters", 5.4, 1.26, 0.18),
+    "spec77": ("PERFECT", "64x1x16, 720 steps", 1.3, 0.50, 0.15),
+    "adm": ("PERFECT", "", 0.6, 0.04, 0.00),
+    "bdna": ("PERFECT", "500 molecules", 2.1, 1.39, 0.42),
+    "dyfesm": ("PERFECT", "4 elements, 1000 steps", 0.1, 0.01, 0.00),
+    "mdg": ("PERFECT", "343 molecules, 100 steps", 0.2, 0.03, 0.01),
+    "qcd": ("PERFECT", "12^4 lattice", 9.2, 0.16, 0.06),
+    "trfd": ("PERFECT", "", 8.0, 0.05, 0.00),
+}
+
+#: Approximate Figure 3 hit rate (%) at ten streams, no filter.
+FIGURE3_HIT_AT_10: Dict[str, float] = {
+    "embar": 95, "mgrid": 85, "cgm": 85, "fftpde": 26, "buk": 65,
+    "appsp": 33, "appbt": 65, "applu": 62, "spec77": 73, "adm": 25,
+    "bdna": 70, "dyfesm": 25, "mdg": 50, "qcd": 50, "trfd": 50,
+}
+
+#: Table 2: extra bandwidth (%) of ordinary (unfiltered) streams.
+TABLE2_EB: Dict[str, int] = {
+    "embar": 8, "cgm": 30, "mgrid": 36, "fftpde": 158, "buk": 48,
+    "appsp": 134, "appbt": 62, "applu": 38, "spec77": 44, "adm": 150,
+    "bdna": 68, "dyfesm": 108, "mdg": 76, "qcd": 74, "trfd": 96,
+}
+
+#: Table 3 endpoints: (% hits from lengths 1-5, % hits from lengths > 20).
+#: The middle buckets are small for every benchmark.
+TABLE3_SHORT_LONG: Dict[str, Tuple[int, int]] = {
+    "embar": (1, 99), "mgrid": (13, 86), "cgm": (3, 97), "fftpde": (41, 59),
+    "buk": (4, 93), "appsp": (5, 84), "appbt": (63, 37), "applu": (22, 64),
+    "spec77": (14, 84), "adm": (73, 9), "bdna": (36, 33), "dyfesm": (50, 25),
+    "mdg": (32, 46), "qcd": (50, 43), "trfd": (7, 90),
+}
+
+#: Section 6.1 text: (hit without filter, hit with, EB without, EB with).
+FIGURE5_TEXT: Dict[str, Tuple[Optional[float], Optional[float], float, float]] = {
+    "trfd": (50, 50, 96, 11),
+    "buk": (65, 65, 48, 7),
+    "appsp": (33, 33, 134, 45),
+    "cgm": (85, 85, 30, 13),
+    "fftpde": (26, 29, 158, 37),
+    "appbt": (65, 45, 62, 48),
+}
+
+#: Section 7.1 text: unit-stride-only hit -> with constant-stride detection.
+FIGURE8_GAINS: Dict[str, Tuple[float, float]] = {
+    "fftpde": (26, 71),
+    "appsp": (33, 65),
+    "trfd": (50, 65),
+}
+
+#: Table 4: name -> ((input, hit %, min L2), (input, hit %, min L2)).
+TABLE4: Dict[str, Tuple[Tuple[str, int, str], Tuple[str, int, str]]] = {
+    "appsp": (("12^3", 43, "128 KB"), ("24^3", 65, "1 MB")),
+    "appbt": (("12^3", 50, "512 KB"), ("24^3", 52, "2 MB")),
+    "applu": (("12^3", 62, "1 MB"), ("24^3", 73, "2 MB")),
+    "cgm": (("1400", 85, "1 MB"), ("5600", 51, "64 KB")),
+    "mgrid": (("32^3", 76, "2 MB"), ("64^3", 88, "4 MB")),
+}

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for the paper's exhibits.
+
+Deliberately dependency-free: benchmarks print these tables next to the
+paper's reference values so a reader can diff shapes at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value, precision: int = 1) -> str:
+    """Human-format one cell: floats get ``precision`` digits."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    precision: int = 1,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numeric columns are right-aligned, text columns left-aligned
+    (decided per column from the first data row).
+
+    Raises:
+        ValueError: if any row's arity differs from the header's.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row arity {len(row)} does not match {len(headers)} headers: {row!r}"
+            )
+    text_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    right_align = [False] * len(headers)
+    if rows:
+        for i, cell in enumerate(rows[0]):
+            right_align[i] = isinstance(cell, (int, float)) and not isinstance(cell, bool)
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if right_align[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Simulation drivers: runners, sweeps and the L2 comparison."""
+
+from repro.sim.compare import MatchResult, format_size, min_matching_l2_size
+from repro.sim.replication import MetricSummary, replicate, summarize
+from repro.sim.results import L1Summary, RunResult
+from repro.sim.runner import (
+    MissTraceCache,
+    default_cache,
+    run_result,
+    run_streams,
+    simulate_l1,
+)
+from repro.sim.sweep import (
+    compare_configs,
+    sweep_czone_bits,
+    sweep_depth,
+    sweep_n_streams,
+)
+from repro.sim.system import MemorySystem, ServiceLevel, SystemStats
+
+__all__ = [
+    "L1Summary",
+    "MatchResult",
+    "MemorySystem",
+    "MetricSummary",
+    "MissTraceCache",
+    "RunResult",
+    "ServiceLevel",
+    "SystemStats",
+    "compare_configs",
+    "default_cache",
+    "format_size",
+    "min_matching_l2_size",
+    "replicate",
+    "run_result",
+    "summarize",
+    "run_streams",
+    "simulate_l1",
+    "sweep_czone_bits",
+    "sweep_depth",
+    "sweep_n_streams",
+]

@@ -1,0 +1,102 @@
+"""Streams versus secondary caches (paper Section 8 / Table 4).
+
+For a workload at a given input scale, find the minimum secondary cache
+capacity whose best-configuration local hit rate (associativity 1-4,
+block 64/128B) matches the stream buffers' hit rate.  Set sampling keeps
+the multi-megabyte configurations affordable, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.caches.sampling import SamplingPlan, sampled_hit_rate
+from repro.caches.secondary import PAPER_L2_SIZES, candidate_configs
+from repro.core.config import StreamConfig
+from repro.core.prefetcher import StreamStats
+from repro.sim.runner import MissTraceCache, default_cache
+from repro.core.prefetcher import StreamPrefetcher
+from repro.workloads.base import Workload
+
+__all__ = ["MatchResult", "min_matching_l2_size", "format_size"]
+
+WorkloadRef = Union[str, Workload]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of the Table 4 search for one (workload, scale) cell.
+
+    Attributes:
+        workload: benchmark name.
+        scale: input scale used.
+        stream_stats: the stream run being matched.
+        matched_size: smallest L2 capacity reaching the stream hit rate,
+            or None if even the largest candidate fell short.
+        l2_hit_rates: best local hit rate at each candidate size.
+    """
+
+    workload: str
+    scale: float
+    stream_stats: StreamStats
+    matched_size: Optional[int]
+    l2_hit_rates: Tuple[Tuple[int, float], ...]
+
+    @property
+    def stream_hit_rate_percent(self) -> float:
+        return self.stream_stats.hit_rate_percent
+
+
+def min_matching_l2_size(
+    workload: WorkloadRef,
+    scale: float = 1.0,
+    seed: int = 0,
+    stream_config: Optional[StreamConfig] = None,
+    sizes: Sequence[int] = PAPER_L2_SIZES,
+    sampling: SamplingPlan = SamplingPlan(sample_every=8),
+    cache: Optional[MissTraceCache] = None,
+) -> MatchResult:
+    """Find the minimum L2 size matching the stream hit rate.
+
+    The default stream configuration is the paper's Table 4 setup: ten
+    streams, a 16-entry unit filter backed by a 16-entry non-unit stride
+    filter.
+    """
+    cache = cache if cache is not None else default_cache()
+    config = stream_config if stream_config is not None else StreamConfig.non_unit()
+    miss_trace, _ = cache.get(workload, scale=scale, seed=seed)
+    stream_stats = StreamPrefetcher(config).run(miss_trace)
+    target = stream_stats.hit_rate
+
+    rates = []
+    matched: Optional[int] = None
+    for size in sorted(sizes):
+        best = 0.0
+        for l2_config in candidate_configs(size):
+            result = sampled_hit_rate(miss_trace, l2_config, sampling)
+            best = max(best, result.local_hit_rate)
+        rates.append((size, best))
+        if matched is None and best >= target:
+            matched = size
+            # Larger sizes can only do better; stop early but record the
+            # point so the series is monotone up to the match.
+            break
+    name = workload.name if isinstance(workload, Workload) else workload
+    return MatchResult(
+        workload=name,
+        scale=scale,
+        stream_stats=stream_stats,
+        matched_size=matched,
+        l2_hit_rates=tuple(rates),
+    )
+
+
+def format_size(size_bytes: Optional[int]) -> str:
+    """Render a capacity the way Table 4 does (``512 KB``, ``2 MB``)."""
+    if size_bytes is None:
+        return ">4 MB"
+    if size_bytes >= 1 << 20:
+        value = size_bytes / (1 << 20)
+        return f"{value:g} MB"
+    return f"{size_bytes // 1024} KB"

@@ -1,0 +1,89 @@
+"""Multi-seed replication of experiments.
+
+The workload models are randomised (gather targets, sparsity patterns,
+cluster placement) and the L1 uses random replacement, so any single
+number carries seed noise.  This module reruns a configuration across
+seeds and summarises the spread — used by EXPERIMENTS.md to show the
+reported shapes are not one-seed accidents.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import StreamConfig
+from repro.sim.results import RunResult
+from repro.sim.runner import MissTraceCache, run_result
+
+__all__ = ["MetricSummary", "replicate", "summarize"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Spread of one metric across replicated runs."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @property
+    def spread(self) -> float:
+        """Max minus min."""
+        return self.maximum - self.minimum
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ± {self.std:.1f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> MetricSummary:
+    """Mean/std/min/max of a sample (population std; n >= 1).
+
+    Raises:
+        ValueError: on an empty sample.
+    """
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return MetricSummary(
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+        n=n,
+    )
+
+
+def replicate(
+    workload: str,
+    config: StreamConfig,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    scale: float = 1.0,
+    cache: Optional[MissTraceCache] = None,
+) -> Tuple[List[RunResult], Dict[str, MetricSummary]]:
+    """Run one configuration across several workload seeds.
+
+    Returns the individual results and summaries of the headline
+    metrics (``hit_pct``, ``eb_pct``, ``l1_miss_rate_pct``).
+
+    Note each seed pays its own L1 simulation (different addresses),
+    which the given cache memoises for later configurations.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    cache = cache if cache is not None else MissTraceCache()
+    results = [
+        run_result(workload, config, scale=scale, seed=seed, cache=cache)
+        for seed in seeds
+    ]
+    summaries = {
+        "hit_pct": summarize([r.hit_rate_percent for r in results]),
+        "eb_pct": summarize([r.eb_percent for r in results]),
+        "l1_miss_rate_pct": summarize([100 * r.l1.miss_rate for r in results]),
+    }
+    return results, summaries

@@ -1,0 +1,101 @@
+"""Result records for simulation runs.
+
+These dataclasses are the library's reporting currency: experiment
+drivers return them, the table/figure renderers consume them, and they
+serialise to plain dicts for logging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+from repro.caches.cache import CacheStats
+from repro.core.config import StreamConfig
+from repro.core.prefetcher import StreamStats
+
+__all__ = ["L1Summary", "RunResult"]
+
+
+@dataclass(frozen=True)
+class L1Summary:
+    """What the primary cache did to a workload's trace.
+
+    Attributes:
+        accesses: total processor references.
+        misses: demand misses (the stream hit-rate denominator).
+        writebacks: dirty evictions sent to memory.
+        ifetch_misses: instruction-cache misses (0 for data-only traces).
+        miss_rate: misses / accesses.
+        trace_length: references in the generated trace.
+        data_set_bytes: bytes allocated by the workload model.
+    """
+
+    accesses: int
+    misses: int
+    writebacks: int
+    ifetch_misses: int
+    miss_rate: float
+    trace_length: int
+    data_set_bytes: int
+
+    @classmethod
+    def from_stats(
+        cls,
+        stats: CacheStats,
+        trace_length: int,
+        data_set_bytes: int,
+        ifetch_misses: int = 0,
+    ) -> "L1Summary":
+        return cls(
+            accesses=stats.accesses,
+            misses=stats.misses,
+            writebacks=stats.writebacks,
+            ifetch_misses=ifetch_misses,
+            miss_rate=stats.miss_rate,
+            trace_length=trace_length,
+            data_set_bytes=data_set_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One (workload, stream configuration) simulation outcome."""
+
+    workload: str
+    scale: float
+    seed: int
+    l1: L1Summary
+    streams: StreamStats
+
+    @property
+    def hit_rate_percent(self) -> float:
+        """Stream hit rate over primary misses, percent (Figure 3's y-axis)."""
+        return self.streams.hit_rate_percent
+
+    @property
+    def eb_percent(self) -> float:
+        """Measured extra bandwidth, percent (Table 2 / Figure 5)."""
+        return self.streams.bandwidth.eb_measured
+
+    @property
+    def config(self) -> StreamConfig:
+        return self.streams.config
+
+    def to_dict(self) -> Dict:
+        """Flatten to plain types for logging/JSON."""
+        return {
+            "workload": self.workload,
+            "scale": self.scale,
+            "seed": self.seed,
+            "l1": asdict(self.l1),
+            "config": asdict(self.streams.config),
+            "demand_misses": self.streams.demand_misses,
+            "stream_hits": self.streams.stream_hits,
+            "hit_rate_percent": self.hit_rate_percent,
+            "eb_percent": self.eb_percent,
+            "eb_estimate_percent": self.streams.bandwidth.eb_estimate,
+            "prefetches_issued": self.streams.prefetches_issued,
+            "prefetches_used": self.streams.prefetches_used,
+            "allocations": self.streams.allocations,
+        }

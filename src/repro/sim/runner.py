@@ -1,0 +1,172 @@
+"""Run workloads through the memory hierarchy, with miss-trace caching.
+
+The paper's methodology simulates the *primary-cache miss stream* (Shade
+traces of L1 misses fed to a stream-buffer simulator).  We follow the
+same factoring: the L1 simulation of a (workload, scale, seed, L1-config)
+tuple is computed once and cached in-process, then every stream-buffer or
+secondary-cache configuration replays the short miss trace.  This is what
+makes the parameter sweeps of Figures 3/5/8/9 cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple, Union
+
+from repro.caches.cache import Cache, CacheConfig, MissTrace
+from repro.caches.split import SplitL1, SplitL1Config
+from repro.core.config import StreamConfig
+from repro.core.prefetcher import StreamPrefetcher, StreamStats
+from repro.mem.address import AddressSpace
+from repro.sim.results import L1Summary, RunResult
+from repro.trace.compress import compress_consecutive
+from repro.trace.events import AccessKind, Trace
+from repro.workloads.base import Workload, get_workload
+
+__all__ = ["MissTraceCache", "default_cache", "run_streams", "run_result"]
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class _Key:
+    workload: str
+    scale: float
+    seed: int
+    l1: CacheConfig
+
+
+class MissTraceCache:
+    """In-process cache of (workload x L1) miss traces.
+
+    Not thread safe; create one per benchmarking session (module-level
+    :func:`default_cache` serves the common case).
+
+    Args:
+        l1_config: primary cache geometry (paper default).
+        keep_pcs: propagate synthetic PCs into the miss traces.  Off by
+            default — only PC-indexed baselines need them and carrying
+            them disables the L1 fast path.
+    """
+
+    def __init__(self, l1_config: Optional[CacheConfig] = None, keep_pcs: bool = False):
+        self.l1_config = l1_config if l1_config is not None else CacheConfig.paper_l1()
+        self.keep_pcs = keep_pcs
+        self._entries: Dict[_Key, Tuple[MissTrace, L1Summary]] = {}
+
+    def get(
+        self,
+        workload: Union[str, Workload],
+        scale: float = 1.0,
+        seed: int = 0,
+    ) -> Tuple[MissTrace, L1Summary]:
+        """Miss trace + L1 summary for a workload, computing on first use.
+
+        Accepts a registered workload name or a pre-built instance (the
+        latter bypasses the cache key's name/scale/seed and is always
+        recomputed unless identical parameters were cached before).
+        """
+        if isinstance(workload, Workload):
+            instance = workload
+            key = _Key(instance.name, instance.scale, instance.seed, self.l1_config)
+        else:
+            key = _Key(workload, scale, seed, self.l1_config)
+            instance = None
+        cached = self._entries.get(key)
+        if cached is not None:
+            return cached
+        if instance is None:
+            instance = get_workload(key.workload, scale=key.scale, seed=key.seed)
+        result = simulate_l1(instance, self.l1_config, keep_pcs=self.keep_pcs)
+        self._entries[key] = result
+        return result
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def simulate_l1(
+    workload: Workload,
+    l1_config: Optional[CacheConfig] = None,
+    keep_pcs: bool = False,
+) -> Tuple[MissTrace, L1Summary]:
+    """Run a workload's trace through the primary cache.
+
+    Data-only traces run through a single D-cache with exact
+    consecutive-same-block compression; traces containing instruction
+    fetches run through the split I+D pair.  Synthetic PCs are stripped
+    unless ``keep_pcs`` (they are only needed by PC-indexed baselines
+    and disable the L1 fast path).
+    """
+    config = l1_config if l1_config is not None else CacheConfig.paper_l1()
+    trace = workload.trace()
+    if trace.has_pcs and not keep_pcs:
+        trace = Trace(trace.addrs, trace.kinds)
+    has_ifetch = bool(np.any(trace.kinds == int(AccessKind.IFETCH)))
+    if has_ifetch:
+        split = SplitL1(
+            SplitL1Config(icache=replace(config, seed=config.seed + 1), dcache=config)
+        )
+        miss_trace = split.simulate(trace)
+        summary = L1Summary.from_stats(
+            split.stats,
+            trace_length=len(trace),
+            data_set_bytes=workload.data_set_bytes,
+            ifetch_misses=split.icache.stats.misses,
+        )
+        return miss_trace, summary
+    space = AddressSpace(block_size=config.block_size)
+    compressed = compress_consecutive(trace, space)
+    cache = Cache(config)
+    miss_trace = cache.simulate(compressed.trace, weights=compressed.weights)
+    summary = L1Summary.from_stats(
+        cache.stats,
+        trace_length=len(trace),
+        data_set_bytes=workload.data_set_bytes,
+    )
+    return miss_trace, summary
+
+
+_DEFAULT_CACHE: Optional[MissTraceCache] = None
+
+
+def default_cache() -> MissTraceCache:
+    """The shared module-level miss-trace cache."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = MissTraceCache()
+    return _DEFAULT_CACHE
+
+
+def run_streams(
+    workload: Union[str, Workload],
+    config: StreamConfig,
+    scale: float = 1.0,
+    seed: int = 0,
+    cache: Optional[MissTraceCache] = None,
+) -> StreamStats:
+    """Simulate one stream configuration over a workload's miss stream."""
+    cache = cache if cache is not None else default_cache()
+    miss_trace, _ = cache.get(workload, scale=scale, seed=seed)
+    return StreamPrefetcher(config).run(miss_trace)
+
+
+def run_result(
+    workload: Union[str, Workload],
+    config: StreamConfig,
+    scale: float = 1.0,
+    seed: int = 0,
+    cache: Optional[MissTraceCache] = None,
+) -> RunResult:
+    """Like :func:`run_streams` but bundled with the L1 summary."""
+    cache = cache if cache is not None else default_cache()
+    miss_trace, summary = cache.get(workload, scale=scale, seed=seed)
+    stats = StreamPrefetcher(config).run(miss_trace)
+    if isinstance(workload, Workload):
+        name, scale, seed = workload.name, workload.scale, workload.seed
+    else:
+        name = workload
+    return RunResult(workload=name, scale=scale, seed=seed, l1=summary, streams=stats)

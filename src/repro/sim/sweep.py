@@ -1,0 +1,96 @@
+"""Parameter sweeps over cached miss traces.
+
+Each sweep replays the same miss trace under a family of stream
+configurations — the paper's Figure 3 (stream count), Figure 5 (filter
+on/off), Figure 8 (stride detector on/off) and Figure 9 (czone size) are
+all instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from repro.core.config import StreamConfig, StrideDetector
+from repro.sim.runner import MissTraceCache, default_cache, run_streams
+from repro.core.prefetcher import StreamStats
+from repro.workloads.base import Workload
+
+__all__ = [
+    "sweep_n_streams",
+    "sweep_czone_bits",
+    "sweep_depth",
+    "compare_configs",
+]
+
+WorkloadRef = Union[str, Workload]
+
+
+def sweep_n_streams(
+    workload: WorkloadRef,
+    n_streams_values: Sequence[int] = tuple(range(1, 11)),
+    base: Optional[StreamConfig] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    cache: Optional[MissTraceCache] = None,
+) -> Dict[int, StreamStats]:
+    """Hit rate vs number of streams (Figure 3's x-axis)."""
+    base = base if base is not None else StreamConfig.jouppi()
+    cache = cache if cache is not None else default_cache()
+    results = {}
+    for n in n_streams_values:
+        config = base.with_(n_streams=n)
+        results[n] = run_streams(workload, config, scale=scale, seed=seed, cache=cache)
+    return results
+
+
+def sweep_czone_bits(
+    workload: WorkloadRef,
+    czone_bits_values: Sequence[int] = tuple(range(10, 27, 2)),
+    base: Optional[StreamConfig] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    cache: Optional[MissTraceCache] = None,
+) -> Dict[int, StreamStats]:
+    """Hit rate vs concentration-zone size (Figure 9)."""
+    base = base if base is not None else StreamConfig.non_unit()
+    if base.stride_detector != StrideDetector.CZONE:
+        raise ValueError("sweep_czone_bits requires a czone-detector base config")
+    cache = cache if cache is not None else default_cache()
+    results = {}
+    for bits in czone_bits_values:
+        config = base.with_(czone_bits=bits)
+        results[bits] = run_streams(workload, config, scale=scale, seed=seed, cache=cache)
+    return results
+
+
+def sweep_depth(
+    workload: WorkloadRef,
+    depth_values: Sequence[int] = (1, 2, 3, 4, 6, 8),
+    base: Optional[StreamConfig] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    cache: Optional[MissTraceCache] = None,
+) -> Dict[int, StreamStats]:
+    """Hit rate / EB vs stream depth (the paper fixes depth=2; ablation)."""
+    base = base if base is not None else StreamConfig.jouppi()
+    cache = cache if cache is not None else default_cache()
+    results = {}
+    for depth in depth_values:
+        config = base.with_(depth=depth)
+        results[depth] = run_streams(workload, config, scale=scale, seed=seed, cache=cache)
+    return results
+
+
+def compare_configs(
+    workload: WorkloadRef,
+    configs: Dict[str, StreamConfig],
+    scale: float = 1.0,
+    seed: int = 0,
+    cache: Optional[MissTraceCache] = None,
+) -> Dict[str, StreamStats]:
+    """Run several named configurations over one miss trace."""
+    cache = cache if cache is not None else default_cache()
+    return {
+        label: run_streams(workload, config, scale=scale, seed=seed, cache=cache)
+        for label, config in configs.items()
+    }

@@ -1,0 +1,19 @@
+"""Timing extension: AMAT with bandwidth contention over the functional results."""
+
+from repro.timing.model import TimingModel, TimingReport, evaluate_timing
+from repro.timing.systems import (
+    DesignComparison,
+    compare_designs,
+    l2_system_timing,
+    stream_system_timing,
+)
+
+__all__ = [
+    "DesignComparison",
+    "TimingModel",
+    "TimingReport",
+    "compare_designs",
+    "evaluate_timing",
+    "l2_system_timing",
+    "stream_system_timing",
+]

@@ -1,0 +1,95 @@
+"""Timing evaluation of the two competing memory-system designs.
+
+``stream_system_timing`` prices the paper's proposal (L1 + streams +
+memory); ``l2_system_timing`` prices the conventional design (L1 + L2 +
+memory) over the same L1 miss stream; ``design_comparison`` runs both
+and reports the speedup — the number the paper's conclusion is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.caches.secondary import SecondaryResult
+from repro.core.prefetcher import StreamStats
+from repro.sim.results import L1Summary
+from repro.timing.model import TimingModel, TimingReport, evaluate_timing
+
+__all__ = ["stream_system_timing", "l2_system_timing", "DesignComparison", "compare_designs"]
+
+
+def stream_system_timing(
+    l1: L1Summary,
+    streams: StreamStats,
+    model: TimingModel = TimingModel(),
+) -> TimingReport:
+    """AMAT of the paper's design: L1 backed by streams and memory.
+
+    Channel traffic: every demand miss moves one block (through a
+    stream or the fast path — a stream hit's block was moved by its
+    prefetch, counted under prefetches), every useless prefetch moves
+    one, and every write-back moves one.
+    """
+    demand_fetches = streams.demand_misses - streams.prefetches_used
+    traffic = demand_fetches + streams.prefetches_issued + l1.writebacks
+    return evaluate_timing(
+        references=l1.accesses,
+        l1_hits=l1.accesses - streams.demand_misses,
+        intermediate_hits=streams.stream_hits,
+        memory_references=streams.demand_misses - streams.stream_hits,
+        traffic_blocks=traffic,
+        intermediate_cycles=model.stream_hit_cycles,
+        model=model,
+    )
+
+
+def l2_system_timing(
+    l1: L1Summary,
+    l2: SecondaryResult,
+    model: TimingModel = TimingModel(),
+) -> TimingReport:
+    """AMAT of the conventional design: L1 backed by an L2 and memory.
+
+    Uses the L2's *local hit rate* (its simulation may have been
+    set-sampled); traffic is the L2's misses plus write-back traffic.
+    """
+    demand = l1.misses
+    l2_hits = int(round(demand * l2.local_hit_rate))
+    l2_misses = demand - l2_hits
+    traffic = l2_misses + l1.writebacks
+    return evaluate_timing(
+        references=l1.accesses,
+        l1_hits=l1.accesses - demand,
+        intermediate_hits=l2_hits,
+        memory_references=l2_misses,
+        traffic_blocks=traffic,
+        intermediate_cycles=model.l2_hit_cycles,
+        model=model,
+    )
+
+
+@dataclass(frozen=True)
+class DesignComparison:
+    """Stream-based vs L2-based design under one timing model.
+
+    ``speedup`` > 1 means the stream design is faster.
+    """
+
+    stream: TimingReport
+    l2: TimingReport
+
+    @property
+    def speedup(self) -> float:
+        return self.l2.amat / self.stream.amat
+
+
+def compare_designs(
+    l1: L1Summary,
+    streams: StreamStats,
+    l2: SecondaryResult,
+    model: TimingModel = TimingModel(),
+) -> DesignComparison:
+    """Price both designs over the same miss stream."""
+    return DesignComparison(
+        stream=stream_system_timing(l1, streams, model),
+        l2=l2_system_timing(l1, l2, model),
+    )

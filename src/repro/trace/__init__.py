@@ -1,0 +1,37 @@
+"""Trace substrate: events, combinators, sampling, compression and I/O."""
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.compress import CompressedTrace, compress_consecutive
+from repro.trace.events import Access, AccessKind, Trace
+from repro.trace.io import dump_text, load_trace, parse_text, save_trace
+from repro.trace.sampling import TimeSampler, time_sample
+from repro.trace.stats import (
+    TraceProfile,
+    block_run_lengths,
+    profile_trace,
+    stride_histogram,
+)
+from repro.trace.stream import blocked_interleave, interleave, repeat, take
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "CompressedTrace",
+    "TimeSampler",
+    "Trace",
+    "TraceBuilder",
+    "TraceProfile",
+    "block_run_lengths",
+    "blocked_interleave",
+    "compress_consecutive",
+    "dump_text",
+    "interleave",
+    "load_trace",
+    "parse_text",
+    "profile_trace",
+    "repeat",
+    "save_trace",
+    "stride_histogram",
+    "take",
+    "time_sample",
+]

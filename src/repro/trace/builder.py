@@ -1,0 +1,84 @@
+"""Incremental trace construction.
+
+``Trace`` is immutable and array-backed; :class:`TraceBuilder` is the
+efficient way to build one access by access (e.g. porting a real
+algorithm whose address sequence is easier to emit than to vectorise).
+Appends go into chunked buffers and are consolidated once at
+:meth:`build`, so construction stays O(n) without numpy round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.trace.events import AccessKind, Trace
+
+__all__ = ["TraceBuilder"]
+
+
+class TraceBuilder:
+    """Accumulates accesses and produces a :class:`Trace`.
+
+    Args:
+        with_pcs: record a PC per access (default off).
+    """
+
+    def __init__(self, with_pcs: bool = False):
+        self._addrs: List[int] = []
+        self._kinds: List[int] = []
+        self._pcs: Optional[List[int]] = [] if with_pcs else None
+        self._built = False
+
+    def __len__(self) -> int:
+        return len(self._addrs)
+
+    @property
+    def records_pcs(self) -> bool:
+        return self._pcs is not None
+
+    def _append(self, addr: int, kind: AccessKind, pc: int) -> "TraceBuilder":
+        if self._built:
+            raise RuntimeError("TraceBuilder already built; create a new one")
+        self._addrs.append(addr)
+        self._kinds.append(int(kind))
+        if self._pcs is not None:
+            self._pcs.append(pc)
+        return self
+
+    def read(self, addr: int, pc: int = 0) -> "TraceBuilder":
+        """Append a data read (chainable)."""
+        return self._append(addr, AccessKind.READ, pc)
+
+    def write(self, addr: int, pc: int = 0) -> "TraceBuilder":
+        """Append a data write (chainable)."""
+        return self._append(addr, AccessKind.WRITE, pc)
+
+    def ifetch(self, addr: int, pc: int = 0) -> "TraceBuilder":
+        """Append an instruction fetch (chainable)."""
+        return self._append(addr, AccessKind.IFETCH, pc)
+
+    def extend(self, trace: Trace) -> "TraceBuilder":
+        """Append a whole existing trace."""
+        if self._built:
+            raise RuntimeError("TraceBuilder already built; create a new one")
+        self._addrs.extend(trace.addrs.tolist())
+        self._kinds.extend(trace.kinds.tolist())
+        if self._pcs is not None:
+            self._pcs.extend(trace.pcs_or_zeros().tolist())
+        return self
+
+    def build(self) -> Trace:
+        """Produce the trace; the builder cannot be reused afterwards."""
+        if self._built:
+            raise RuntimeError("TraceBuilder already built; create a new one")
+        self._built = True
+        pcs = (
+            np.asarray(self._pcs, dtype=np.int64) if self._pcs is not None else None
+        )
+        return Trace(
+            np.asarray(self._addrs, dtype=np.int64),
+            np.asarray(self._kinds, dtype=np.uint8),
+            pcs,
+        )

@@ -1,0 +1,103 @@
+"""Exact trace compression for cache simulation.
+
+Long unit-stride sweeps touch every word of a block before moving on, so a
+raw word-granular trace contains runs of adjacent accesses to the same
+cache block.  The *second and later* accesses of such a run are guaranteed
+L1 hits — the block was touched by the immediately preceding access and no
+intervening access to the same cache could have evicted it — and (for LRU,
+FIFO and random replacement alike) they change no replacement state.  They
+can therefore be collapsed without changing which accesses miss.
+
+The collapse is exact provided two details are preserved:
+
+* **Dirtiness.** If any access in the run is a write, the collapsed access
+  is recorded as a write: under write-allocate/write-back, a write miss and
+  a read-miss-followed-by-write-hit leave identical cache state and cause
+  identical memory traffic.
+* **Cache identity.** Instruction fetches go to a different cache than data
+  accesses, so a run is broken when the access switches between the two.
+
+Per-access hit counts are recoverable from the returned run ``weights``:
+the number of misses on the compressed trace equals the number of misses on
+the original, and original hits = ``weights.sum() - misses``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.trace.events import AccessKind, Trace
+
+__all__ = ["CompressedTrace", "compress_consecutive"]
+
+
+@dataclass(frozen=True)
+class CompressedTrace:
+    """A compressed trace plus per-access run weights.
+
+    Attributes:
+        trace: one access per run of adjacent same-block accesses.
+        weights: int64 array, ``weights[i]`` = number of original accesses
+            collapsed into ``trace[i]``.
+    """
+
+    trace: Trace
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.trace) != self.weights.shape[0]:
+            raise ValueError(
+                f"trace length {len(self.trace)} != weights length "
+                f"{self.weights.shape[0]}"
+            )
+
+    @property
+    def original_length(self) -> int:
+        """Length of the trace before compression."""
+        return int(self.weights.sum())
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original length divided by compressed length (>= 1)."""
+        if not len(self.trace):
+            return 1.0
+        return self.original_length / len(self.trace)
+
+
+def compress_consecutive(trace: Trace, space: AddressSpace = AddressSpace()) -> CompressedTrace:
+    """Collapse runs of adjacent same-block accesses.
+
+    Args:
+        trace: the raw trace.
+        space: address-space geometry providing the block size.
+
+    Returns:
+        A :class:`CompressedTrace`; the compressed trace misses exactly
+        where the original trace misses in any set-associative cache with
+        blocks of ``space.block_size`` bytes.
+    """
+    n = len(trace)
+    if n == 0:
+        return CompressedTrace(trace, np.empty(0, dtype=np.int64))
+
+    blocks = trace.addrs >> space.block_bits
+    is_ifetch = trace.kinds == int(AccessKind.IFETCH)
+    same_run = (blocks[1:] == blocks[:-1]) & (is_ifetch[1:] == is_ifetch[:-1])
+    run_start = np.empty(n, dtype=bool)
+    run_start[0] = True
+    run_start[1:] = ~same_run
+    starts = np.flatnonzero(run_start)
+
+    weights = np.diff(np.append(starts, n)).astype(np.int64)
+    kept_addrs = trace.addrs[starts].copy()
+
+    is_write = trace.kinds == int(AccessKind.WRITE)
+    run_has_write = np.add.reduceat(is_write.astype(np.int64), starts) > 0
+    kept_kinds = trace.kinds[starts].copy()
+    kept_kinds[run_has_write] = int(AccessKind.WRITE)
+
+    kept_pcs = trace.pcs[starts].copy() if trace.pcs is not None else None
+    return CompressedTrace(Trace(kept_addrs, kept_kinds, kept_pcs), weights)

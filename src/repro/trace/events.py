@@ -1,0 +1,195 @@
+"""Trace event model.
+
+A trace is a sequence of memory accesses as seen by the processor: data
+reads, data writes and instruction fetches.  For simulation speed, traces
+are stored as a pair of parallel numpy arrays (:class:`Trace`) rather than
+as one Python object per access; :class:`Access` is the per-event view used
+at API boundaries and in tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["AccessKind", "Access", "Trace"]
+
+
+class AccessKind(enum.IntEnum):
+    """Classification of a memory access."""
+
+    READ = 0
+    WRITE = 1
+    IFETCH = 2
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessKind.WRITE
+
+    @property
+    def is_instruction(self) -> bool:
+        return self is AccessKind.IFETCH
+
+
+class Access(NamedTuple):
+    """A single memory access: byte address plus kind."""
+
+    addr: int
+    kind: AccessKind
+
+    @classmethod
+    def read(cls, addr: int) -> "Access":
+        return cls(addr, AccessKind.READ)
+
+    @classmethod
+    def write(cls, addr: int) -> "Access":
+        return cls(addr, AccessKind.WRITE)
+
+    @classmethod
+    def ifetch(cls, addr: int) -> "Access":
+        return cls(addr, AccessKind.IFETCH)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An address trace held as parallel numpy arrays.
+
+    Attributes:
+        addrs: int64 array of byte addresses.
+        kinds: uint8 array of :class:`AccessKind` values, same length.
+        pcs: optional int64 array of program-counter values, same length.
+            PCs exist so that PC-indexed baselines (the Baer & Chen
+            reference prediction table of the paper's related work) can
+            be compared against the PC-free stream buffers; the stream
+            machinery itself never reads them.
+    """
+
+    addrs: np.ndarray
+    kinds: np.ndarray
+    pcs: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.addrs.shape != self.kinds.shape:
+            raise ValueError(
+                f"addrs and kinds must have the same shape, got "
+                f"{self.addrs.shape} vs {self.kinds.shape}"
+            )
+        if self.addrs.ndim != 1:
+            raise ValueError(f"trace arrays must be 1-D, got {self.addrs.ndim}-D")
+        if self.pcs is not None and self.pcs.shape != self.addrs.shape:
+            raise ValueError(
+                f"pcs must match addrs shape, got {self.pcs.shape} vs {self.addrs.shape}"
+            )
+
+    @property
+    def has_pcs(self) -> bool:
+        return self.pcs is not None
+
+    def pcs_or_zeros(self) -> np.ndarray:
+        """The PC array, or zeros for traces without PC information."""
+        if self.pcs is not None:
+            return self.pcs
+        return np.zeros(self.addrs.shape, dtype=np.int64)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Trace":
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint8))
+
+    @classmethod
+    def from_arrays(cls, addrs: Sequence[int], kinds: Sequence[int]) -> "Trace":
+        """Build a trace from any address/kind sequences (copied)."""
+        return cls(
+            np.asarray(addrs, dtype=np.int64).copy(),
+            np.asarray(kinds, dtype=np.uint8).copy(),
+        )
+
+    @classmethod
+    def from_accesses(cls, accesses: Iterable[Union[Access, Tuple[int, int]]]) -> "Trace":
+        """Build a trace from an iterable of :class:`Access` (or tuples)."""
+        pairs = list(accesses)
+        if not pairs:
+            return cls.empty()
+        addrs = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+        kinds = np.fromiter((int(p[1]) for p in pairs), dtype=np.uint8, count=len(pairs))
+        return cls(addrs, kinds)
+
+    @classmethod
+    def uniform(cls, addrs: Sequence[int], kind: AccessKind = AccessKind.READ) -> "Trace":
+        """Build a trace where every access has the same kind."""
+        addr_arr = np.asarray(addrs, dtype=np.int64).copy()
+        return cls(addr_arr, np.full(addr_arr.shape, int(kind), dtype=np.uint8))
+
+    @classmethod
+    def concat(cls, traces: Sequence["Trace"]) -> "Trace":
+        """Concatenate traces back to back.
+
+        If any part carries PCs, parts without them contribute zeros.
+        """
+        traces = [t for t in traces if len(t)]
+        if not traces:
+            return cls.empty()
+        if len(traces) == 1:
+            return traces[0]
+        pcs = None
+        if any(t.has_pcs for t in traces):
+            pcs = np.concatenate([t.pcs_or_zeros() for t in traces])
+        return cls(
+            np.concatenate([t.addrs for t in traces]),
+            np.concatenate([t.kinds for t in traces]),
+            pcs,
+        )
+
+    # -- sequence protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.addrs.shape[0])
+
+    def __iter__(self) -> Iterator[Access]:
+        for addr, kind in zip(self.addrs.tolist(), self.kinds.tolist()):
+            yield Access(addr, AccessKind(kind))
+
+    def __getitem__(self, item) -> Union[Access, "Trace"]:
+        if isinstance(item, slice):
+            pcs = self.pcs[item] if self.pcs is not None else None
+            return Trace(self.addrs[item], self.kinds[item], pcs)
+        return Access(int(self.addrs[item]), AccessKind(int(self.kinds[item])))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.addrs, other.addrs)
+            and np.array_equal(self.kinds, other.kinds)
+            and np.array_equal(self.pcs_or_zeros(), other.pcs_or_zeros())
+        )
+
+    # -- views ------------------------------------------------------------
+
+    def data_only(self) -> "Trace":
+        """Trace restricted to data accesses (reads and writes)."""
+        mask = self.kinds != int(AccessKind.IFETCH)
+        pcs = self.pcs[mask] if self.pcs is not None else None
+        return Trace(self.addrs[mask], self.kinds[mask], pcs)
+
+    def instructions_only(self) -> "Trace":
+        """Trace restricted to instruction fetches."""
+        mask = self.kinds == int(AccessKind.IFETCH)
+        pcs = self.pcs[mask] if self.pcs is not None else None
+        return Trace(self.addrs[mask], self.kinds[mask], pcs)
+
+    def counts(self) -> dict:
+        """Number of accesses of each kind, keyed by :class:`AccessKind`."""
+        values, counts = np.unique(self.kinds, return_counts=True)
+        result = {kind: 0 for kind in AccessKind}
+        for value, count in zip(values.tolist(), counts.tolist()):
+            result[AccessKind(value)] = count
+        return result
+
+    def to_accesses(self) -> List[Access]:
+        """Materialise the trace as a list of :class:`Access`."""
+        return list(self)

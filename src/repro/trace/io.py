@@ -1,0 +1,88 @@
+"""Trace persistence.
+
+Traces can be saved to ``.npz`` (compact, lossless) or dumped as text for
+inspection.  The on-disk format is versioned so that future layout changes
+can stay backward compatible.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.trace.events import AccessKind, Trace
+
+__all__ = ["save_trace", "load_trace", "dump_text", "parse_text"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
+    """Save ``trace`` to ``path`` as a compressed ``.npz`` archive."""
+    arrays = {
+        "version": np.int64(_FORMAT_VERSION),
+        "addrs": trace.addrs,
+        "kinds": trace.kinds,
+    }
+    if trace.pcs is not None:
+        arrays["pcs"] = trace.pcs
+    np.savez_compressed(path, **arrays)
+
+
+def load_trace(path: Union[str, os.PathLike]) -> Trace:
+    """Load a trace previously written by :func:`save_trace`.
+
+    Raises:
+        ValueError: if the file is not a recognised trace archive.
+    """
+    with np.load(path) as archive:
+        if "version" not in archive or "addrs" not in archive or "kinds" not in archive:
+            raise ValueError(f"{path} is not a repro trace archive")
+        version = int(archive["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        pcs = None
+        if "pcs" in archive:
+            pcs = archive["pcs"].astype(np.int64, copy=True)
+        return Trace(
+            archive["addrs"].astype(np.int64, copy=True),
+            archive["kinds"].astype(np.uint8, copy=True),
+            pcs,
+        )
+
+
+_KIND_LETTER = {AccessKind.READ: "R", AccessKind.WRITE: "W", AccessKind.IFETCH: "I"}
+_LETTER_KIND = {letter: kind for kind, letter in _KIND_LETTER.items()}
+
+
+def dump_text(trace: Trace, out: TextIO) -> None:
+    """Write ``trace`` as one ``<letter> <hex-addr>`` line per access."""
+    for access in trace:
+        out.write(f"{_KIND_LETTER[access.kind]} {access.addr:#x}\n")
+
+
+def parse_text(lines) -> Trace:
+    """Parse the format written by :func:`dump_text`.
+
+    Blank lines and lines starting with ``#`` are ignored.
+
+    Raises:
+        ValueError: on a malformed line.
+    """
+    addrs = []
+    kinds = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2 or parts[0] not in _LETTER_KIND:
+            raise ValueError(f"malformed trace line {lineno}: {raw!r}")
+        addrs.append(int(parts[1], 0))
+        kinds.append(int(_LETTER_KIND[parts[0]]))
+    return Trace.from_arrays(addrs, kinds)

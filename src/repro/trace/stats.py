@@ -1,0 +1,122 @@
+"""Descriptive statistics over address traces.
+
+These are diagnostic tools used to sanity-check the synthetic workload
+models against the access-pattern structure the paper attributes to each
+benchmark: how much of the trace is unit-stride streaming, what the stride
+spectrum looks like, and how big the touched data set is.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.trace.events import Trace
+
+__all__ = ["TraceProfile", "profile_trace", "block_run_lengths", "stride_histogram"]
+
+
+def stride_histogram(trace: Trace, top: int = 10) -> Dict[int, int]:
+    """Histogram of byte-address deltas between consecutive data accesses.
+
+    Returns the ``top`` most common deltas (instruction fetches excluded).
+    """
+    data = trace.data_only()
+    if len(data) < 2:
+        return {}
+    deltas = np.diff(data.addrs)
+    counter = Counter(deltas.tolist())
+    return dict(counter.most_common(top))
+
+
+def block_run_lengths(trace: Trace, space: AddressSpace = AddressSpace()) -> Dict[int, int]:
+    """Histogram of lengths of maximal runs of *consecutive blocks*.
+
+    A run of length L means the data-access block stream contained blocks
+    ``b, b+1, ..., b+L-1`` in order (repeats of the same block extend
+    nothing).  Long runs are what unit-stride stream buffers exploit.
+    """
+    data = trace.data_only()
+    if not len(data):
+        return {}
+    blocks = (data.addrs >> space.block_bits).tolist()
+    runs: Counter = Counter()
+    run_len = 1
+    prev = blocks[0]
+    for block in blocks[1:]:
+        if block == prev:
+            continue
+        if block == prev + 1:
+            run_len += 1
+        else:
+            runs[run_len] += 1
+            run_len = 1
+        prev = block
+    runs[run_len] += 1
+    return dict(runs)
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Summary statistics of a trace.
+
+    Attributes:
+        length: total accesses.
+        data_accesses: data reads + writes.
+        writes: data writes.
+        ifetches: instruction fetches.
+        unique_blocks: distinct cache blocks touched by data accesses.
+        footprint_bytes: unique_blocks * block_size.
+        unit_stride_fraction: fraction of consecutive data-access pairs
+            whose byte delta is in ``(0, block_size]`` — a proxy for
+            unit-stride streaming.
+        mean_block_run: mean length of consecutive-block runs.
+    """
+
+    length: int
+    data_accesses: int
+    writes: int
+    ifetches: int
+    unique_blocks: int
+    footprint_bytes: int
+    unit_stride_fraction: float
+    mean_block_run: float
+
+
+def profile_trace(trace: Trace, space: AddressSpace = AddressSpace()) -> TraceProfile:
+    """Compute a :class:`TraceProfile` for ``trace``."""
+    data = trace.data_only()
+    n_data = len(data)
+    writes = int(np.count_nonzero(data.kinds == 1))
+    ifetches = len(trace) - n_data
+    if n_data:
+        unique_blocks = int(np.unique(data.addrs >> space.block_bits).shape[0])
+    else:
+        unique_blocks = 0
+    if n_data >= 2:
+        deltas = np.diff(data.addrs)
+        unit = np.count_nonzero((deltas > 0) & (deltas <= space.block_size))
+        unit_fraction = float(unit / deltas.shape[0])
+    else:
+        unit_fraction = 0.0
+    runs = block_run_lengths(trace, space)
+    total_runs = sum(runs.values())
+    mean_run = (
+        sum(length * count for length, count in runs.items()) / total_runs
+        if total_runs
+        else 0.0
+    )
+    return TraceProfile(
+        length=len(trace),
+        data_accesses=n_data,
+        writes=writes,
+        ifetches=ifetches,
+        unique_blocks=unique_blocks,
+        footprint_bytes=unique_blocks * space.block_size,
+        unit_stride_fraction=unit_fraction,
+        mean_block_run=mean_run,
+    )

@@ -1,0 +1,66 @@
+"""Synthetic workload models of the paper's fifteen benchmarks.
+
+Importing this package registers every model; use
+:func:`~repro.workloads.base.get_workload` / ``workload_names()`` to
+enumerate and instantiate them.
+"""
+
+from repro.workloads import nas as _nas  # noqa: F401  (registration side effect)
+from repro.workloads import perfect as _perfect  # noqa: F401
+from repro.workloads import synthetic as _synthetic  # noqa: F401
+from repro.workloads.base import (
+    BenchmarkInfo,
+    Workload,
+    all_benchmarks,
+    get_workload,
+    register,
+    workload_class,
+    workload_names,
+)
+from repro.workloads.instructions import CODE_BASE, with_instructions
+
+#: The fifteen paper benchmarks in Table 1 order (NAS then PERFECT).
+PAPER_BENCHMARKS = (
+    "embar",
+    "mgrid",
+    "cgm",
+    "fftpde",
+    "buk",
+    "appsp",
+    "appbt",
+    "applu",
+    "spec77",
+    "adm",
+    "bdna",
+    "dyfesm",
+    "mdg",
+    "qcd",
+    "trfd",
+)
+
+#: Benchmarks with significant non-unit stride references (Figure 9).
+NON_UNIT_STRIDE_BENCHMARKS = ("fftpde", "appsp", "trfd")
+
+#: The Table 4 scaling-study benchmarks with their (small, large) scales.
+TABLE4_SCALES = {
+    "appsp": (0.5, 1.0),  # 12^3 -> 24^3
+    "appbt": (12 / 18, 24 / 18),  # 12^3 -> 24^3
+    "applu": (12 / 18, 24 / 18),  # 12^3 -> 24^3
+    "cgm": (1.0, 2.0),  # 1400 -> 5600 rows (quadratic in the knob)
+    "mgrid": (1.0, 2.0),  # 32^3 -> 64^3
+}
+
+__all__ = [
+    "BenchmarkInfo",
+    "CODE_BASE",
+    "NON_UNIT_STRIDE_BENCHMARKS",
+    "PAPER_BENCHMARKS",
+    "TABLE4_SCALES",
+    "Workload",
+    "all_benchmarks",
+    "get_workload",
+    "register",
+    "with_instructions",
+    "workload_class",
+    "workload_names",
+]

@@ -1,0 +1,170 @@
+"""Workload model framework.
+
+A :class:`Workload` is a deterministic generator of an address trace that
+models one of the paper's fifteen benchmarks (or a microbenchmark).  Since
+the original Shade traces of the NAS/PERFECT Fortran codes are not
+obtainable, each model reproduces its benchmark's dominant loop-nest
+access structure — the property every stream-buffer result in the paper
+depends on (see DESIGN.md Section 2 for the substitution argument).
+
+Models register themselves under their paper name via :func:`register`;
+:func:`get_workload` instantiates by name, with a ``scale`` knob that
+multiplies linear grid/array dimensions (used for the Table 4 scaling
+study).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from repro.mem.allocator import Arena
+from repro.trace.events import Trace
+
+__all__ = [
+    "BenchmarkInfo",
+    "Workload",
+    "register",
+    "get_workload",
+    "workload_names",
+    "workload_class",
+    "all_benchmarks",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """Paper-facing metadata for a benchmark model (Table 1 columns).
+
+    Attributes:
+        name: the paper's benchmark name (lower case).
+        suite: ``"NAS"`` or ``"PERFECT"`` (or ``"micro"``).
+        description: the paper's one-line description.
+        paper_input: the input deck reported in Table 1 (empty if none).
+        paper_data_mb: data-set size in MB from Table 1 (0 if absent).
+        paper_miss_rate_pct: Table 1's L1 data miss rate, percent.
+        paper_mpi_pct: Table 1's misses-per-instruction, percent.
+    """
+
+    name: str
+    suite: str
+    description: str
+    paper_input: str = ""
+    paper_data_mb: float = 0.0
+    paper_miss_rate_pct: float = 0.0
+    paper_mpi_pct: float = 0.0
+
+
+class Workload(abc.ABC):
+    """Base class for benchmark models.
+
+    Subclasses set :attr:`info` and implement :meth:`build`, allocating
+    their arrays from :attr:`arena` and composing the trace from
+    :mod:`repro.workloads.kernels` primitives.
+
+    Args:
+        scale: multiplier on linear dimensions (1.0 = the paper's small
+            input; 2.0 = the Table 4 doubled input).
+        seed: RNG seed; models are deterministic given (scale, seed).
+    """
+
+    info: BenchmarkInfo
+
+    def __init__(self, scale: float = 1.0, seed: int = 0):
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.arena = Arena()
+        self._trace: Optional[Trace] = None
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    def dim(self, base: int, minimum: int = 1) -> int:
+        """A linear dimension scaled by ``self.scale``."""
+        return max(minimum, int(round(base * self.scale)))
+
+    @abc.abstractmethod
+    def build(self) -> Trace:
+        """Generate the address trace (called once; see :meth:`trace`)."""
+
+    def trace(self) -> Trace:
+        """The model's trace, built on first use and cached."""
+        if self._trace is None:
+            self._trace = self.build()
+        return self._trace
+
+    @property
+    def data_set_bytes(self) -> int:
+        """Bytes of data allocated by the model (after the trace is built)."""
+        self.trace()
+        return self.arena.total_bytes
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} scale={self.scale}>"
+
+
+_REGISTRY: Dict[str, Type[Workload]] = {}
+
+
+def register(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator: add a workload model to the global registry.
+
+    Raises:
+        ValueError: on duplicate names or a missing ``info`` attribute.
+    """
+    info = getattr(cls, "info", None)
+    if not isinstance(info, BenchmarkInfo):
+        raise ValueError(f"{cls.__name__} must define an `info: BenchmarkInfo` attribute")
+    if info.name in _REGISTRY:
+        raise ValueError(f"workload {info.name!r} already registered")
+    _REGISTRY[info.name] = cls
+    return cls
+
+
+def workload_names(suite: Optional[str] = None) -> List[str]:
+    """Registered workload names, optionally restricted to one suite."""
+    names = [
+        name
+        for name, cls in _REGISTRY.items()
+        if suite is None or cls.info.suite == suite
+    ]
+    return sorted(names)
+
+
+def workload_class(name: str) -> Type[Workload]:
+    """Look up a registered model class.
+
+    Raises:
+        KeyError: with the list of known names, for an unknown workload.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def get_workload(name: str, scale: float = 1.0, seed: int = 0) -> Workload:
+    """Instantiate a registered workload model."""
+    return workload_class(name)(scale=scale, seed=seed)
+
+
+def all_benchmarks() -> List[BenchmarkInfo]:
+    """Metadata for every registered benchmark, NAS first then PERFECT,
+    in the paper's Table 1 order where applicable."""
+    ordered = sorted(
+        _REGISTRY.values(),
+        key=lambda cls: (
+            {"NAS": 0, "PERFECT": 1}.get(cls.info.suite, 2),
+            cls.info.name,
+        ),
+    )
+    return [cls.info for cls in ordered]

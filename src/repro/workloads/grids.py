@@ -1,0 +1,124 @@
+"""Grid traversal helpers for the 3-D solver models.
+
+The NAS codes are dominated by loop nests over 3-D grids.  These helpers
+produce *element offset* arrays (flat Fortran-order indices) for the
+traversal orders that matter to stream behaviour:
+
+* :func:`sweep_points` — directional sweeps: the chosen axis varies
+  fastest, so sweeping axis 0 of a Fortran array is unit stride while
+  sweeping axis 1 or 2 produces the constant non-unit strides of
+  Section 7;
+* :func:`hyperplane_points` — wavefront (i+j+k = const) order, the SSOR
+  traversal of applu that fragments streams into short runs;
+* :func:`checkerboard_points` — red/black ordering (qcd), which doubles
+  the effective stride and misaligns it with block boundaries.
+
+Offsets combine with an array base and element size via :func:`addrs_at`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "flat_index",
+    "sweep_points",
+    "interior_points",
+    "hyperplane_points",
+    "checkerboard_points",
+    "addrs_at",
+    "neighbor_offset",
+]
+
+
+def flat_index(shape: Tuple[int, int, int], i: np.ndarray, j: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Fortran-order flat element index of grid point (i, j, k)."""
+    nx, ny, _ = shape
+    return i + nx * (j + ny * k)
+
+
+def neighbor_offset(shape: Tuple[int, int, int], di: int = 0, dj: int = 0, dk: int = 0) -> int:
+    """Flat-index delta of the (di, dj, dk) neighbour."""
+    nx, ny, _ = shape
+    return di + nx * (dj + ny * dk)
+
+
+def _axes_grids(shape: Tuple[int, int, int], fastest_axis: int, lo: int, hi_margin: int):
+    """Index grids with ``fastest_axis`` varying fastest."""
+    if fastest_axis not in (0, 1, 2):
+        raise ValueError(f"fastest_axis must be 0, 1 or 2, got {fastest_axis}")
+    ranges = [np.arange(lo, extent - hi_margin, dtype=np.int64) for extent in shape]
+    order = {0: (0, 1, 2), 1: (1, 0, 2), 2: (2, 0, 1)}[fastest_axis]
+    mesh = np.meshgrid(*(ranges[axis] for axis in order), indexing="ij")
+    # meshgrid 'ij' varies the *last* argument fastest under C-ravel; we
+    # want the first listed (the chosen axis), so ravel in Fortran order.
+    grids = [m.ravel(order="F") for m in mesh]
+    out = [None, None, None]
+    for position, axis in enumerate(order):
+        out[axis] = grids[position]
+    return out
+
+
+def sweep_points(
+    shape: Tuple[int, int, int],
+    fastest_axis: int = 0,
+    halo: int = 0,
+) -> np.ndarray:
+    """Flat indices of a full-grid sweep with ``fastest_axis`` innermost.
+
+    ``halo`` excludes that many boundary layers on every face (stencil
+    interiors).
+    """
+    i, j, k = _axes_grids(shape, fastest_axis, halo, halo)
+    return flat_index(shape, i, j, k)
+
+
+def interior_points(shape: Tuple[int, int, int], halo: int = 1) -> np.ndarray:
+    """Interior points in natural (axis-0 fastest) order."""
+    return sweep_points(shape, fastest_axis=0, halo=halo)
+
+
+def hyperplane_points(shape: Tuple[int, int, int]) -> np.ndarray:
+    """All points ordered by wavefront diagonal (i+j+k ascending).
+
+    Within a diagonal, order follows the natural index order — the SSOR
+    pipelined traversal.  Consecutive points in a diagonal are far apart
+    in memory, which is what breaks streams in the applu model.
+    """
+    i, j, k = _axes_grids(shape, 0, 0, 0)
+    flat = flat_index(shape, i, j, k)
+    diag = i + j + k
+    order = np.argsort(diag, kind="stable")
+    return flat[order]
+
+
+def checkerboard_points(shape: Tuple[int, int, int]) -> np.ndarray:
+    """All points, even-parity sites first, natural order within a colour."""
+    i, j, k = _axes_grids(shape, 0, 0, 0)
+    flat = flat_index(shape, i, j, k)
+    parity = (i + j + k) & 1
+    return np.concatenate([flat[parity == 0], flat[parity == 1]])
+
+
+def addrs_at(
+    base: int,
+    points: np.ndarray,
+    element_size: int,
+    offset_elements: int = 0,
+    components: int = 1,
+    component: int = 0,
+) -> np.ndarray:
+    """Byte addresses of ``array[component, point + offset]``.
+
+    ``components`` models Fortran arrays like ``u(5, nx, ny, nz)`` whose
+    per-point record holds several doubles; the flat point index is then
+    scaled by the record size.
+    """
+    if components <= 0:
+        raise ValueError(f"components must be positive, got {components}")
+    if not 0 <= component < components:
+        raise ValueError(f"component {component} out of range for {components}")
+    record = components * element_size
+    return base + (points + offset_elements) * record + component * element_size

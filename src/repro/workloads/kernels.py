@@ -1,0 +1,226 @@
+"""Access-pattern primitives the benchmark models are composed from.
+
+Each primitive builds numpy address arrays (vectorised — workload
+generation must not dominate simulation time).  The central assembly
+helper is :func:`loop`, which emits one access per *column* per loop
+iteration, reproducing the fine-grained interleaving of array references
+inside a loop body — the reason multi-way stream buffers exist.
+
+Address arrays are element addresses; callers choose element sizes when
+building them.  All primitives are deterministic given their RNG.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.trace.events import AccessKind, Trace
+
+__all__ = [
+    "loop",
+    "ascending",
+    "strided",
+    "tiled_runs",
+    "runs_at",
+    "gather_addresses",
+    "clustered_indices",
+    "random_indices",
+    "triangular_row_walk",
+    "butterfly_pairs",
+    "read",
+    "write",
+]
+
+Column = Tuple[np.ndarray, AccessKind]
+
+
+def read(addrs: np.ndarray) -> Column:
+    """Mark an address column as data reads."""
+    return (addrs, AccessKind.READ)
+
+
+def write(addrs: np.ndarray) -> Column:
+    """Mark an address column as data writes."""
+    return (addrs, AccessKind.WRITE)
+
+
+def loop(columns: Sequence[Column]) -> Trace:
+    """Emit one access from each column per iteration, in column order.
+
+    All columns must have the same length (the loop trip count).  The
+    result models ``for i: touch col0[i]; touch col1[i]; ...``.
+
+    Each column is tagged with a synthetic program counter (stable for a
+    given loop body, distinct per column) so that PC-indexed baselines —
+    the Baer & Chen reference prediction table of the paper's related
+    work — can be evaluated against the same traces.  The PC plays the
+    role of the load/store instruction issuing that column's accesses.
+    """
+    if not columns:
+        return Trace.empty()
+    n = columns[0][0].shape[0]
+    for addrs, _ in columns:
+        if addrs.shape[0] != n:
+            raise ValueError(
+                f"all columns must share a trip count; got {addrs.shape[0]} vs {n}"
+            )
+    k = len(columns)
+    out_addrs = np.empty(n * k, dtype=np.int64)
+    out_kinds = np.empty(n * k, dtype=np.uint8)
+    out_pcs = np.empty(n * k, dtype=np.int64)
+    base_pc = _loop_body_pc(columns)
+    for j, (addrs, kind) in enumerate(columns):
+        out_addrs[j::k] = addrs
+        out_kinds[j::k] = int(kind)
+        out_pcs[j::k] = base_pc + 4 * j
+    return Trace(out_addrs, out_kinds, out_pcs)
+
+
+def _loop_body_pc(columns: Sequence[Column]) -> int:
+    """Deterministic synthetic PC for one loop body.
+
+    Derived from the loop's structure (column count, kinds, starting
+    addresses), so the same loop gets the same PC on every run while
+    distinct loops get distinct PCs with high probability.
+    """
+    digest = zlib.crc32(
+        b"".join(
+            int(addrs[0]).to_bytes(8, "little", signed=True) + bytes([int(kind)])
+            for addrs, kind in columns
+            if addrs.shape[0]
+        )
+        + len(columns).to_bytes(2, "little")
+    )
+    return 0x400000 + (digest & 0xFFFF) * 64
+
+
+def ascending(base: int, n: int, element_size: int = 8) -> np.ndarray:
+    """Element addresses of a unit-stride walk: base, base+es, ..."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return base + np.arange(n, dtype=np.int64) * element_size
+
+
+def strided(base: int, n: int, stride_bytes: int) -> np.ndarray:
+    """Element addresses of a constant-stride walk (stride may be negative)."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if stride_bytes == 0:
+        raise ValueError("stride_bytes must be non-zero")
+    return base + np.arange(n, dtype=np.int64) * stride_bytes
+
+
+def tiled_runs(
+    base: int,
+    n_runs: int,
+    run_elements: int,
+    run_pitch_bytes: int,
+    element_size: int = 8,
+) -> np.ndarray:
+    """Short unit-stride runs separated by jumps.
+
+    Models blocked data structures (5x5 block matrices, SU(3) link
+    matrices): ``run_elements`` consecutive elements are walked, then the
+    walk jumps ``run_pitch_bytes`` from the run's start to the next run.
+    Short runs produce the short stream lengths of Table 3.
+    """
+    if n_runs < 0 or run_elements <= 0:
+        raise ValueError("n_runs must be >= 0 and run_elements positive")
+    starts = base + np.arange(n_runs, dtype=np.int64) * run_pitch_bytes
+    offsets = np.arange(run_elements, dtype=np.int64) * element_size
+    return (starts[:, None] + offsets[None, :]).ravel()
+
+
+def runs_at(
+    starts: np.ndarray,
+    run_elements: int,
+    element_size: int = 8,
+) -> np.ndarray:
+    """Unit-stride runs of ``run_elements`` elements at arbitrary starts.
+
+    The general form of :func:`tiled_runs`: ``starts`` are byte addresses
+    (e.g. record addresses along a checkerboard site walk); each run walks
+    ``run_elements`` consecutive elements from its start.
+    """
+    if run_elements <= 0:
+        raise ValueError(f"run_elements must be positive, got {run_elements}")
+    offsets = np.arange(run_elements, dtype=np.int64) * element_size
+    return (starts.astype(np.int64)[:, None] + offsets[None, :]).ravel()
+
+
+def gather_addresses(base: int, indices: np.ndarray, element_size: int = 8) -> np.ndarray:
+    """Addresses of ``data[indices[i]]`` (array indirection / scatter-gather)."""
+    return base + indices.astype(np.int64) * element_size
+
+
+def clustered_indices(
+    n: int,
+    n_elements: int,
+    cluster_width: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Indices with spatial clustering (sorted neighbour lists, banded matrices).
+
+    Cluster centres advance through the element range; each index deviates
+    from its centre by at most ``cluster_width``/2.  ``cluster_width`` of
+    1 degenerates to a sequential walk; large widths approach random.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if n_elements <= 0:
+        raise ValueError(f"n_elements must be positive, got {n_elements}")
+    if cluster_width <= 0:
+        raise ValueError(f"cluster_width must be positive, got {cluster_width}")
+    centres = np.linspace(0, n_elements - 1, num=max(n, 1), dtype=np.int64)
+    jitter = rng.integers(-(cluster_width // 2), cluster_width // 2 + 1, size=n)
+    return np.clip(centres + jitter, 0, n_elements - 1)
+
+
+def random_indices(n: int, n_elements: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniformly random indices (widely scattered array indirections)."""
+    if n_elements <= 0:
+        raise ValueError(f"n_elements must be positive, got {n_elements}")
+    return rng.integers(0, n_elements, size=n, dtype=np.int64)
+
+
+def triangular_row_walk(base: int, n_rows: int, element_size: int = 8) -> np.ndarray:
+    """Walk a packed lower-triangular matrix row by row.
+
+    Row ``i`` holds ``i+1`` elements starting at offset ``i(i+1)/2``; the
+    whole walk is one long unit-stride stream (the *column* walk of such a
+    matrix, by contrast, has a growing stride — see the trfd model).
+    """
+    if n_rows < 0:
+        raise ValueError(f"n_rows must be non-negative, got {n_rows}")
+    total = n_rows * (n_rows + 1) // 2
+    return base + np.arange(total, dtype=np.int64) * element_size
+
+
+def butterfly_pairs(
+    base: int,
+    n_elements: int,
+    stage: int,
+    element_size: int = 16,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Element address pairs of one radix-2 FFT butterfly stage.
+
+    Stage ``s`` pairs element ``i`` with ``i + 2**s``; the returned arrays
+    are the first and second element of each butterfly in loop order.
+    """
+    if stage < 0:
+        raise ValueError(f"stage must be non-negative, got {stage}")
+    half = 1 << stage
+    if 2 * half > n_elements:
+        raise ValueError(
+            f"stage {stage} needs at least {2 * half} elements, got {n_elements}"
+        )
+    span = 2 * half
+    n_groups = n_elements // span
+    group_starts = np.arange(n_groups, dtype=np.int64) * span
+    within = np.arange(half, dtype=np.int64)
+    first = (group_starts[:, None] + within[None, :]).ravel()
+    second = first + half
+    return base + first * element_size, base + second * element_size

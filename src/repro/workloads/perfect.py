@@ -1,0 +1,577 @@
+"""Models of the seven PERFECT benchmarks used in the paper.
+
+The PERFECT codes in Table 1 have small data sets and tiny miss rates;
+the paper compensated with full multi-billion-instruction runs.  We
+cannot afford billion-access traces, so these models keep each code's
+*miss-stream structure* while sizing arrays a few multiples of the 64KB
+primary cache so that a sub-million-access trace yields a statistically
+useful miss population (documented substitution; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.trace.events import AccessKind, Trace
+from repro.trace.stream import blocked_interleave
+from repro.workloads.base import BenchmarkInfo, Workload, register
+from repro.workloads.grids import checkerboard_points
+from repro.workloads.kernels import (
+    ascending,
+    clustered_indices,
+    gather_addresses,
+    loop,
+    random_indices,
+    read,
+    runs_at,
+    strided,
+    write,
+)
+
+__all__ = ["Spec77", "Adm", "Bdna", "Dyfesm", "Mdg", "Qcd", "Trfd"]
+
+_DOUBLE = 8
+_COMPLEX = 16
+
+
+@register
+class Spec77(Workload):
+    """Weather simulation (spectral model).
+
+    Structure: dominated by long vector operations over the spectral
+    coefficient and grid arrays plus FFT passes along the
+    fastest-varying dimension, with a modest strided residue from the
+    Legendre transform's latitude-major passes.  Streams do well (long
+    streams dominate: Table 3 gives 64% of hits from lengths > 20).
+    """
+
+    info = BenchmarkInfo(
+        name="spec77",
+        suite="PERFECT",
+        description="Weather simulation",
+        paper_input="64 X 1 X 16 grid, 720 time steps",
+        paper_data_mb=1.3,
+        paper_miss_rate_pct=0.50,
+        paper_mpi_pct=0.15,
+    )
+
+    VECTOR_ELEMENTS = 40960  # 320KB per field array
+    STEPS = 3
+
+    def build(self) -> Trace:
+        n = self.dim(self.VECTOR_ELEMENTS, minimum=4096)
+        vort = self.arena.alloc_words("vort", n)
+        div = self.arena.alloc_words("div", n)
+        temp = self.arena.alloc_words("temp", n)
+        work = self.arena.alloc_words("work", n)
+        # Legendre pass geometry: latitudes x wavenumbers.
+        lats = 128
+        waves = n // lats
+        phases: List[Trace] = []
+        for _ in range(self.STEPS):
+            phases.append(
+                loop(
+                    [
+                        read(ascending(vort.base, n)),
+                        read(ascending(div.base, n)),
+                        write(ascending(temp.base, n)),
+                    ]
+                )
+            )
+            phases.append(
+                loop(
+                    [
+                        read(ascending(temp.base, n)),
+                        write(ascending(work.base, n)),
+                    ]
+                )
+            )
+            # Legendre transform: wavenumber-major pass -> stride `waves`
+            # elements through a latitude-major array.
+            stride_bytes = waves * _DOUBLE
+            strided_col = np.concatenate(
+                [strided(work.base + w * _DOUBLE, lats, stride_bytes) for w in range(0, waves, 8)]
+            )
+            phases.append(loop([read(strided_col)]))
+            # Physics residue: grid-point parameterisations index lookup
+            # tables semi-randomly (a small irregular fraction).
+            phases.append(
+                loop(
+                    [
+                        read(gather_addresses(vort.base, random_indices(3000, n, self.rng))),
+                        write(gather_addresses(div.base, random_indices(3000, n, self.rng))),
+                    ]
+                )
+            )
+        return Trace.concat(phases)
+
+
+@register
+class Adm(Workload):
+    """Air pollution model (ADM).
+
+    Structure: the paper singles adm out (with dyfesm) for referencing
+    data "via array indirections (scatter/gather)"; its miss stream is
+    dominated by irregular gathers with only thin unit-stride phases, so
+    stream hit rates stay low regardless of stream count (Figure 3's
+    bottom curve).
+    """
+
+    info = BenchmarkInfo(
+        name="adm",
+        suite="PERFECT",
+        description="Air pollution",
+        paper_input="",
+        paper_data_mb=0.6,
+        paper_miss_rate_pct=0.04,
+        paper_mpi_pct=0.00,
+    )
+
+    FIELD_ELEMENTS = 131072  # 1MB concentration field
+    STEPS = 3
+
+    def build(self) -> Trace:
+        n = self.dim(self.FIELD_ELEMENTS, minimum=8192)
+        conc = self.arena.alloc_words("conc", n)
+        wind = self.arena.alloc_words("wind", n)
+        work = self.arena.alloc_words("work", n // 8)
+        phases: List[Trace] = []
+        for _ in range(self.STEPS):
+            # Semi-Lagrangian advection: isolated gathers from departure
+            # points (no prefetcher can help these).
+            departures = random_indices(n // 6, n, self.rng)
+            phases.append(
+                loop(
+                    [
+                        read(gather_addresses(conc.base, departures)),
+                        write(
+                            gather_addresses(
+                                wind.base, random_indices(n // 6, n, self.rng)
+                            )
+                        ),
+                    ]
+                )
+            )
+            # Vertical-column chemistry: each column is a short contiguous
+            # run at a scattered position — the few hits adm does get come
+            # from these, which is why Table 3 shows them all short.
+            column_starts = gather_addresses(
+                conc.base,
+                random_indices(6000, n - 32, self.rng),
+            )
+            phases.append(
+                blocked_interleave(
+                    [
+                        Trace.uniform(runs_at(column_starts, 24), AccessKind.READ),
+                        Trace.uniform(
+                            runs_at(
+                                gather_addresses(
+                                    wind.base, random_indices(6000, n - 32, self.rng)
+                                ),
+                                8,
+                            ),
+                            AccessKind.WRITE,
+                        ),
+                    ],
+                    granule=24,
+                )
+            )
+            phases.append(
+                loop(
+                    [
+                        read(ascending(work.base, n // 8)),
+                        write(ascending(work.base, n // 8)),
+                    ]
+                )
+            )
+        return Trace.concat(phases)
+
+
+@register
+class Bdna(Workload):
+    """Nucleic acid simulation (molecular dynamics).
+
+    Structure: force evaluation walks sorted neighbour lists — for each
+    atom a handful of *contiguous* neighbour coordinates are read (a
+    run of a few cache blocks) before jumping to the next cluster.
+    Plenty of stream hits, but almost all from very short streams
+    (Table 3: 73% of bdna's hits come from lengths 1-5).
+    """
+
+    info = BenchmarkInfo(
+        name="bdna",
+        suite="PERFECT",
+        description="Nucleic acid simulation",
+        paper_input="",
+        paper_data_mb=2.1,
+        paper_miss_rate_pct=1.39,
+        paper_mpi_pct=0.42,
+    )
+
+    ATOMS = 87040  # ~2.1MB across three coordinate/force arrays
+    NEIGHBOR_RUN = 24  # contiguous neighbours read per cluster (3 blocks)
+    CLUSTERS_PER_STEP = 16000
+    INTEGRATION_FRACTION = 2  # integrate over ATOMS // this per step
+    STEPS = 2
+
+    def build(self) -> Trace:
+        n = self.dim(self.ATOMS, minimum=8192)
+        x = self.arena.alloc_words("x", n)
+        f = self.arena.alloc_words("f", n)
+        v = self.arena.alloc_words("v", n)
+        phases: List[Trace] = []
+        for _ in range(self.STEPS):
+            starts = gather_addresses(
+                x.base,
+                clustered_indices(self.CLUSTERS_PER_STEP, n - self.NEIGHBOR_RUN, 4096, self.rng),
+            )
+            neighbour_reads = runs_at(starts, self.NEIGHBOR_RUN)
+            force_writes = runs_at(
+                gather_addresses(
+                    f.base,
+                    clustered_indices(
+                        self.CLUSTERS_PER_STEP, n - self.NEIGHBOR_RUN, 4096, self.rng
+                    ),
+                ),
+                self.NEIGHBOR_RUN // 4,
+            )
+            phases.append(
+                blocked_interleave(
+                    [
+                        Trace.uniform(neighbour_reads, AccessKind.READ),
+                        Trace.uniform(force_writes, AccessKind.WRITE),
+                    ],
+                    granule=self.NEIGHBOR_RUN,
+                )
+            )
+            # Integration: one long unit sweep (the >20 tail of Table 3).
+            part = n // self.INTEGRATION_FRACTION
+            phases.append(
+                loop(
+                    [
+                        read(ascending(f.base, part)),
+                        read(ascending(v.base, part)),
+                        write(ascending(x.base, part)),
+                    ]
+                )
+            )
+        return Trace.concat(phases)
+
+
+@register
+class Dyfesm(Workload):
+    """Structural dynamics finite-element solver.
+
+    Structure: element-level gather/scatter through connectivity tables
+    (eight nodes per element at effectively random positions), the
+    paper's other indirection-bound code — low hit rates like adm.
+    """
+
+    info = BenchmarkInfo(
+        name="dyfesm",
+        suite="PERFECT",
+        description="Structural dynamics",
+        paper_input="4 elements, 1000 time steps",
+        paper_data_mb=0.1,
+        paper_miss_rate_pct=0.01,
+        paper_mpi_pct=0.00,
+    )
+
+    NODES = 65536  # 512KB nodal array: several cache multiples
+    ELEMENTS = 14000
+    STEPS = 2
+
+    def build(self) -> Trace:
+        n = self.dim(self.NODES, minimum=8192)
+        coords = self.arena.alloc_words("coords", n)
+        forces = self.arena.alloc_words("forces", n)
+        disp = self.arena.alloc_words("disp", n)
+        phases: List[Trace] = []
+        for _ in range(self.STEPS):
+            # Element assembly: each element gathers a node neighbourhood.
+            # Nodes of one element are partially contiguous (mesh-ordered),
+            # so each gather is a short run at a scattered position — the
+            # short-stream hits of Table 3; the connectivity indirection
+            # itself is the irregular majority.
+            phases.append(
+                blocked_interleave(
+                    [
+                        Trace.uniform(
+                            runs_at(
+                                gather_addresses(
+                                    coords.base,
+                                    random_indices(self.ELEMENTS, n - 32, self.rng),
+                                ),
+                                16,
+                            ),
+                            AccessKind.READ,
+                        ),
+                        Trace.uniform(
+                            gather_addresses(
+                                forces.base,
+                                random_indices(2 * self.ELEMENTS, n, self.rng),
+                            ),
+                            AccessKind.WRITE,
+                        ),
+                    ],
+                    granule=16,
+                )
+            )
+            # Scatter-add of element forces: isolated writes.
+            phases.append(
+                loop(
+                    [
+                        read(gather_addresses(disp.base, random_indices(self.ELEMENTS, n, self.rng))),
+                        write(gather_addresses(forces.base, random_indices(self.ELEMENTS, n, self.rng))),
+                    ]
+                )
+            )
+            # A modest regular solver phase (the >20 tail).
+            phases.append(
+                loop(
+                    [
+                        read(ascending(forces.base, n // 3)),
+                        write(ascending(disp.base, n // 3)),
+                    ]
+                )
+            )
+        return Trace.concat(phases)
+
+
+@register
+class Mdg(Workload):
+    """Liquid water molecular dynamics (MDG).
+
+    Structure: an even mix of long unit-stride integration sweeps over
+    the coordinate/velocity/force arrays and irregular pair-interaction
+    gathers — Table 3 shows the split personality (32% of hits from
+    lengths 1-5, 46% from >20) and Figure 3 puts mdg near 50%.
+    """
+
+    info = BenchmarkInfo(
+        name="mdg",
+        suite="PERFECT",
+        description="Liquid water simulation",
+        paper_input="343 molecules, 100 time steps",
+        paper_data_mb=0.2,
+        paper_miss_rate_pct=0.03,
+        paper_mpi_pct=0.01,
+    )
+
+    SITES = 49152  # 3 arrays x 384KB total
+    PAIRS_PER_STEP = 12000
+    PAIR_CLUSTER = 1024  # neighbour-list locality (elements)
+    STEPS = 2
+
+    def build(self) -> Trace:
+        n = self.dim(self.SITES, minimum=8192)
+        x = self.arena.alloc_words("x", n)
+        v = self.arena.alloc_words("v", n)
+        f = self.arena.alloc_words("f", n)
+        phases: List[Trace] = []
+        for _ in range(self.STEPS):
+            # Pair interactions: the sorted neighbour list makes each
+            # molecule's partner coordinates a short contiguous run at a
+            # scattered position (Table 3's 1-5 bucket); the partner
+            # *force* updates are isolated scatters.
+            run_starts = gather_addresses(
+                x.base, random_indices(7000, n - 32, self.rng)
+            )
+            phases.append(
+                blocked_interleave(
+                    [
+                        Trace.uniform(runs_at(run_starts, 24), AccessKind.READ),
+                        Trace.uniform(
+                            gather_addresses(
+                                f.base, random_indices(14000, n, self.rng)
+                            ),
+                            AccessKind.WRITE,
+                        ),
+                    ],
+                    granule=24,
+                )
+            )
+            phases.append(
+                loop(
+                    [
+                        read(gather_addresses(x.base, random_indices(self.PAIRS_PER_STEP, n, self.rng))),
+                        write(gather_addresses(f.base, random_indices(self.PAIRS_PER_STEP, n, self.rng))),
+                    ]
+                )
+            )
+            # Integration: the long-stream half of Table 3's split.
+            phases.append(
+                loop(
+                    [
+                        read(ascending(f.base, n)),
+                        read(ascending(v.base, n)),
+                        write(ascending(x.base, n)),
+                        write(ascending(v.base, n)),
+                    ]
+                )
+            )
+        return Trace.concat(phases)
+
+
+@register
+class Qcd(Workload):
+    """Quantum chromodynamics on a 4-D lattice.
+
+    Structure: SU(3) link matrices are 144-byte records (just over two
+    cache blocks); the gauge update walks sites in red/black
+    (checkerboard) order, so consecutive records are 288 bytes apart —
+    short two-to-three-block runs with a misaligned effective stride —
+    while the momentum/field updates sweep linearly.  Table 3's mix
+    (50% of hits from lengths 1-5, 43% from >20) and a ~50% hit rate.
+    """
+
+    info = BenchmarkInfo(
+        name="qcd",
+        suite="PERFECT",
+        description="Quantum chromodynamics",
+        paper_input="12 X 12 X 12 X 12 lattice",
+        paper_data_mb=9.2,
+        paper_miss_rate_pct=0.16,
+        paper_mpi_pct=0.06,
+    )
+
+    BASE_L = 8  # paper runs 12^4; downsized to keep traces tractable
+    LINK_DOUBLES = 18  # 3x3 complex = 144B
+    STEPS = 1
+
+    def build(self) -> Trace:
+        lattice = self.dim(self.BASE_L, minimum=4)
+        shape = (lattice, lattice, lattice * lattice)  # fold t into z
+        n_sites = lattice**4
+        record = self.LINK_DOUBLES * _DOUBLE
+        links = [
+            self.arena.alloc("links%d" % mu, n_sites * record) for mu in range(4)
+        ]
+        mom = self.arena.alloc("mom", n_sites * record)
+        # Gauge-field random table (heat-bath updates read it per site).
+        rand_elements = 131072
+        rand_table = self.arena.alloc_words("rand", rand_elements)
+        phases: List[Trace] = []
+        sites = checkerboard_points(shape)
+        # Staple neighbours: the nu-direction hop cycles per site, so the
+        # neighbour-link reads never settle into one constant pattern.
+        hop_choices = np.array(
+            [1, -1, lattice, -lattice, lattice * lattice, -(lattice * lattice)],
+            dtype=np.int64,
+        )
+        for _ in range(self.STEPS):
+            for mu in range(1):
+                hops = hop_choices[np.arange(sites.shape[0]) % hop_choices.shape[0]]
+                neighbour_sites = np.clip(sites + hops, 0, n_sites - 1)
+                columns = [
+                    Trace.uniform(
+                        runs_at(links[mu].base + sites * record, self.LINK_DOUBLES),
+                        AccessKind.READ,
+                    ),
+                    Trace.uniform(
+                        runs_at(
+                            links[(mu + 1) % 4].base + neighbour_sites * record,
+                            self.LINK_DOUBLES,
+                        ),
+                        AccessKind.READ,
+                    ),
+                    Trace.uniform(
+                        runs_at(mom.base + sites * record, self.LINK_DOUBLES),
+                        AccessKind.WRITE,
+                    ),
+                    Trace.uniform(
+                        gather_addresses(
+                            rand_table.base,
+                            random_indices(6 * sites.shape[0], rand_elements, self.rng),
+                        ),
+                        AccessKind.READ,
+                    ),
+                ]
+                phases.append(blocked_interleave(columns, granule=self.LINK_DOUBLES))
+            # Field refresh: linear sweeps (the >20 half of Table 3's mix).
+            refresh = n_sites * self.LINK_DOUBLES
+            phases.append(
+                loop(
+                    [
+                        read(ascending(mom.base, refresh)),
+                        write(ascending(links[3].base, refresh)),
+                    ]
+                )
+            )
+        return Trace.concat(phases)
+
+
+@register
+class Trfd(Workload):
+    """Two-electron integral transformation (quantum mechanics).
+
+    Structure: passes over a packed triangular integral matrix — row
+    walks are long unit streams, but the transform also walks *columns*
+    of the packed triangle, where the address delta grows by one element
+    per step (no constant stride exists: these misses defeat both the
+    unit streams and any stride detector and, unfiltered, each one
+    allocates a useless stream — the paper's worst EB, 96%).  A
+    matrix-transform phase contributes genuine constant large strides
+    that the czone scheme recovers (50% -> 65%, Figure 8).
+    """
+
+    info = BenchmarkInfo(
+        name="trfd",
+        suite="PERFECT",
+        description="Quantum mechanics (integral transformation)",
+        paper_input="",
+        paper_data_mb=8.0,
+        paper_miss_rate_pct=0.05,
+        paper_mpi_pct=0.00,
+    )
+
+    BASIS = 40
+    ROW_PASSES = 220
+    COL_PASSES = 40
+    TRI_COL_PASSES = 80
+    TRI_WALK_FACTOR = 10  # triangle-column walk length = basis * this
+
+    def build(self) -> Trace:
+        m = self.dim(self.BASIS, minimum=12)
+        npair = m * (m + 1) // 2
+        # Leading dimension padded to a whole number of cache blocks, so
+        # column walks have a block-aligned constant stride (the matrix is
+        # allocated with a padded LDA, standard practice in BLAS-era code).
+        lda = (npair + 7) & ~7
+        xmat = self.arena.alloc_words("xmat", lda * npair)
+        vmat = self.arena.alloc_words("vmat", lda * npair)
+        row_bytes = lda * _DOUBLE
+        phases: List[Trace] = []
+
+        # Phase A: row-major transform passes (long unit streams).
+        rows = self.rng.integers(0, npair, size=self.ROW_PASSES)
+        for row in rows:
+            phases.append(
+                loop(
+                    [
+                        read(ascending(xmat.base + int(row) * row_bytes, npair)),
+                        write(ascending(vmat.base + int(row) * row_bytes, npair)),
+                    ]
+                )
+            )
+        # Phase B: column-major passes (constant stride = one row).
+        cols = self.rng.integers(0, npair, size=self.COL_PASSES)
+        for col in cols:
+            phases.append(
+                loop([read(strided(xmat.base + int(col) * _DOUBLE, npair // 2, row_bytes))])
+            )
+        # Phase C: packed-triangle column walks (growing stride, no
+        # pattern any hardware scheme can lock onto).  Each pass works a
+        # different region of the matrix, as the transform's kl loop does.
+        walk = m * self.TRI_WALK_FACTOR
+        max_span = walk * (walk + 1) // 2 + walk
+        total_elements = lda * npair
+        for col in range(self.TRI_COL_PASSES):
+            region = int(self.rng.integers(0, max(1, total_elements - max_span)))
+            i = np.arange(col % m, walk, dtype=np.int64)
+            tri_offsets = region + i * (i + 1) // 2 + col
+            tri_offsets = tri_offsets[tri_offsets < total_elements]
+            phases.append(loop([read(gather_addresses(vmat.base, tri_offsets))]))
+        return Trace.concat(phases)

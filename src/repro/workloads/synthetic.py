@@ -1,0 +1,110 @@
+"""Microbenchmarks with analytically known stream behaviour.
+
+These are not paper benchmarks; they pin down the simulator in tests and
+serve as teaching examples: a pure unit-stride sweep (hit rate -> 100%), a
+pure constant-stride walk (0% unit-only, ~100% with stride detection), a
+uniformly random reference stream (~0%), and an interleaved multi-array
+sweep whose hit rate depends on having enough streams.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.trace.events import Trace
+from repro.workloads.base import BenchmarkInfo, Workload, register
+from repro.workloads.kernels import (
+    ascending,
+    gather_addresses,
+    loop,
+    random_indices,
+    read,
+    strided,
+    write,
+)
+
+__all__ = ["PureSweep", "PureStride", "PureRandom", "InterleavedSweeps"]
+
+
+@register
+class PureSweep(Workload):
+    """One long unit-stride read sweep: the stream buffer best case."""
+
+    info = BenchmarkInfo(
+        name="sweep",
+        suite="micro",
+        description="Single unit-stride sweep",
+    )
+
+    ELEMENTS = 131072
+
+    def build(self) -> Trace:
+        n = self.dim(self.ELEMENTS, minimum=1024)
+        a = self.arena.alloc_words("a", n)
+        return loop([read(ascending(a.base, n))])
+
+
+@register
+class PureStride(Workload):
+    """A constant non-unit stride walk (default 1KB): czone-detectable."""
+
+    info = BenchmarkInfo(
+        name="stride",
+        suite="micro",
+        description="Single constant-stride walk",
+    )
+
+    STEPS = 65536
+    STRIDE_BYTES = 1024
+
+    def build(self) -> Trace:
+        n = self.dim(self.STEPS, minimum=1024)
+        a = self.arena.alloc("a", n * self.STRIDE_BYTES)
+        return loop([read(strided(a.base, n, self.STRIDE_BYTES))])
+
+
+@register
+class PureRandom(Workload):
+    """Uniform random references: no prefetcher can help."""
+
+    info = BenchmarkInfo(
+        name="random",
+        suite="micro",
+        description="Uniformly random references",
+    )
+
+    ACCESSES = 65536
+    ELEMENTS = 262144  # 2MB target array
+
+    def build(self) -> Trace:
+        a = self.arena.alloc_words("a", self.ELEMENTS)
+        n = self.dim(self.ACCESSES, minimum=1024)
+        return loop([read(gather_addresses(a.base, random_indices(n, self.ELEMENTS, self.rng)))])
+
+
+@register
+class InterleavedSweeps(Workload):
+    """K interleaved unit-stride sweeps: needs K streams to lock on.
+
+    With fewer than K streams the LRU reallocation thrashes and the hit
+    rate collapses; with K or more it approaches 100% — the shape of the
+    paper's Figure 3 saturation argument in its purest form.
+    """
+
+    info = BenchmarkInfo(
+        name="interleaved",
+        suite="micro",
+        description="K interleaved unit-stride sweeps",
+    )
+
+    ARRAYS = 6
+    ELEMENTS = 32768
+
+    def build(self) -> Trace:
+        n = self.dim(self.ELEMENTS, minimum=1024)
+        columns: List = []
+        for index in range(self.ARRAYS):
+            a = self.arena.alloc_words(f"a{index}", n)
+            column = read(ascending(a.base, n)) if index else write(ascending(a.base, n))
+            columns.append(column)
+        return loop(columns)

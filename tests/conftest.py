@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.caches.cache import Cache, CacheConfig
+from repro.core.config import StreamConfig
+from repro.mem.address import AddressSpace
+from repro.trace.events import AccessKind, Trace
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    """Default 8B-word / 64B-block geometry."""
+    return AddressSpace()
+
+
+@pytest.fixture
+def tiny_cache_config() -> CacheConfig:
+    """A 1KB 2-way cache: small enough to force evictions in tests."""
+    return CacheConfig(capacity=1024, assoc=2, block_size=64, policy="lru")
+
+
+@pytest.fixture
+def paper_l1() -> CacheConfig:
+    return CacheConfig.paper_l1()
+
+
+@pytest.fixture
+def default_stream_config() -> StreamConfig:
+    return StreamConfig.jouppi(n_streams=4)
+
+
+def make_trace(addrs, kind: AccessKind = AccessKind.READ) -> Trace:
+    """Build a uniform-kind trace from a plain address list."""
+    return Trace.uniform(np.asarray(addrs, dtype=np.int64), kind)
+
+
+@pytest.fixture
+def sequential_trace() -> Trace:
+    """1024 word reads walking 8KB: every 8th access starts a new block."""
+    return make_trace(np.arange(1024, dtype=np.int64) * 8)

@@ -1,0 +1,137 @@
+"""Tests for repro.mem.address."""
+
+import pytest
+
+from repro.mem.address import AddressSpace, is_power_of_two, log2_int
+
+
+class TestPowerOfTwo:
+    def test_powers_are_recognised(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers_are_rejected(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100):
+            assert not is_power_of_two(value)
+
+    def test_log2_int_roundtrip(self):
+        for exponent in range(20):
+            assert log2_int(1 << exponent) == exponent
+
+    def test_log2_int_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_int(3)
+
+    def test_log2_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            log2_int(0)
+
+
+class TestAddressSpaceConstruction:
+    def test_defaults(self):
+        space = AddressSpace()
+        assert space.word_size == 8
+        assert space.block_size == 64
+
+    def test_block_bits(self):
+        assert AddressSpace(block_size=64).block_bits == 6
+        assert AddressSpace(block_size=128).block_bits == 7
+
+    def test_word_bits(self):
+        assert AddressSpace(word_size=4, block_size=64).word_bits == 2
+
+    def test_words_per_block(self):
+        assert AddressSpace().words_per_block == 8
+        assert AddressSpace(word_size=4, block_size=64).words_per_block == 16
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ValueError):
+            AddressSpace(block_size=48)
+
+    def test_rejects_non_power_of_two_word(self):
+        with pytest.raises(ValueError):
+            AddressSpace(word_size=3)
+
+    def test_rejects_block_smaller_than_word(self):
+        with pytest.raises(ValueError):
+            AddressSpace(word_size=16, block_size=8)
+
+
+class TestBlockMath:
+    def test_block_of(self):
+        space = AddressSpace()
+        assert space.block_of(0) == 0
+        assert space.block_of(63) == 0
+        assert space.block_of(64) == 1
+        assert space.block_of(1000) == 15
+
+    def test_block_base(self):
+        space = AddressSpace()
+        assert space.block_base(0) == 0
+        assert space.block_base(63) == 0
+        assert space.block_base(65) == 64
+
+    def test_block_offset(self):
+        space = AddressSpace()
+        assert space.block_offset(0) == 0
+        assert space.block_offset(63) == 63
+        assert space.block_offset(64) == 0
+
+    def test_addr_of_block_roundtrip(self):
+        space = AddressSpace()
+        for block in (0, 1, 17, 1 << 20):
+            assert space.block_of(space.addr_of_block(block)) == block
+
+    def test_word_of(self):
+        space = AddressSpace()
+        assert space.word_of(0) == 0
+        assert space.word_of(7) == 0
+        assert space.word_of(8) == 1
+
+    def test_addr_of_word_roundtrip(self):
+        space = AddressSpace()
+        for word in (0, 5, 1 << 16):
+            assert space.word_of(space.addr_of_word(word)) == word
+
+
+class TestCzone:
+    def test_czone_tag_partitions_by_high_bits(self):
+        space = AddressSpace()
+        assert space.czone_tag(0x12345, 16) == 0x1
+        assert space.czone_tag(0x1FFFF, 16) == 0x1
+        assert space.czone_tag(0x20000, 16) == 0x2
+
+    def test_same_partition_iff_same_tag(self):
+        space = AddressSpace()
+        a, b = 0x40000, 0x40000 + (1 << 15)
+        assert space.czone_tag(a, 16) == space.czone_tag(b, 16)
+        assert space.czone_tag(a, 14) != space.czone_tag(b, 14)
+
+    def test_negative_czone_bits_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().czone_tag(0, -1)
+
+
+class TestBlockStride:
+    def test_positive_strides_round_down(self):
+        space = AddressSpace()
+        assert space.block_stride(64) == 1
+        assert space.block_stride(127) == 1
+        assert space.block_stride(128) == 2
+
+    def test_sub_block_stride_is_zero(self):
+        space = AddressSpace()
+        assert space.block_stride(0) == 0
+        assert space.block_stride(63) == 0
+        assert space.block_stride(-63) == 0
+
+    def test_negative_strides_round_toward_zero(self):
+        space = AddressSpace()
+        assert space.block_stride(-64) == -1
+        assert space.block_stride(-127) == -1
+        assert space.block_stride(-128) == -2
+
+    def test_symmetry(self):
+        space = AddressSpace()
+        for delta in (64, 100, 1000, 4096):
+            assert space.block_stride(-delta) == -space.block_stride(delta)

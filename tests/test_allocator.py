@@ -1,0 +1,106 @@
+"""Tests for repro.mem.allocator."""
+
+import pytest
+
+from repro.mem.allocator import Allocation, Arena
+
+
+class TestAllocation:
+    def test_end_and_contains(self):
+        alloc = Allocation(name="a", base=100, size=50)
+        assert alloc.end == 150
+        assert alloc.contains(100)
+        assert alloc.contains(149)
+        assert not alloc.contains(150)
+        assert not alloc.contains(99)
+
+
+class TestArena:
+    def test_allocations_do_not_overlap(self):
+        arena = Arena()
+        a = arena.alloc("a", 100)
+        b = arena.alloc("b", 100)
+        assert a.end <= b.base
+
+    def test_guard_gap_separates_allocations(self):
+        arena = Arena(guard=64)
+        a = arena.alloc("a", 64)
+        b = arena.alloc("b", 64)
+        assert b.base - a.end >= 64
+
+    def test_alignment(self):
+        arena = Arena(alignment=64)
+        a = arena.alloc("a", 10)
+        b = arena.alloc("b", 10)
+        assert a.base % 64 == 0
+        assert b.base % 64 == 0
+
+    def test_alloc_words(self):
+        arena = Arena()
+        a = arena.alloc_words("a", 10, word_size=8)
+        assert a.size == 80
+
+    def test_duplicate_name_rejected(self):
+        arena = Arena()
+        arena.alloc("a", 10)
+        with pytest.raises(ValueError):
+            arena.alloc("a", 10)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Arena().alloc("a", 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Arena().alloc("a", -5)
+
+    def test_lookup_by_name(self):
+        arena = Arena()
+        a = arena.alloc("a", 10)
+        assert arena["a"] is a
+        assert "a" in arena
+        assert "b" not in arena
+
+    def test_find_by_address(self):
+        arena = Arena()
+        a = arena.alloc("a", 100)
+        b = arena.alloc("b", 100)
+        assert arena.find(a.base) is a
+        assert arena.find(b.base + 50) is b
+
+    def test_find_miss_raises(self):
+        arena = Arena()
+        arena.alloc("a", 100)
+        with pytest.raises(KeyError):
+            arena.find(0)
+
+    def test_total_bytes(self):
+        arena = Arena()
+        arena.alloc("a", 100)
+        arena.alloc("b", 200)
+        assert arena.total_bytes == 300
+
+    def test_footprint_includes_padding(self):
+        arena = Arena(alignment=64, guard=64)
+        arena.alloc("a", 1)
+        assert arena.footprint_bytes >= 1
+
+    def test_allocations_property_is_copy(self):
+        arena = Arena()
+        arena.alloc("a", 10)
+        listing = arena.allocations
+        listing.clear()
+        assert len(arena.allocations) == 1
+
+    def test_base_respected(self):
+        arena = Arena(base=1 << 24)
+        a = arena.alloc("a", 10)
+        assert a.base >= 1 << 24
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Arena(alignment=0)
+        with pytest.raises(ValueError):
+            Arena(guard=-1)
+        with pytest.raises(ValueError):
+            Arena(base=-1)

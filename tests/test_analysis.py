@@ -1,0 +1,146 @@
+"""Tests for repro.analysis (run decomposition + closed-form predictions)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    decompose_runs,
+    predict_no_filter,
+    predict_with_filter,
+)
+from repro.analysis.runs import RunDecomposition
+from repro.caches.cache import MissTrace
+from repro.core.config import StreamConfig
+from repro.core.prefetcher import StreamPrefetcher
+
+
+def make_mt(blocks):
+    arr = np.asarray(blocks, dtype=np.int64) << 6
+    return MissTrace(arr, np.zeros(len(blocks), dtype=np.uint8), 6)
+
+
+class TestDecomposeRuns:
+    def test_single_run(self):
+        runs = decompose_runs(make_mt(range(100, 110)))
+        assert runs.histogram == {10: 1}
+        assert runs.total_misses == 10
+        assert runs.mean_length == 10.0
+
+    def test_interleaved_runs_demultiplexed(self):
+        blocks = []
+        for i in range(8):
+            blocks.extend([100 + i, 5000 + i, 900 + i])
+        runs = decompose_runs(make_mt(blocks))
+        assert runs.histogram == {8: 3}
+
+    def test_isolated_misses(self):
+        runs = decompose_runs(make_mt([10, 5000, 90000]))
+        assert runs.histogram == {1: 3}
+
+    def test_max_open_limits_tracking(self):
+        blocks = []
+        for i in range(8):
+            blocks.extend([100 + i, 5000 + i, 900 + i])
+        runs = decompose_runs(make_mt(blocks), max_open=1)
+        # Only one run can stay open: everything fragments.
+        assert max(runs.histogram) == 1
+
+    def test_strided_runs(self):
+        blocks = [100 + 16 * k for k in range(10)]
+        unit = decompose_runs(make_mt(blocks), stride_blocks=1)
+        strided = decompose_runs(make_mt(blocks), stride_blocks=16)
+        assert max(unit.histogram) == 1
+        assert strided.histogram == {10: 1}
+
+    def test_converging_runs_close_the_older(self):
+        # Block 50 misses twice (evicted in between); the engine must
+        # not merge the two episodes into one run.
+        runs = decompose_runs(make_mt([50, 50, 51]))
+        assert runs.total_misses == 3
+        assert sum(l * c for l, c in runs.histogram.items()) == 3
+
+    def test_misses_in_runs(self):
+        runs = RunDecomposition(histogram={1: 4, 10: 2}, total_misses=24)
+        assert runs.misses_in_runs(lambda length: length > 5) == pytest.approx(20 / 24)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decompose_runs(make_mt([1]), max_open=0)
+        with pytest.raises(ValueError):
+            decompose_runs(make_mt([1]), stride_blocks=0)
+
+    def test_empty(self):
+        runs = decompose_runs(make_mt([]))
+        assert runs.total_misses == 0
+        assert runs.mean_length == 0.0
+
+
+class TestPredictions:
+    def test_pure_run_no_filter(self):
+        runs = decompose_runs(make_mt(range(100, 200)))
+        prediction = predict_no_filter(runs)
+        assert prediction.hit_rate == pytest.approx(0.99)
+        assert prediction.allocations == 1
+
+    def test_filter_costs_one_extra_miss_per_run(self):
+        runs = decompose_runs(make_mt(range(100, 200)))
+        no_filter = predict_no_filter(runs)
+        filtered = predict_with_filter(runs)
+        assert filtered.hit_rate == pytest.approx(no_filter.hit_rate - 0.01)
+
+    def test_isolated_misses_predict_zero_filtered_bandwidth(self):
+        runs = decompose_runs(make_mt([1, 1000, 50000, 90000]))
+        filtered = predict_with_filter(runs)
+        assert filtered.hit_rate == 0.0
+        assert filtered.eb == 0.0
+        assert predict_no_filter(runs).eb == pytest.approx(200.0)
+
+    def test_empty_prediction(self):
+        runs = decompose_runs(make_mt([]))
+        assert predict_no_filter(runs).hit_rate == 0.0
+
+    def test_depth_validation(self):
+        runs = decompose_runs(make_mt([1]))
+        with pytest.raises(ValueError):
+            predict_no_filter(runs, depth=0)
+        with pytest.raises(ValueError):
+            predict_with_filter(runs, depth=0)
+
+
+class TestPredictionsMatchSimulation:
+    """The closed forms are exact for clean traces with enough streams."""
+
+    @pytest.mark.parametrize(
+        "blocks",
+        [
+            list(range(100, 400)),
+            [b for pair in zip(range(100, 250), range(9000, 9150)) for b in pair],
+            [1, 5000, 90000, 100, 101, 102, 103, 104],
+        ],
+    )
+    def test_no_filter_exact(self, blocks):
+        runs = decompose_runs(make_mt(blocks))
+        predicted = predict_no_filter(runs)
+        simulated = StreamPrefetcher(StreamConfig.jouppi(n_streams=10)).run(
+            make_mt(blocks)
+        )
+        assert simulated.hit_rate == pytest.approx(predicted.hit_rate, abs=0.02)
+
+    def test_filter_exact_on_interleaved_walks(self):
+        blocks = [b for pair in zip(range(100, 300), range(9000, 9200)) for b in pair]
+        runs = decompose_runs(make_mt(blocks))
+        predicted = predict_with_filter(runs)
+        simulated = StreamPrefetcher(StreamConfig.filtered(n_streams=10)).run(
+            make_mt(blocks)
+        )
+        assert simulated.hit_rate == pytest.approx(predicted.hit_rate, abs=0.02)
+
+    def test_prediction_upper_bounds_starved_bank(self):
+        # With fewer streams than walks, the simulator must fall short
+        # of the enough-buffers prediction.
+        walks = [range(1000 * w, 1000 * w + 50) for w in range(8)]
+        blocks = [b for group in zip(*walks) for b in group]
+        runs = decompose_runs(make_mt(blocks))
+        predicted = predict_no_filter(runs)
+        starved = StreamPrefetcher(StreamConfig.jouppi(n_streams=2)).run(make_mt(blocks))
+        assert starved.hit_rate < predicted.hit_rate - 0.3

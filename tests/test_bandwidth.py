@@ -1,0 +1,80 @@
+"""Tests for repro.core.bandwidth (EB accounting)."""
+
+import pytest
+
+from repro.core.bandwidth import (
+    BandwidthReport,
+    extra_bandwidth_estimate,
+    extra_bandwidth_measured,
+)
+
+
+class TestMeasuredEB:
+    def test_basic_percentage(self):
+        assert extra_bandwidth_measured(50, 100) == pytest.approx(50.0)
+
+    def test_zero_misses(self):
+        assert extra_bandwidth_measured(0, 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            extra_bandwidth_measured(-1, 10)
+        with pytest.raises(ValueError):
+            extra_bandwidth_measured(1, -10)
+
+
+class TestEstimateEB:
+    def test_paper_formula(self):
+        # EB = S * D / M: 30 stream misses, depth 2, 100 L1 misses -> 60%.
+        assert extra_bandwidth_estimate(30, 2, 100) == pytest.approx(60.0)
+
+    def test_zero_misses(self):
+        assert extra_bandwidth_estimate(10, 2, 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            extra_bandwidth_estimate(-1, 2, 10)
+        with pytest.raises(ValueError):
+            extra_bandwidth_estimate(1, 0, 10)
+
+
+class TestReport:
+    def test_useless_prefetches(self):
+        report = BandwidthReport(
+            prefetches_issued=120,
+            prefetches_used=100,
+            l1_misses=200,
+            allocations=10,
+            depth=2,
+        )
+        assert report.useless_prefetches == 20
+        assert report.eb_measured == pytest.approx(10.0)
+        assert report.eb_estimate == pytest.approx(10.0)
+
+    def test_traffic_ratio_identity(self):
+        """traffic_ratio == 1 + EB/100 (every demand miss fetches)."""
+        report = BandwidthReport(
+            prefetches_issued=150,
+            prefetches_used=100,
+            l1_misses=400,
+            allocations=25,
+            depth=2,
+        )
+        assert report.traffic_ratio == pytest.approx(1 + report.eb_measured / 100)
+
+    def test_traffic_ratio_no_misses(self):
+        report = BandwidthReport(
+            prefetches_issued=0, prefetches_used=0, l1_misses=0, allocations=0, depth=2
+        )
+        assert report.traffic_ratio == 1.0
+
+    def test_perfect_prefetching_has_no_overhead(self):
+        report = BandwidthReport(
+            prefetches_issued=100,
+            prefetches_used=100,
+            l1_misses=101,
+            allocations=1,
+            depth=2,
+        )
+        assert report.eb_measured == 0.0
+        assert report.traffic_ratio == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,160 @@
+"""Tests for repro.core.bank (multi-way stream buffers, Section 3)."""
+
+import pytest
+
+from repro.core.bank import Lookup, StreamBufferBank
+
+
+def bank_with_stream(start=100, stride=1, n_streams=4, depth=2, min_lead=0):
+    bank = StreamBufferBank(n_streams=n_streams, depth=depth, min_lead=min_lead)
+    bank.allocate(start, stride)
+    return bank
+
+
+class TestLookup:
+    def test_miss_on_empty_bank(self):
+        bank = StreamBufferBank(n_streams=2, depth=2)
+        assert bank.lookup(5) is Lookup.MISS
+        assert bank.lookups == 1
+
+    def test_hit_at_head(self):
+        bank = bank_with_stream(100)
+        assert bank.lookup(100) is Lookup.HIT
+        assert bank.hits == 1
+
+    def test_hit_advances_stream(self):
+        bank = bank_with_stream(100)
+        bank.lookup(100)
+        assert bank.lookup(101) is Lookup.HIT
+        assert bank.lookup(102) is Lookup.HIT
+
+    def test_non_head_entry_is_a_miss(self):
+        bank = bank_with_stream(100, depth=4)
+        assert bank.lookup(102) is Lookup.MISS
+
+    def test_strided_stream_hits(self):
+        bank = bank_with_stream(100, stride=5)
+        assert bank.lookup(100) is Lookup.HIT
+        assert bank.lookup(105) is Lookup.HIT
+        assert bank.lookup(110) is Lookup.HIT
+
+    def test_parallel_streams(self):
+        bank = StreamBufferBank(n_streams=3, depth=2)
+        bank.allocate(100, 1)
+        bank.allocate(500, 1)
+        bank.allocate(900, 1)
+        assert bank.lookup(500) is Lookup.HIT
+        assert bank.lookup(100) is Lookup.HIT
+        assert bank.lookup(900) is Lookup.HIT
+
+
+class TestLRUReallocation:
+    def test_allocate_replaces_least_recent(self):
+        bank = StreamBufferBank(n_streams=2, depth=2)
+        bank.allocate(100, 1)
+        bank.allocate(200, 1)
+        bank.lookup(100)  # stream 0 is now MRU
+        bank.allocate(300, 1)  # must replace stream holding 200
+        assert bank.lookup(101) is Lookup.HIT  # 100-stream survived
+        assert bank.lookup(201) is Lookup.MISS
+        assert bank.lookup(300) is Lookup.HIT
+
+    def test_lru_order_tracks_usage(self):
+        bank = StreamBufferBank(n_streams=3, depth=2)
+        bank.allocate(10, 1)  # stream a
+        bank.allocate(20, 1)  # stream b
+        order = bank.lru_order()
+        # The untouched stream is least recent.
+        assert order[-1] == bank.lru_order()[-1]
+
+    def test_reallocation_records_stream_length(self):
+        bank = StreamBufferBank(n_streams=1, depth=2)
+        bank.allocate(100, 1)
+        bank.lookup(100)
+        bank.lookup(101)
+        bank.lookup(102)
+        bank.allocate(500, 1)  # closes the 3-hit stream
+        assert bank.lengths.hits_by_bucket[(1, 5)] == 3
+
+    def test_zero_length_streams_tracked(self):
+        bank = StreamBufferBank(n_streams=1, depth=2)
+        bank.allocate(100, 1)
+        bank.allocate(500, 1)
+        assert bank.lengths.zero_length_streams == 1
+
+
+class TestBandwidthAccounting:
+    def test_allocation_issues_depth_prefetches(self):
+        bank = StreamBufferBank(n_streams=2, depth=3)
+        bank.allocate(10, 1)
+        assert bank.prefetches_issued == 3
+
+    def test_hit_issues_replacement_prefetch(self):
+        bank = bank_with_stream(100, depth=2)
+        issued_before = bank.prefetches_issued
+        bank.lookup(100)
+        assert bank.prefetches_issued == issued_before + 1
+        assert bank.prefetches_used == 1
+
+    def test_useless_prefetches(self):
+        bank = StreamBufferBank(n_streams=1, depth=2)
+        bank.allocate(10, 1)
+        bank.lookup(10)
+        bank.allocate(99, 1)  # flushes 2 outstanding entries
+        bank.finalize()  # flushes 2 more
+        assert bank.prefetches_useless == bank.prefetches_issued - 1
+
+
+class TestInvalidation:
+    def test_writeback_invalidates_matching_entries(self):
+        bank = StreamBufferBank(n_streams=2, depth=2)
+        bank.allocate(100, 1)
+        assert bank.invalidate(101) == 1
+        assert bank.invalidations == 1
+
+    def test_invalidated_head_misses(self):
+        bank = bank_with_stream(100)
+        bank.invalidate(100)
+        assert bank.lookup(100) is Lookup.MISS
+
+    def test_invalidate_absent_block(self):
+        bank = bank_with_stream(100)
+        assert bank.invalidate(9999) == 0
+
+
+class TestMinLead:
+    def test_fresh_prefetch_is_in_flight(self):
+        bank = bank_with_stream(100, min_lead=5)
+        assert bank.lookup(100) is Lookup.IN_FLIGHT
+        assert bank.hits == 0
+        # The entry is consumed (demand coalesces with the prefetch).
+        assert bank.prefetches_used == 1
+
+    def test_aged_prefetch_hits(self):
+        bank = bank_with_stream(100, min_lead=3)
+        for block in (1000, 2000, 3000):  # three intervening misses
+            bank.lookup(block)
+        assert bank.lookup(100) is Lookup.HIT
+
+    def test_zero_min_lead_always_hits(self):
+        bank = bank_with_stream(100, min_lead=0)
+        assert bank.lookup(100) is Lookup.HIT
+
+
+class TestFinalize:
+    def test_finalize_records_active_lengths(self):
+        bank = StreamBufferBank(n_streams=2, depth=2)
+        bank.allocate(100, 1)
+        bank.lookup(100)
+        bank.finalize()
+        assert bank.lengths.hits_by_bucket[(1, 5)] == 1
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            StreamBufferBank(n_streams=0, depth=2)
+
+    def test_properties(self):
+        bank = StreamBufferBank(n_streams=3, depth=4)
+        assert bank.n_streams == 3
+        assert bank.depth == 4
+        assert len(bank.streams()) == 3

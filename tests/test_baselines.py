@@ -1,0 +1,216 @@
+"""Tests for repro.baselines (OBL, prefetching cache, RPT)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import BaselineStats
+from repro.baselines.obl import OneBlockLookahead
+from repro.baselines.prefetch_cache import PrefetchingCache
+from repro.baselines.rpt import ReferencePredictionTable, RptState
+from repro.caches.cache import MissEventKind, MissTrace
+
+
+def make_miss_trace(blocks, kinds=None, pcs=None):
+    blocks = np.asarray(blocks, dtype=np.int64)
+    if kinds is None:
+        kinds = np.zeros(blocks.shape[0], dtype=np.uint8)
+    pcs_arr = np.asarray(pcs, dtype=np.int64) if pcs is not None else None
+    return MissTrace(blocks << 6, np.asarray(kinds, dtype=np.uint8), 6, pcs_arr)
+
+
+class TestOneBlockLookahead:
+    def test_sequential_misses_hit_after_first(self):
+        obl = OneBlockLookahead()
+        stats = obl.run(make_miss_trace(range(100, 120)))
+        assert stats.demand_misses == 20
+        assert stats.hits == 19
+
+    def test_tagged_chains_where_untagged_alternates(self):
+        """Smith's classic result: on a sequential run, untagged OBL
+        only prefetches on misses so hits alternate (50%); the tagged
+        variant chains prefetches on hits and approaches 100%."""
+        tagged = OneBlockLookahead(tagged=True).run(make_miss_trace(range(50)))
+        plain = OneBlockLookahead(tagged=False).run(make_miss_trace(range(50)))
+        assert plain.hits == 25
+        assert tagged.hits == 49
+
+    def test_random_misses_rarely_hit(self):
+        rng = np.random.default_rng(0)
+        stats = OneBlockLookahead().run(
+            make_miss_trace(rng.integers(0, 1 << 20, size=500))
+        )
+        assert stats.hit_rate < 0.02
+
+    def test_buffer_capacity_respected(self):
+        obl = OneBlockLookahead(entries=4)
+        rng = np.random.default_rng(1)
+        obl.run(make_miss_trace(rng.integers(0, 1 << 16, size=100)))
+        assert len(obl.buffered_blocks()) <= 4
+
+    def test_writeback_invalidates(self):
+        obl = OneBlockLookahead()
+        obl.handle_miss(100 << 6)  # prefetches 101
+        obl.handle_writeback(101 << 6)
+        assert not obl.handle_miss(101 << 6)
+        assert obl.stats.invalidations == 1
+
+    def test_interleaved_streams_work_unlike_head_only(self):
+        # Two interleaved sequential walks: associative lookup handles
+        # them with a 16-entry buffer.
+        blocks = []
+        for i in range(50):
+            blocks.extend([100 + i, 5000 + i])
+        stats = OneBlockLookahead().run(make_miss_trace(blocks))
+        assert stats.hit_rate > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OneBlockLookahead(entries=0)
+
+    def test_block_bits_mismatch(self):
+        obl = OneBlockLookahead(block_bits=7)
+        with pytest.raises(ValueError):
+            obl.run(make_miss_trace([1]))
+
+
+class TestPrefetchingCache:
+    def test_sequential_hits(self):
+        cache = PrefetchingCache(blocks=16)
+        stats = cache.run(make_miss_trace(range(100, 120)))
+        assert stats.hits == 19
+
+    def test_captures_short_range_reuse(self):
+        # Revisit a recently missed block: streams would miss, the
+        # prefetching cache retains it.
+        cache = PrefetchingCache(blocks=16)
+        stats = cache.run(make_miss_trace([7, 300, 7]))
+        assert stats.hits >= 1
+
+    def test_capacity_lru(self):
+        cache = PrefetchingCache(blocks=4)
+        cache.run(make_miss_trace([0, 100, 200, 300]))
+        assert len(cache.cached_blocks()) <= 4
+
+    def test_lookahead_zero_is_pure_reuse_cache(self):
+        cache = PrefetchingCache(blocks=8, lookahead=0)
+        stats = cache.run(make_miss_trace(range(100, 120)))
+        assert stats.hits == 0
+        assert stats.prefetches_issued == 0
+
+    def test_demand_block_not_counted_as_prefetch(self):
+        cache = PrefetchingCache(blocks=8)
+        cache.handle_miss(100 << 6)
+        assert cache.stats.prefetches_issued == 1  # only block 101
+
+    def test_writeback_invalidates(self):
+        cache = PrefetchingCache(blocks=8)
+        cache.handle_miss(100 << 6)
+        cache.handle_writeback(101 << 6)
+        assert not cache.handle_miss(101 << 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchingCache(blocks=0)
+        with pytest.raises(ValueError):
+            PrefetchingCache(lookahead=-1)
+
+
+class TestRpt:
+    def test_constant_stride_reaches_steady_and_prefetches(self):
+        rpt = ReferencePredictionTable()
+        pc = 0x400000
+        addrs = [(1 << 20) + i * 1024 for i in range(20)]
+        blocks = [a >> 6 for a in addrs]
+        mt = make_miss_trace(blocks, pcs=[pc] * 20)
+        stats = rpt.run(mt)
+        assert rpt.entry_state(pc) is RptState.STEADY
+        # After the 3-reference training preamble everything hits.
+        assert stats.hits >= 16
+
+    def test_interleaved_pcs_tracked_independently(self):
+        rpt = ReferencePredictionTable()
+        blocks, pcs = [], []
+        for i in range(20):
+            blocks.append(1000 + i * 16)  # pc A: stride 16 blocks
+            pcs.append(0x10)
+            blocks.append(90000 + i * 7)  # pc B: stride 7 blocks
+            pcs.append(0x20)
+        stats = rpt.run(make_miss_trace(blocks, pcs=pcs))
+        assert stats.hit_rate > 0.8
+
+    def test_no_pc_information_collapses_to_one_entry(self):
+        rpt = ReferencePredictionTable()
+        blocks = []
+        for i in range(20):
+            blocks.append(1000 + i * 16)
+            blocks.append(90000 + i * 7)
+        stats = rpt.run(make_miss_trace(blocks))  # all PC 0
+        # Alternating deltas never stabilise: the paper's off-chip point.
+        assert stats.hit_rate < 0.1
+
+    def test_state_machine_degrades_on_irregular(self):
+        rpt = ReferencePredictionTable()
+        pc = 0x99
+        rng = np.random.default_rng(2)
+        addrs = rng.integers(0, 1 << 24, size=50).tolist()
+        for addr in addrs:
+            rpt.handle_miss(int(addr), pc)
+        assert rpt.entry_state(pc) in (RptState.NO_PRED, RptState.TRANSIENT, RptState.INITIAL)
+
+    def test_table_capacity_lru(self):
+        rpt = ReferencePredictionTable(table_entries=2)
+        for pc in (1, 2, 3):
+            rpt.handle_miss(pc * 4096, pc)
+        assert rpt.entry_state(1) is RptState.NO_PRED  # evicted
+
+    def test_steady_entry_recovers_from_one_break(self):
+        rpt = ReferencePredictionTable()
+        pc = 7
+        for i in range(4):
+            rpt.handle_miss(i * 1024, pc)
+        assert rpt.entry_state(pc) is RptState.STEADY
+        rpt.handle_miss(10_000_000, pc)  # break
+        assert rpt.entry_state(pc) is RptState.INITIAL
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReferencePredictionTable(table_entries=0)
+
+
+class TestBaselineStats:
+    def test_hit_rate_empty(self):
+        assert BaselineStats(name="x").hit_rate == 0.0
+
+    def test_bandwidth_report(self):
+        stats = BaselineStats(
+            name="x", demand_misses=100, hits=40, prefetches_issued=80, prefetches_used=40
+        )
+        assert stats.bandwidth.eb_measured == pytest.approx(40.0)
+
+
+class TestEndToEnd:
+    def test_streams_beat_obl_on_interleaved_many(self):
+        """With more concurrent walks than the OBL buffer can juggle,
+        multi-way streams keep up; that is Jouppi's extension."""
+        from repro.core.config import StreamConfig
+        from repro.core.prefetcher import StreamPrefetcher
+
+        blocks = []
+        bases = [i * 100_000 for i in range(6)]
+        for i in range(200):
+            for base in bases:
+                blocks.append(base + i)
+        mt = make_miss_trace(blocks)
+        streams = StreamPrefetcher(StreamConfig.jouppi(n_streams=8)).run(mt)
+        obl = OneBlockLookahead(entries=4).run(make_miss_trace(blocks))
+        assert streams.hit_rate > obl.hit_rate
+
+    def test_rpt_with_pcs_on_real_workload(self):
+        from repro.sim.runner import MissTraceCache
+
+        cache = MissTraceCache(keep_pcs=True)
+        mt, _ = cache.get("stride", scale=0.25)
+        assert mt.pcs is not None
+        stats = ReferencePredictionTable().run(mt)
+        # The strided walk comes from one loop column: RPT nails it.
+        assert stats.hit_rate > 0.9

@@ -1,0 +1,70 @@
+"""Tests for repro.trace.builder."""
+
+import pytest
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.events import Access, AccessKind, Trace
+
+
+class TestTraceBuilder:
+    def test_chained_appends(self):
+        trace = TraceBuilder().read(8).write(16).ifetch(64).build()
+        assert trace.to_accesses() == [
+            Access.read(8),
+            Access.write(16),
+            Access.ifetch(64),
+        ]
+
+    def test_len(self):
+        builder = TraceBuilder()
+        builder.read(1).read(2)
+        assert len(builder) == 2
+
+    def test_no_pcs_by_default(self):
+        trace = TraceBuilder().read(8).build()
+        assert not trace.has_pcs
+
+    def test_pcs_recorded_when_enabled(self):
+        trace = TraceBuilder(with_pcs=True).read(8, pc=0x40).write(16, pc=0x44).build()
+        assert trace.has_pcs
+        assert trace.pcs.tolist() == [0x40, 0x44]
+
+    def test_extend_with_existing_trace(self):
+        base = Trace.uniform([1, 2])
+        trace = TraceBuilder().read(0).extend(base).build()
+        assert [a.addr for a in trace] == [0, 1, 2]
+
+    def test_extend_carries_pcs(self):
+        import numpy as np
+
+        base = Trace(
+            np.array([1], dtype=np.int64),
+            np.array([0], dtype=np.uint8),
+            np.array([7], dtype=np.int64),
+        )
+        trace = TraceBuilder(with_pcs=True).read(0, pc=5).extend(base).build()
+        assert trace.pcs.tolist() == [5, 7]
+
+    def test_empty_build(self):
+        assert len(TraceBuilder().build()) == 0
+
+    def test_single_use(self):
+        builder = TraceBuilder()
+        builder.read(1)
+        builder.build()
+        with pytest.raises(RuntimeError):
+            builder.read(2)
+        with pytest.raises(RuntimeError):
+            builder.build()
+        with pytest.raises(RuntimeError):
+            builder.extend(Trace.uniform([1]))
+
+    def test_built_trace_runs_through_cache(self):
+        from repro.caches import Cache, CacheConfig
+
+        builder = TraceBuilder()
+        for i in range(256):
+            builder.read(i * 64)
+        cache = Cache(CacheConfig(capacity=4096, assoc=2, block_size=64, policy="lru"))
+        miss = cache.simulate(builder.build())
+        assert miss.n_misses == 256

@@ -1,0 +1,304 @@
+"""Tests for repro.caches.cache."""
+
+import numpy as np
+import pytest
+
+from repro.caches.cache import Cache, CacheConfig, MissEventKind, MissTrace
+from repro.trace.events import Access, AccessKind, Trace
+
+
+def lru_cache(capacity=1024, assoc=2, block=64):
+    return Cache(CacheConfig(capacity=capacity, assoc=assoc, block_size=block, policy="lru"))
+
+
+class TestConfigValidation:
+    def test_paper_l1(self):
+        config = CacheConfig.paper_l1()
+        assert config.capacity == 64 * 1024
+        assert config.assoc == 4
+        assert config.policy == "random"
+        assert config.n_sets == 256
+
+    def test_direct_mapped(self):
+        config = CacheConfig(capacity=1024, assoc=1, block_size=64)
+        assert config.n_sets == 16
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity=1024, assoc=2, block_size=64, policy="mru")
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity=1024, assoc=2, block_size=48)
+
+    def test_capacity_not_multiple(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity=1000, assoc=2, block_size=64)
+
+    def test_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity=3 * 128, assoc=2, block_size=64)
+
+    def test_zero_assoc(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity=1024, assoc=0, block_size=64)
+
+
+class TestBasicHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = lru_cache()
+        hit, _ = cache.access(0x1000)
+        assert not hit
+        hit, _ = cache.access(0x1000)
+        assert hit
+
+    def test_same_block_different_words_hit(self):
+        cache = lru_cache()
+        cache.access(0x1000)
+        hit, _ = cache.access(0x1030)
+        assert hit
+
+    def test_adjacent_blocks_are_distinct(self):
+        cache = lru_cache()
+        cache.access(0)
+        hit, _ = cache.access(64)
+        assert not hit
+
+    def test_probe_is_non_mutating(self):
+        cache = lru_cache()
+        assert not cache.probe(0)
+        cache.access(0)
+        assert cache.probe(0)
+        assert cache.stats.accesses == 1
+
+    def test_stats_accumulate(self):
+        cache = lru_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+
+class TestEvictionAndWriteback:
+    def test_lru_eviction_within_set(self):
+        # 2-way, 8 sets: blocks 0, 8, 16 all map to set 0.
+        cache = lru_cache(capacity=1024, assoc=2)
+        n_sets = cache.config.n_sets
+        cache.access_block(0)
+        cache.access_block(n_sets)
+        cache.access_block(2 * n_sets)  # evicts block 0
+        hit, _ = cache.access_block(0)
+        assert not hit
+
+    def test_clean_eviction_produces_no_writeback(self):
+        cache = lru_cache(capacity=1024, assoc=2)
+        n_sets = cache.config.n_sets
+        for i in range(3):
+            _, wb = cache.access_block(i * n_sets, is_write=False)
+            assert wb is None
+        assert cache.stats.writebacks == 0
+
+    def test_dirty_eviction_writes_back(self):
+        cache = lru_cache(capacity=1024, assoc=2)
+        n_sets = cache.config.n_sets
+        cache.access_block(0, is_write=True)
+        cache.access_block(n_sets)
+        _, wb = cache.access_block(2 * n_sets)
+        assert wb == 0
+        assert cache.stats.writebacks == 1
+
+    def test_write_hit_dirties_line(self):
+        cache = lru_cache(capacity=1024, assoc=2)
+        n_sets = cache.config.n_sets
+        cache.access_block(0, is_write=False)
+        cache.access_block(0, is_write=True)
+        cache.access_block(n_sets)
+        _, wb = cache.access_block(2 * n_sets)
+        assert wb == 0
+
+    def test_invalidate_discards_dirty_data(self):
+        cache = lru_cache()
+        cache.access_block(0, is_write=True)
+        assert cache.invalidate_block(0)
+        assert not cache.probe(0)
+        assert cache.stats.invalidations == 1
+        assert not cache.invalidate_block(0)
+
+    def test_flush_returns_dirty_blocks(self):
+        cache = lru_cache()
+        cache.access_block(1, is_write=True)
+        cache.access_block(2, is_write=False)
+        dirty = cache.flush()
+        assert dirty == [1]
+        assert cache.resident_blocks() == []
+
+    def test_random_policy_invalidate_keeps_slots_consistent(self):
+        cache = Cache(CacheConfig(capacity=512, assoc=4, block_size=64, policy="random"))
+        for block in range(4):
+            cache.access_block(block * cache.config.n_sets)
+        cache.invalidate_block(2 * cache.config.n_sets)
+        # Set has a free slot again: inserting must not evict.
+        _, wb = cache.access_block(9 * cache.config.n_sets)
+        assert wb is None
+
+
+class TestWritePolicies:
+    def test_write_through_store_travels_to_memory(self):
+        config = CacheConfig(
+            capacity=1024, assoc=2, block_size=64, policy="lru", write_back=False
+        )
+        cache = Cache(config)
+        cache.access_block(0)
+        hit, store = cache.access_block(0, is_write=True)
+        assert hit and store == 0
+
+    def test_no_allocate_write_miss_does_not_install(self):
+        config = CacheConfig(
+            capacity=1024,
+            assoc=2,
+            block_size=64,
+            policy="lru",
+            write_back=False,
+            write_allocate=False,
+        )
+        cache = Cache(config)
+        hit, store = cache.access_block(5, is_write=True)
+        assert not hit and store == 5
+        assert not cache.probe(5 * 64)
+
+
+class TestAccessBlockEx:
+    def test_reports_clean_eviction(self):
+        cache = lru_cache(capacity=1024, assoc=2)
+        n_sets = cache.config.n_sets
+        cache.access_block_ex(0)
+        cache.access_block_ex(n_sets)
+        hit, evicted, dirty = cache.access_block_ex(2 * n_sets)
+        assert not hit and evicted == 0 and not dirty
+
+    def test_reports_dirty_eviction(self):
+        cache = lru_cache(capacity=1024, assoc=2)
+        n_sets = cache.config.n_sets
+        cache.access_block_ex(0, is_write=True)
+        cache.access_block_ex(n_sets)
+        _, evicted, dirty = cache.access_block_ex(2 * n_sets)
+        assert evicted == 0 and dirty
+
+    def test_rejects_write_through(self):
+        cache = Cache(
+            CacheConfig(capacity=1024, assoc=2, block_size=64, policy="lru", write_back=False)
+        )
+        with pytest.raises(ValueError):
+            cache.access_block_ex(0)
+
+    def test_fill_block_installs_without_counting(self):
+        cache = lru_cache()
+        cache.fill_block(7, dirty=True)
+        assert cache.stats.accesses == 0
+        assert cache.probe(7 * 64)
+        dirty = cache.flush()
+        assert dirty == [7]
+
+    def test_fill_block_existing_ors_dirty(self):
+        cache = lru_cache()
+        cache.access_block(3)
+        cache.fill_block(3, dirty=True)
+        assert cache.flush() == [3]
+
+
+class TestSimulate:
+    def test_miss_trace_structure(self):
+        cache = lru_cache(capacity=256, assoc=2)
+        trace = Trace.from_accesses(
+            [Access.write(0), Access.read(0), Access.read(64)]
+        )
+        miss = cache.simulate(trace)
+        assert miss.n_misses == 2
+        assert miss.block_bits == 6
+        assert miss.kinds[0] == int(MissEventKind.WRITE_MISS)
+        assert miss.kinds[1] == int(MissEventKind.READ_MISS)
+
+    def test_miss_trace_interleaves_writebacks_in_order(self):
+        cache = Cache(CacheConfig(capacity=128, assoc=1, block_size=64, policy="lru"))
+        n_sets = cache.config.n_sets
+        trace = Trace.from_accesses(
+            [
+                Access.write(0),
+                Access.read(n_sets * 64),  # evicts dirty block 0
+            ]
+        )
+        miss = cache.simulate(trace)
+        kinds = miss.kinds.tolist()
+        assert kinds == [
+            int(MissEventKind.WRITE_MISS),
+            int(MissEventKind.READ_MISS),
+            int(MissEventKind.WRITEBACK),
+        ]
+        assert miss.addrs[2] == 0
+
+    def test_fast_and_generic_paths_agree(self):
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 1 << 15, size=5000, dtype=np.int64)
+        kinds = rng.integers(0, 2, size=5000).astype(np.uint8)
+        trace = Trace(addrs, kinds)
+        fast = Cache(CacheConfig(capacity=2048, assoc=4, block_size=64, policy="random", seed=9))
+        generic = Cache(
+            CacheConfig(
+                capacity=2048,
+                assoc=4,
+                block_size=64,
+                policy="random",
+                seed=9,
+                write_back=True,
+                write_allocate=True,
+            )
+        )
+        fast_miss = fast.simulate(trace)
+        # Drive the generic path by stepping access_block directly.
+        out = []
+        for addr, kind in zip(trace.addrs.tolist(), trace.kinds.tolist()):
+            hit, wb = generic.access_block(addr >> 6, kind == 1)
+            if not hit:
+                out.append(addr >> 6)
+            if wb is not None:
+                out.append(wb)
+        assert fast.stats.misses == generic.stats.misses
+        assert fast.stats.writebacks == generic.stats.writebacks
+
+    def test_sequential_sweep_miss_rate(self):
+        cache = Cache(CacheConfig.paper_l1())
+        trace = Trace.uniform(np.arange(1 << 14, dtype=np.int64) * 8 + (1 << 20))
+        cache.simulate(trace)
+        # One miss per 64B block of a fresh 128KB sweep.
+        assert cache.stats.miss_rate == pytest.approx(1 / 8, rel=0.01)
+
+
+class TestMissTrace:
+    def test_misses_only(self):
+        mt = MissTrace(
+            np.array([0, 64, 128], dtype=np.int64),
+            np.array([0, 2, 1], dtype=np.uint8),
+            6,
+        )
+        demand = mt.misses_only()
+        assert len(demand) == 2
+        assert mt.n_writebacks == 1
+
+    def test_concat(self):
+        a = MissTrace(np.array([0], dtype=np.int64), np.array([0], dtype=np.uint8), 6)
+        b = MissTrace(np.array([64], dtype=np.int64), np.array([1], dtype=np.uint8), 6)
+        combined = MissTrace.concat([a, b])
+        assert len(combined) == 2
+
+    def test_concat_mismatched_blocks_rejected(self):
+        a = MissTrace(np.array([0], dtype=np.int64), np.array([0], dtype=np.uint8), 6)
+        b = MissTrace(np.array([0], dtype=np.int64), np.array([0], dtype=np.uint8), 7)
+        with pytest.raises(ValueError):
+            MissTrace.concat([a, b])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MissTrace(np.zeros(2, dtype=np.int64), np.zeros(3, dtype=np.uint8), 6)

@@ -1,0 +1,81 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "sweep"])
+        assert args.workload == "sweep"
+        assert args.streams == 10
+        assert args.depth == 2
+
+    def test_exhibit_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exhibit", "table99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "embar" in out
+        assert "PERFECT" in out
+
+    def test_run_sweep(self, capsys):
+        assert main(["run", "sweep", "--streams", "2", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "stream hit rate" in out
+        assert "100.0%" in out
+
+    def test_run_with_filter(self, capsys):
+        assert main(["run", "sweep", "--scale", "0.25", "--filter", "16"]) == 0
+        assert "stream hit rate" in capsys.readouterr().out
+
+    def test_run_with_stride_detector_auto_enables_filter(self, capsys):
+        assert main(
+            ["run", "stride", "--scale", "0.25", "--stride-detector", "czone"]
+        ) == 0
+        out = capsys.readouterr().out
+        # The czone detector catches the 1KB-stride walk.
+        hit_line = [l for l in out.splitlines() if "stream hit rate" in l][0]
+        hit = float(hit_line.split(":")[1].strip().rstrip("%"))
+        assert hit > 90
+
+    def test_profile(self, capsys):
+        assert main(["profile", "sweep", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "unit-stride pairs" in out
+
+    def test_exhibit_with_benchmark_subset(self, capsys):
+        assert main(["exhibit", "table2", "--benchmarks", "buk"]) == 0
+        out = capsys.readouterr().out
+        assert "buk" in out
+        assert "embar" not in out
+
+    def test_unknown_workload_errors(self):
+        with pytest.raises(KeyError):
+            main(["run", "nonesuch"])
+
+    def test_compare(self, capsys):
+        assert main(["compare", "stride", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "RPT" in out
+        assert "OBL" in out
+        assert "streams" in out
+
+    def test_timing(self, capsys):
+        assert main(["timing", "sweep", "--scale", "0.25", "--bandwidth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "AMAT" in out
+
+    def test_timing_l2_size_flag(self, capsys):
+        assert main(["timing", "sweep", "--scale", "0.25", "--l2-kb", "256"]) == 0
+        assert "256KB L2" in capsys.readouterr().out

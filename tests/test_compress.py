@@ -1,0 +1,116 @@
+"""Tests for repro.trace.compress, including the exactness guarantee."""
+
+import numpy as np
+import pytest
+
+from repro.caches.cache import Cache, CacheConfig
+from repro.mem.address import AddressSpace
+from repro.trace.compress import compress_consecutive
+from repro.trace.events import Access, AccessKind, Trace
+
+
+class TestBasicCompression:
+    def test_word_walk_compresses_eight_to_one(self):
+        trace = Trace.uniform(np.arange(64, dtype=np.int64) * 8)
+        compressed = compress_consecutive(trace)
+        assert len(compressed.trace) == 8
+        assert compressed.original_length == 64
+        assert compressed.compression_ratio == pytest.approx(8.0)
+
+    def test_weights_sum_to_original_length(self):
+        trace = Trace.uniform([0, 8, 64, 72, 80, 128])
+        compressed = compress_consecutive(trace)
+        assert int(compressed.weights.sum()) == 6
+        assert compressed.weights.tolist() == [2, 3, 1]
+
+    def test_alternating_blocks_not_compressed(self):
+        trace = Trace.uniform([0, 64, 0, 64])
+        compressed = compress_consecutive(trace)
+        assert len(compressed.trace) == 4
+
+    def test_empty_trace(self):
+        compressed = compress_consecutive(Trace.empty())
+        assert len(compressed.trace) == 0
+        assert compressed.compression_ratio == 1.0
+
+    def test_write_in_run_promotes_kind(self):
+        trace = Trace.from_accesses([Access.read(0), Access.write(8)])
+        compressed = compress_consecutive(trace)
+        assert len(compressed.trace) == 1
+        assert compressed.trace[0].kind is AccessKind.WRITE
+
+    def test_read_only_run_stays_read(self):
+        trace = Trace.from_accesses([Access.read(0), Access.read(8)])
+        compressed = compress_consecutive(trace)
+        assert compressed.trace[0].kind is AccessKind.READ
+
+    def test_ifetch_breaks_data_run(self):
+        trace = Trace.from_accesses([Access.read(0), Access.ifetch(8), Access.read(16)])
+        compressed = compress_consecutive(trace)
+        assert len(compressed.trace) == 3
+
+    def test_ifetch_runs_compress_together(self):
+        trace = Trace.from_accesses([Access.ifetch(0), Access.ifetch(8)])
+        compressed = compress_consecutive(trace)
+        assert len(compressed.trace) == 1
+        assert compressed.trace[0].kind is AccessKind.IFETCH
+
+    def test_respects_block_size(self):
+        trace = Trace.uniform([0, 64])
+        small = compress_consecutive(trace, AddressSpace(block_size=64))
+        large = compress_consecutive(trace, AddressSpace(block_size=128))
+        assert len(small.trace) == 2
+        assert len(large.trace) == 1
+
+    def test_mismatched_weights_rejected(self):
+        from repro.trace.compress import CompressedTrace
+
+        with pytest.raises(ValueError):
+            CompressedTrace(Trace.uniform([1, 2]), np.ones(3, dtype=np.int64))
+
+
+class TestExactness:
+    """Compression must not change any cache's miss behaviour."""
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    def test_miss_count_identical(self, policy):
+        rng = np.random.default_rng(7)
+        # A blend of sequential walks and random jumps over 64KB.
+        walks = np.arange(2000, dtype=np.int64) * 8
+        jumps = rng.integers(0, 1 << 16, size=500, dtype=np.int64)
+        addrs = np.concatenate([walks[:1000], jumps, walks[1000:]])
+        kinds = rng.integers(0, 2, size=addrs.shape[0]).astype(np.uint8)
+        trace = Trace(addrs, kinds)
+
+        config = CacheConfig(capacity=4096, assoc=2, block_size=64, policy=policy, seed=3)
+        full = Cache(config)
+        full_miss = full.simulate(trace)
+
+        compressed = compress_consecutive(trace)
+        partial = Cache(config)
+        partial_miss = partial.simulate(compressed.trace, weights=compressed.weights)
+
+        assert full.stats.misses == partial.stats.misses
+        assert np.array_equal(
+            full_miss.addrs >> 6, partial_miss.addrs >> 6
+        ), "miss/writeback block sequences must be identical"
+        # A read-miss-then-write-hit run compresses to a write miss, so
+        # the fetch *kind* may be promoted, but fetch-vs-writeback
+        # classification (and hence all downstream traffic) must match.
+        wb = 2
+        assert np.array_equal(full_miss.kinds == wb, partial_miss.kinds == wb)
+
+    def test_access_and_hit_counts_reconstructed(self):
+        trace = Trace.uniform(np.arange(512, dtype=np.int64) * 8)
+        compressed = compress_consecutive(trace)
+        cache = Cache(CacheConfig(capacity=1024, assoc=2, block_size=64, policy="lru"))
+        cache.simulate(compressed.trace, weights=compressed.weights)
+        assert cache.stats.accesses == 512
+        assert cache.stats.hits == 512 - cache.stats.misses
+
+    def test_weights_length_validated(self):
+        trace = Trace.uniform([0, 8])
+        compressed = compress_consecutive(trace)
+        cache = Cache(CacheConfig(capacity=1024, assoc=2, block_size=64))
+        with pytest.raises(ValueError):
+            cache.simulate(trace, weights=compressed.weights[:1])

@@ -1,0 +1,77 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import StreamConfig, StrideDetector
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = StreamConfig()
+        assert config.n_streams == 10
+        assert config.depth == 2
+        assert config.block_size == 64
+        assert not config.has_unit_filter
+
+    def test_jouppi_constructor(self):
+        config = StreamConfig.jouppi(n_streams=4)
+        assert config.n_streams == 4
+        assert not config.has_unit_filter
+        assert config.stride_detector == StrideDetector.NONE
+
+    def test_filtered_constructor(self):
+        config = StreamConfig.filtered(entries=16)
+        assert config.unit_filter_entries == 16
+        assert config.has_unit_filter
+
+    def test_non_unit_constructor(self):
+        config = StreamConfig.non_unit(czone_bits=18)
+        assert config.stride_detector == StrideDetector.CZONE
+        assert config.czone_bits == 18
+        assert config.has_unit_filter  # detector sits behind the filter
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_streams": 0},
+            {"depth": 0},
+            {"block_bits": -1},
+            {"unit_filter_entries": -1},
+            {"stride_detector": "magic"},
+            {"czone_filter_entries": 0},
+            {"min_delta_entries": 0},
+            {"min_lead": -1},
+            {"i_streams": 0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            StreamConfig(**kwargs)
+
+    def test_czone_smaller_than_block_rejected(self):
+        with pytest.raises(ValueError):
+            StreamConfig(czone_bits=3, block_bits=6, unit_filter_entries=16,
+                         stride_detector=StrideDetector.CZONE)
+
+    def test_detector_requires_unit_filter(self):
+        with pytest.raises(ValueError):
+            StreamConfig(stride_detector=StrideDetector.CZONE, unit_filter_entries=0)
+
+
+class TestWith:
+    def test_with_replaces_fields(self):
+        config = StreamConfig.jouppi()
+        changed = config.with_(n_streams=3)
+        assert changed.n_streams == 3
+        assert config.n_streams == 10  # original unchanged
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            StreamConfig.jouppi().with_(depth=0)
+
+    def test_frozen(self):
+        config = StreamConfig()
+        with pytest.raises(Exception):
+            config.n_streams = 5

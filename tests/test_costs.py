@@ -1,0 +1,81 @@
+"""Tests for repro.costs."""
+
+import pytest
+
+from repro.costs import (
+    CostModel,
+    bandwidth_affordable,
+    l2_design_cost,
+    stream_design_cost,
+)
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        CostModel()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sram_cost_per_mb": 0},
+            {"baseline_memory_cost": -1},
+            {"bandwidth_cost_per_x": 0},
+            {"stream_buffer_cost": 0},
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CostModel(**kwargs)
+
+
+class TestDesignCosts:
+    def test_l2_cost_scales_with_capacity(self):
+        small = l2_design_cost(0.5)
+        big = l2_design_cost(4.0)
+        assert big.total > small.total
+        assert big.sram_mb == 4.0
+
+    def test_stream_cost_scales_with_bandwidth(self):
+        narrow = stream_design_cost(1.0)
+        wide = stream_design_cost(4.0)
+        assert wide.total > narrow.total
+        assert narrow.sram_mb == 0.0
+
+    def test_streams_cheaper_than_any_real_l2_at_equal_bandwidth(self):
+        assert stream_design_cost(1.0).total < l2_design_cost(0.5).total
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            l2_design_cost(-1)
+        with pytest.raises(ValueError):
+            stream_design_cost(0.5)
+
+    def test_scaled_to_parallel_machine(self):
+        machine = l2_design_cost(2.0).scaled(1024)
+        assert machine.sram_mb == 2048.0  # the paper's "gigabytes of SRAM"
+        assert machine.total == pytest.approx(1024 * l2_design_cost(2.0).total)
+        with pytest.raises(ValueError):
+            machine.scaled(0)
+
+
+class TestBandwidthAffordable:
+    def test_bigger_l2_buys_more_bandwidth(self):
+        assert bandwidth_affordable(4.0) > bandwidth_affordable(1.0) > 1.0
+
+    def test_budget_identity(self):
+        """At the affordable bandwidth, both designs cost the same."""
+        for l2_mb in (0.5, 1.0, 2.0, 4.0):
+            bandwidth = bandwidth_affordable(l2_mb)
+            assert stream_design_cost(bandwidth).total == pytest.approx(
+                l2_design_cost(l2_mb).total
+            )
+
+    def test_floor_at_one(self):
+        # A tiny L2 may not even cover the stream hardware: floor at 1x.
+        model = CostModel(stream_buffer_cost=10.0)
+        assert bandwidth_affordable(0.5, model) == 1.0
+
+    def test_expensive_bandwidth_reduces_multiplier(self):
+        cheap = bandwidth_affordable(2.0, CostModel(bandwidth_cost_per_x=0.25))
+        dear = bandwidth_affordable(2.0, CostModel(bandwidth_cost_per_x=2.0))
+        assert cheap > dear

@@ -1,0 +1,123 @@
+"""Tests for repro.trace.events."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import Access, AccessKind, Trace
+
+
+class TestAccessKind:
+    def test_is_write(self):
+        assert AccessKind.WRITE.is_write
+        assert not AccessKind.READ.is_write
+        assert not AccessKind.IFETCH.is_write
+
+    def test_is_instruction(self):
+        assert AccessKind.IFETCH.is_instruction
+        assert not AccessKind.READ.is_instruction
+
+
+class TestAccess:
+    def test_constructors(self):
+        assert Access.read(10) == Access(10, AccessKind.READ)
+        assert Access.write(10) == Access(10, AccessKind.WRITE)
+        assert Access.ifetch(10) == Access(10, AccessKind.IFETCH)
+
+
+class TestTraceConstruction:
+    def test_empty(self):
+        trace = Trace.empty()
+        assert len(trace) == 0
+        assert list(trace) == []
+
+    def test_from_arrays(self):
+        trace = Trace.from_arrays([1, 2, 3], [0, 1, 2])
+        assert len(trace) == 3
+        assert trace[1] == Access(2, AccessKind.WRITE)
+
+    def test_from_accesses(self):
+        trace = Trace.from_accesses([Access.read(8), Access.write(16)])
+        assert trace[0] == Access(8, AccessKind.READ)
+        assert trace[1] == Access(16, AccessKind.WRITE)
+
+    def test_from_accesses_empty(self):
+        assert len(Trace.from_accesses([])) == 0
+
+    def test_uniform(self):
+        trace = Trace.uniform([1, 2, 3], AccessKind.WRITE)
+        assert all(a.kind is AccessKind.WRITE for a in trace)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros(3, dtype=np.int64), np.zeros(2, dtype=np.uint8))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros((2, 2), dtype=np.int64), np.zeros((2, 2), dtype=np.uint8))
+
+
+class TestConcat:
+    def test_concat_orders_traces(self):
+        a = Trace.uniform([1, 2])
+        b = Trace.uniform([3])
+        combined = Trace.concat([a, b])
+        assert [acc.addr for acc in combined] == [1, 2, 3]
+
+    def test_concat_skips_empty(self):
+        combined = Trace.concat([Trace.empty(), Trace.uniform([5]), Trace.empty()])
+        assert len(combined) == 1
+
+    def test_concat_nothing(self):
+        assert len(Trace.concat([])) == 0
+
+
+class TestSequenceProtocol:
+    def test_iteration_yields_accesses(self):
+        trace = Trace.uniform([10, 20])
+        items = list(trace)
+        assert items == [Access.read(10), Access.read(20)]
+
+    def test_slicing_returns_trace(self):
+        trace = Trace.uniform([1, 2, 3, 4])
+        sub = trace[1:3]
+        assert isinstance(sub, Trace)
+        assert [a.addr for a in sub] == [2, 3]
+
+    def test_equality(self):
+        assert Trace.uniform([1, 2]) == Trace.uniform([1, 2])
+        assert Trace.uniform([1, 2]) != Trace.uniform([1, 3])
+        assert Trace.uniform([1]) != Trace.uniform([1], AccessKind.WRITE)
+
+    def test_equality_with_non_trace(self):
+        assert Trace.uniform([1]) != "not a trace"
+
+
+class TestViews:
+    def test_data_only_strips_ifetches(self):
+        trace = Trace.from_accesses(
+            [Access.read(1), Access.ifetch(2), Access.write(3)]
+        )
+        data = trace.data_only()
+        assert [a.addr for a in data] == [1, 3]
+
+    def test_instructions_only(self):
+        trace = Trace.from_accesses([Access.read(1), Access.ifetch(2)])
+        instr = trace.instructions_only()
+        assert [a.addr for a in instr] == [2]
+
+    def test_counts(self):
+        trace = Trace.from_accesses(
+            [Access.read(1), Access.read(2), Access.write(3), Access.ifetch(4)]
+        )
+        counts = trace.counts()
+        assert counts[AccessKind.READ] == 2
+        assert counts[AccessKind.WRITE] == 1
+        assert counts[AccessKind.IFETCH] == 1
+
+    def test_counts_empty(self):
+        counts = Trace.empty().counts()
+        assert all(v == 0 for v in counts.values())
+
+    def test_to_accesses(self):
+        trace = Trace.uniform([7])
+        assert trace.to_accesses() == [Access.read(7)]

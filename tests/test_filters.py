@@ -1,0 +1,89 @@
+"""Tests for repro.core.filters (unit-stride allocation filter, Section 6)."""
+
+import pytest
+
+from repro.core.filters import UnitStrideFilter
+
+
+class TestAllocationPolicy:
+    def test_isolated_miss_does_not_allocate(self):
+        filt = UnitStrideFilter(8)
+        assert not filt.observe(100)
+        assert filt.misses == 1
+
+    def test_consecutive_pair_allocates(self):
+        filt = UnitStrideFilter(8)
+        assert not filt.observe(100)  # records expectation of 101
+        assert filt.observe(101)  # pattern 100, 101 confirmed
+        assert filt.hits == 1
+
+    def test_non_consecutive_pair_does_not_allocate(self):
+        filt = UnitStrideFilter(8)
+        filt.observe(100)
+        assert not filt.observe(102)
+
+    def test_entry_freed_after_detection(self):
+        filt = UnitStrideFilter(8)
+        filt.observe(100)
+        filt.observe(101)
+        # The 101-entry was consumed; a new 101 miss must re-prime.
+        assert not filt.observe(101)
+
+    def test_descending_pattern_not_matched(self):
+        """The unit filter only detects ascending consecutive pairs."""
+        filt = UnitStrideFilter(8)
+        filt.observe(101)
+        assert not filt.observe(100)
+
+    def test_interleaved_patterns_detected(self):
+        filt = UnitStrideFilter(8)
+        assert not filt.observe(100)
+        assert not filt.observe(500)
+        assert filt.observe(101)
+        assert filt.observe(501)
+
+
+class TestCapacity:
+    def test_oldest_entry_evicted_when_full(self):
+        filt = UnitStrideFilter(2)
+        filt.observe(100)  # expects 101
+        filt.observe(200)  # expects 201
+        filt.observe(300)  # expects 301; evicts the 101 expectation
+        assert filt.contents() == [201, 301]
+        assert filt.observe(201)
+        assert not filt.observe(101)
+
+    def test_len_tracks_entries(self):
+        filt = UnitStrideFilter(4)
+        filt.observe(1)
+        filt.observe(10)
+        assert len(filt) == 2
+
+    def test_contents_ordering(self):
+        filt = UnitStrideFilter(4)
+        filt.observe(1)
+        filt.observe(10)
+        assert filt.contents() == [2, 11]
+
+    def test_repeat_miss_refreshes_expectation(self):
+        filt = UnitStrideFilter(2)
+        filt.observe(100)  # expects 101
+        filt.observe(200)  # expects 201
+        filt.observe(100)  # refreshes 101 to newest
+        filt.observe(300)  # evicts oldest = 201
+        assert filt.observe(101)
+        assert not filt.observe(201)
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            UnitStrideFilter(0)
+
+
+class TestCounters:
+    def test_hit_and_miss_counts(self):
+        filt = UnitStrideFilter(8)
+        filt.observe(1)
+        filt.observe(2)
+        filt.observe(50)
+        assert filt.hits == 1
+        assert filt.misses == 2

@@ -1,0 +1,116 @@
+"""Tests for repro.workloads.grids."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.grids import (
+    addrs_at,
+    checkerboard_points,
+    flat_index,
+    hyperplane_points,
+    neighbor_offset,
+    sweep_points,
+)
+
+
+class TestFlatIndex:
+    def test_fortran_order(self):
+        shape = (4, 3, 2)
+        assert flat_index(shape, np.int64(0), np.int64(0), np.int64(0)) == 0
+        assert flat_index(shape, np.int64(1), np.int64(0), np.int64(0)) == 1
+        assert flat_index(shape, np.int64(0), np.int64(1), np.int64(0)) == 4
+        assert flat_index(shape, np.int64(0), np.int64(0), np.int64(1)) == 12
+
+    def test_neighbor_offset(self):
+        shape = (4, 3, 2)
+        assert neighbor_offset(shape, di=1) == 1
+        assert neighbor_offset(shape, dj=1) == 4
+        assert neighbor_offset(shape, dk=1) == 12
+        assert neighbor_offset(shape, di=-1, dk=1) == 11
+
+
+class TestSweepPoints:
+    def test_axis0_is_unit_stride(self):
+        points = sweep_points((3, 2, 2), fastest_axis=0)
+        assert points.tolist() == list(range(12))
+
+    def test_axis1_strides_by_nx(self):
+        points = sweep_points((3, 2, 2), fastest_axis=1)
+        # First two points walk j at fixed (i=0, k=0): 0, 3.
+        assert points[0] == 0
+        assert points[1] == 3
+
+    def test_axis2_strides_by_nx_ny(self):
+        points = sweep_points((3, 2, 2), fastest_axis=2)
+        assert points[0] == 0
+        assert points[1] == 6
+
+    def test_all_points_covered_once(self):
+        for axis in (0, 1, 2):
+            points = sweep_points((4, 3, 5), fastest_axis=axis)
+            assert sorted(points.tolist()) == list(range(60))
+
+    def test_halo_excludes_boundary(self):
+        points = sweep_points((4, 4, 4), fastest_axis=0, halo=1)
+        assert len(points) == 8  # 2^3 interior
+        i = points % 4
+        assert i.min() >= 1 and i.max() <= 2
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            sweep_points((2, 2, 2), fastest_axis=3)
+
+
+class TestHyperplane:
+    def test_diagonal_order(self):
+        points = hyperplane_points((2, 2, 2))
+        # i+j+k of the flat indices must be non-decreasing.
+        i = points % 2
+        j = (points // 2) % 2
+        k = points // 4
+        diag = (i + j + k).tolist()
+        assert diag == sorted(diag)
+
+    def test_covers_all_points(self):
+        points = hyperplane_points((3, 3, 3))
+        assert sorted(points.tolist()) == list(range(27))
+
+
+class TestCheckerboard:
+    def test_even_sites_first(self):
+        points = checkerboard_points((2, 2, 2))
+        i = points % 2
+        j = (points // 2) % 2
+        k = points // 4
+        parity = ((i + j + k) % 2).tolist()
+        assert parity == sorted(parity)
+
+    def test_covers_all_points(self):
+        points = checkerboard_points((3, 2, 2))
+        assert sorted(points.tolist()) == list(range(12))
+
+
+class TestAddrsAt:
+    def test_scalar_records(self):
+        points = np.array([0, 1, 2], dtype=np.int64)
+        assert addrs_at(1000, points, 8).tolist() == [1000, 1008, 1016]
+
+    def test_multi_component_records(self):
+        points = np.array([0, 1], dtype=np.int64)
+        addrs = addrs_at(0, points, 8, components=5)
+        assert addrs.tolist() == [0, 40]
+
+    def test_component_selection(self):
+        points = np.array([0], dtype=np.int64)
+        assert addrs_at(0, points, 8, components=5, component=2).tolist() == [16]
+
+    def test_offset_elements(self):
+        points = np.array([10], dtype=np.int64)
+        assert addrs_at(0, points, 8, offset_elements=-1).tolist() == [72]
+
+    def test_validation(self):
+        points = np.array([0], dtype=np.int64)
+        with pytest.raises(ValueError):
+            addrs_at(0, points, 8, components=0)
+        with pytest.raises(ValueError):
+            addrs_at(0, points, 8, components=2, component=2)

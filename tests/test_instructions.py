@@ -1,0 +1,52 @@
+"""Tests for repro.workloads.instructions."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import AccessKind, Trace
+from repro.workloads.instructions import CODE_BASE, with_instructions
+
+
+class TestWithInstructions:
+    def test_interleaving_ratio(self):
+        data = Trace.uniform(np.arange(10, dtype=np.int64) * 64 + (1 << 20))
+        trace = with_instructions(data, per_access=2)
+        assert len(trace) == 30
+        kinds = [a.kind for a in trace]
+        assert kinds[0] is AccessKind.IFETCH
+        assert kinds[1] is AccessKind.IFETCH
+        assert kinds[2] is AccessKind.READ
+
+    def test_data_order_preserved(self):
+        data = Trace.uniform(np.array([5, 7, 9], dtype=np.int64))
+        trace = with_instructions(data, per_access=1)
+        assert [a.addr for a in trace.data_only()] == [5, 7, 9]
+
+    def test_fetches_wrap_around_code_segment(self):
+        data = Trace.uniform(np.arange(100, dtype=np.int64))
+        trace = with_instructions(data, code_bytes=64, fetch_bytes=16, per_access=1)
+        fetch_addrs = trace.instructions_only().addrs
+        assert int(fetch_addrs.max()) < CODE_BASE + 64
+        assert int(fetch_addrs.min()) >= CODE_BASE
+
+    def test_zero_per_access_is_identity(self):
+        data = Trace.uniform(np.array([1], dtype=np.int64))
+        assert with_instructions(data, per_access=0) is data
+
+    def test_empty_trace_passthrough(self):
+        empty = Trace.empty()
+        assert with_instructions(empty) is empty
+
+    def test_validation(self):
+        data = Trace.uniform(np.array([1], dtype=np.int64))
+        with pytest.raises(ValueError):
+            with_instructions(data, code_bytes=0)
+        with pytest.raises(ValueError):
+            with_instructions(data, per_access=-1)
+
+    def test_fetch_stream_is_sequential_within_loop(self):
+        data = Trace.uniform(np.arange(8, dtype=np.int64))
+        trace = with_instructions(data, code_bytes=1 << 20, fetch_bytes=16, per_access=1)
+        fetches = trace.instructions_only().addrs
+        deltas = np.diff(fetches)
+        assert set(deltas.tolist()) == {16}

@@ -1,0 +1,160 @@
+"""Tests for repro.workloads.kernels."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import AccessKind
+from repro.workloads.kernels import (
+    ascending,
+    butterfly_pairs,
+    clustered_indices,
+    gather_addresses,
+    loop,
+    random_indices,
+    read,
+    runs_at,
+    strided,
+    tiled_runs,
+    triangular_row_walk,
+    write,
+)
+
+
+class TestLoop:
+    def test_column_order_per_iteration(self):
+        a = np.array([0, 8], dtype=np.int64)
+        b = np.array([100, 108], dtype=np.int64)
+        trace = loop([read(a), write(b)])
+        assert [acc.addr for acc in trace] == [0, 100, 8, 108]
+        assert [acc.kind for acc in trace] == [
+            AccessKind.READ,
+            AccessKind.WRITE,
+            AccessKind.READ,
+            AccessKind.WRITE,
+        ]
+
+    def test_empty_columns(self):
+        assert len(loop([])) == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            loop([read(np.zeros(2, dtype=np.int64)), read(np.zeros(3, dtype=np.int64))])
+
+
+class TestSweeps:
+    def test_ascending(self):
+        assert ascending(100, 4).tolist() == [100, 108, 116, 124]
+
+    def test_ascending_element_size(self):
+        assert ascending(0, 3, element_size=16).tolist() == [0, 16, 32]
+
+    def test_ascending_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            ascending(0, -1)
+
+    def test_strided(self):
+        assert strided(0, 3, 1024).tolist() == [0, 1024, 2048]
+
+    def test_strided_negative(self):
+        assert strided(4096, 3, -1024).tolist() == [4096, 3072, 2048]
+
+    def test_strided_zero_rejected(self):
+        with pytest.raises(ValueError):
+            strided(0, 3, 0)
+
+
+class TestRuns:
+    def test_tiled_runs(self):
+        addrs = tiled_runs(0, n_runs=2, run_elements=3, run_pitch_bytes=100)
+        assert addrs.tolist() == [0, 8, 16, 100, 108, 116]
+
+    def test_tiled_runs_validation(self):
+        with pytest.raises(ValueError):
+            tiled_runs(0, n_runs=-1, run_elements=3, run_pitch_bytes=10)
+        with pytest.raises(ValueError):
+            tiled_runs(0, n_runs=1, run_elements=0, run_pitch_bytes=10)
+
+    def test_runs_at_arbitrary_starts(self):
+        starts = np.array([0, 1000], dtype=np.int64)
+        addrs = runs_at(starts, run_elements=2)
+        assert addrs.tolist() == [0, 8, 1000, 1008]
+
+    def test_runs_at_validation(self):
+        with pytest.raises(ValueError):
+            runs_at(np.array([0]), run_elements=0)
+
+
+class TestIndices:
+    def test_gather_addresses(self):
+        indices = np.array([0, 5, 2], dtype=np.int64)
+        assert gather_addresses(1000, indices).tolist() == [1000, 1040, 1016]
+
+    def test_clustered_indices_bounded(self):
+        rng = np.random.default_rng(0)
+        indices = clustered_indices(1000, 5000, 64, rng)
+        assert indices.min() >= 0
+        assert indices.max() < 5000
+
+    def test_clustered_indices_stay_near_centres(self):
+        rng = np.random.default_rng(0)
+        indices = clustered_indices(1000, 100_000, 10, rng)
+        centres = np.linspace(0, 99_999, num=1000).astype(np.int64)
+        assert np.abs(indices - centres).max() <= 5
+
+    def test_clustered_indices_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            clustered_indices(-1, 10, 2, rng)
+        with pytest.raises(ValueError):
+            clustered_indices(1, 0, 2, rng)
+        with pytest.raises(ValueError):
+            clustered_indices(1, 10, 0, rng)
+
+    def test_random_indices_bounded(self):
+        rng = np.random.default_rng(0)
+        indices = random_indices(1000, 50, rng)
+        assert indices.min() >= 0
+        assert indices.max() < 50
+
+    def test_random_indices_deterministic(self):
+        a = random_indices(10, 100, np.random.default_rng(5))
+        b = random_indices(10, 100, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_random_indices_validation(self):
+        with pytest.raises(ValueError):
+            random_indices(10, 0, np.random.default_rng(0))
+
+
+class TestTriangular:
+    def test_triangular_row_walk_is_contiguous(self):
+        addrs = triangular_row_walk(0, 3)
+        assert addrs.tolist() == [0, 8, 16, 24, 32, 40]  # 1+2+3 elements
+
+    def test_triangular_validation(self):
+        with pytest.raises(ValueError):
+            triangular_row_walk(0, -1)
+
+
+class TestButterfly:
+    def test_stage_zero_pairs_neighbours(self):
+        first, second = butterfly_pairs(0, 8, stage=0)
+        assert (second - first).tolist() == [16] * 4
+        assert first.tolist() == [0, 32, 64, 96]
+
+    def test_stage_one_pairs_at_distance_two(self):
+        first, second = butterfly_pairs(0, 8, stage=1)
+        assert (second - first).tolist() == [32] * 4
+        assert first.tolist() == [0, 16, 64, 80]
+
+    def test_element_size(self):
+        first, second = butterfly_pairs(0, 4, stage=0, element_size=8)
+        assert (second - first).tolist() == [8, 8]
+
+    def test_stage_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            butterfly_pairs(0, 8, stage=3)
+
+    def test_negative_stage_rejected(self):
+        with pytest.raises(ValueError):
+            butterfly_pairs(0, 8, stage=-1)

@@ -1,0 +1,96 @@
+"""Tests for repro.mem.layout."""
+
+import pytest
+
+from repro.mem.allocator import Arena
+from repro.mem.layout import ArrayLayout
+
+
+class TestConstruction:
+    def test_vector(self):
+        v = ArrayLayout.vector(base=1000, n=10)
+        assert v.shape == (10,)
+        assert v.size_bytes == 80
+
+    def test_n_elements(self):
+        layout = ArrayLayout(base=0, shape=(3, 4, 5))
+        assert layout.n_elements == 60
+        assert layout.size_bytes == 480
+
+    def test_invalid_element_size(self):
+        with pytest.raises(ValueError):
+            ArrayLayout(base=0, shape=(4,), element_size=0)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            ArrayLayout(base=0, shape=())
+        with pytest.raises(ValueError):
+            ArrayLayout(base=0, shape=(3, 0))
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            ArrayLayout(base=0, shape=(3,), order="X")
+
+
+class TestStrides:
+    def test_fortran_order_first_dim_fastest(self):
+        layout = ArrayLayout(base=0, shape=(4, 5), order="F")
+        assert layout.strides == (8, 32)
+
+    def test_c_order_last_dim_fastest(self):
+        layout = ArrayLayout(base=0, shape=(4, 5), order="C")
+        assert layout.strides == (40, 8)
+
+    def test_3d_fortran_strides(self):
+        layout = ArrayLayout(base=0, shape=(2, 3, 4), order="F")
+        assert layout.strides == (8, 16, 48)
+
+
+class TestAddressing:
+    def test_origin_is_base(self):
+        layout = ArrayLayout(base=4096, shape=(3, 3))
+        assert layout.addr(0, 0) == 4096
+
+    def test_fortran_walk_is_unit_stride(self):
+        layout = ArrayLayout(base=0, shape=(4, 2), order="F")
+        addrs = [layout.addr(i, j) for j in range(2) for i in range(4)]
+        assert addrs == [i * 8 for i in range(8)]
+
+    def test_second_dim_walk_has_constant_stride(self):
+        layout = ArrayLayout(base=0, shape=(16, 8), order="F")
+        addrs = [layout.addr(0, j) for j in range(8)]
+        deltas = {b - a for a, b in zip(addrs, addrs[1:])}
+        assert deltas == {16 * 8}
+
+    def test_index_arity_checked(self):
+        layout = ArrayLayout(base=0, shape=(3, 3))
+        with pytest.raises(IndexError):
+            layout.addr(1)
+
+    def test_index_range_checked(self):
+        layout = ArrayLayout(base=0, shape=(3, 3))
+        with pytest.raises(IndexError):
+            layout.addr(3, 0)
+        with pytest.raises(IndexError):
+            layout.addr(0, -1)
+
+    def test_flat_addr(self):
+        layout = ArrayLayout(base=100, shape=(3, 3))
+        assert layout.flat_addr(0) == 100
+        assert layout.flat_addr(8) == 100 + 64
+        with pytest.raises(IndexError):
+            layout.flat_addr(9)
+
+
+class TestFromAllocation:
+    def test_fits(self):
+        arena = Arena()
+        alloc = arena.alloc("a", 480)
+        layout = ArrayLayout.from_allocation(alloc, (3, 4, 5))
+        assert layout.base == alloc.base
+
+    def test_too_big_rejected(self):
+        arena = Arena()
+        alloc = arena.alloc("a", 100)
+        with pytest.raises(ValueError):
+            ArrayLayout.from_allocation(alloc, (100, 100))

@@ -1,0 +1,76 @@
+"""Tests for repro.core.lengths (Table 3 bookkeeping)."""
+
+import pytest
+
+from repro.core.lengths import (
+    LENGTH_BUCKETS,
+    StreamLengthHistogram,
+    bucket_label,
+    bucket_of,
+)
+
+
+class TestBuckets:
+    def test_paper_buckets(self):
+        labels = [bucket_label(b) for b in LENGTH_BUCKETS]
+        assert labels == ["1-5", "6-10", "11-15", "16-20", ">20"]
+
+    @pytest.mark.parametrize(
+        "length,expected",
+        [(1, "1-5"), (5, "1-5"), (6, "6-10"), (10, "6-10"), (11, "11-15"),
+         (15, "11-15"), (16, "16-20"), (20, "16-20"), (21, ">20"), (1000, ">20")],
+    )
+    def test_bucket_of(self, length, expected):
+        assert bucket_label(bucket_of(length)) == expected
+
+    def test_bucket_of_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bucket_of(0)
+
+
+class TestHistogram:
+    def test_record_weighted_by_hits(self):
+        hist = StreamLengthHistogram()
+        hist.record(3)
+        hist.record(25)
+        assert hist.hits_by_bucket[(1, 5)] == 3
+        assert hist.hits_by_bucket[(21, 0)] == 25
+        assert hist.total_hits == 28
+
+    def test_percent_hits(self):
+        hist = StreamLengthHistogram()
+        hist.record(5)
+        hist.record(5)
+        hist.record(30)
+        percents = hist.percent_hits()
+        assert percents[(1, 5)] == pytest.approx(25.0)
+        assert percents[(21, 0)] == pytest.approx(75.0)
+
+    def test_percent_hits_empty(self):
+        hist = StreamLengthHistogram()
+        assert all(v == 0.0 for v in hist.percent_hits().values())
+
+    def test_zero_length_streams_counted_separately(self):
+        hist = StreamLengthHistogram()
+        hist.record(0)
+        assert hist.zero_length_streams == 1
+        assert hist.total_hits == 0
+        assert hist.total_streams == 1
+
+    def test_total_streams(self):
+        hist = StreamLengthHistogram()
+        hist.record(0)
+        hist.record(2)
+        hist.record(40)
+        assert hist.total_streams == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StreamLengthHistogram().record(-1)
+
+    def test_as_row_order(self):
+        hist = StreamLengthHistogram()
+        hist.record(8)
+        row = hist.as_row()
+        assert row == [0.0, 100.0, 0.0, 0.0, 0.0]
+        assert len(row) == 5

@@ -1,0 +1,123 @@
+"""Tests for the quasi-associative lookup extension (lookup_depth)."""
+
+import numpy as np
+import pytest
+
+from repro.caches.cache import MissTrace
+from repro.core.bank import Lookup, StreamBufferBank
+from repro.core.config import StreamConfig
+from repro.core.prefetcher import StreamPrefetcher
+from repro.core.stream_buffer import StreamBuffer
+
+
+def make_mt(blocks):
+    arr = np.asarray(blocks, dtype=np.int64) << 6
+    return MissTrace(arr, np.zeros(len(blocks), dtype=np.uint8), 6)
+
+
+class TestStreamBufferFindSkip:
+    def test_find_positions(self):
+        stream = StreamBuffer(depth=4)
+        stream.allocate(100, 1)
+        assert stream.find(100, lookup_depth=4) == 0
+        assert stream.find(102, lookup_depth=4) == 2
+        assert stream.find(102, lookup_depth=2) == -1  # beyond the window
+        assert stream.find(999, lookup_depth=4) == -1
+
+    def test_find_skips_invalid_entries(self):
+        stream = StreamBuffer(depth=4)
+        stream.allocate(100, 1)
+        stream.invalidate(101)
+        assert stream.find(101, lookup_depth=4) == -1
+
+    def test_find_inactive(self):
+        assert StreamBuffer(depth=2).find(0, 2) == -1
+
+    def test_skip_drops_head_entries(self):
+        stream = StreamBuffer(depth=4)
+        stream.allocate(100, 1)
+        stream.skip(2)
+        assert stream.head.block == 102
+        assert len(stream) == 2
+
+    def test_skip_bounds(self):
+        stream = StreamBuffer(depth=2)
+        stream.allocate(100, 1)
+        with pytest.raises(ValueError):
+            stream.skip(3)
+        with pytest.raises(ValueError):
+            stream.skip(-1)
+
+    def test_refill_tops_up_to_depth(self):
+        stream = StreamBuffer(depth=4)
+        stream.allocate(100, 1)
+        stream.skip(3)
+        issued = stream.refill()
+        assert issued == [104, 105, 106]
+        assert len(stream) == 4
+
+    def test_refill_inactive_raises(self):
+        with pytest.raises(RuntimeError):
+            StreamBuffer(depth=2).refill()
+
+
+class TestBankDeepLookup:
+    def test_head_only_misses_skipped_block(self):
+        bank = StreamBufferBank(n_streams=1, depth=4, lookup_depth=1)
+        bank.allocate(100, 1)
+        assert bank.lookup(102) is Lookup.MISS
+
+    def test_deep_lookup_skips_ahead(self):
+        bank = StreamBufferBank(n_streams=1, depth=4, lookup_depth=4)
+        bank.allocate(100, 1)
+        assert bank.lookup(102) is Lookup.HIT
+        # The stream advanced past the skipped entries.
+        assert bank.lookup(103) is Lookup.HIT
+
+    def test_skipped_prefetches_counted_as_waste(self):
+        bank = StreamBufferBank(n_streams=1, depth=4, lookup_depth=4)
+        bank.allocate(100, 1)
+        bank.lookup(102)  # skips 100, 101
+        bank.finalize()
+        assert bank.prefetches_useless >= 2
+
+    def test_lookup_depth_validation(self):
+        with pytest.raises(ValueError):
+            StreamBufferBank(n_streams=1, depth=2, lookup_depth=3)
+        with pytest.raises(ValueError):
+            StreamBufferBank(n_streams=1, depth=2, lookup_depth=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            StreamConfig(depth=2, lookup_depth=3)
+
+
+class TestGappyStreamRecovery:
+    """The motivating case: lucky L1 hits punch holes in a sweep."""
+
+    @staticmethod
+    def gappy_blocks(n=600, hole_every=7):
+        return [b for b in range(100, 100 + n) if b % hole_every != 0]
+
+    def test_head_only_fragments(self):
+        blocks = self.gappy_blocks()
+        head_only = StreamPrefetcher(
+            StreamConfig(n_streams=4, depth=4, lookup_depth=1)
+        ).run(make_mt(blocks))
+        deep = StreamPrefetcher(
+            StreamConfig(n_streams=4, depth=4, lookup_depth=4)
+        ).run(make_mt(blocks))
+        # Every hole costs the head-only configuration a miss (the
+        # reallocation restarts the stream); deep lookup skips over it.
+        assert deep.hit_rate > head_only.hit_rate + 0.1
+        assert deep.hit_rate > 0.99
+
+    def test_deep_lookup_never_hurts_hit_rate(self):
+        for blocks in (list(range(100, 200)), self.gappy_blocks(), [5, 900, 17, 4000]):
+            shallow = StreamPrefetcher(
+                StreamConfig(n_streams=4, depth=4, lookup_depth=1)
+            ).run(make_mt(blocks))
+            deep = StreamPrefetcher(
+                StreamConfig(n_streams=4, depth=4, lookup_depth=4)
+            ).run(make_mt(blocks))
+            assert deep.stream_hits >= shallow.stream_hits

@@ -1,0 +1,89 @@
+"""Tests for repro.core.min_delta (the Section 7 alternative scheme)."""
+
+import pytest
+
+from repro.core.min_delta import MinDeltaDetector
+
+
+def make_detector(entries=4, block_bits=6, allow_negative=True, max_stride_blocks=1 << 20):
+    return MinDeltaDetector(
+        entries=entries,
+        block_bits=block_bits,
+        allow_negative=allow_negative,
+        max_stride_blocks=max_stride_blocks,
+    )
+
+
+class TestMinDelta:
+    def test_empty_history_returns_nothing(self):
+        det = make_detector()
+        assert det.observe(1 << 20) is None
+
+    def test_second_miss_uses_delta_as_stride(self):
+        det = make_detector()
+        det.observe(1 << 20)
+        hit = det.observe((1 << 20) + 1024)
+        assert hit is not None
+        assert hit.stride_bytes == 1024
+        assert hit.stride_blocks == 16
+
+    def test_minimum_distance_entry_chosen(self):
+        det = make_detector()
+        det.observe(0)
+        det.observe(1 << 20)
+        hit = det.observe((1 << 20) + 2048)  # closest to the second entry
+        assert hit.stride_bytes == 2048
+
+    def test_negative_delta_chosen_when_closest(self):
+        det = make_detector()
+        det.observe(10_000 * 64)
+        hit = det.observe(9_000 * 64)
+        assert hit.stride_blocks == -1000
+
+    def test_negative_rejected_when_disabled(self):
+        det = make_detector(allow_negative=False)
+        det.observe(10_000 * 64)
+        assert det.observe(9_000 * 64) is None
+
+    def test_sub_block_delta_rejected(self):
+        det = make_detector()
+        det.observe(1000)
+        assert det.observe(1008) is None
+
+    def test_zero_delta_ignored(self):
+        det = make_detector()
+        det.observe(4096)
+        det.observe(4096)
+        # Only the duplicate in history; no non-zero delta exists.
+        assert det.history().count(4096) == 2
+
+    def test_stride_cap(self):
+        det = make_detector(max_stride_blocks=10)
+        det.observe(0)
+        assert det.observe(1 << 20) is None  # 16384 blocks away
+
+    def test_history_bounded(self):
+        det = make_detector(entries=2)
+        for addr in (0, 1 << 10, 1 << 20):
+            det.observe(addr)
+        assert len(det.history()) == 2
+        assert det.history() == [1 << 10, 1 << 20]
+
+    def test_start_block_one_stride_ahead(self):
+        det = make_detector()
+        det.observe(1 << 20)
+        hit = det.observe((1 << 20) + 4096)
+        assert hit.start_block == (((1 << 20) + 4096) >> 6) + 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_detector(entries=0)
+        with pytest.raises(ValueError):
+            make_detector(max_stride_blocks=0)
+
+    def test_counters(self):
+        det = make_detector()
+        det.observe(0)
+        det.observe(1 << 16)
+        assert det.observations == 2
+        assert det.hits == 1

@@ -1,0 +1,124 @@
+"""Tests for repro.core.nonunit (czone partition filter, Section 7)."""
+
+import pytest
+
+from repro.core.nonunit import CzoneFilter, StrideHit
+
+
+def make_filter(entries=4, czone_bits=16, block_bits=6, allow_negative=True):
+    return CzoneFilter(
+        entries=entries,
+        czone_bits=czone_bits,
+        block_bits=block_bits,
+        allow_negative=allow_negative,
+    )
+
+
+class TestDetection:
+    def test_three_strided_refs_allocate(self):
+        filt = make_filter()
+        base = 1 << 20
+        assert filt.observe(base) is None
+        assert filt.observe(base + 1024) is None
+        hit = filt.observe(base + 2048)
+        assert isinstance(hit, StrideHit)
+        assert hit.stride_bytes == 1024
+        assert hit.stride_blocks == 16
+
+    def test_allocation_starts_one_stride_ahead(self):
+        filt = make_filter()
+        base = 1 << 20
+        filt.observe(base)
+        filt.observe(base + 1024)
+        hit = filt.observe(base + 2048)
+        assert hit.start_block == ((base + 2048) >> 6) + 16
+
+    def test_entry_freed_after_detection(self):
+        filt = make_filter()
+        base = 1 << 20
+        filt.observe(base)
+        filt.observe(base + 1024)
+        filt.observe(base + 2048)
+        assert (base >> 16) not in filt.active_partitions()
+
+    def test_references_in_different_partitions_are_independent(self):
+        filt = make_filter(czone_bits=16)
+        a = 1 << 20
+        b = 1 << 24
+        filt.observe(a)
+        filt.observe(b)
+        filt.observe(a + 512)
+        filt.observe(b + 4096)
+        assert filt.observe(a + 1024).stride_bytes == 512
+        assert filt.observe(b + 8192).stride_bytes == 4096
+
+    def test_interleaved_walks_in_one_partition_defeat_detection(self):
+        """The Figure 9 too-large-czone failure mode."""
+        filt = make_filter(czone_bits=30)
+        a, b = 1 << 20, (1 << 20) + (1 << 18)
+        stride = 1024
+        for k in range(6):
+            assert filt.observe(a + k * stride) is None or k > 2
+            result = filt.observe(b + k * stride)
+            # Alternating deltas never repeat, so nothing verifies.
+            assert result is None
+
+    def test_negative_stride(self):
+        filt = make_filter()
+        base = (1 << 20) + 8192
+        filt.observe(base)
+        filt.observe(base - 1024)
+        hit = filt.observe(base - 2048)
+        assert hit.stride_blocks == -16
+
+    def test_negative_stride_rejected_when_disabled(self):
+        filt = make_filter(allow_negative=False)
+        base = (1 << 20) + 8192
+        filt.observe(base)
+        filt.observe(base - 1024)
+        assert filt.observe(base - 2048) is None
+        assert filt.negative_rejections == 1
+
+    def test_sub_block_stride_rejected(self):
+        filt = make_filter()
+        base = 1 << 20
+        filt.observe(base)
+        filt.observe(base + 16)
+        assert filt.observe(base + 32) is None
+        assert filt.sub_block_rejections == 1
+
+
+class TestCapacityAndCzone:
+    def test_partition_table_evicts_oldest(self):
+        filt = make_filter(entries=2, czone_bits=16)
+        filt.observe(1 << 20)  # partition A
+        filt.observe(2 << 20)  # partition B
+        filt.observe(3 << 20)  # partition C evicts A
+        partitions = filt.active_partitions()
+        assert (1 << 20) >> 16 not in partitions
+        assert len(partitions) == 2
+
+    def test_czone_too_small_splits_strided_run(self):
+        # Stride 1KB with a 10-bit czone: every reference lands in its
+        # own partition, so nothing ever verifies.
+        filt = make_filter(entries=16, czone_bits=10)
+        base = 1 << 20
+        for k in range(8):
+            assert filt.observe(base + k * 1024) is None
+
+    def test_czone_bits_must_cover_block(self):
+        with pytest.raises(ValueError):
+            make_filter(czone_bits=4, block_bits=6)
+
+    def test_entries_positive(self):
+        with pytest.raises(ValueError):
+            make_filter(entries=0)
+
+    def test_counters(self):
+        filt = make_filter()
+        base = 1 << 20
+        filt.observe(base)
+        filt.observe(base + 1024)
+        filt.observe(base + 2048)
+        assert filt.observations == 3
+        assert filt.hits == 1

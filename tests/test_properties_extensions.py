@@ -1,0 +1,160 @@
+"""Property-based tests for the extension subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.obl import OneBlockLookahead
+from repro.baselines.prefetch_cache import PrefetchingCache
+from repro.baselines.rpt import ReferencePredictionTable
+from repro.caches.cache import MissTrace
+from repro.core.nonunit import CzoneFilter
+from repro.timing.model import TimingModel, evaluate_timing
+from repro.trace.builder import TraceBuilder
+from repro.trace.events import AccessKind, Trace
+
+block_seqs = st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=200)
+addr_seqs = st.lists(st.integers(min_value=0, max_value=1 << 22), min_size=1, max_size=200)
+
+
+def make_mt(blocks, pcs=None):
+    arr = np.asarray(blocks, dtype=np.int64) << 6
+    kinds = np.zeros(len(blocks), dtype=np.uint8)
+    pcs_arr = np.asarray(pcs, dtype=np.int64) if pcs is not None else None
+    return MissTrace(arr, kinds, 6, pcs_arr)
+
+
+class TestBaselineInvariants:
+    @given(blocks=block_seqs, entries=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_obl_buffer_bounded_and_consistent(self, blocks, entries):
+        obl = OneBlockLookahead(entries=entries)
+        stats = obl.run(make_mt(blocks))
+        assert len(obl.buffered_blocks()) <= entries
+        assert stats.prefetches_used <= stats.prefetches_issued
+        assert stats.hits == stats.prefetches_used
+        assert 0.0 <= stats.hit_rate <= 1.0
+
+    @given(blocks=block_seqs, capacity=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_prefetch_cache_bounded_no_duplicates(self, blocks, capacity):
+        cache = PrefetchingCache(blocks=capacity)
+        cache.run(make_mt(blocks))
+        resident = cache.cached_blocks()
+        assert len(resident) <= capacity
+        assert len(set(resident)) == len(resident)
+
+    @given(blocks=block_seqs)
+    @settings(max_examples=50, deadline=None)
+    def test_rpt_counters_consistent(self, blocks):
+        pcs = [(b % 7) * 4 for b in blocks]  # a few synthetic instructions
+        rpt = ReferencePredictionTable(table_entries=4, buffer_entries=4)
+        stats = rpt.run(make_mt(blocks, pcs))
+        assert stats.hits == stats.prefetches_used
+        assert stats.prefetches_used <= stats.prefetches_issued
+        assert stats.demand_misses == len(blocks)
+
+    @given(blocks=block_seqs)
+    @settings(max_examples=30, deadline=None)
+    def test_obl_hit_requires_prior_predecessor(self, blocks):
+        """Untagged OBL can only hit block b if block b-1 missed earlier."""
+        obl = OneBlockLookahead(entries=256, tagged=False)
+        seen = set()
+        for block in blocks:
+            hit = obl.handle_miss(block << 6)
+            if hit:
+                assert (block - 1) in seen
+            seen.add(block)
+
+
+class TestCzoneInvariants:
+    @given(addrs=addr_seqs, czone_bits=st.integers(min_value=6, max_value=22))
+    @settings(max_examples=50, deadline=None)
+    def test_table_bounded_and_hits_counted(self, addrs, czone_bits):
+        filt = CzoneFilter(entries=4, czone_bits=czone_bits, block_bits=6)
+        hits = 0
+        for addr in addrs:
+            if filt.observe(addr) is not None:
+                hits += 1
+            assert len(filt) <= 4
+        assert filt.hits == hits
+        assert filt.observations == len(addrs)
+
+    @given(
+        start=st.integers(min_value=0, max_value=1 << 18),
+        stride=st.integers(min_value=64, max_value=2048),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_verified_stride_is_block_consistent(self, start, stride):
+        filt = CzoneFilter(entries=4, czone_bits=24, block_bits=6)
+        result = None
+        for k in range(3):
+            result = filt.observe(start + k * stride)
+        if result is not None:
+            assert result.stride_bytes == stride
+            assert result.stride_blocks == stride >> 6
+
+
+class TestBuilderProperty:
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.sampled_from(["r", "w", "i"]),
+                st.integers(min_value=0, max_value=1 << 30),
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_builder_roundtrip(self, steps):
+        builder = TraceBuilder()
+        expected_kinds = []
+        for op, addr in steps:
+            getattr(builder, {"r": "read", "w": "write", "i": "ifetch"}[op])(addr)
+            expected_kinds.append(
+                {"r": AccessKind.READ, "w": AccessKind.WRITE, "i": AccessKind.IFETCH}[op]
+            )
+        trace = builder.build()
+        assert len(trace) == len(steps)
+        assert [a.addr for a in trace] == [addr for _, addr in steps]
+        assert [a.kind for a in trace] == expected_kinds
+
+
+class TestTimingProperties:
+    @given(
+        memory_refs=st.integers(min_value=0, max_value=1000),
+        traffic=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_amat_bounded_by_components(self, memory_refs, traffic):
+        refs = 1000 + memory_refs
+        report = evaluate_timing(
+            references=refs,
+            l1_hits=1000,
+            intermediate_hits=0,
+            memory_references=memory_refs,
+            traffic_blocks=traffic,
+            intermediate_cycles=4.0,
+            model=TimingModel(),
+        )
+        model = TimingModel()
+        worst_memory = model.memory_cycles / (1 - model.max_utilisation)
+        assert model.l1_hit_cycles <= report.amat <= worst_memory
+        assert 0.0 <= report.utilisation <= model.max_utilisation
+
+    @given(extra=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=40, deadline=None)
+    def test_amat_monotone_in_traffic(self, extra):
+        def amat(traffic):
+            return evaluate_timing(
+                references=1000,
+                l1_hits=900,
+                intermediate_hits=0,
+                memory_references=100,
+                traffic_blocks=traffic,
+                intermediate_cycles=4.0,
+                model=TimingModel(),
+            ).amat
+
+        assert amat(100 + extra) >= amat(100) - 1e-9

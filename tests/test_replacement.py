@@ -1,0 +1,145 @@
+"""Tests for repro.caches.replacement."""
+
+import random
+
+import pytest
+
+from repro.caches.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    POLICY_NAMES,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        policy = LRUPolicy(2)
+        policy.insert("a")
+        policy.insert("b")
+        assert policy.insert("c") == "a"
+
+    def test_touch_refreshes(self):
+        policy = LRUPolicy(2)
+        policy.insert("a")
+        policy.insert("b")
+        policy.touch("a")
+        assert policy.insert("c") == "b"
+
+    def test_no_eviction_until_full(self):
+        policy = LRUPolicy(3)
+        assert policy.insert("a") is None
+        assert policy.insert("b") is None
+        assert len(policy) == 2
+
+    def test_remove(self):
+        policy = LRUPolicy(2)
+        policy.insert("a")
+        policy.remove("a")
+        assert "a" not in policy
+        policy.remove("missing")  # no-op
+
+    def test_duplicate_insert_rejected(self):
+        policy = LRUPolicy(2)
+        policy.insert("a")
+        with pytest.raises(ValueError):
+            policy.insert("a")
+
+    def test_keys_order(self):
+        policy = LRUPolicy(3)
+        for key in "abc":
+            policy.insert(key)
+        policy.touch("a")
+        assert policy.keys() == ["b", "c", "a"]
+
+
+class TestFIFO:
+    def test_touch_does_not_refresh(self):
+        policy = FIFOPolicy(2)
+        policy.insert("a")
+        policy.insert("b")
+        policy.touch("a")
+        assert policy.insert("c") == "a"
+
+    def test_touch_missing_raises(self):
+        policy = FIFOPolicy(2)
+        with pytest.raises(KeyError):
+            policy.touch("missing")
+
+
+class TestRandom:
+    def test_fills_before_evicting(self):
+        policy = RandomPolicy(4, rng=random.Random(0))
+        for key in "abcd":
+            assert policy.insert(key) is None
+        assert policy.insert("e") in set("abcd")
+
+    def test_membership_after_eviction(self):
+        policy = RandomPolicy(2, rng=random.Random(1))
+        policy.insert("a")
+        policy.insert("b")
+        victim = policy.insert("c")
+        assert victim not in policy
+        assert "c" in policy
+        assert len(policy) == 2
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            policy = RandomPolicy(4, rng=random.Random(seed))
+            victims = []
+            for i in range(100):
+                victims.append(policy.insert(i))
+            return victims
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_remove_swaps_last_slot(self):
+        policy = RandomPolicy(4, rng=random.Random(0))
+        for key in "abcd":
+            policy.insert(key)
+        policy.remove("b")
+        assert "b" not in policy
+        assert len(policy) == 3
+        assert set(policy.keys()) == set("acd")
+
+    def test_remove_missing_is_noop(self):
+        policy = RandomPolicy(2, rng=random.Random(0))
+        policy.insert("a")
+        policy.remove("zzz")
+        assert len(policy) == 1
+
+    def test_touch_missing_raises(self):
+        policy = RandomPolicy(2, rng=random.Random(0))
+        with pytest.raises(KeyError):
+            policy.touch("missing")
+
+    def test_eviction_is_roughly_uniform(self):
+        policy = RandomPolicy(4, rng=random.Random(7))
+        from collections import Counter
+
+        counts = Counter()
+        for key in range(4):
+            policy.insert(key)
+        previous = set(range(4))
+        for i in range(4, 4004):
+            victim = policy.insert(i)
+            counts[victim is not None] += 1
+        assert counts[True] == 4000
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_make_policy(self, name):
+        policy = make_policy(name, 4)
+        policy.insert("a")
+        assert "a" in policy
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("plru", 4)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("lru", 0)

@@ -1,0 +1,74 @@
+"""Tests for repro.sim.replication."""
+
+import pytest
+
+from repro.core.config import StreamConfig
+from repro.sim.replication import MetricSummary, replicate, summarize
+from repro.sim.runner import MissTraceCache
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.spread == 2.0
+        assert summary.n == 3
+
+    def test_population_std(self):
+        summary = summarize([2.0, 4.0])
+        assert summary.std == pytest.approx(1.0)
+
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0
+        assert summary.spread == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestReplicate:
+    def test_deterministic_workload_has_zero_spread(self):
+        cache = MissTraceCache()
+        results, summaries = replicate(
+            "sweep",
+            StreamConfig.jouppi(n_streams=2),
+            seeds=(0, 1, 2),
+            scale=0.25,
+            cache=cache,
+        )
+        assert len(results) == 3
+        # The sweep microbenchmark has no randomness at all.
+        assert summaries["hit_pct"].spread == pytest.approx(0.0)
+
+    def test_random_workload_has_small_spread(self):
+        cache = MissTraceCache()
+        _, summaries = replicate(
+            "buk",
+            StreamConfig.jouppi(n_streams=10),
+            seeds=(0, 1, 2),
+            cache=cache,
+        )
+        # Seed noise exists but the shape is stable.
+        assert summaries["hit_pct"].spread < 8.0
+        assert summaries["hit_pct"].mean > 50
+
+    def test_seed_reaches_results(self):
+        cache = MissTraceCache()
+        results, _ = replicate(
+            "random",
+            StreamConfig.jouppi(n_streams=2),
+            seeds=(7, 8),
+            cache=cache,
+        )
+        assert [r.seed for r in results] == [7, 8]
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate("sweep", StreamConfig.jouppi(), seeds=())

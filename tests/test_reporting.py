@@ -1,0 +1,97 @@
+"""Tests for repro.reporting.tables and repro.reporting.figures."""
+
+import pytest
+
+from repro.reporting.figures import render_bars, render_series
+from repro.reporting.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_float_precision(self):
+        assert format_cell(3.14159, precision=2) == "3.14"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int_and_str(self):
+        assert format_cell(42) == "42"
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_basic_structure(self):
+        out = render_table(["name", "value"], [["a", 1.0], ["bb", 2.5]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "bb" in lines[4]
+
+    def test_numeric_columns_right_aligned(self):
+        out = render_table(["n", "v"], [["a", 5], ["b", 123]])
+        lines = out.splitlines()
+        assert lines[-1].endswith("123")
+        assert lines[-2].endswith("  5")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+    def test_none_cells_render_dash(self):
+        out = render_table(["a"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+
+class TestRenderSeries:
+    def test_contains_legend_and_axis(self):
+        out = render_series(
+            {"one": {1.0: 10.0, 2.0: 20.0}},
+            y_label="hit %",
+            x_label="streams",
+        )
+        assert "legend" in out
+        assert "one" in out
+        assert "streams" in out
+
+    def test_multiple_series_distinct_marks(self):
+        out = render_series({"a": {1.0: 5.0}, "b": {1.0: 10.0}})
+        assert "o=a" in out
+        assert "x=b" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_series({})
+        with pytest.raises(ValueError):
+            render_series({"a": {}})
+
+    def test_y_max_clamps(self):
+        out = render_series({"a": {1.0: 50.0}}, y_max=100.0, height=8)
+        assert "100.0" in out
+
+    def test_title(self):
+        out = render_series({"a": {1.0: 1.0}}, title="My chart")
+        assert out.splitlines()[0] == "My chart"
+
+
+class TestRenderBars:
+    def test_bar_lengths_proportional(self):
+        out = render_bars({"a": 50.0, "b": 100.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_values_shown(self):
+        out = render_bars({"x": 12.3})
+        assert "12.3%" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars({})

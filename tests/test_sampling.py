@@ -1,0 +1,65 @@
+"""Tests for repro.trace.sampling (time sampling, paper Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import Trace
+from repro.trace.sampling import TimeSampler, time_sample
+
+
+class TestTimeSampler:
+    def test_paper_defaults_keep_ten_percent(self):
+        sampler = TimeSampler()
+        assert sampler.on_window == 10_000
+        assert sampler.off_window == 90_000
+        assert sampler.sampling_ratio == pytest.approx(0.10)
+
+    def test_mask_keeps_on_window_prefix(self):
+        sampler = TimeSampler(on_window=2, off_window=3)
+        mask = sampler.mask(10)
+        assert mask.tolist() == [True, True, False, False, False] * 2
+
+    def test_phase_shifts_window(self):
+        sampler = TimeSampler(on_window=2, off_window=3, phase=2)
+        mask = sampler.mask(5)
+        assert mask.tolist() == [False, False, False, True, True]
+
+    def test_sample_selects_matching_accesses(self):
+        trace = Trace.uniform(np.arange(10) * 8)
+        sampled = TimeSampler(on_window=1, off_window=4).sample(trace)
+        assert [a.addr for a in sampled] == [0, 40]
+
+    def test_sample_empty_trace(self):
+        trace = Trace.empty()
+        assert len(TimeSampler().sample(trace)) == 0
+
+    def test_sample_ratio_approximate_on_long_trace(self):
+        trace = Trace.uniform(np.arange(100_000))
+        sampled = time_sample(trace)
+        assert len(sampled) == pytest.approx(10_000, rel=0.01)
+
+    def test_off_window_zero_keeps_everything(self):
+        trace = Trace.uniform(np.arange(100))
+        sampled = TimeSampler(on_window=10, off_window=0).sample(trace)
+        assert len(sampled) == 100
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSampler(on_window=0)
+        with pytest.raises(ValueError):
+            TimeSampler(off_window=-1)
+        with pytest.raises(ValueError):
+            TimeSampler(phase=-1)
+
+    def test_sampling_preserves_kinds(self):
+        from repro.trace.events import AccessKind
+
+        trace = Trace.uniform(np.arange(6), AccessKind.WRITE)
+        sampled = TimeSampler(on_window=1, off_window=1).sample(trace)
+        assert all(a.kind is AccessKind.WRITE for a in sampled)
+
+    def test_sampled_subsequence_order_preserved(self):
+        trace = Trace.uniform(np.arange(1000))
+        sampled = TimeSampler(on_window=7, off_window=13).sample(trace)
+        addrs = [a.addr for a in sampled]
+        assert addrs == sorted(addrs)

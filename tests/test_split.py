@@ -1,0 +1,98 @@
+"""Tests for repro.caches.split (the paper's 64K I + 64K D L1)."""
+
+import numpy as np
+import pytest
+
+from repro.caches.cache import CacheConfig, MissEventKind
+from repro.caches.split import SplitL1, SplitL1Config
+from repro.trace.events import Access, AccessKind, Trace
+
+
+class TestConfig:
+    def test_defaults_are_paper(self):
+        config = SplitL1Config()
+        assert config.icache.capacity == 64 * 1024
+        assert config.dcache.capacity == 64 * 1024
+        assert config.block_bits == 6
+
+    def test_mismatched_block_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SplitL1Config(
+                icache=CacheConfig(capacity=1024, assoc=2, block_size=64),
+                dcache=CacheConfig(capacity=1024, assoc=2, block_size=128),
+            )
+
+
+class TestRouting:
+    def test_data_only_trace_uses_dcache(self):
+        l1 = SplitL1()
+        trace = Trace.uniform(np.arange(256, dtype=np.int64) * 64)
+        l1.simulate(trace)
+        assert l1.dcache.stats.accesses == 256
+        assert l1.icache.stats.accesses == 0
+
+    def test_ifetches_go_to_icache(self):
+        l1 = SplitL1()
+        trace = Trace.from_accesses([Access.ifetch(0), Access.read(1 << 20)])
+        l1.simulate(trace)
+        assert l1.icache.stats.accesses == 1
+        assert l1.dcache.stats.accesses == 1
+
+    def test_same_address_disjoint_between_caches(self):
+        l1 = SplitL1()
+        trace = Trace.from_accesses([Access.read(0), Access.ifetch(0)])
+        miss = l1.simulate(trace)
+        # Both miss: the caches do not share contents.
+        assert miss.n_misses == 2
+
+    def test_ifetch_misses_marked(self):
+        l1 = SplitL1()
+        trace = Trace.from_accesses([Access.ifetch(0), Access.read(64)])
+        miss = l1.simulate(trace)
+        assert miss.kinds.tolist() == [
+            int(MissEventKind.IFETCH_MISS),
+            int(MissEventKind.READ_MISS),
+        ]
+
+    def test_miss_order_preserved_across_caches(self):
+        l1 = SplitL1()
+        trace = Trace.from_accesses(
+            [Access.read(0), Access.ifetch(1 << 16), Access.write(1 << 20)]
+        )
+        miss = l1.simulate(trace)
+        assert miss.addrs.tolist() == [0, 1 << 16, 1 << 20]
+
+    def test_combined_stats(self):
+        l1 = SplitL1()
+        trace = Trace.from_accesses([Access.ifetch(0), Access.read(0), Access.read(0)])
+        l1.simulate(trace)
+        assert l1.stats.accesses == 3
+        assert l1.stats.hits == 1
+
+    def test_weighted_with_ifetch_rejected(self):
+        l1 = SplitL1()
+        trace = Trace.from_accesses([Access.ifetch(0)])
+        with pytest.raises(ValueError):
+            l1.simulate(trace, weights=np.ones(1, dtype=np.int64))
+
+    def test_weights_supported_for_data_only(self):
+        l1 = SplitL1()
+        trace = Trace.uniform([0, 128])
+        l1.simulate(trace, weights=np.array([4, 4], dtype=np.int64))
+        assert l1.stats.accesses == 8
+
+
+class TestInstructionMissClaim:
+    def test_small_loop_body_has_negligible_i_misses(self):
+        """Paper Section 5: a 64KB I-cache makes I-misses negligible."""
+        from repro.workloads.instructions import with_instructions
+
+        data = Trace.uniform(np.arange(20_000, dtype=np.int64) * 64 + (1 << 22))
+        trace = with_instructions(data, code_bytes=16 * 1024, per_access=2)
+        l1 = SplitL1()
+        l1.simulate(trace)
+        i_stats = l1.icache.stats
+        assert i_stats.accesses == 40_000
+        # Only the cold footprint misses: 16KB / 64B = 256 blocks.
+        assert i_stats.misses <= 256
+        assert i_stats.miss_rate < 0.01

@@ -1,0 +1,123 @@
+"""Tests for repro.core.stream_buffer (single FIFO buffer, Figure 2)."""
+
+import pytest
+
+from repro.core.stream_buffer import StreamBuffer
+
+
+class TestAllocation:
+    def test_inactive_until_allocated(self):
+        stream = StreamBuffer(depth=2)
+        assert not stream.active
+        assert stream.head is None
+        assert not stream.head_matches(0)
+
+    def test_allocate_fills_depth_entries(self):
+        stream = StreamBuffer(depth=3)
+        issued = stream.allocate(100, stride=1)
+        assert issued == [100, 101, 102]
+        assert len(stream) == 3
+        assert stream.head.block == 100
+
+    def test_strided_allocation(self):
+        stream = StreamBuffer(depth=2)
+        issued = stream.allocate(50, stride=10)
+        assert issued == [50, 60]
+
+    def test_negative_stride(self):
+        stream = StreamBuffer(depth=2)
+        issued = stream.allocate(50, stride=-4)
+        assert issued == [50, 46]
+
+    def test_zero_stride_rejected(self):
+        stream = StreamBuffer(depth=2)
+        with pytest.raises(ValueError):
+            stream.allocate(0, stride=0)
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ValueError):
+            StreamBuffer(depth=0)
+
+    def test_reallocation_discards_old_entries(self):
+        stream = StreamBuffer(depth=2)
+        stream.allocate(10, 1)
+        stream.allocate(500, 1)
+        assert stream.head.block == 500
+        assert len(stream) == 2
+
+
+class TestConsume:
+    def test_consume_advances_fifo(self):
+        stream = StreamBuffer(depth=2)
+        stream.allocate(10, 1)
+        issued = stream.consume_head()
+        assert issued == 12  # keeps the FIFO `depth` deep
+        assert stream.head.block == 11
+
+    def test_consume_counts_hits(self):
+        stream = StreamBuffer(depth=2)
+        stream.allocate(10, 1)
+        stream.consume_head()
+        stream.consume_head()
+        assert stream.hits_since_alloc == 2
+
+    def test_consume_strided(self):
+        stream = StreamBuffer(depth=2)
+        stream.allocate(0, 7)
+        assert stream.consume_head() == 14
+        assert stream.consume_head() == 21
+
+    def test_consume_inactive_raises(self):
+        stream = StreamBuffer(depth=2)
+        with pytest.raises(RuntimeError):
+            stream.consume_head()
+
+    def test_head_matches_only_head(self):
+        stream = StreamBuffer(depth=3)
+        stream.allocate(10, 1)
+        assert stream.head_matches(10)
+        assert not stream.head_matches(11)  # present, but not at head
+
+
+class TestFlush:
+    def test_flush_returns_discard_count(self):
+        stream = StreamBuffer(depth=3)
+        stream.allocate(10, 1)
+        stream.consume_head()
+        assert stream.flush() == 3  # refilled on consume
+        assert not stream.active
+
+    def test_flush_resets_hit_counter(self):
+        stream = StreamBuffer(depth=2)
+        stream.allocate(10, 1)
+        stream.consume_head()
+        stream.flush()
+        assert stream.hits_since_alloc == 0
+
+
+class TestInvalidate:
+    def test_invalidate_marks_entry_stale(self):
+        stream = StreamBuffer(depth=2)
+        stream.allocate(10, 1)
+        assert stream.invalidate(11) == 1
+        entries = stream.entries()
+        assert entries[0].valid
+        assert not entries[1].valid
+
+    def test_invalidated_head_never_matches(self):
+        stream = StreamBuffer(depth=2)
+        stream.allocate(10, 1)
+        stream.invalidate(10)
+        assert not stream.head_matches(10)
+
+    def test_invalidate_absent_block(self):
+        stream = StreamBuffer(depth=2)
+        stream.allocate(10, 1)
+        assert stream.invalidate(999) == 0
+
+    def test_issue_seq_recorded(self):
+        stream = StreamBuffer(depth=2)
+        stream.allocate(10, 1, issue_seq=42)
+        assert all(e.issue_seq == 42 for e in stream.entries())
+        stream.consume_head(issue_seq=50)
+        assert stream.entries()[-1].issue_seq == 50

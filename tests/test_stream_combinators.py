@@ -1,0 +1,91 @@
+"""Tests for repro.trace.stream (trace combinators)."""
+
+import pytest
+
+from repro.trace.events import AccessKind, Trace
+from repro.trace.stream import blocked_interleave, interleave, repeat, take
+
+
+def addrs(trace):
+    return [a.addr for a in trace]
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        a = Trace.uniform([1, 2, 3])
+        b = Trace.uniform([10, 20, 30])
+        assert addrs(interleave([a, b])) == [1, 10, 2, 20, 3, 30]
+
+    def test_shorter_trace_drops_out(self):
+        a = Trace.uniform([1, 2, 3])
+        b = Trace.uniform([10])
+        assert addrs(interleave([a, b])) == [1, 10, 2, 3]
+
+    def test_single_trace_passthrough(self):
+        a = Trace.uniform([1, 2])
+        assert interleave([a]) == a
+
+    def test_empty_inputs(self):
+        assert len(interleave([])) == 0
+        assert len(interleave([Trace.empty(), Trace.empty()])) == 0
+
+    def test_kinds_preserved(self):
+        a = Trace.uniform([1], AccessKind.WRITE)
+        b = Trace.uniform([2], AccessKind.READ)
+        out = interleave([a, b])
+        assert out[0].kind is AccessKind.WRITE
+        assert out[1].kind is AccessKind.READ
+
+
+class TestBlockedInterleave:
+    def test_granule_groups_runs(self):
+        a = Trace.uniform([1, 2, 3, 4])
+        b = Trace.uniform([10, 20, 30, 40])
+        out = blocked_interleave([a, b], granule=2)
+        assert addrs(out) == [1, 2, 10, 20, 3, 4, 30, 40]
+
+    def test_partial_final_granule(self):
+        a = Trace.uniform([1, 2, 3])
+        b = Trace.uniform([10])
+        out = blocked_interleave([a, b], granule=2)
+        assert addrs(out) == [1, 2, 10, 3]
+
+    def test_total_length_preserved(self):
+        a = Trace.uniform(list(range(7)))
+        b = Trace.uniform(list(range(100, 105)))
+        out = blocked_interleave([a, b], granule=3)
+        assert len(out) == 12
+
+    def test_invalid_granule(self):
+        with pytest.raises(ValueError):
+            blocked_interleave([Trace.uniform([1])], granule=0)
+
+
+class TestRepeat:
+    def test_repeat_twice(self):
+        assert addrs(repeat(Trace.uniform([1, 2]), 2)) == [1, 2, 1, 2]
+
+    def test_repeat_zero(self):
+        assert len(repeat(Trace.uniform([1]), 0)) == 0
+
+    def test_repeat_empty(self):
+        assert len(repeat(Trace.empty(), 5)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            repeat(Trace.uniform([1]), -1)
+
+
+class TestTake:
+    def test_take_prefix(self):
+        assert addrs(take(Trace.uniform([1, 2, 3]), 2)) == [1, 2]
+
+    def test_take_more_than_length(self):
+        assert addrs(take(Trace.uniform([1, 2]), 10)) == [1, 2]
+
+    def test_take_zero(self):
+        assert len(take(Trace.uniform([1]), 0)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            take(Trace.uniform([1]), -1)

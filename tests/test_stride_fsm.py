@@ -1,0 +1,66 @@
+"""Tests for repro.core.stride_fsm (Figure 7's FSM)."""
+
+from repro.core.stride_fsm import FsmState, StrideFsm
+
+
+class TestStateProgression:
+    def test_first_address_enters_meta1(self):
+        fsm = StrideFsm()
+        assert fsm.observe(1000) is None
+        assert fsm.state is FsmState.META1
+        assert fsm.last_addr == 1000
+
+    def test_second_address_enters_meta2_with_guess(self):
+        fsm = StrideFsm()
+        fsm.observe(1000)
+        assert fsm.observe(1128) is None
+        assert fsm.state is FsmState.META2
+        assert fsm.stride == 128
+
+    def test_third_matching_delta_verifies(self):
+        fsm = StrideFsm()
+        fsm.observe(1000)
+        fsm.observe(1128)
+        assert fsm.observe(1256) == 128
+
+    def test_mismatched_delta_updates_guess(self):
+        fsm = StrideFsm()
+        fsm.observe(1000)
+        fsm.observe(1128)
+        assert fsm.observe(1500) is None
+        assert fsm.stride == 372
+
+    def test_recovers_after_mismatch(self):
+        fsm = StrideFsm()
+        fsm.observe(0)
+        fsm.observe(100)
+        fsm.observe(500)  # guess becomes 400
+        assert fsm.observe(900) == 400
+
+    def test_negative_stride_verified(self):
+        fsm = StrideFsm()
+        fsm.observe(1000)
+        fsm.observe(900)
+        assert fsm.observe(800) == -100
+
+    def test_zero_delta_never_verifies(self):
+        fsm = StrideFsm()
+        fsm.observe(1000)
+        fsm.observe(1000)
+        assert fsm.observe(1000) is None
+
+    def test_starting_at_constructor(self):
+        fsm = StrideFsm.starting_at(640)
+        assert fsm.state is FsmState.META1
+        fsm.observe(704)
+        assert fsm.observe(768) == 64
+
+    def test_verification_does_not_mutate_state(self):
+        """After verification the caller frees the entry; the FSM itself
+        keeps its pre-verification fields (the hardware entry is gone)."""
+        fsm = StrideFsm()
+        fsm.observe(0)
+        fsm.observe(10)
+        stride = fsm.observe(20)
+        assert stride == 10
+        assert fsm.stride == 10

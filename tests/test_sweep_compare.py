@@ -1,0 +1,106 @@
+"""Tests for repro.sim.sweep and repro.sim.compare."""
+
+import pytest
+
+from repro.core.config import StreamConfig
+from repro.sim.compare import format_size, min_matching_l2_size
+from repro.sim.runner import MissTraceCache
+from repro.sim.sweep import (
+    compare_configs,
+    sweep_czone_bits,
+    sweep_depth,
+    sweep_n_streams,
+)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return MissTraceCache()
+
+
+class TestSweepNStreams:
+    def test_interleaved_needs_enough_streams(self, cache):
+        results = sweep_n_streams(
+            "interleaved", n_streams_values=(1, 2, 8), scale=0.25, cache=cache
+        )
+        assert results[1].hit_rate < 0.1
+        assert results[8].hit_rate > 0.9
+
+    def test_hit_rate_monotone_up_to_saturation(self, cache):
+        results = sweep_n_streams(
+            "interleaved", n_streams_values=(2, 4, 6, 8), scale=0.25, cache=cache
+        )
+        rates = [results[n].hit_rate for n in (2, 4, 6, 8)]
+        assert rates == sorted(rates)
+
+    def test_configs_preserved(self, cache):
+        results = sweep_n_streams("sweep", n_streams_values=(3,), scale=0.25, cache=cache)
+        assert results[3].config.n_streams == 3
+
+
+class TestSweepCzone:
+    def test_stride_workload_band(self, cache):
+        results = sweep_czone_bits(
+            "stride", czone_bits_values=(8, 14, 20), scale=0.25, cache=cache
+        )
+        # 1KB stride: an 8-bit czone cannot hold two strided refs.
+        assert results[8].hit_rate < 0.05
+        assert results[14].hit_rate > 0.9
+
+    def test_requires_czone_config(self, cache):
+        with pytest.raises(ValueError):
+            sweep_czone_bits("stride", base=StreamConfig.filtered(), cache=cache)
+
+
+class TestSweepDepth:
+    def test_depth_does_not_reduce_sequential_hits(self, cache):
+        results = sweep_depth("sweep", depth_values=(1, 4), scale=0.25, cache=cache)
+        assert results[4].hit_rate >= results[1].hit_rate
+
+
+class TestCompareConfigs:
+    def test_labels_map_to_results(self, cache):
+        results = compare_configs(
+            "sweep",
+            {"plain": StreamConfig.jouppi(n_streams=2), "filtered": StreamConfig.filtered(n_streams=2)},
+            scale=0.25,
+            cache=cache,
+        )
+        assert set(results) == {"plain", "filtered"}
+        assert results["plain"].hit_rate > 0.99
+
+
+class TestMinMatchingL2:
+    def test_random_workload_matched_by_smallest_l2(self, cache):
+        # Streams do nothing on random references, so the smallest L2
+        # already reaches the (near-zero) stream hit rate.
+        result = min_matching_l2_size("random", cache=cache)
+        assert result.matched_size == 64 * 1024
+        assert result.stream_stats.hit_rate < 0.05
+
+    def test_sweep_workload_unmatchable(self, cache):
+        # A pure one-pass sweep has no reuse for any L2, while streams
+        # are nearly perfect: no cache size can match.
+        result = min_matching_l2_size("sweep", scale=0.25, cache=cache)
+        assert result.matched_size is None
+        # The 128B-block L2 configs reach 50% from spatial locality (the
+        # L1 misses both halves); no config approaches the stream rate.
+        assert all(rate <= 0.55 for _, rate in result.l2_hit_rates)
+
+    def test_l2_rates_recorded_per_size(self, cache):
+        result = min_matching_l2_size("random", cache=cache)
+        sizes = [size for size, _ in result.l2_hit_rates]
+        assert sizes == sorted(sizes)
+
+
+class TestFormatSize:
+    def test_kb(self):
+        assert format_size(64 * 1024) == "64 KB"
+        assert format_size(512 * 1024) == "512 KB"
+
+    def test_mb(self):
+        assert format_size(1 << 20) == "1 MB"
+        assert format_size(2 << 20) == "2 MB"
+
+    def test_unmatched(self):
+        assert format_size(None) == ">4 MB"

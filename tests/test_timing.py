@@ -1,0 +1,157 @@
+"""Tests for repro.timing."""
+
+import pytest
+
+from repro.caches.cache import CacheConfig
+from repro.caches.secondary import SecondaryResult
+from repro.core.config import StreamConfig
+from repro.core.prefetcher import StreamStats
+from repro.sim.results import L1Summary
+from repro.timing import (
+    TimingModel,
+    compare_designs,
+    evaluate_timing,
+    l2_system_timing,
+    stream_system_timing,
+)
+
+
+def make_l1(accesses=10_000, misses=1_000, writebacks=100):
+    return L1Summary(
+        accesses=accesses,
+        misses=misses,
+        writebacks=writebacks,
+        ifetch_misses=0,
+        miss_rate=misses / accesses,
+        trace_length=accesses,
+        data_set_bytes=1 << 20,
+    )
+
+
+def make_streams(demand=1_000, hits=700, issued=800, used=700):
+    stats = StreamStats(config=StreamConfig.filtered())
+    stats.demand_misses = demand
+    stats.stream_hits = hits
+    stats.prefetches_issued = issued
+    stats.prefetches_used = used
+    return stats
+
+
+def make_l2(hit_rate=0.7, demand=1_000):
+    hits = int(demand * hit_rate)
+    return SecondaryResult(
+        config=CacheConfig(capacity=1 << 20, assoc=4, block_size=64, policy="lru"),
+        demand_accesses=demand,
+        demand_hits=hits,
+        writebacks_received=0,
+        sampled_sets=1,
+    )
+
+
+class TestModelValidation:
+    def test_defaults_valid(self):
+        TimingModel()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"l1_hit_cycles": 0},
+            {"memory_cycles": -1},
+            {"block_transfer_cycles": 0},
+            {"max_utilisation": 1.0},
+            {"max_utilisation": 0.0},
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            TimingModel(**kwargs)
+
+    def test_bandwidth_factor(self):
+        wide = TimingModel().with_bandwidth_factor(2.0)
+        assert wide.block_transfer_cycles == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            TimingModel().with_bandwidth_factor(0)
+
+
+class TestEvaluateTiming:
+    def test_all_l1_hits_is_one_cycle(self):
+        report = evaluate_timing(
+            references=100,
+            l1_hits=100,
+            intermediate_hits=0,
+            memory_references=0,
+            traffic_blocks=0,
+            intermediate_cycles=4.0,
+            model=TimingModel(),
+        )
+        assert report.amat == pytest.approx(1.0)
+        assert report.utilisation == 0.0
+
+    def test_memory_references_raise_amat(self):
+        base = evaluate_timing(100, 100, 0, 0, 0, 4.0, TimingModel())
+        slow = evaluate_timing(100, 90, 0, 10, 10, 4.0, TimingModel())
+        assert slow.amat > base.amat + 5
+
+    def test_contention_inflates_latency(self):
+        light = evaluate_timing(1000, 900, 0, 100, 100, 4.0, TimingModel())
+        heavy = evaluate_timing(1000, 900, 0, 100, 2000, 4.0, TimingModel())
+        assert heavy.amat > light.amat
+        assert heavy.utilisation > light.utilisation
+        assert heavy.effective_memory_cycles > light.effective_memory_cycles
+
+    def test_utilisation_capped(self):
+        report = evaluate_timing(100, 0, 0, 100, 100_000, 4.0, TimingModel())
+        assert report.utilisation <= 0.95
+
+    def test_breakdown_must_sum(self):
+        with pytest.raises(ValueError):
+            evaluate_timing(100, 50, 10, 10, 0, 4.0, TimingModel())
+
+    def test_positive_references_required(self):
+        with pytest.raises(ValueError):
+            evaluate_timing(0, 0, 0, 0, 0, 4.0, TimingModel())
+
+    def test_total_cycles(self):
+        report = evaluate_timing(100, 100, 0, 0, 0, 4.0, TimingModel())
+        assert report.total_cycles == pytest.approx(100.0)
+
+
+class TestSystemTimings:
+    def test_stream_hits_cheaper_than_memory(self):
+        l1 = make_l1()
+        good = stream_system_timing(l1, make_streams(hits=900, used=900, issued=950))
+        bad = stream_system_timing(l1, make_streams(hits=100, used=100, issued=150))
+        assert good.amat < bad.amat
+
+    def test_useless_prefetches_cost_bandwidth(self):
+        l1 = make_l1()
+        clean = stream_system_timing(l1, make_streams(issued=750, used=700))
+        wasteful = stream_system_timing(l1, make_streams(issued=3000, used=700))
+        assert wasteful.utilisation > clean.utilisation
+        assert wasteful.amat >= clean.amat
+
+    def test_l2_system(self):
+        l1 = make_l1()
+        strong = l2_system_timing(l1, make_l2(hit_rate=0.9))
+        weak = l2_system_timing(l1, make_l2(hit_rate=0.2))
+        assert strong.amat < weak.amat
+
+    def test_comparison_speedup_direction(self):
+        l1 = make_l1()
+        comparison = compare_designs(
+            l1,
+            make_streams(hits=800, used=800, issued=850),
+            make_l2(hit_rate=0.3),
+        )
+        assert comparison.speedup > 1.0  # good streams beat a weak L2
+
+    def test_equal_hit_rates_favour_streams_slightly(self):
+        """The paper: stream hits can be faster than L2 hits (no RAM
+        lookup), so at equal hit rates streams win on latency."""
+        l1 = make_l1()
+        comparison = compare_designs(
+            l1,
+            make_streams(hits=700, used=700, issued=750),
+            make_l2(hit_rate=0.7),
+        )
+        assert comparison.speedup > 1.0

@@ -1,0 +1,81 @@
+"""Tests for repro.trace.io."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.trace.events import Access, AccessKind, Trace
+from repro.trace.io import dump_text, load_trace, parse_text, save_trace
+
+
+@pytest.fixture
+def mixed_trace():
+    return Trace.from_accesses(
+        [Access.read(0x1000), Access.write(0x2000), Access.ifetch(0x40)]
+    )
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, tmp_path, mixed_trace):
+        path = tmp_path / "trace.npz"
+        save_trace(mixed_trace, path)
+        loaded = load_trace(path)
+        assert loaded == mixed_trace
+
+    def test_roundtrip_empty(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_trace(Trace.empty(), path)
+        assert len(load_trace(path)) == 0
+
+    def test_roundtrip_large(self, tmp_path):
+        trace = Trace.uniform(np.arange(100_000, dtype=np.int64) * 8)
+        path = tmp_path / "big.npz"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, whatever=np.arange(3))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_rejects_future_version(self, tmp_path, mixed_trace):
+        path = tmp_path / "future.npz"
+        np.savez(
+            path,
+            version=np.int64(999),
+            addrs=mixed_trace.addrs,
+            kinds=mixed_trace.kinds,
+        )
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestTextFormat:
+    def test_dump_format(self, mixed_trace):
+        out = io.StringIO()
+        dump_text(mixed_trace, out)
+        lines = out.getvalue().splitlines()
+        assert lines == ["R 0x1000", "W 0x2000", "I 0x40"]
+
+    def test_parse_roundtrip(self, mixed_trace):
+        out = io.StringIO()
+        dump_text(mixed_trace, out)
+        assert parse_text(out.getvalue().splitlines()) == mixed_trace
+
+    def test_parse_skips_comments_and_blanks(self):
+        trace = parse_text(["# header", "", "R 0x10", "  ", "W 32"])
+        assert trace == Trace.from_accesses([Access.read(16), Access.write(32)])
+
+    def test_parse_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            parse_text(["X 0x10"])
+
+    def test_parse_rejects_bad_arity(self):
+        with pytest.raises(ValueError):
+            parse_text(["R 0x10 extra"])
+
+    def test_parse_decimal_addresses(self):
+        trace = parse_text(["R 100"])
+        assert trace[0].addr == 100

@@ -1,0 +1,103 @@
+"""Tests for repro.trace.stats."""
+
+import numpy as np
+import pytest
+
+from repro.mem.address import AddressSpace
+from repro.trace.events import Access, AccessKind, Trace
+from repro.trace.stats import (
+    block_run_lengths,
+    profile_trace,
+    stride_histogram,
+)
+
+
+class TestStrideHistogram:
+    def test_constant_stride_dominates(self):
+        trace = Trace.uniform(np.arange(100, dtype=np.int64) * 8)
+        hist = stride_histogram(trace)
+        assert hist[8] == 99
+
+    def test_mixed_strides_counted(self):
+        trace = Trace.uniform([0, 8, 16, 1000, 1008])
+        hist = stride_histogram(trace)
+        assert hist[8] == 3
+        assert hist[984] == 1
+
+    def test_ifetches_excluded(self):
+        trace = Trace.from_accesses([Access.read(0), Access.ifetch(999), Access.read(8)])
+        hist = stride_histogram(trace)
+        assert hist == {8: 1}
+
+    def test_short_trace(self):
+        assert stride_histogram(Trace.uniform([1])) == {}
+        assert stride_histogram(Trace.empty()) == {}
+
+    def test_top_limits_output(self):
+        trace = Trace.uniform([0, 1, 3, 6, 10, 15])  # all distinct deltas
+        hist = stride_histogram(trace, top=2)
+        assert len(hist) == 2
+
+
+class TestBlockRunLengths:
+    def test_single_long_run(self):
+        trace = Trace.uniform(np.arange(8, dtype=np.int64) * 64)
+        runs = block_run_lengths(trace)
+        assert runs == {8: 1}
+
+    def test_repeats_extend_nothing(self):
+        trace = Trace.uniform([0, 0, 8, 64, 64])
+        runs = block_run_lengths(trace)
+        assert runs == {2: 1}
+
+    def test_jump_breaks_run(self):
+        trace = Trace.uniform([0, 64, 4096, 4160])
+        runs = block_run_lengths(trace)
+        assert runs == {2: 2}
+
+    def test_empty(self):
+        assert block_run_lengths(Trace.empty()) == {}
+
+
+class TestProfile:
+    def test_counts(self):
+        trace = Trace.from_accesses(
+            [Access.read(0), Access.write(8), Access.ifetch(64)]
+        )
+        profile = profile_trace(trace)
+        assert profile.length == 3
+        assert profile.data_accesses == 2
+        assert profile.writes == 1
+        assert profile.ifetches == 1
+
+    def test_unique_blocks_and_footprint(self):
+        trace = Trace.uniform([0, 8, 64, 128])
+        profile = profile_trace(trace)
+        assert profile.unique_blocks == 3
+        assert profile.footprint_bytes == 192
+
+    def test_unit_stride_fraction(self):
+        trace = Trace.uniform(np.arange(101, dtype=np.int64) * 8)
+        profile = profile_trace(trace)
+        assert profile.unit_stride_fraction == pytest.approx(1.0)
+
+    def test_random_has_low_unit_fraction(self):
+        rng = np.random.default_rng(0)
+        trace = Trace.uniform(rng.integers(0, 1 << 24, size=1000) * 8)
+        profile = profile_trace(trace)
+        assert profile.unit_stride_fraction < 0.05
+
+    def test_empty_profile(self):
+        profile = profile_trace(Trace.empty())
+        assert profile.length == 0
+        assert profile.mean_block_run == 0.0
+
+    def test_mean_block_run(self):
+        trace = Trace.uniform([0, 64, 4096, 4160, 4224])
+        profile = profile_trace(trace)
+        assert profile.mean_block_run == pytest.approx(2.5)
+
+    def test_block_size_respected(self):
+        trace = Trace.uniform([0, 64])
+        profile = profile_trace(trace, AddressSpace(block_size=128))
+        assert profile.unique_blocks == 1

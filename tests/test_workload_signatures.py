@@ -1,0 +1,164 @@
+"""Per-benchmark miss-stream signatures.
+
+Each paper benchmark's model claims a specific access structure (its
+class docstring); these tests pin that structure down on the *L1 miss
+stream* — the input the stream buffers actually see — at a reduced
+scale.  They are the regression net for the calibration recorded in
+EXPERIMENTS.md.
+
+Note on metrics: concurrent array walks *interleave* in the miss
+stream, so consecutive-run statistics understate streaming (that is
+precisely why multi-way stream buffers exist).  Regularity therefore
+shows up as *delta concentration*: a streaming miss stream is dominated
+by a handful of constant byte deltas (the walks' strides and the
+constant separations between interleaved walks), while indirection
+spreads the delta histogram flat.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.sim.runner import MissTraceCache
+
+SCALE = 0.5
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return MissTraceCache()
+
+
+def demand_addrs(cache, name):
+    mt, _ = cache.get(name, scale=SCALE)
+    return mt.misses_only().addrs, mt.block_bits
+
+
+def delta_histogram(cache, name):
+    addrs, _ = demand_addrs(cache, name)
+    return Counter(np.diff(addrs).tolist())
+
+
+def top_delta_share(cache, name, k):
+    """Fraction of miss-to-miss deltas covered by the k most common."""
+    hist = delta_histogram(cache, name)
+    total = sum(hist.values())
+    return sum(count for _, count in hist.most_common(k)) / total
+
+
+def run_share(cache, name, predicate):
+    """Fraction of misses inside consecutive-block runs matching predicate."""
+    addrs, block_bits = demand_addrs(cache, name)
+    blocks = (addrs >> block_bits).tolist()
+    runs = Counter()
+    run_len = 1
+    prev = blocks[0]
+    for block in blocks[1:]:
+        if block == prev:
+            continue
+        if block == prev + 1:
+            run_len += 1
+        else:
+            runs[run_len] += 1
+            run_len = 1
+        prev = block
+    runs[run_len] += 1
+    total = sum(length * count for length, count in runs.items())
+    return sum(length * count for length, count in runs.items() if predicate(length)) / total
+
+
+class TestNasSignatures:
+    def test_embar_pure_sequential_misses(self, cache):
+        # The tally array is cache-resident, so the miss stream is the
+        # bare table walk: block-sized deltas dominate and long
+        # consecutive-block runs carry most misses (random-replacement
+        # survivors punch occasional holes, so runs are long, not one).
+        hist = delta_histogram(cache, "embar")
+        total = sum(hist.values())
+        assert hist[64] / total > 0.9
+        assert run_share(cache, "embar", lambda length: length > 20) > 0.7
+
+    def test_mgrid_regular_multi_walk(self, cache):
+        # Stencil walks interleave, but their mutual separations are
+        # constant: a dozen deltas explain most of the stream.
+        assert top_delta_share(cache, "mgrid", 12) > 0.5
+
+    def test_cgm_dominated_by_csr_streams(self, cache):
+        # aval/colidx/x alternate with two constant separations: the
+        # most regular miss stream after embar.
+        assert top_delta_share(cache, "cgm", 6) > 0.9
+
+    def test_fftpde_constant_large_strides(self, cache):
+        hist = delta_histogram(cache, "fftpde")
+        total = sum(hist.values())
+        # Multiple distinct *large* constant deltas, each with real mass:
+        # the u<->w alternation composed with the dim-2/3 strides.
+        heavy = [
+            delta
+            for delta, count in hist.most_common(8)
+            if abs(delta) > 4096 and count / total > 0.05
+        ]
+        assert len(heavy) >= 3
+        assert top_delta_share(cache, "fftpde", 6) > 0.8
+
+    def test_buk_unit_reads_among_irregular_scatter(self, cache):
+        hist = delta_histogram(cache, "buk")
+        total = sum(hist.values())
+        # The key-array walk contributes a fat block-sized delta...
+        assert hist[64] / total > 0.2
+        # ...but the rank scatter keeps the overall stream irregular.
+        assert top_delta_share(cache, "buk", 6) < 0.55
+
+    def test_appsp_two_of_three_axes_strided(self, cache):
+        hist = delta_histogram(cache, "appsp")
+        n = 12  # scale 0.5 of 24
+        record = 5 * 8
+        assert hist[n * record] > 500  # y sweeps
+        assert hist[n * n * record] > 500  # z sweeps
+
+    def test_appbt_short_block_runs(self, cache):
+        assert run_share(cache, "appbt", lambda length: length <= 5) > 0.5
+
+    def test_applu_fragmented_but_regular(self, cache):
+        # Wavefront order fragments runs to a handful of blocks...
+        assert run_share(cache, "applu", lambda length: length <= 5) > 0.5
+        # ...yet the deltas stay structured (constant wavefront pitches).
+        assert top_delta_share(cache, "applu", 12) > 0.4
+
+
+class TestPerfectSignatures:
+    def test_spec77_streaming(self, cache):
+        assert top_delta_share(cache, "spec77", 6) > 0.6
+
+    def test_adm_indirection_dominated(self, cache):
+        assert top_delta_share(cache, "adm", 12) < 0.45
+        assert run_share(cache, "adm", lambda length: length > 20) < 0.2
+
+    def test_bdna_neighbour_cluster_runs(self, cache):
+        assert run_share(cache, "bdna", lambda length: 2 <= length <= 8) > 0.25
+
+    def test_dyfesm_most_irregular(self, cache):
+        assert top_delta_share(cache, "dyfesm", 12) < 0.35
+        assert run_share(cache, "dyfesm", lambda length: length <= 3) > 0.5
+
+    def test_mdg_split_personality(self, cache):
+        hist = delta_histogram(cache, "mdg")
+        total = sum(hist.values())
+        # Neighbour-run reads supply block-sized deltas...
+        assert hist[64] / total > 0.1
+        # ...while the pair scatter keeps concentration low.
+        assert top_delta_share(cache, "mdg", 6) < 0.5
+
+    def test_qcd_link_record_runs(self, cache):
+        # SU(3) links: 144B records at 288B checkerboard pitch.
+        assert run_share(cache, "qcd", lambda length: length <= 4) > 0.3
+
+    def test_trfd_rows_and_padded_columns(self, cache):
+        hist = delta_histogram(cache, "trfd")
+        m = 20  # scale 0.5 of 40
+        npair = m * (m + 1) // 2
+        lda = (npair + 7) & ~7
+        # Column passes: block-aligned constant stride of one padded row.
+        assert hist[lda * 8] > 1000
+        assert top_delta_share(cache, "trfd", 6) > 0.4

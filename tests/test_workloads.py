@@ -1,0 +1,153 @@
+"""Tests for the workload models and registry."""
+
+import numpy as np
+import pytest
+
+from repro.trace.stats import profile_trace
+from repro.workloads import (
+    NON_UNIT_STRIDE_BENCHMARKS,
+    PAPER_BENCHMARKS,
+    TABLE4_SCALES,
+    all_benchmarks,
+    get_workload,
+    workload_class,
+    workload_names,
+)
+from repro.workloads.base import BenchmarkInfo, Workload, register
+
+
+class TestRegistry:
+    def test_all_fifteen_paper_benchmarks_registered(self):
+        names = set(workload_names())
+        assert set(PAPER_BENCHMARKS) <= names
+        assert len(PAPER_BENCHMARKS) == 15
+
+    def test_suite_filter(self):
+        assert len(workload_names(suite="NAS")) == 8
+        assert len(workload_names(suite="PERFECT")) == 7
+        assert len(workload_names(suite="micro")) >= 4
+
+    def test_unknown_name_raises_with_hint(self):
+        with pytest.raises(KeyError, match="known:"):
+            workload_class("nonesuch")
+
+    def test_register_requires_info(self):
+        with pytest.raises(ValueError):
+
+            @register
+            class Bad(Workload):
+                def build(self):
+                    raise NotImplementedError
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+
+            @register
+            class Duplicate(Workload):
+                info = BenchmarkInfo(name="embar", suite="NAS", description="dup")
+
+                def build(self):
+                    raise NotImplementedError
+
+    def test_all_benchmarks_ordering(self):
+        infos = all_benchmarks()
+        suites = [i.suite for i in infos]
+        assert suites.index("PERFECT") > suites.index("NAS")
+
+    def test_table4_benchmarks_exist(self):
+        assert set(TABLE4_SCALES) <= set(PAPER_BENCHMARKS)
+
+    def test_non_unit_benchmarks_exist(self):
+        assert set(NON_UNIT_STRIDE_BENCHMARKS) <= set(PAPER_BENCHMARKS)
+
+
+class TestWorkloadBehaviour:
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_workload("sweep", scale=0)
+
+    def test_trace_cached_per_instance(self):
+        workload = get_workload("sweep")
+        assert workload.trace() is workload.trace()
+
+    def test_determinism_given_seed(self):
+        a = get_workload("buk", seed=3).trace()
+        b = get_workload("buk", seed=3).trace()
+        assert a == b
+
+    def test_seed_changes_random_content(self):
+        a = get_workload("random", seed=1).trace()
+        b = get_workload("random", seed=2).trace()
+        assert a != b
+
+    def test_dim_helper(self):
+        workload = get_workload("sweep", scale=2.0)
+        assert workload.dim(10) == 20
+        assert workload.dim(1, minimum=5) == 5
+
+    def test_repr(self):
+        assert "sweep" in repr(get_workload("sweep"))
+
+
+@pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+class TestPaperModels:
+    """Every benchmark model must build a structurally sane trace.
+
+    Uses a reduced scale to keep the suite fast; structural properties
+    are scale-invariant.
+    """
+
+    SCALE = 0.5
+
+    def test_builds_nonempty_trace(self, name):
+        workload = get_workload(name, scale=self.SCALE)
+        trace = workload.trace()
+        assert len(trace) > 10_000
+
+    def test_footprint_exceeds_primary_cache(self, name):
+        workload = get_workload(name, scale=self.SCALE)
+        workload.trace()
+        assert workload.data_set_bytes > 64 * 1024
+
+    def test_addresses_inside_allocations(self, name):
+        workload = get_workload(name, scale=self.SCALE)
+        trace = workload.trace()
+        addrs = trace.data_only().addrs
+        low = min(a.base for a in workload.arena.allocations)
+        high = max(a.end for a in workload.arena.allocations)
+        assert int(addrs.min()) >= low
+        assert int(addrs.max()) < high
+
+
+class TestStructuralSignatures:
+    """Spot-check the access-pattern structure each model claims."""
+
+    def test_embar_is_almost_all_unit_stride(self):
+        # Per loop iteration embar touches two consecutive table words
+        # plus a cache-resident tally, so at least a third of consecutive
+        # pairs are unit stride and the table walk itself is contiguous.
+        profile = profile_trace(get_workload("embar", scale=0.5).trace())
+        assert profile.unit_stride_fraction > 0.3
+
+    def test_fftpde_has_dominant_large_strides(self):
+        from repro.trace.stats import stride_histogram
+
+        trace = get_workload("fftpde", scale=0.5).trace()
+        hist = stride_histogram(trace, top=6)
+        assert any(abs(delta) >= 512 for delta in hist)
+
+    def test_adm_is_mostly_irregular(self):
+        profile = profile_trace(get_workload("adm").trace())
+        assert profile.mean_block_run < 6
+
+    def test_appbt_runs_are_short(self):
+        profile = profile_trace(get_workload("appbt", scale=0.5).trace())
+        assert profile.mean_block_run < 30
+
+    def test_writes_present_in_every_model(self):
+        for name in PAPER_BENCHMARKS:
+            trace = get_workload(name, scale=0.4).trace()
+            counts = trace.counts()
+            from repro.trace.events import AccessKind
+
+            assert counts[AccessKind.WRITE] > 0, name
