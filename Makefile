@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench exhibits examples clean
+.PHONY: install test bench bench-quick exhibits examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Reduced sweep through the parallel engine + trace store; asserts the
+# warm-store path is >=3x faster than a serial cold start and records
+# the timings in BENCH_PR1.json for cross-PR perf tracking.
+bench-quick:
+	PYTHONPATH=src python benchmarks/bench_quick.py
 
 # Regenerate every paper exhibit, printing the renderings.
 exhibits:
@@ -23,4 +29,5 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	rm -rf benchmarks/.trace-store
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -6,7 +6,7 @@ streams; embar/mgrid/cgm sit at the top; fftpde/appsp (non-unit strides)
 and adm/dyfesm (indirection) sit at the bottom.
 """
 
-from conftest import publish
+from conftest import publish, sweep_jobs
 
 from repro.reporting import experiments
 from repro.reporting.paper_data import FIGURE3_HIT_AT_10
@@ -14,7 +14,9 @@ from repro.reporting.paper_data import FIGURE3_HIT_AT_10
 
 def test_figure3(benchmark, miss_cache, results_dir):
     data = benchmark.pedantic(
-        lambda: experiments.figure3(cache=miss_cache), iterations=1, rounds=1
+        lambda: experiments.figure3(cache=miss_cache, jobs=sweep_jobs()),
+        iterations=1,
+        rounds=1,
     )
     rendered = experiments.render_figure3(data)
     publish(results_dir, "figure3", rendered)

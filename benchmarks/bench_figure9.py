@@ -6,14 +6,16 @@ unrelated walks alias into one partition); appsp and trfd are satisfied
 by any sufficiently large czone.
 """
 
-from conftest import publish
+from conftest import publish, sweep_jobs
 
 from repro.reporting import experiments
 
 
 def test_figure9(benchmark, miss_cache, results_dir):
     data = benchmark.pedantic(
-        lambda: experiments.figure9(cache=miss_cache), iterations=1, rounds=1
+        lambda: experiments.figure9(cache=miss_cache, jobs=sweep_jobs()),
+        iterations=1,
+        rounds=1,
     )
     rendered = experiments.render_figure9(data)
     publish(results_dir, "figure9", rendered)

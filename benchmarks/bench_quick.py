@@ -1,0 +1,116 @@
+"""Quick perf gate: serial cold-start vs warm-store parallel sweeps.
+
+Runs one reduced replication grid (4 workloads x 10 stream configs) three
+ways through the sweep engine —
+
+1. **serial cold**: ``jobs=1``, no store, fresh in-process cache (the
+   pre-engine behaviour: every invocation recomputes every L1 trace);
+2. **parallel cold**: ``jobs=4`` against an empty persistent store (this
+   is the run that populates it);
+3. **parallel warm**: ``jobs=4`` against the now-warm store (what every
+   later ``make bench`` / figure replication pays).
+
+It asserts the warm parallel pass is bit-identical to the serial pass
+and at least 3x faster than the serial cold start, then writes the
+numbers to ``BENCH_PR1.json`` at the repo root so later PRs have a
+timing trajectory to compare against.
+
+Run via ``make bench-quick`` (or ``PYTHONPATH=src python
+benchmarks/bench_quick.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import StreamConfig
+from repro.sim.parallel import SweepTask, TaskError, run_grid
+from repro.sim.runner import MissTraceCache
+from repro.trace.store import TraceStore
+
+WORKLOADS = ("embar", "mgrid", "cgm", "buk")
+N_STREAMS = tuple(range(1, 11))
+JOBS = 4
+MIN_SPEEDUP = 3.0
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+
+def build_tasks() -> list:
+    return [
+        SweepTask(key=(name, n), workload=name, config=StreamConfig.jouppi(n_streams=n))
+        for name in WORKLOADS
+        for n in N_STREAMS
+    ]
+
+
+def timed_grid(label: str, **kwargs) -> tuple:
+    tasks = build_tasks()
+    started = time.perf_counter()
+    results = run_grid(tasks, **kwargs)
+    elapsed = time.perf_counter() - started
+    errors = [r for r in results if isinstance(r, TaskError)]
+    if errors:
+        raise SystemExit(f"{label}: {len(errors)} grid cells failed: {errors[0]}")
+    print(f"{label:24s} {elapsed:7.2f}s  ({len(tasks) / elapsed:6.1f} cells/s)")
+    return elapsed, [r.streams for r in results]
+
+
+def main() -> int:
+    print(f"grid: {len(WORKLOADS)} workloads x {len(N_STREAMS)} configs, jobs={JOBS}")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as store_dir:
+        store = TraceStore(store_dir)
+        serial_s, serial_stats = timed_grid(
+            "serial cold (no store)", jobs=1, cache=MissTraceCache()
+        )
+        parallel_cold_s, _ = timed_grid("parallel cold (fills store)", jobs=JOBS, store=store)
+        parallel_warm_s, warm_stats = timed_grid("parallel warm store", jobs=JOBS, store=store)
+        stored_traces, stored_results = len(store), store.n_results()
+
+    identical = serial_stats == warm_stats
+    speedup = serial_s / parallel_warm_s
+    print(f"\nwarm-vs-cold speedup: {speedup:.1f}x   bit-identical: {identical}")
+
+    payload = {
+        "pr": 1,
+        "benchmark": "bench_quick: replication sweep via repro.sim.parallel",
+        "grid": {
+            "workloads": list(WORKLOADS),
+            "n_streams": list(N_STREAMS),
+            "cells": len(WORKLOADS) * len(N_STREAMS),
+            "jobs": JOBS,
+        },
+        "seconds": {
+            "serial_cold": round(serial_s, 3),
+            "parallel_cold": round(parallel_cold_s, 3),
+            "parallel_warm": round(parallel_warm_s, 3),
+        },
+        "warm_speedup_vs_serial_cold": round(speedup, 2),
+        "bit_identical_stats": identical,
+        "store": {"traces": stored_traces, "results": stored_results},
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+    if not identical:
+        print("FAIL: warm parallel stats differ from serial stats", file=sys.stderr)
+        return 1
+    if speedup < MIN_SPEEDUP:
+        print(f"FAIL: speedup {speedup:.1f}x < {MIN_SPEEDUP}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,7 +6,7 @@ relative to the effects the paper reports (tens of points between
 benchmarks; a few points of seed noise).
 """
 
-from conftest import publish
+from conftest import publish, sweep_jobs, trace_store
 
 from repro.core.config import StreamConfig
 from repro.reporting.tables import render_table
@@ -18,13 +18,17 @@ SEEDS = (0, 1, 2, 3, 4)
 
 
 def test_seed_stability(benchmark, results_dir):
-    cache = MissTraceCache()
+    cache = MissTraceCache(store=trace_store())
 
     def run():
         out = {}
         for name in BENCHES:
             _, summaries = replicate(
-                name, StreamConfig.jouppi(n_streams=10), seeds=SEEDS, cache=cache
+                name,
+                StreamConfig.jouppi(n_streams=10),
+                seeds=SEEDS,
+                cache=cache,
+                jobs=sweep_jobs(),
             )
             out[name] = summaries
         return out

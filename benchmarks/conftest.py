@@ -4,24 +4,48 @@ All benches share one session-scoped miss-trace cache, so each
 (workload, scale) pair pays its L1 simulation exactly once regardless of
 how many stream/L2 configurations replay it — the paper's methodology.
 
+The cache is additionally layered on a persistent
+:class:`~repro.trace.store.TraceStore` (default:
+``benchmarks/.trace-store``), so repeated ``make bench`` invocations —
+separate processes, separate sessions — never recompute an L1
+simulation either.  Control it with the ``REPRO_TRACE_STORE``
+environment variable: a path relocates the store, and ``0``/``off``
+disables persistence entirely (every run starts cold).
+
 Rendered exhibits are printed (run with ``-s`` to see them) and written
 to ``benchmarks/results/<exhibit>.txt``.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.sim.runner import MissTraceCache
+from repro.trace.store import TraceStore
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+DEFAULT_STORE_DIR = pathlib.Path(__file__).parent / ".trace-store"
+
+
+def trace_store() -> TraceStore | None:
+    """The benchmarks' persistent trace store, or None if disabled."""
+    setting = os.environ.get("REPRO_TRACE_STORE", "")
+    if setting.lower() in ("0", "off", "none"):
+        return None
+    return TraceStore(setting or DEFAULT_STORE_DIR)
+
+
+def sweep_jobs() -> int:
+    """Worker processes for sweep-based benches (``REPRO_BENCH_JOBS``)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")
 def miss_cache() -> MissTraceCache:
-    return MissTraceCache()
+    return MissTraceCache(store=trace_store())
 
 
 @pytest.fixture(scope="session")

@@ -4,24 +4,31 @@ Subcommands::
 
     repro list                     # available workload models
     repro run WORKLOAD [options]   # one stream-buffer simulation
+    repro sweep [options]          # (workload x config) grid, parallel
     repro exhibit NAME [...]       # regenerate a paper table/figure
     repro profile WORKLOAD         # trace statistics of a model
     repro compare WORKLOAD         # streams vs related-work baselines
     repro timing WORKLOAD          # price the stream vs L2 designs
 
 Every exhibit prints measured values beside the paper's published ones.
+``sweep`` and ``exhibit`` accept ``--jobs N`` (process-pool fan-out) and
+``--trace-store PATH`` (persistent miss-trace/result store, so repeated
+invocations never recompute an L1 simulation — see docs/api.md,
+"Scaling sweeps").
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.core.config import StreamConfig, StrideDetector
 from repro.reporting import experiments
-from repro.sim.runner import run_result
+from repro.sim.runner import MissTraceCache, run_result
 from repro.trace.stats import profile_trace
+from repro.trace.store import TraceStore
 from repro.workloads import all_benchmarks, get_workload
 
 __all__ = ["main", "build_parser"]
@@ -70,6 +77,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--czone-bits", type=int, default=19, help="concentration zone bits")
 
+    sweep = sub.add_parser(
+        "sweep", help="run a (workload x stream-count) grid through the sweep engine"
+    )
+    sweep.add_argument(
+        "--workloads",
+        nargs="+",
+        default=["embar", "mgrid", "cgm", "buk"],
+        metavar="NAME",
+        help="workload models to sweep (default: embar mgrid cgm buk)",
+    )
+    sweep.add_argument(
+        "--n-streams",
+        nargs="+",
+        type=int,
+        default=list(range(1, 11)),
+        metavar="N",
+        help="stream counts forming the config axis (default: 1..10)",
+    )
+    sweep.add_argument("--scale", type=float, default=1.0, help="input scale factor")
+    sweep.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    sweep.add_argument(
+        "--filter",
+        dest="filter_entries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="unit-stride filter entries for the base config (0 = no filter)",
+    )
+    _add_engine_flags(sweep)
+
     exhibit = sub.add_parser("exhibit", help="regenerate a paper table/figure")
     exhibit.add_argument("name", choices=sorted(_EXHIBITS), help="exhibit to run")
     exhibit.add_argument(
@@ -78,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="restrict to these benchmarks (default: the paper's set)",
     )
+    _add_engine_flags(exhibit)
 
     profile = sub.add_parser("profile", help="show trace statistics of a workload model")
     profile.add_argument("workload")
@@ -107,6 +145,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     return parser
+
+
+def _add_engine_flags(command: argparse.ArgumentParser) -> None:
+    """The sweep-engine knobs shared by ``sweep`` and ``exhibit``."""
+    command.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep engine (1 = in-process)",
+    )
+    command.add_argument(
+        "--trace-store",
+        default=None,
+        metavar="PATH",
+        help="persistent miss-trace/result store directory (reused across runs)",
+    )
 
 
 def _cmd_list() -> int:
@@ -142,18 +197,80 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.reporting.tables import render_table
+    from repro.sim.parallel import SweepTask, TaskError, run_grid
+    from repro.sim.results import RunResult
+
+    store = TraceStore(args.trace_store) if args.trace_store else None
+    base = (
+        StreamConfig.filtered(entries=args.filter_entries)
+        if args.filter_entries
+        else StreamConfig.jouppi()
+    )
+    values = sorted(set(args.n_streams))
+    tasks = [
+        SweepTask(
+            key=(name, n),
+            workload=name,
+            config=base.with_(n_streams=n),
+            scale=args.scale,
+            seed=args.seed,
+        )
+        for name in args.workloads
+        for n in values
+    ]
+    started = time.perf_counter()
+    results = run_grid(tasks, jobs=args.jobs, store=store)
+    elapsed = time.perf_counter() - started
+
+    by_key = {task.key: result for task, result in zip(tasks, results)}
+    errors = [r for r in results if isinstance(r, TaskError)]
+    rows = []
+    for name in args.workloads:
+        row: List = [name]
+        for n in values:
+            cell = by_key[(name, n)]
+            row.append(cell.hit_rate_percent if isinstance(cell, RunResult) else None)
+        rows.append(row)
+    print(
+        render_table(
+            ["bench"] + [f"hit% @{n}" for n in values],
+            rows,
+            title=(
+                f"Sweep: {len(args.workloads)} workloads x {len(values)} configs "
+                f"(scale {args.scale:g}, jobs {args.jobs})"
+            ),
+        )
+    )
+    print(
+        f"\n{len(tasks)} cells in {elapsed:.2f}s "
+        f"({len(tasks) / elapsed:.1f} cells/s)"
+        + (f"; store: {args.trace_store}" if store else "")
+    )
+    for error in errors:
+        print(f"FAILED {error.key!r}: {error.error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
 def _cmd_exhibit(args: argparse.Namespace) -> int:
     driver, renderer = _EXHIBITS[args.name]
+    store = TraceStore(args.trace_store) if args.trace_store else None
+    cache = MissTraceCache(store=store)
+    kwargs = {"cache": cache}
+    if args.name in ("figure3", "figure9"):
+        # The sweep-based exhibits fan out through the parallel engine.
+        kwargs.update(jobs=args.jobs, store=store)
     if args.benchmarks:
         if args.name == "table4":
             from repro.workloads import TABLE4_SCALES
 
             scales = {k: v for k, v in TABLE4_SCALES.items() if k in args.benchmarks}
-            data = driver(scales=scales)
+            data = driver(scales=scales, **kwargs)
         else:
-            data = driver(names=args.benchmarks)
+            data = driver(names=args.benchmarks, **kwargs)
     else:
-        data = driver()
+        data = driver(**kwargs)
     print(renderer(data))
     return 0
 
@@ -246,6 +363,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "exhibit":
         return _cmd_exhibit(args)
     if args.command == "profile":

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from repro.caches.cache import MissEventKind, MissTrace
 from repro.core.bandwidth import BandwidthReport
 from repro.core.bank import Lookup, StreamBufferBank
@@ -189,9 +191,32 @@ class StreamPrefetcher:
             )
         wb_kind = int(MissEventKind.WRITEBACK)
         ifetch_kind = int(MissEventKind.IFETCH_MISS)
+        kinds = miss_trace.kinds
+        if not bool(np.any((kinds == wb_kind) | (kinds == ifetch_kind))):
+            # Fast path: a pure demand-miss stream (no write-backs, no
+            # instruction fetches) needs no per-event kind dispatch — every
+            # event is a data miss on the data lane.  Semantics are
+            # identical to handle_miss; only the dispatch is hoisted.
+            stats = self.stats
+            block_bits = self.config.block_bits
+            lane_handle = self._data_lane.handle_miss
+            hit = Lookup.HIT
+            in_flight = Lookup.IN_FLIGHT
+            hits = 0
+            in_flight_matches = 0
+            for addr in miss_trace.addrs.tolist():
+                result = lane_handle(addr, addr >> block_bits)
+                if result is hit:
+                    hits += 1
+                elif result is in_flight:
+                    in_flight_matches += 1
+            stats.demand_misses += len(miss_trace)
+            stats.stream_hits += hits
+            stats.in_flight_matches += in_flight_matches
+            return self.finalize()
         handle_miss = self.handle_miss
         handle_writeback = self.handle_writeback
-        for addr, kind in zip(miss_trace.addrs.tolist(), miss_trace.kinds.tolist()):
+        for addr, kind in zip(miss_trace.addrs.tolist(), kinds.tolist()):
             if kind == wb_kind:
                 handle_writeback(addr)
             else:

@@ -20,6 +20,7 @@ from repro.reporting.tables import render_table
 from repro.sim.compare import MatchResult, format_size, min_matching_l2_size
 from repro.sim.runner import MissTraceCache, default_cache, run_streams
 from repro.sim.sweep import sweep_czone_bits, sweep_n_streams
+from repro.trace.store import TraceStore
 from repro.workloads import (
     NON_UNIT_STRIDE_BENCHMARKS,
     PAPER_BENCHMARKS,
@@ -116,12 +117,18 @@ def figure3(
     names: Sequence[str] = PAPER_BENCHMARKS,
     n_values: Sequence[int] = tuple(range(1, 11)),
     cache: Optional[MissTraceCache] = None,
+    jobs: int = 1,
+    store: Optional["TraceStore"] = None,
 ) -> Dict[str, Dict[int, float]]:
-    """Hit rate vs number of streams (unfiltered, depth 2)."""
+    """Hit rate vs number of streams (unfiltered, depth 2).
+
+    ``jobs``/``store`` fan the per-benchmark sweeps out through the
+    parallel engine and its persistent trace store (see repro.sim.parallel).
+    """
     cache = cache if cache is not None else default_cache()
     data = {}
     for name in names:
-        sweep = sweep_n_streams(name, n_values, cache=cache)
+        sweep = sweep_n_streams(name, n_values, cache=cache, jobs=jobs, store=store)
         data[name] = {n: stats.hit_rate_percent for n, stats in sweep.items()}
     return data
 
@@ -332,12 +339,18 @@ def figure9(
     names: Sequence[str] = NON_UNIT_STRIDE_BENCHMARKS,
     czone_bits_values: Sequence[int] = tuple(range(10, 27, 2)),
     cache: Optional[MissTraceCache] = None,
+    jobs: int = 1,
+    store: Optional["TraceStore"] = None,
 ) -> Dict[str, Dict[int, float]]:
-    """Hit rate vs czone size for the non-unit stride benchmarks."""
+    """Hit rate vs czone size for the non-unit stride benchmarks.
+
+    ``jobs``/``store`` fan the per-benchmark sweeps out through the
+    parallel engine and its persistent trace store (see repro.sim.parallel).
+    """
     cache = cache if cache is not None else default_cache()
     data = {}
     for name in names:
-        sweep = sweep_czone_bits(name, czone_bits_values, cache=cache)
+        sweep = sweep_czone_bits(name, czone_bits_values, cache=cache, jobs=jobs, store=store)
         data[name] = {bits: stats.hit_rate_percent for bits, stats in sweep.items()}
     return data
 

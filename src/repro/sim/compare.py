@@ -15,7 +15,7 @@ from repro.caches.sampling import SamplingPlan, sampled_hit_rate
 from repro.caches.secondary import PAPER_L2_SIZES, candidate_configs
 from repro.core.config import StreamConfig
 from repro.core.prefetcher import StreamStats
-from repro.sim.runner import MissTraceCache, default_cache
+from repro.sim.runner import MissTraceCache, default_cache, resolve_workload_ref
 from repro.core.prefetcher import StreamPrefetcher
 from repro.workloads.base import Workload
 
@@ -65,6 +65,8 @@ def min_matching_l2_size(
     """
     cache = cache if cache is not None else default_cache()
     config = stream_config if stream_config is not None else StreamConfig.non_unit()
+    # Provenance must match the simulation: an instance's own scale wins.
+    name, scale, seed, _ = resolve_workload_ref(workload, scale, seed)
     miss_trace, _ = cache.get(workload, scale=scale, seed=seed)
     stream_stats = StreamPrefetcher(config).run(miss_trace)
     target = stream_stats.hit_rate
@@ -82,7 +84,6 @@ def min_matching_l2_size(
             # Larger sizes can only do better; stop early but record the
             # point so the series is monotone up to the match.
             break
-    name = workload.name if isinstance(workload, Workload) else workload
     return MatchResult(
         workload=name,
         scale=scale,

@@ -1,0 +1,225 @@
+"""Process-pool sweep executor over (workload x config) grids.
+
+Every figure in the paper is a grid: replay one set of miss traces under
+a family of stream configurations.  :func:`run_grid` fans such a grid out
+over ``concurrent.futures.ProcessPoolExecutor`` workers:
+
+* each worker process owns a :class:`~repro.sim.runner.MissTraceCache`
+  hydrated from a shared persistent
+  :class:`~repro.trace.store.TraceStore`, so the L1 simulation of each
+  workload is computed (at most) once *across the whole fleet* — and not
+  at all when the store is warm;
+* replayed :class:`~repro.core.prefetcher.StreamStats` are themselves
+  memoised in the store (replays are deterministic), so a warm store
+  turns a whole figure sweep into pure loads;
+* tasks are scheduled in chunks to amortise IPC, a failed cell returns a
+  tagged :class:`TaskError` instead of killing the sweep, and results
+  are assembled in task order regardless of completion order.
+
+With ``jobs=1`` the grid runs in-process (no pool, no pickling) through
+exactly the same code path, which is what the equivalence tests compare
+against: serial and parallel execution produce bit-identical statistics.
+"""
+
+from __future__ import annotations
+
+import math
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Union
+
+from repro.caches.cache import CacheConfig
+from repro.core.config import StreamConfig
+from repro.core.prefetcher import StreamPrefetcher, StreamStats
+from repro.sim.results import RunResult
+from repro.sim.runner import MissTraceCache, resolve_workload_ref
+from repro.trace.store import TraceStore, result_digest
+from repro.workloads.base import Workload
+
+__all__ = [
+    "SweepTask",
+    "TaskError",
+    "SweepExecutionError",
+    "run_grid",
+    "grid_stats",
+]
+
+WorkloadRef = Union[str, Workload]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of a sweep grid.
+
+    Attributes:
+        key: caller-chosen label the result is reported under (e.g. the
+            swept parameter value, or a ``(workload, n)`` pair).
+        workload: registered workload name, or an instance.  Names are
+            preferred for ``jobs > 1`` — instances are pickled to the
+            workers wholesale, including any already-built trace.
+        config: stream configuration to replay.
+        scale: input scale (ignored if ``workload`` is an instance).
+        seed: workload seed (ignored if ``workload`` is an instance).
+    """
+
+    key: Hashable
+    workload: WorkloadRef
+    config: StreamConfig
+    scale: float = 1.0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """A failed grid cell, reported in place of its :class:`RunResult`."""
+
+    key: Hashable
+    workload: str
+    error: str
+    details: str = field(default="", repr=False)
+
+
+class SweepExecutionError(RuntimeError):
+    """Raised by :func:`grid_stats` when any grid cell failed."""
+
+    def __init__(self, errors: Sequence[TaskError]):
+        self.errors = list(errors)
+        lines = ", ".join(f"{e.key!r}: {e.error}" for e in self.errors[:5])
+        more = "" if len(self.errors) <= 5 else f" (+{len(self.errors) - 5} more)"
+        super().__init__(f"{len(self.errors)} sweep task(s) failed: {lines}{more}")
+
+
+def _run_one(task: SweepTask, cache: MissTraceCache) -> Union[RunResult, TaskError]:
+    """Execute one cell against a (possibly store-backed) cache."""
+    name, scale, seed, _ = resolve_workload_ref(task.workload, task.scale, task.seed)
+    try:
+        miss_trace, summary = cache.get(task.workload, scale=scale, seed=seed)
+        store = cache.store
+        stats: Optional[StreamStats] = None
+        digest = None
+        if store is not None:
+            digest = result_digest(cache.trace_key(name, scale, seed), task.config)
+            stats = store.load_result(digest)
+        if stats is None:
+            stats = StreamPrefetcher(task.config).run(miss_trace)
+            if store is not None:
+                store.save_result(digest, stats)
+        return RunResult(workload=name, scale=scale, seed=seed, l1=summary, streams=stats)
+    except Exception as exc:  # tagged, not fatal: one bad cell must not kill a sweep
+        return TaskError(
+            key=task.key,
+            workload=name,
+            error=f"{type(exc).__name__}: {exc}",
+            details=traceback.format_exc(),
+        )
+
+
+# -- worker-process state ---------------------------------------------------
+
+_WORKER_CACHE: Optional[MissTraceCache] = None
+
+
+def _init_worker(
+    l1_config: CacheConfig, keep_pcs: bool, store_root: Optional[str]
+) -> None:
+    """Build this worker's cache once (executor ``initializer``)."""
+    global _WORKER_CACHE
+    store = TraceStore(store_root) if store_root is not None else None
+    _WORKER_CACHE = MissTraceCache(l1_config, keep_pcs=keep_pcs, store=store)
+
+
+def _run_chunk(index: int, chunk: List[SweepTask]):
+    """Run one chunk of tasks in a worker; never raises."""
+    assert _WORKER_CACHE is not None, "worker initializer did not run"
+    return index, [_run_one(task, _WORKER_CACHE) for task in chunk]
+
+
+# -- the executor -----------------------------------------------------------
+
+
+def run_grid(
+    tasks: Sequence[SweepTask],
+    jobs: int = 1,
+    cache: Optional[MissTraceCache] = None,
+    store: Optional[TraceStore] = None,
+    l1_config: Optional[CacheConfig] = None,
+    keep_pcs: bool = False,
+    chunk_size: Optional[int] = None,
+) -> List[Union[RunResult, TaskError]]:
+    """Execute a sweep grid, serially or across a process pool.
+
+    Args:
+        tasks: grid cells; results come back in the same order.
+        jobs: worker processes (``<= 1`` runs in-process, no pool).
+        cache: in-process cache for the serial path; for ``jobs > 1`` its
+            ``l1_config``/``keep_pcs``/``store`` seed the workers (whose
+            entries cannot be shared back).
+        store: persistent trace store shared by all workers; defaults to
+            ``cache.store``.  Without one, each worker recomputes the L1
+            simulations it needs — correct, but the store is what makes
+            parallel and repeated runs fast.
+        l1_config: primary cache geometry (defaults to ``cache``'s, or
+            the paper L1).
+        keep_pcs: propagate PCs into the miss traces.
+        chunk_size: tasks per scheduling unit (default: enough for ~4
+            chunks per worker, amortising task pickling).
+
+    Returns:
+        One :class:`RunResult` per task, with :class:`TaskError` standing
+        in for any cell whose simulation raised.
+    """
+    tasks = list(tasks)
+    if cache is not None:
+        if l1_config is None:
+            l1_config = cache.l1_config
+        keep_pcs = keep_pcs or cache.keep_pcs
+        if store is None:
+            store = cache.store
+    if l1_config is None:
+        l1_config = CacheConfig.paper_l1()
+
+    if jobs <= 1 or len(tasks) <= 1:
+        if cache is None:
+            cache = MissTraceCache(l1_config, keep_pcs=keep_pcs, store=store)
+        return [_run_one(task, cache) for task in tasks]
+
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(tasks) / (jobs * 4)))
+    chunks = [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
+    store_root = str(store.root) if store is not None else None
+    assembled: Dict[int, List[Union[RunResult, TaskError]]] = {}
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(chunks)),
+        initializer=_init_worker,
+        initargs=(l1_config, keep_pcs, store_root),
+    ) as pool:
+        futures = [pool.submit(_run_chunk, i, chunk) for i, chunk in enumerate(chunks)]
+        for future in as_completed(futures):
+            index, results = future.result()
+            assembled[index] = results
+    return [result for i in range(len(chunks)) for result in assembled[i]]
+
+
+def grid_stats(
+    tasks: Sequence[SweepTask],
+    jobs: int = 1,
+    cache: Optional[MissTraceCache] = None,
+    store: Optional[TraceStore] = None,
+    **kwargs: Any,
+) -> Dict[Hashable, StreamStats]:
+    """Like :func:`run_grid`, keyed by task key and reduced to stats.
+
+    Raises:
+        SweepExecutionError: if any cell failed (the sweep helpers want
+            a complete dict or nothing).
+    """
+    results = run_grid(tasks, jobs=jobs, cache=cache, store=store, **kwargs)
+    errors = [r for r in results if isinstance(r, TaskError)]
+    if errors:
+        raise SweepExecutionError(errors)
+    return {
+        task.key: result.streams
+        for task, result in zip(tasks, results)
+        if isinstance(result, RunResult)
+    }

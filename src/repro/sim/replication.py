@@ -14,8 +14,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import StreamConfig
+from repro.sim.parallel import SweepTask, TaskError, SweepExecutionError, run_grid
 from repro.sim.results import RunResult
-from repro.sim.runner import MissTraceCache, run_result
+from repro.sim.runner import MissTraceCache
+from repro.trace.store import TraceStore
 
 __all__ = ["MetricSummary", "replicate", "summarize"]
 
@@ -65,22 +67,32 @@ def replicate(
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     scale: float = 1.0,
     cache: Optional[MissTraceCache] = None,
+    jobs: int = 1,
+    store: Optional[TraceStore] = None,
 ) -> Tuple[List[RunResult], Dict[str, MetricSummary]]:
     """Run one configuration across several workload seeds.
 
     Returns the individual results and summaries of the headline
     metrics (``hit_pct``, ``eb_pct``, ``l1_miss_rate_pct``).
 
-    Note each seed pays its own L1 simulation (different addresses),
-    which the given cache memoises for later configurations.
+    Note each seed pays its own L1 simulation (different addresses) —
+    exactly the case ``jobs > 1`` parallelises and a ``store`` memoises
+    across sessions.
+
+    Raises:
+        SweepExecutionError: if any seed's simulation failed.
     """
     if not seeds:
         raise ValueError("need at least one seed")
     cache = cache if cache is not None else MissTraceCache()
-    results = [
-        run_result(workload, config, scale=scale, seed=seed, cache=cache)
+    tasks = [
+        SweepTask(key=seed, workload=workload, config=config, scale=scale, seed=seed)
         for seed in seeds
     ]
+    results = run_grid(tasks, jobs=jobs, cache=cache, store=store)
+    errors = [r for r in results if isinstance(r, TaskError)]
+    if errors:
+        raise SweepExecutionError(errors)
     summaries = {
         "hit_pct": summarize([r.hit_rate_percent for r in results]),
         "eb_pct": summarize([r.eb_percent for r in results]),

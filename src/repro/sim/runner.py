@@ -6,12 +6,22 @@ same factoring: the L1 simulation of a (workload, scale, seed, L1-config)
 tuple is computed once and cached in-process, then every stream-buffer or
 secondary-cache configuration replays the short miss trace.  This is what
 makes the parameter sweeps of Figures 3/5/8/9 cheap.
+
+Two extensions harden this for long benchmarking sessions:
+
+* the in-process cache is LRU-bounded (``max_entries``) so sweeps over
+  many (workload, scale, seed) tuples cannot grow memory without bound;
+* an optional :class:`~repro.trace.store.TraceStore` layers a persistent
+  on-disk tier underneath, so repeated benchmark *processes* never
+  recompute an L1 simulation either (see ``docs/api.md``, "Scaling
+  sweeps").
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
 from repro.caches.cache import Cache, CacheConfig, MissTrace
 from repro.caches.split import SplitL1, SplitL1Config
@@ -21,11 +31,40 @@ from repro.mem.address import AddressSpace
 from repro.sim.results import L1Summary, RunResult
 from repro.trace.compress import compress_consecutive
 from repro.trace.events import AccessKind, Trace
+from repro.trace.store import TraceStore, trace_digest
 from repro.workloads.base import Workload, get_workload
 
-__all__ = ["MissTraceCache", "default_cache", "run_streams", "run_result"]
+__all__ = [
+    "MissTraceCache",
+    "default_cache",
+    "resolve_workload_ref",
+    "run_streams",
+    "run_result",
+    "simulate_l1",
+]
 
 import numpy as np
+
+#: Default in-process cache bound: generous (a full paper sweep touches
+#: ~15 benchmarks x a few scales/seeds) yet finite, so open-ended sweep
+#: sessions cannot accumulate thousands of multi-megabyte traces.
+DEFAULT_MAX_ENTRIES = 64
+
+
+def resolve_workload_ref(
+    workload: Union[str, Workload], scale: float, seed: int
+) -> Tuple[str, float, int, Optional[Workload]]:
+    """Normalise a workload reference to ``(name, scale, seed, instance)``.
+
+    A :class:`Workload` instance is authoritative: its own name/scale/seed
+    describe what will actually be simulated, and any conflicting
+    ``scale``/``seed`` arguments from the caller are ignored.  Every
+    consumer (cache keys, result provenance) must resolve through this
+    helper so the recorded parameters always match the simulation.
+    """
+    if isinstance(workload, Workload):
+        return workload.name, workload.scale, workload.seed, workload
+    return workload, scale, seed, None
 
 
 @dataclass(frozen=True)
@@ -47,12 +86,32 @@ class MissTraceCache:
         keep_pcs: propagate synthetic PCs into the miss traces.  Off by
             default — only PC-indexed baselines need them and carrying
             them disables the L1 fast path.
+        store: optional persistent :class:`~repro.trace.store.TraceStore`
+            consulted on an in-process miss and populated on compute, so
+            traces survive across processes and sessions.
+        max_entries: LRU bound on in-process entries (None = unbounded).
+            The default (:data:`DEFAULT_MAX_ENTRIES`) comfortably holds a
+            full paper sweep while keeping long multi-workload sessions
+            bounded; eviction only drops the in-memory copy — a store, if
+            configured, still holds the trace.
     """
 
-    def __init__(self, l1_config: Optional[CacheConfig] = None, keep_pcs: bool = False):
+    def __init__(
+        self,
+        l1_config: Optional[CacheConfig] = None,
+        keep_pcs: bool = False,
+        store: Optional[TraceStore] = None,
+        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+    ):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(f"max_entries must be positive or None, got {max_entries}")
         self.l1_config = l1_config if l1_config is not None else CacheConfig.paper_l1()
         self.keep_pcs = keep_pcs
-        self._entries: Dict[_Key, Tuple[MissTrace, L1Summary]] = {}
+        self.store = store
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[_Key, Tuple[MissTrace, L1Summary]]" = OrderedDict()
+        self.evictions = 0
+        self.store_hits = 0
 
     def get(
         self,
@@ -63,23 +122,43 @@ class MissTraceCache:
         """Miss trace + L1 summary for a workload, computing on first use.
 
         Accepts a registered workload name or a pre-built instance (the
-        latter bypasses the cache key's name/scale/seed and is always
-        recomputed unless identical parameters were cached before).
+        latter's own name/scale/seed form the cache key).  Lookup order:
+        in-process LRU, then the persistent store (if configured), then a
+        fresh L1 simulation whose result populates both tiers.
         """
-        if isinstance(workload, Workload):
-            instance = workload
-            key = _Key(instance.name, instance.scale, instance.seed, self.l1_config)
-        else:
-            key = _Key(workload, scale, seed, self.l1_config)
-            instance = None
+        name, scale, seed, instance = resolve_workload_ref(workload, scale, seed)
+        key = _Key(name, scale, seed, self.l1_config)
         cached = self._entries.get(key)
         if cached is not None:
+            self._entries.move_to_end(key)
             return cached
+        digest = None
+        if self.store is not None:
+            digest = self.trace_key(name, scale, seed)
+            stored = self.store.load_trace(digest)
+            if stored is not None:
+                self.store_hits += 1
+                self._insert(key, stored)
+                return stored
         if instance is None:
-            instance = get_workload(key.workload, scale=key.scale, seed=key.seed)
+            instance = get_workload(name, scale=scale, seed=seed)
         result = simulate_l1(instance, self.l1_config, keep_pcs=self.keep_pcs)
-        self._entries[key] = result
+        if self.store is not None:
+            self.store.save_trace(digest, *result)
+        self._insert(key, result)
         return result
+
+    def trace_key(self, workload: str, scale: float = 1.0, seed: int = 0) -> str:
+        """The persistent-store digest this cache uses for a workload."""
+        return trace_digest(workload, scale, seed, self.l1_config, self.keep_pcs)
+
+    def _insert(self, key: _Key, value: Tuple[MissTrace, L1Summary]) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()
@@ -161,12 +240,15 @@ def run_result(
     seed: int = 0,
     cache: Optional[MissTraceCache] = None,
 ) -> RunResult:
-    """Like :func:`run_streams` but bundled with the L1 summary."""
+    """Like :func:`run_streams` but bundled with the L1 summary.
+
+    The recorded provenance (workload/scale/seed) always reflects what
+    was simulated: a :class:`Workload` instance's own parameters win over
+    any conflicting ``scale``/``seed`` arguments, exactly as they do for
+    the cache key (see :func:`resolve_workload_ref`).
+    """
     cache = cache if cache is not None else default_cache()
+    name, scale, seed, _ = resolve_workload_ref(workload, scale, seed)
     miss_trace, summary = cache.get(workload, scale=scale, seed=seed)
     stats = StreamPrefetcher(config).run(miss_trace)
-    if isinstance(workload, Workload):
-        name, scale, seed = workload.name, workload.scale, workload.seed
-    else:
-        name = workload
     return RunResult(workload=name, scale=scale, seed=seed, l1=summary, streams=stats)

@@ -4,6 +4,12 @@ Each sweep replays the same miss trace under a family of stream
 configurations — the paper's Figure 3 (stream count), Figure 5 (filter
 on/off), Figure 8 (stride detector on/off) and Figure 9 (czone size) are
 all instances.
+
+All sweeps execute through :mod:`repro.sim.parallel`: pass ``jobs=N`` to
+fan the grid out over worker processes and ``store=`` a
+:class:`~repro.trace.store.TraceStore` to reuse L1 simulations and
+replay results across processes and sessions.  Serial (``jobs=1``) and
+parallel execution produce bit-identical statistics.
 """
 
 from __future__ import annotations
@@ -11,8 +17,10 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Union
 
 from repro.core.config import StreamConfig, StrideDetector
-from repro.sim.runner import MissTraceCache, default_cache, run_streams
 from repro.core.prefetcher import StreamStats
+from repro.sim.parallel import SweepTask, grid_stats
+from repro.sim.runner import MissTraceCache, default_cache
+from repro.trace.store import TraceStore
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -32,15 +40,18 @@ def sweep_n_streams(
     scale: float = 1.0,
     seed: int = 0,
     cache: Optional[MissTraceCache] = None,
+    jobs: int = 1,
+    store: Optional[TraceStore] = None,
 ) -> Dict[int, StreamStats]:
     """Hit rate vs number of streams (Figure 3's x-axis)."""
     base = base if base is not None else StreamConfig.jouppi()
     cache = cache if cache is not None else default_cache()
-    results = {}
-    for n in n_streams_values:
-        config = base.with_(n_streams=n)
-        results[n] = run_streams(workload, config, scale=scale, seed=seed, cache=cache)
-    return results
+    tasks = [
+        SweepTask(key=n, workload=workload, config=base.with_(n_streams=n),
+                  scale=scale, seed=seed)
+        for n in n_streams_values
+    ]
+    return grid_stats(tasks, jobs=jobs, cache=cache, store=store)
 
 
 def sweep_czone_bits(
@@ -50,17 +61,20 @@ def sweep_czone_bits(
     scale: float = 1.0,
     seed: int = 0,
     cache: Optional[MissTraceCache] = None,
+    jobs: int = 1,
+    store: Optional[TraceStore] = None,
 ) -> Dict[int, StreamStats]:
     """Hit rate vs concentration-zone size (Figure 9)."""
     base = base if base is not None else StreamConfig.non_unit()
     if base.stride_detector != StrideDetector.CZONE:
         raise ValueError("sweep_czone_bits requires a czone-detector base config")
     cache = cache if cache is not None else default_cache()
-    results = {}
-    for bits in czone_bits_values:
-        config = base.with_(czone_bits=bits)
-        results[bits] = run_streams(workload, config, scale=scale, seed=seed, cache=cache)
-    return results
+    tasks = [
+        SweepTask(key=bits, workload=workload, config=base.with_(czone_bits=bits),
+                  scale=scale, seed=seed)
+        for bits in czone_bits_values
+    ]
+    return grid_stats(tasks, jobs=jobs, cache=cache, store=store)
 
 
 def sweep_depth(
@@ -70,15 +84,18 @@ def sweep_depth(
     scale: float = 1.0,
     seed: int = 0,
     cache: Optional[MissTraceCache] = None,
+    jobs: int = 1,
+    store: Optional[TraceStore] = None,
 ) -> Dict[int, StreamStats]:
     """Hit rate / EB vs stream depth (the paper fixes depth=2; ablation)."""
     base = base if base is not None else StreamConfig.jouppi()
     cache = cache if cache is not None else default_cache()
-    results = {}
-    for depth in depth_values:
-        config = base.with_(depth=depth)
-        results[depth] = run_streams(workload, config, scale=scale, seed=seed, cache=cache)
-    return results
+    tasks = [
+        SweepTask(key=depth, workload=workload, config=base.with_(depth=depth),
+                  scale=scale, seed=seed)
+        for depth in depth_values
+    ]
+    return grid_stats(tasks, jobs=jobs, cache=cache, store=store)
 
 
 def compare_configs(
@@ -87,10 +104,13 @@ def compare_configs(
     scale: float = 1.0,
     seed: int = 0,
     cache: Optional[MissTraceCache] = None,
+    jobs: int = 1,
+    store: Optional[TraceStore] = None,
 ) -> Dict[str, StreamStats]:
     """Run several named configurations over one miss trace."""
     cache = cache if cache is not None else default_cache()
-    return {
-        label: run_streams(workload, config, scale=scale, seed=seed, cache=cache)
+    tasks = [
+        SweepTask(key=label, workload=workload, config=config, scale=scale, seed=seed)
         for label, config in configs.items()
-    }
+    ]
+    return grid_stats(tasks, jobs=jobs, cache=cache, store=store)

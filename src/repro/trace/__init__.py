@@ -11,16 +11,26 @@ from repro.trace.stats import (
     profile_trace,
     stride_histogram,
 )
+from repro.trace.store import (
+    RESULT_FORMAT_VERSION,
+    STORE_FORMAT_VERSION,
+    TraceStore,
+    result_digest,
+    trace_digest,
+)
 from repro.trace.stream import blocked_interleave, interleave, repeat, take
 
 __all__ = [
     "Access",
     "AccessKind",
     "CompressedTrace",
+    "RESULT_FORMAT_VERSION",
+    "STORE_FORMAT_VERSION",
     "TimeSampler",
     "Trace",
     "TraceBuilder",
     "TraceProfile",
+    "TraceStore",
     "block_run_lengths",
     "blocked_interleave",
     "compress_consecutive",
@@ -30,8 +40,10 @@ __all__ = [
     "parse_text",
     "profile_trace",
     "repeat",
+    "result_digest",
     "save_trace",
     "stride_histogram",
     "take",
     "time_sample",
+    "trace_digest",
 ]

@@ -1,0 +1,358 @@
+"""Persistent on-disk store of L1 miss traces and replay results.
+
+The paper's methodology — simulate the primary-cache miss stream once,
+replay it under many stream configurations — is only cheap if the "once"
+part actually happens once.  The in-process
+:class:`~repro.sim.runner.MissTraceCache` gives that within a session;
+this module extends it across processes and sessions:
+
+* **traces/** — each ``(workload, scale, seed, L1 config, keep_pcs)``
+  tuple hashes to a stable digest; the miss trace plus its
+  :class:`~repro.sim.results.L1Summary` live in one compressed ``.npz``
+  under that digest.  Loading a stored trace is exact: the arrays are
+  ``int64``/``uint8`` and the summary's floats round-trip through JSON
+  ``repr`` precision losslessly.
+* **results/** — a replay of one :class:`~repro.core.config.StreamConfig`
+  over a stored trace is itself deterministic, so the resulting
+  :class:`~repro.core.prefetcher.StreamStats` (all-integer counters) is
+  cached as JSON under a digest of ``(trace digest, config)``.  Warm
+  figure sweeps then skip both the L1 simulation *and* the replay.
+
+Robustness rules: every load returns ``None`` on any defect — missing
+file, truncated archive, bad JSON, wrong format version — and the caller
+recomputes and overwrites.  Writes go through a temp file + ``os.replace``
+so a crashed run never leaves a partial archive behind.  Bump
+:data:`STORE_FORMAT_VERSION` when the trace layout or the L1 simulator's
+semantics change, and :data:`RESULT_FORMAT_VERSION` when the replay
+semantics change; old entries then hash differently and die of neglect
+(``prune`` removes them eagerly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Tuple, Union
+
+import numpy as np
+
+# The cache/core layers import repro.trace.events at module scope, which
+# runs this package's __init__ — so this module must not import them back
+# at module scope.  Runtime imports happen inside the functions that need
+# the classes (they are no-ops once the interpreter has warmed up).
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.caches.cache import CacheConfig, MissTrace
+    from repro.core.config import StreamConfig
+    from repro.core.prefetcher import StreamStats
+    from repro.sim.results import L1Summary
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "RESULT_FORMAT_VERSION",
+    "TraceStore",
+    "trace_digest",
+    "result_digest",
+    "stats_to_dict",
+    "stats_from_dict",
+]
+
+#: Bump when the trace archive layout or the L1 simulation changes.
+STORE_FORMAT_VERSION = 1
+
+#: Bump when the stream replay semantics change (stale results must die).
+RESULT_FORMAT_VERSION = 1
+
+#: Everything a missing/truncated/foreign trace archive can raise.
+#: ``np.load`` surfaces zip-container damage as ``BadZipFile``/``EOFError``
+#: and member-decompression damage as ``zlib.error``.
+_TRACE_DEFECTS = (
+    OSError,
+    KeyError,
+    ValueError,
+    TypeError,
+    EOFError,
+    json.JSONDecodeError,
+    zipfile.BadZipFile,
+    zlib.error,
+)
+
+
+def _canonical(payload: dict) -> str:
+    """Deterministic JSON rendering used for hashing."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def trace_digest(
+    workload: str,
+    scale: float,
+    seed: int,
+    l1_config: CacheConfig,
+    keep_pcs: bool = False,
+) -> str:
+    """Stable content key of one L1 simulation.
+
+    Everything that determines the miss trace participates: the workload
+    identity (name, scale, seed), the full L1 geometry/policy and whether
+    PCs were propagated.  The format version is folded in so layout
+    changes invalidate without a migration step.
+    """
+    payload = {
+        "store_version": STORE_FORMAT_VERSION,
+        "workload": workload,
+        "scale": scale,
+        "seed": seed,
+        "keep_pcs": keep_pcs,
+        "l1": dataclasses.asdict(l1_config),
+    }
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+def result_digest(trace_key: str, config: StreamConfig) -> str:
+    """Stable content key of one replay: trace digest x stream config."""
+    payload = {
+        "result_version": RESULT_FORMAT_VERSION,
+        "trace": trace_key,
+        "config": dataclasses.asdict(config),
+    }
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+# -- StreamStats (de)serialisation -----------------------------------------
+
+_COUNTER_FIELDS = (
+    "demand_misses",
+    "stream_hits",
+    "in_flight_matches",
+    "ifetch_misses",
+    "writebacks",
+    "invalidations",
+    "prefetches_issued",
+    "prefetches_used",
+    "allocations",
+    "unit_filter_hits",
+    "unit_filter_misses",
+    "detector_hits",
+)
+
+
+def stats_to_dict(stats: StreamStats) -> dict:
+    """Flatten a :class:`StreamStats` to JSON-safe plain types.
+
+    Exact by construction: every counter is an int, the config fields are
+    ints/bools/strings, and the histogram buckets are (low, high) pairs.
+    """
+    from repro.core.lengths import LENGTH_BUCKETS
+
+    lengths = stats.lengths
+    return {
+        "config": dataclasses.asdict(stats.config),
+        "counters": {name: getattr(stats, name) for name in _COUNTER_FIELDS},
+        "lengths": {
+            "hits_by_bucket": [
+                [low, high, lengths.hits_by_bucket[(low, high)]]
+                for low, high in LENGTH_BUCKETS
+            ],
+            "streams_by_bucket": [
+                [low, high, lengths.streams_by_bucket[(low, high)]]
+                for low, high in LENGTH_BUCKETS
+            ],
+            "zero_length_streams": lengths.zero_length_streams,
+        },
+    }
+
+
+def stats_from_dict(payload: dict) -> StreamStats:
+    """Rebuild a :class:`StreamStats` written by :func:`stats_to_dict`.
+
+    Raises:
+        KeyError/TypeError/ValueError: on malformed payloads (callers
+        treat any of these as a store miss).
+    """
+    from repro.core.config import StreamConfig
+    from repro.core.lengths import StreamLengthHistogram
+    from repro.core.prefetcher import StreamStats
+
+    config = StreamConfig(**payload["config"])
+    lengths = StreamLengthHistogram(
+        hits_by_bucket={
+            (low, high): count
+            for low, high, count in payload["lengths"]["hits_by_bucket"]
+        },
+        streams_by_bucket={
+            (low, high): count
+            for low, high, count in payload["lengths"]["streams_by_bucket"]
+        },
+        zero_length_streams=payload["lengths"]["zero_length_streams"],
+    )
+    counters = payload["counters"]
+    return StreamStats(
+        config=config,
+        lengths=lengths,
+        **{name: int(counters[name]) for name in _COUNTER_FIELDS},
+    )
+
+
+class TraceStore:
+    """Directory-backed store of miss traces and replay results.
+
+    Safe for concurrent use by independent processes: digests are
+    content-addressed, writers replace atomically, and two workers
+    racing on the same key simply write identical bytes.
+
+    Args:
+        root: store directory (created on first use).
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]):
+        self.root = Path(root)
+        self._traces_dir = self.root / "traces"
+        self._results_dir = self.root / "results"
+
+    def __repr__(self) -> str:
+        return f"TraceStore({str(self.root)!r})"
+
+    # -- trace layer -------------------------------------------------------
+
+    def trace_path(self, digest: str) -> Path:
+        return self._traces_dir / f"{digest}.npz"
+
+    def save_trace(
+        self, digest: str, miss_trace: MissTrace, summary: "L1Summary"
+    ) -> Path:
+        """Persist one L1 simulation under its digest (atomic)."""
+        meta = {
+            "store_version": STORE_FORMAT_VERSION,
+            "block_bits": miss_trace.block_bits,
+            "summary": dataclasses.asdict(summary),
+        }
+        arrays = {
+            "meta": np.frombuffer(_canonical(meta).encode(), dtype=np.uint8),
+            "addrs": miss_trace.addrs,
+            "kinds": miss_trace.kinds,
+        }
+        if miss_trace.pcs is not None:
+            arrays["pcs"] = miss_trace.pcs
+        path = self.trace_path(digest)
+        self._write_atomic(path, lambda tmp: np.savez_compressed(tmp, **arrays))
+        return path
+
+    def load_trace(self, digest: str) -> Optional[Tuple[MissTrace, "L1Summary"]]:
+        """The stored (miss trace, L1 summary), or None on any defect."""
+        from repro.caches.cache import MissTrace
+        from repro.sim.results import L1Summary
+
+        path = self.trace_path(digest)
+        try:
+            with np.load(path) as archive:
+                meta = json.loads(bytes(archive["meta"]).decode())
+                if meta["store_version"] != STORE_FORMAT_VERSION:
+                    return None
+                pcs = None
+                if "pcs" in archive:
+                    pcs = archive["pcs"].astype(np.int64, copy=True)
+                miss_trace = MissTrace(
+                    archive["addrs"].astype(np.int64, copy=True),
+                    archive["kinds"].astype(np.uint8, copy=True),
+                    int(meta["block_bits"]),
+                    pcs,
+                )
+                summary = L1Summary(**meta["summary"])
+            return miss_trace, summary
+        except _TRACE_DEFECTS:
+            # Missing, truncated or foreign file: treat as a miss and let
+            # the caller recompute (the rewrite heals the store).
+            return None
+
+    # -- result layer ------------------------------------------------------
+
+    def result_path(self, digest: str) -> Path:
+        return self._results_dir / f"{digest}.json"
+
+    def save_result(self, digest: str, stats: StreamStats) -> Path:
+        """Persist one replay's statistics under its digest (atomic)."""
+        payload = {
+            "result_version": RESULT_FORMAT_VERSION,
+            "stats": stats_to_dict(stats),
+        }
+        path = self.result_path(digest)
+        data = json.dumps(payload, sort_keys=True, indent=None)
+        self._write_atomic(path, lambda tmp: Path(tmp).write_text(data))
+        return path
+
+    def load_result(self, digest: str) -> Optional[StreamStats]:
+        """The stored replay statistics, or None on any defect."""
+        path = self.result_path(digest)
+        try:
+            payload = json.loads(path.read_text())
+            if payload["result_version"] != RESULT_FORMAT_VERSION:
+                return None
+            return stats_from_dict(payload["stats"])
+        except (OSError, KeyError, ValueError, TypeError):
+            return None
+
+    # -- maintenance -------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Stored trace archives (results are not counted)."""
+        if not self._traces_dir.is_dir():
+            return 0
+        return sum(1 for _ in self._traces_dir.glob("*.npz"))
+
+    def n_results(self) -> int:
+        if not self._results_dir.is_dir():
+            return 0
+        return sum(1 for _ in self._results_dir.glob("*.json"))
+
+    def prune(self) -> int:
+        """Delete entries whose format version is stale; return the count."""
+        removed = 0
+        for path in self._traces_dir.glob("*.npz") if self._traces_dir.is_dir() else ():
+            try:
+                with np.load(path) as archive:
+                    meta = json.loads(bytes(archive["meta"]).decode())
+                    ok = meta["store_version"] == STORE_FORMAT_VERSION
+            except _TRACE_DEFECTS:
+                ok = False
+            if not ok:
+                path.unlink(missing_ok=True)
+                removed += 1
+        for path in (
+            self._results_dir.glob("*.json") if self._results_dir.is_dir() else ()
+        ):
+            try:
+                payload = json.loads(path.read_text())
+                ok = payload["result_version"] == RESULT_FORMAT_VERSION
+            except (OSError, KeyError, ValueError):
+                ok = False
+            if not ok:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def clear(self) -> None:
+        """Delete every stored trace and result."""
+        for directory in (self._traces_dir, self._results_dir):
+            if directory.is_dir():
+                for path in directory.iterdir():
+                    path.unlink(missing_ok=True)
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _write_atomic(path: Path, write) -> None:
+        """Run ``write(tmp_path)`` then rename over ``path``."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=path.suffix)
+        os.close(fd)
+        try:
+            write(tmp)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)

@@ -20,6 +20,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["exhibit", "table99"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workloads == ["embar", "mgrid", "cgm", "buk"]
+        assert args.n_streams == list(range(1, 11))
+        assert args.jobs == 1
+        assert args.trace_store is None
+
+    def test_engine_flags_on_sweep_and_exhibit(self):
+        args = build_parser().parse_args(
+            ["sweep", "--jobs", "4", "--trace-store", "/tmp/ts"]
+        )
+        assert args.jobs == 4
+        assert args.trace_store == "/tmp/ts"
+        args = build_parser().parse_args(
+            ["exhibit", "figure3", "--jobs", "2", "--trace-store", "/tmp/ts"]
+        )
+        assert args.jobs == 2
+        assert args.trace_store == "/tmp/ts"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -79,3 +98,38 @@ class TestCommands:
     def test_timing_l2_size_flag(self, capsys):
         assert main(["timing", "sweep", "--scale", "0.25", "--l2-kb", "256"]) == 0
         assert "256KB L2" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    ARGS = [
+        "sweep",
+        "--workloads", "sweep", "stride",
+        "--n-streams", "1", "2",
+        "--scale", "0.25",
+    ]
+
+    def test_sweep_renders_matrix(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "hit% @1" in out
+        assert "hit% @2" in out
+        assert "stride" in out
+        assert "cells/s" in out
+
+    def test_sweep_populates_trace_store(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(self.ARGS + ["--trace-store", str(store_dir)]) == 0
+        from repro.trace.store import TraceStore
+
+        store = TraceStore(store_dir)
+        assert len(store) == 2  # one trace per workload
+        assert store.n_results() == 4  # one per grid cell
+        # Second invocation is served from the store.
+        assert main(self.ARGS + ["--trace-store", str(store_dir)]) == 0
+        assert "store" in capsys.readouterr().out
+
+    def test_sweep_reports_failed_cells(self, capsys):
+        assert main(["sweep", "--workloads", "nonesuch", "--n-streams", "1"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err
+        assert "nonesuch" in captured.err

@@ -170,6 +170,49 @@ class TestMinLeadExtension:
         assert stats.in_flight_matches == 49
 
 
+class TestDemandOnlyFastPath:
+    """``run`` takes a dispatch-free path for traces with no WB/ifetch
+    events; it must be observationally identical to per-event driving."""
+
+    def drive_manually(self, config, mt):
+        pf = StreamPrefetcher(config)
+        for addr in mt.addrs.tolist():
+            pf.handle_miss(addr)
+        return pf.finalize()
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            StreamConfig.jouppi(n_streams=2),
+            StreamConfig.filtered(n_streams=2),
+            StreamConfig.jouppi(n_streams=2).with_(min_lead=3),
+        ],
+        ids=["jouppi", "filtered", "min_lead"],
+    )
+    def test_fast_path_matches_event_api(self, config):
+        rng = np.random.default_rng(3)
+        blocks = np.concatenate(
+            [np.arange(100, 150), rng.integers(0, 1 << 20, size=50)]
+        )
+        mt = make_miss_trace(blocks)
+        assert not np.any(mt.kinds)  # demand-only: fast path taken
+        assert StreamPrefetcher(config).run(mt) == self.drive_manually(config, mt)
+
+    def test_single_writeback_disables_fast_path_consistently(self):
+        # The same demand stream with one trailing WB must differ only in
+        # the WB-related counters — the hit counters stay in agreement.
+        blocks = list(range(100, 150))
+        demand_only = StreamPrefetcher(StreamConfig.jouppi(n_streams=2)).run(
+            make_miss_trace(blocks)
+        )
+        with_wb = StreamPrefetcher(StreamConfig.jouppi(n_streams=2)).run(
+            make_miss_trace(blocks + [9999], kinds=[0] * 50 + [int(MissEventKind.WRITEBACK)])
+        )
+        assert with_wb.writebacks == 1
+        assert with_wb.demand_misses == demand_only.demand_misses
+        assert with_wb.stream_hits == demand_only.stream_hits
+
+
 class TestStats:
     def test_stream_misses_property(self):
         pf = StreamPrefetcher(StreamConfig.jouppi(n_streams=2))

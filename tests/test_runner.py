@@ -91,6 +91,22 @@ class TestRunHelpers:
         assert result.seed == 7
         assert result.scale == 0.25
 
+    def test_instance_provenance_wins_over_conflicting_args(self):
+        # Regression: the recorded scale/seed must describe what was
+        # simulated (the instance's own parameters), not the caller's
+        # ignored scale=/seed= arguments.
+        cache = MissTraceCache()
+        workload = get_workload("sweep", scale=0.25, seed=7)
+        result = run_result(
+            workload, StreamConfig.jouppi(n_streams=2), scale=1.0, seed=0, cache=cache
+        )
+        assert result.scale == 0.25
+        assert result.seed == 7
+        # And the cache keyed it under the instance parameters: the same
+        # name+scale+seed by string lookup reuses the entry.
+        assert cache.get("sweep", scale=0.25, seed=7)[0] is cache.get(workload)[0]
+        assert len(cache) == 1
+
 
 class TestL1Summary:
     def test_from_stats(self):

@@ -1,0 +1,215 @@
+"""Tests for repro.trace.store and the store-layered MissTraceCache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.caches.cache import CacheConfig, MissEventKind, MissTrace
+from repro.core.config import StreamConfig
+from repro.core.prefetcher import StreamPrefetcher
+from repro.sim.results import L1Summary
+from repro.sim.runner import MissTraceCache, simulate_l1
+from repro.trace.store import (
+    TraceStore,
+    result_digest,
+    stats_from_dict,
+    stats_to_dict,
+    trace_digest,
+)
+from repro.workloads import get_workload
+
+
+def make_miss_trace(n=64, with_pcs=False, with_writebacks=True):
+    rng = np.random.default_rng(7)
+    addrs = (rng.integers(0, 1 << 30, size=n) & ~np.int64(63)).astype(np.int64)
+    kinds = np.full(n, int(MissEventKind.READ_MISS), dtype=np.uint8)
+    if with_writebacks:
+        kinds[::7] = int(MissEventKind.WRITEBACK)
+    pcs = rng.integers(0, 1 << 20, size=n).astype(np.int64) if with_pcs else None
+    return MissTrace(addrs, kinds, 6, pcs)
+
+
+def make_summary():
+    return L1Summary(
+        accesses=1000,
+        misses=64,
+        writebacks=9,
+        ifetch_misses=0,
+        miss_rate=0.064,
+        trace_length=1000,
+        data_set_bytes=4096,
+    )
+
+
+class TestDigests:
+    def test_stable_and_sensitive(self):
+        l1 = CacheConfig.paper_l1()
+        d = trace_digest("mgrid", 1.0, 0, l1)
+        assert d == trace_digest("mgrid", 1.0, 0, l1)
+        assert d != trace_digest("mgrid", 1.0, 1, l1)
+        assert d != trace_digest("mgrid", 2.0, 0, l1)
+        assert d != trace_digest("cgm", 1.0, 0, l1)
+        assert d != trace_digest("mgrid", 1.0, 0, l1, keep_pcs=True)
+        tiny = CacheConfig(capacity=4096, assoc=2, block_size=64)
+        assert d != trace_digest("mgrid", 1.0, 0, tiny)
+
+    def test_result_digest_depends_on_config(self):
+        a = result_digest("t", StreamConfig.jouppi(n_streams=2))
+        b = result_digest("t", StreamConfig.jouppi(n_streams=3))
+        assert a != b
+        assert a == result_digest("t", StreamConfig.jouppi(n_streams=2))
+
+
+class TestTraceRoundTrip:
+    def test_exact_round_trip(self, tmp_path):
+        store = TraceStore(tmp_path)
+        mt, summary = make_miss_trace(), make_summary()
+        store.save_trace("abc", mt, summary)
+        loaded = store.load_trace("abc")
+        assert loaded is not None
+        got_mt, got_summary = loaded
+        assert np.array_equal(got_mt.addrs, mt.addrs)
+        assert np.array_equal(got_mt.kinds, mt.kinds)
+        assert got_mt.block_bits == mt.block_bits
+        assert got_mt.pcs is None
+        assert got_summary == summary
+
+    def test_pcs_preserved(self, tmp_path):
+        store = TraceStore(tmp_path)
+        mt = make_miss_trace(with_pcs=True)
+        store.save_trace("abc", mt, make_summary())
+        got_mt, _ = store.load_trace("abc")
+        assert np.array_equal(got_mt.pcs, mt.pcs)
+
+    def test_missing_entry_is_none(self, tmp_path):
+        assert TraceStore(tmp_path).load_trace("nonesuch") is None
+
+    def test_corrupted_file_is_none(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save_trace("abc", make_miss_trace(), make_summary())
+        path = store.trace_path("abc")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert store.load_trace("abc") is None
+
+    def test_garbage_file_is_none(self, tmp_path):
+        store = TraceStore(tmp_path)
+        path = store.trace_path("abc")
+        path.parent.mkdir(parents=True)
+        path.write_text("not an npz archive")
+        assert store.load_trace("abc") is None
+
+    def test_stale_version_is_none(self, tmp_path, monkeypatch):
+        store = TraceStore(tmp_path)
+        store.save_trace("abc", make_miss_trace(), make_summary())
+        monkeypatch.setattr("repro.trace.store.STORE_FORMAT_VERSION", 2)
+        assert store.load_trace("abc") is None
+        assert store.prune() == 1
+        assert len(store) == 0
+
+
+class TestResultRoundTrip:
+    def run_stats(self):
+        return StreamPrefetcher(StreamConfig.filtered(n_streams=4)).run(
+            make_miss_trace(n=256)
+        )
+
+    def test_stats_dict_round_trip(self):
+        stats = self.run_stats()
+        assert stats_from_dict(json.loads(json.dumps(stats_to_dict(stats)))) == stats
+
+    def test_store_round_trip(self, tmp_path):
+        store = TraceStore(tmp_path)
+        stats = self.run_stats()
+        store.save_result("r1", stats)
+        assert store.load_result("r1") == stats
+        assert store.n_results() == 1
+
+    def test_corrupted_result_is_none(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save_result("r1", self.run_stats())
+        store.result_path("r1").write_text("{ not json")
+        assert store.load_result("r1") is None
+
+    def test_stale_result_version_is_none(self, tmp_path, monkeypatch):
+        store = TraceStore(tmp_path)
+        store.save_result("r1", self.run_stats())
+        monkeypatch.setattr("repro.trace.store.RESULT_FORMAT_VERSION", 99)
+        assert store.load_result("r1") is None
+        assert store.prune() == 1
+
+    def test_clear(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save_trace("t", make_miss_trace(), make_summary())
+        store.save_result("r", self.run_stats())
+        store.clear()
+        assert len(store) == 0
+        assert store.n_results() == 0
+
+
+class TestStoreBackedCache:
+    def test_second_process_equivalent_cache_hits_store(self, tmp_path):
+        store = TraceStore(tmp_path)
+        first = MissTraceCache(store=store)
+        mt1, s1 = first.get("sweep", scale=0.25)
+        assert len(store) == 1
+        # A fresh cache (a new process, conceptually) loads, not recomputes.
+        second = MissTraceCache(store=store)
+        mt2, s2 = second.get("sweep", scale=0.25)
+        assert second.store_hits == 1
+        assert np.array_equal(mt1.addrs, mt2.addrs)
+        assert np.array_equal(mt1.kinds, mt2.kinds)
+        assert s1 == s2
+
+    def test_stored_trace_equals_direct_simulation(self, tmp_path):
+        store = TraceStore(tmp_path)
+        MissTraceCache(store=store).get("stride", scale=0.25)
+        loaded_mt, loaded_summary = MissTraceCache(store=store).get("stride", scale=0.25)
+        direct_mt, direct_summary = simulate_l1(get_workload("stride", scale=0.25))
+        assert np.array_equal(loaded_mt.addrs, direct_mt.addrs)
+        assert np.array_equal(loaded_mt.kinds, direct_mt.kinds)
+        assert loaded_summary == direct_summary
+
+    def test_corrupt_store_falls_back_to_recompute(self, tmp_path):
+        store = TraceStore(tmp_path)
+        warm = MissTraceCache(store=store)
+        mt1, _ = warm.get("sweep", scale=0.25)
+        digest = warm.trace_key("sweep", 0.25, 0)
+        path = store.trace_path(digest)
+        path.write_bytes(b"corrupt")
+        cold = MissTraceCache(store=store)
+        mt2, _ = cold.get("sweep", scale=0.25)
+        assert cold.store_hits == 0
+        assert np.array_equal(mt1.addrs, mt2.addrs)
+        # The recompute healed the store entry.
+        assert store.load_trace(digest) is not None
+
+
+class TestCacheLruBound:
+    def test_eviction_keeps_recent_entries(self):
+        cache = MissTraceCache(max_entries=2)
+        cache.get("sweep", scale=0.125)
+        cache.get("sweep", scale=0.25)
+        cache.get("sweep", scale=0.5)  # evicts scale=0.125
+        assert len(cache) == 2
+        assert cache.evictions == 1
+
+    def test_get_refreshes_lru_position(self):
+        cache = MissTraceCache(max_entries=2)
+        a = cache.get("sweep", scale=0.125)
+        cache.get("sweep", scale=0.25)
+        assert cache.get("sweep", scale=0.125)[0] is a[0]  # touch: now MRU
+        cache.get("sweep", scale=0.5)  # evicts scale=0.25, not 0.125
+        assert cache.get("sweep", scale=0.125)[0] is a[0]
+        assert cache.evictions == 1
+
+    def test_unbounded_when_none(self):
+        cache = MissTraceCache(max_entries=None)
+        for scale in (0.125, 0.25, 0.5):
+            cache.get("sweep", scale=scale)
+        assert len(cache) == 3
+        assert cache.evictions == 0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            MissTraceCache(max_entries=0)
