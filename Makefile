@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-quick exhibits examples clean
+.PHONY: install test bench bench-quick exhibits examples serve smoke-service clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,6 +16,17 @@ bench:
 # the timings in BENCH_PR1.json for cross-PR perf tracking.
 bench-quick:
 	PYTHONPATH=src python benchmarks/bench_quick.py
+
+# The always-on simulation service (docs/service.md).  Local dev
+# defaults: pool of 4 workers sharing a persistent store.
+serve:
+	PYTHONPATH=src python -m repro serve --port 8077 --jobs 4 \
+		--trace-store .trace-store --max-queue 64
+
+# Boot a real `repro serve` subprocess, one request round-trip, SIGINT
+# shutdown — the CI service-smoke job runs exactly this.
+smoke-service:
+	PYTHONPATH=src python -m repro.service.smoke
 
 # Regenerate every paper exhibit, printing the renderings.
 exhibits:

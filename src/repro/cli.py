@@ -9,6 +9,7 @@ Subcommands::
     repro profile WORKLOAD         # trace statistics of a model
     repro compare WORKLOAD         # streams vs related-work baselines
     repro timing WORKLOAD          # price the stream vs L2 designs
+    repro serve [options]          # always-on simulation service (HTTP)
 
 Every exhibit prints measured values beside the paper's published ones.
 ``sweep`` and ``exhibit`` accept ``--jobs N`` (process-pool fan-out) and
@@ -33,16 +34,7 @@ from repro.workloads import all_benchmarks, get_workload
 
 __all__ = ["main", "build_parser"]
 
-_EXHIBITS = {
-    "table1": (experiments.table1, experiments.render_table1),
-    "figure3": (experiments.figure3, experiments.render_figure3),
-    "table2": (experiments.table2, experiments.render_table2),
-    "table3": (experiments.table3, experiments.render_table3),
-    "figure5": (experiments.figure5, experiments.render_figure5),
-    "figure8": (experiments.figure8, experiments.render_figure8),
-    "figure9": (experiments.figure9, experiments.render_figure9),
-    "table4": (experiments.table4, experiments.render_table4),
-}
+_EXHIBITS = experiments.EXHIBITS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -142,6 +134,56 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2.0,
         help="stream design's memory-bandwidth advantage (x)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio simulation service (see docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8077, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes in the shared pool (1 = in-process)",
+    )
+    serve.add_argument(
+        "--trace-store",
+        default=None,
+        metavar="PATH",
+        help="persistent miss-trace/result store shared by all workers",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admitted-request bound; excess requests are rejected with 429",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="micro-batcher flush threshold (cells per run_grid call)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="micro-batcher linger before flushing a partial batch",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="default per-request deadline (seconds)",
     )
 
     return parser
@@ -258,7 +300,7 @@ def _cmd_exhibit(args: argparse.Namespace) -> int:
     store = TraceStore(args.trace_store) if args.trace_store else None
     cache = MissTraceCache(store=store)
     kwargs = {"cache": cache}
-    if args.name in ("figure3", "figure9"):
+    if args.name in experiments.SWEEP_EXHIBITS:
         # The sweep-based exhibits fan out through the parallel engine.
         kwargs.update(jobs=args.jobs, store=store)
     if args.benchmarks:
@@ -356,6 +398,26 @@ def _cmd_timing(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        jobs=args.jobs,
+        store_root=args.trace_store,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        default_timeout_s=args.timeout,
+    )
+    try:
+        asyncio.run(run_server(config, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("repro-service shut down", flush=True)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -373,6 +435,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "timing":
         return _cmd_timing(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

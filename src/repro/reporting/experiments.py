@@ -430,3 +430,25 @@ def render_table4(rows: List[Table4Row]) -> str:
         title="Table 4: stream buffers versus secondary cache across input scales",
         precision=2,
     )
+
+
+# -- exhibit registry -------------------------------------------------------
+
+#: Canonical (driver, renderer) registry of every exhibit, shared by the
+#: CLI (``repro exhibit``) and the service (``POST /v1/exhibit``).
+EXHIBITS = {
+    "table1": (table1, render_table1),
+    "figure3": (figure3, render_figure3),
+    "table2": (table2, render_table2),
+    "table3": (table3, render_table3),
+    "figure5": (figure5, render_figure5),
+    "figure8": (figure8, render_figure8),
+    "figure9": (figure9, render_figure9),
+    "table4": (table4, render_table4),
+}
+
+#: Exhibits whose drivers fan out through the parallel sweep engine and
+#: therefore accept ``jobs``/``store`` arguments.
+SWEEP_EXHIBITS = ("figure3", "figure9")
+
+__all__ += ["EXHIBITS", "SWEEP_EXHIBITS"]

@@ -1,0 +1,324 @@
+"""Request/response schemas for the simulation service wire format.
+
+The service speaks **wire version 1**: JSON bodies over HTTP.  Every
+request may carry ``"v": 1`` (absent means "current") and an optional
+``"timeout_s"``; every response is an envelope with ``"v"``, ``"ok"``
+and either the result body or an ``"error"`` object.
+
+Three request kinds map onto the three CLI verbs:
+
+``POST /v1/run``
+    ``{"workload": "mgrid", "scale": 1.0, "seed": 0, "config": {...}}``
+    — one cell; internally a one-cell sweep.
+
+``POST /v1/sweep``
+    ``{"workloads": [...], "n_streams": [...], "scale": ..., "seed":
+    ..., "config": {...}}`` — the (workload x n_streams) grid, exactly
+    the ``repro sweep`` shape.
+
+``POST /v1/exhibit``
+    ``{"name": "figure3", "benchmarks": [...]}`` — regenerate a paper
+    exhibit, returning its rendered text.
+
+``config`` objects take any :class:`~repro.core.config.StreamConfig`
+field plus an optional ``"preset"`` (``jouppi``/``filtered``/
+``non_unit``) the remaining fields override.  All names are validated
+against the workload and exhibit registries *before* anything is
+queued, so a bad request costs nothing and fails with a precise 400.
+
+Result cells are encoded losslessly: ``stats`` round-trips through
+:func:`repro.trace.store.stats_to_dict`, so a client can rebuild the
+exact :class:`~repro.core.prefetcher.StreamStats` the simulator
+produced (the e2e tests assert bit-identical equality).  Failed cells
+become error objects carrying the task key **and the full worker
+traceback** (see :meth:`repro.sim.parallel.TaskError.to_payload`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import StreamConfig
+from repro.reporting.experiments import EXHIBITS
+from repro.sim.parallel import SweepTask, TaskError, _json_key
+from repro.sim.results import RunResult
+from repro.trace.store import stats_to_dict
+from repro.workloads import workload_names
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_CELLS_PER_REQUEST",
+    "ValidationError",
+    "CellSpec",
+    "CellsRequest",
+    "ExhibitRequest",
+    "config_from_payload",
+    "parse_run_request",
+    "parse_sweep_request",
+    "parse_exhibit_request",
+    "encode_cell_result",
+    "encode_task_error",
+    "ok_envelope",
+    "error_envelope",
+]
+
+#: Version of the JSON wire format; bump on incompatible changes.
+WIRE_VERSION = 1
+
+#: Per-request grid-size cap — a single request cannot enqueue an
+#: unbounded amount of work past the admission queue's accounting.
+MAX_CELLS_PER_REQUEST = 1024
+
+_CONFIG_PRESETS = {
+    "jouppi": StreamConfig.jouppi,
+    "filtered": StreamConfig.filtered,
+    "non_unit": StreamConfig.non_unit,
+}
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(StreamConfig))
+
+
+class ValidationError(ValueError):
+    """A request failed schema validation (maps to HTTP 400)."""
+
+
+# -- request parsing --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One validated grid cell of a run/sweep request."""
+
+    key: Tuple
+    workload: str
+    config: StreamConfig
+    scale: float = 1.0
+    seed: int = 0
+
+    def task(self) -> SweepTask:
+        return SweepTask(
+            key=self.key,
+            workload=self.workload,
+            config=self.config,
+            scale=self.scale,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class CellsRequest:
+    """A validated ``run`` or ``sweep`` request."""
+
+    kind: str  # "run" | "sweep"
+    cells: Tuple[CellSpec, ...]
+    timeout_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ExhibitRequest:
+    """A validated ``exhibit`` request."""
+
+    name: str
+    benchmarks: Optional[Tuple[str, ...]] = None
+    timeout_s: Optional[float] = None
+
+
+def _require_dict(payload) -> dict:
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _check_version(payload: dict) -> None:
+    version = payload.get("v", WIRE_VERSION)
+    if version != WIRE_VERSION:
+        raise ValidationError(
+            f"unsupported wire version {version!r} (this server speaks v{WIRE_VERSION})"
+        )
+
+
+def _parse_timeout(payload: dict) -> Optional[float]:
+    timeout = payload.get("timeout_s")
+    if timeout is None:
+        return None
+    if not isinstance(timeout, (int, float)) or isinstance(timeout, bool):
+        raise ValidationError(f"timeout_s must be a number, got {timeout!r}")
+    if timeout <= 0:
+        raise ValidationError(f"timeout_s must be positive, got {timeout}")
+    return float(timeout)
+
+
+def _parse_workload(name, known: Sequence[str]) -> str:
+    if not isinstance(name, str):
+        raise ValidationError(f"workload name must be a string, got {name!r}")
+    if name not in known:
+        raise ValidationError(
+            f"unknown workload {name!r}; known: {', '.join(sorted(known))}"
+        )
+    return name
+
+
+def _parse_scale(payload: dict) -> float:
+    scale = payload.get("scale", 1.0)
+    if not isinstance(scale, (int, float)) or isinstance(scale, bool) or scale <= 0:
+        raise ValidationError(f"scale must be a positive number, got {scale!r}")
+    return float(scale)
+
+
+def _parse_seed(payload: dict) -> int:
+    seed = payload.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ValidationError(f"seed must be an integer, got {seed!r}")
+    return seed
+
+
+def config_from_payload(payload: Optional[dict]) -> StreamConfig:
+    """Build a validated :class:`StreamConfig` from its JSON form.
+
+    ``None`` yields the paper's unfiltered default.  Unknown fields are
+    rejected by name (misspelled knobs must not silently sweep the
+    default), and every :class:`StreamConfig` invariant violation is
+    re-raised as a :class:`ValidationError`.
+    """
+    if payload is None:
+        return StreamConfig.jouppi()
+    if not isinstance(payload, dict):
+        raise ValidationError(f"config must be a JSON object, got {payload!r}")
+    fields = dict(payload)
+    preset_name = fields.pop("preset", None)
+    unknown = set(fields) - _CONFIG_FIELDS
+    if unknown:
+        raise ValidationError(
+            f"unknown config field(s) {sorted(unknown)}; "
+            f"valid: {sorted(_CONFIG_FIELDS)} (+ 'preset')"
+        )
+    try:
+        if preset_name is not None:
+            preset = _CONFIG_PRESETS.get(preset_name)
+            if preset is None:
+                raise ValidationError(
+                    f"unknown config preset {preset_name!r}; "
+                    f"valid: {sorted(_CONFIG_PRESETS)}"
+                )
+            return preset().with_(**fields)
+        return StreamConfig(**fields)
+    except ValidationError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"invalid config: {exc}") from exc
+
+
+def parse_run_request(payload) -> CellsRequest:
+    """Validate a ``run`` body into a one-cell :class:`CellsRequest`."""
+    payload = _require_dict(payload)
+    _check_version(payload)
+    known = workload_names()
+    workload = _parse_workload(payload.get("workload"), known)
+    config = config_from_payload(payload.get("config"))
+    scale = _parse_scale(payload)
+    seed = _parse_seed(payload)
+    cell = CellSpec(
+        key=(workload, config.n_streams),
+        workload=workload,
+        config=config,
+        scale=scale,
+        seed=seed,
+    )
+    return CellsRequest(kind="run", cells=(cell,), timeout_s=_parse_timeout(payload))
+
+
+def parse_sweep_request(payload) -> CellsRequest:
+    """Validate a ``sweep`` body into its full grid of cells."""
+    payload = _require_dict(payload)
+    _check_version(payload)
+    known = workload_names()
+    workloads = payload.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        raise ValidationError("workloads must be a non-empty list of names")
+    workloads = [_parse_workload(name, known) for name in workloads]
+    n_streams = payload.get("n_streams", list(range(1, 11)))
+    if not isinstance(n_streams, list) or not n_streams:
+        raise ValidationError("n_streams must be a non-empty list of integers")
+    for n in n_streams:
+        if not isinstance(n, int) or isinstance(n, bool) or n <= 0:
+            raise ValidationError(f"n_streams values must be positive integers, got {n!r}")
+    n_values = sorted(set(n_streams))
+    if len(workloads) * len(n_values) > MAX_CELLS_PER_REQUEST:
+        raise ValidationError(
+            f"grid of {len(workloads) * len(n_values)} cells exceeds the "
+            f"per-request cap of {MAX_CELLS_PER_REQUEST}"
+        )
+    base = config_from_payload(payload.get("config"))
+    scale = _parse_scale(payload)
+    seed = _parse_seed(payload)
+    cells = tuple(
+        CellSpec(
+            key=(name, n),
+            workload=name,
+            config=base.with_(n_streams=n),
+            scale=scale,
+            seed=seed,
+        )
+        for name in workloads
+        for n in n_values
+    )
+    return CellsRequest(kind="sweep", cells=cells, timeout_s=_parse_timeout(payload))
+
+
+def parse_exhibit_request(payload) -> ExhibitRequest:
+    """Validate an ``exhibit`` body against the exhibit registry."""
+    payload = _require_dict(payload)
+    _check_version(payload)
+    name = payload.get("name")
+    if not isinstance(name, str) or name not in EXHIBITS:
+        raise ValidationError(
+            f"unknown exhibit {name!r}; known: {', '.join(sorted(EXHIBITS))}"
+        )
+    benchmarks = payload.get("benchmarks")
+    if benchmarks is not None:
+        if not isinstance(benchmarks, list) or not benchmarks:
+            raise ValidationError("benchmarks must be a non-empty list of names")
+        known = workload_names()
+        benchmarks = tuple(_parse_workload(b, known) for b in benchmarks)
+    return ExhibitRequest(
+        name=name, benchmarks=benchmarks, timeout_s=_parse_timeout(payload)
+    )
+
+
+# -- response encoding ------------------------------------------------------
+
+
+def encode_cell_result(cell: CellSpec, result: RunResult) -> dict:
+    """One successful cell as a lossless JSON object."""
+    return {
+        "key": _json_key(cell.key),
+        "workload": result.workload,
+        "scale": result.scale,
+        "seed": result.seed,
+        "hit_rate_percent": result.hit_rate_percent,
+        "l1": dataclasses.asdict(result.l1),
+        "stats": stats_to_dict(result.streams),
+    }
+
+
+def encode_task_error(error: TaskError) -> dict:
+    """One failed cell, traceback included."""
+    return error.to_payload()
+
+
+def ok_envelope(kind: str, **body) -> dict:
+    """A success response envelope carrying the wire version."""
+    return {"v": WIRE_VERSION, "ok": True, "kind": kind, **body}
+
+
+def error_envelope(code: str, message: str, **extra) -> dict:
+    """A failure response envelope (``code`` is machine-matchable)."""
+    return {
+        "v": WIRE_VERSION,
+        "ok": False,
+        "error": {"code": code, "message": message, **extra},
+    }

@@ -1,0 +1,150 @@
+"""Micro-batching of sweep cells into single ``run_grid`` calls.
+
+Dispatching one cell at a time to the process pool pays pickling and
+IPC overhead per cell; the sweep engine already amortises that *within*
+one ``run_grid`` call by chunking.  The batcher extends the same
+amortisation *across* concurrent requests: cells submitted within a
+short linger window (or until the batch fills) are flushed together as
+one grid, so a burst of N single-cell requests costs one pool round
+trip instead of N.
+
+Shape: an ``asyncio.Queue`` feeding a single consumer task.  One flush
+runs at a time — which both maximises batch fill under load (cells
+arriving during a flush form the next batch) and serialises access to
+the serial path's shared ``MissTraceCache`` (not thread safe) because
+the executor callable runs in one worker thread at a time.
+
+Every submitted cell resolves its own future with a ``RunResult`` or a
+``TaskError`` value; a failure of the *batch machinery* (not a cell)
+rejects all futures of that batch.
+"""
+
+from __future__ import annotations
+
+from typing import Awaitable, Callable, List, Optional, Sequence, Tuple, Union
+
+import asyncio
+
+from repro.sim.parallel import SweepTask, TaskError
+from repro.sim.results import RunResult
+
+__all__ = ["MicroBatcher"]
+
+CellResult = Union[RunResult, TaskError]
+BatchRunner = Callable[[List[SweepTask]], Awaitable[Sequence[CellResult]]]
+
+
+class MicroBatcher:
+    """Collect cells briefly, run them as one grid, fan results out.
+
+    Args:
+        run_batch: coroutine function executing a list of tasks and
+            returning one result per task, in order (the service wraps
+            ``run_grid`` in ``asyncio.to_thread`` here).
+        max_batch: flush as soon as this many cells are pending.
+        window_s: flush at latest this long after the first cell of a
+            batch arrived (the "linger"); 0 flushes whatever a single
+            loop iteration can drain without sleeping.
+        on_flush: called with the batch size at every flush (metrics).
+    """
+
+    def __init__(
+        self,
+        run_batch: BatchRunner,
+        max_batch: int = 32,
+        window_s: float = 0.002,
+        on_flush: Optional[Callable[[int], None]] = None,
+    ):
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if window_s < 0:
+            raise ValueError(f"window_s must be non-negative, got {window_s}")
+        self._run_batch = run_batch
+        self.max_batch = max_batch
+        self.window_s = window_s
+        self._on_flush = on_flush
+        self._queue: "asyncio.Queue[Tuple[SweepTask, asyncio.Future]]" = asyncio.Queue()
+        self._consumer: Optional[asyncio.Task] = None
+        self._closed = False
+
+    async def start(self) -> None:
+        if self._consumer is None:
+            self._closed = False
+            self._consumer = asyncio.ensure_future(self._consume())
+
+    async def close(self) -> None:
+        """Stop the consumer; pending futures are cancelled."""
+        self._closed = True
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+            self._consumer = None
+        while not self._queue.empty():
+            _, future = self._queue.get_nowait()
+            if not future.done():
+                future.cancel()
+
+    def submit(self, task: SweepTask) -> "asyncio.Future[CellResult]":
+        """Enqueue one cell; the returned future resolves at flush."""
+        if self._closed or self._consumer is None:
+            raise RuntimeError("batcher is not running (call start() first)")
+        future: "asyncio.Future[CellResult]" = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((task, future))
+        return future
+
+    async def _consume(self) -> None:
+        while True:
+            batch = [await self._queue.get()]
+            deadline = asyncio.get_running_loop().time() + self.window_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - asyncio.get_running_loop().time()
+                if remaining <= 0:
+                    # Window over — but drain anything already queued.
+                    while len(batch) < self.max_batch and not self._queue.empty():
+                        batch.append(self._queue.get_nowait())
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            await self._flush(batch)
+
+    async def _flush(
+        self, batch: List[Tuple[SweepTask, "asyncio.Future[CellResult]"]]
+    ) -> None:
+        live = [(task, fut) for task, fut in batch if not fut.done()]
+        if not live:
+            return
+        if self._on_flush is not None:
+            self._on_flush(len(live))
+        tasks = [task for task, _ in live]
+        try:
+            results = await self._run_batch(tasks)
+        except asyncio.CancelledError:
+            for _, future in live:
+                if not future.done():
+                    future.cancel()
+            raise
+        except Exception as exc:
+            # Machinery failure (pool died, store unreachable): every
+            # cell of the batch fails with the same cause.
+            for _, future in live:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        if len(results) != len(tasks):
+            mismatch = RuntimeError(
+                f"batch runner returned {len(results)} results for {len(tasks)} tasks"
+            )
+            for _, future in live:
+                if not future.done():
+                    future.set_exception(mismatch)
+            return
+        for (_, future), result in zip(live, results):
+            if not future.done():
+                future.set_result(result)

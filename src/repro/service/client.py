@@ -1,0 +1,129 @@
+"""Clients for the simulation service — blocking and asyncio.
+
+Two thin stdlib clients over the v1 wire format:
+
+* :class:`ServiceClient` — blocking ``http.client`` wrapper for
+  scripts, benchmarks and the smoke test;
+* :func:`arequest` — a coroutine speaking just enough HTTP/1.1 for the
+  concurrency tests to open hundreds of simultaneous requests from one
+  event loop.
+
+Both return ``(status_code, decoded_body)``; JSON responses decode to
+dicts, everything else to text.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Optional, Tuple
+
+import asyncio
+
+__all__ = ["ServiceClient", "arequest"]
+
+
+def _decode(content_type: str, raw: bytes):
+    text = raw.decode("utf-8", errors="replace")
+    if "json" in content_type:
+        return json.loads(text)
+    return text
+
+
+class ServiceClient:
+    """Blocking client for one service instance."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Tuple[int, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            return response.status, _decode(response.getheader("Content-Type", ""), raw)
+        finally:
+            conn.close()
+
+    # -- the verbs ---------------------------------------------------------
+
+    def run(self, workload: str, **payload) -> Tuple[int, Any]:
+        return self.request("POST", "/v1/run", {"workload": workload, **payload})
+
+    def sweep(self, workloads, **payload) -> Tuple[int, Any]:
+        return self.request("POST", "/v1/sweep", {"workloads": list(workloads), **payload})
+
+    def exhibit(self, name: str, **payload) -> Tuple[int, Any]:
+        return self.request("POST", "/v1/exhibit", {"name": name, **payload})
+
+    def health(self) -> Tuple[int, Any]:
+        return self.request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        status, body = self.request("GET", "/metrics")
+        if status != 200:
+            raise RuntimeError(f"GET /metrics returned {status}")
+        return body
+
+    def metrics(self) -> dict:
+        status, body = self.request("GET", "/metrics.json")
+        if status != 200:
+            raise RuntimeError(f"GET /metrics.json returned {status}")
+        return body
+
+
+async def arequest(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+    timeout: float = 60.0,
+) -> Tuple[int, Any]:
+    """One async HTTP request against the service (Connection: close)."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        body = b""
+        extra = ""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            extra = "Content-Type: application/json\r\n"
+        writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"{extra}"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    header_lines = head.decode("latin-1").split("\r\n")
+    status = int(header_lines[0].split()[1])
+    content_type = ""
+    for line in header_lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-type":
+            content_type = value.strip()
+    return status, _decode(content_type, rest)

@@ -1,0 +1,65 @@
+"""In-flight request coalescing keyed by the trace store's digests.
+
+The dominant access pattern for a figure-replication service is *many
+clients asking for the same cells at the same time* — a dashboard
+refresh fans out, a class all runs the same sweep, a CI matrix replays
+the same grid.  The store already dedupes completed work across time;
+this dedupes *in-flight* work across concurrent requests: the first
+request for a digest starts the computation, every later request for
+the same digest (arriving before it finishes) attaches to the same
+future, and one result fans out to all of them.
+
+The digest key is exactly :func:`repro.trace.store.result_digest` — the
+content address under which the store would cache the cell's result —
+so "same digest" is precisely "bit-identical result".
+
+Single-event-loop discipline: all methods run on the loop thread, so a
+plain dict is race-free.  Waiters must ``await asyncio.shield(fut)``;
+cancelling one waiter (deadline expiry, client gone) must not cancel
+the shared computation other waiters still want.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import asyncio
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Registry of in-flight computations keyed by result digest."""
+
+    def __init__(self):
+        self._inflight: Dict[str, asyncio.Future] = {}
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def peek(self, key: str) -> Optional[asyncio.Future]:
+        """The in-flight future for ``key``, if any (a coalesce hit)."""
+        return self._inflight.get(key)
+
+    def admit(
+        self, key: str, factory: Callable[[], "asyncio.Future"]
+    ) -> "tuple[asyncio.Future, bool]":
+        """Attach to ``key``'s in-flight future, creating it if absent.
+
+        Args:
+            key: result digest of the cell.
+            factory: called (synchronously) to start the computation when
+                this is the first request for ``key``; must return a
+                future/task.
+
+        Returns:
+            ``(future, coalesced)`` — ``coalesced`` is True when an
+            in-flight computation was joined rather than started.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            return existing, True
+        future = factory()
+        self._inflight[key] = future
+        future.add_done_callback(lambda _done, _key=key: self._inflight.pop(_key, None))
+        return future, False

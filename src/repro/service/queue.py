@@ -1,0 +1,113 @@
+"""Bounded admission with backpressure, deadlines and cancellation.
+
+A serving layer that accepts every request melts the moment offered load
+exceeds capacity; the standard answer (and ours) is to bound the number
+of requests admitted past the front door and *reject* the excess
+immediately with a retriable 429 rather than queueing it into timeout
+oblivion.  Two pieces:
+
+* :class:`AdmissionQueue` — a counting gate.  ``slot()`` admits or
+  raises :class:`QueueFullError` synchronously (no await: rejection
+  under overload must be cheap), and releases on exit even when the
+  request is cancelled mid-flight.
+* :func:`with_deadline` — per-request deadline enforcement.  On expiry
+  the *waiter* is cancelled and :class:`DeadlineExceeded` raised; shared
+  work the waiter was coalesced onto keeps running for the other
+  waiters (see ``repro.service.coalesce`` — waiters shield the shared
+  future).
+"""
+
+from __future__ import annotations
+
+from contextlib import asynccontextmanager
+from typing import Awaitable, Callable, Optional, TypeVar
+
+import asyncio
+
+__all__ = [
+    "QueueFullError",
+    "DeadlineExceeded",
+    "AdmissionQueue",
+    "with_deadline",
+]
+
+T = TypeVar("T")
+
+
+class QueueFullError(RuntimeError):
+    """Admission queue at capacity — reject with 429, client may retry."""
+
+    def __init__(self, depth: int, limit: int):
+        self.depth = depth
+        self.limit = limit
+        super().__init__(f"admission queue full ({depth}/{limit} slots in use)")
+
+
+class DeadlineExceeded(asyncio.TimeoutError):
+    """The request's deadline expired before its result was ready."""
+
+    def __init__(self, timeout_s: float):
+        self.timeout_s = timeout_s
+        super().__init__(f"deadline of {timeout_s:g}s exceeded")
+
+
+class AdmissionQueue:
+    """Counting admission gate with an optional depth observer.
+
+    Single-event-loop discipline: ``acquire``/``release`` only run on
+    the loop thread, so a plain counter is race-free without locking.
+
+    Args:
+        limit: maximum concurrently admitted requests.
+        on_depth: called with the new depth after every change (the
+            service wires the queue-depth gauge here).
+    """
+
+    def __init__(self, limit: int, on_depth: Optional[Callable[[int], None]] = None):
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        self.limit = limit
+        self._depth = 0
+        self._on_depth = on_depth
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def acquire(self) -> None:
+        """Take a slot or raise :class:`QueueFullError` immediately."""
+        if self._depth >= self.limit:
+            raise QueueFullError(self._depth, self.limit)
+        self._depth += 1
+        if self._on_depth is not None:
+            self._on_depth(self._depth)
+
+    def release(self) -> None:
+        assert self._depth > 0, "release without acquire"
+        self._depth -= 1
+        if self._on_depth is not None:
+            self._on_depth(self._depth)
+
+    @asynccontextmanager
+    async def slot(self):
+        """``async with queue.slot():`` — admission for one request."""
+        self.acquire()
+        try:
+            yield self
+        finally:
+            self.release()
+
+
+async def with_deadline(awaitable: Awaitable[T], timeout_s: Optional[float]) -> T:
+    """Await ``awaitable``, bounding the wait to ``timeout_s`` seconds.
+
+    ``None`` means no deadline.  Expiry cancels the awaitable (coalesced
+    waiters pass a shielded future, so shared work survives) and raises
+    :class:`DeadlineExceeded`.
+    """
+    if timeout_s is None:
+        return await awaitable
+    try:
+        return await asyncio.wait_for(awaitable, timeout_s)
+    except asyncio.TimeoutError:
+        raise DeadlineExceeded(timeout_s) from None

@@ -1,0 +1,638 @@
+"""The asyncio simulation service: orchestrator + HTTP frontend.
+
+Request path (the shape every later scaling PR plugs into)::
+
+    HTTP POST ──► validate (api) ──► admission queue (backpressure)
+        ──► per-cell: result LRU ──► warm-store fast path
+            ──► coalescer (join in-flight digest)
+                ──► micro-batcher ──► run_grid on the shared pool
+        ──► encode + metrics
+
+* The **admission queue** bounds concurrently admitted requests; beyond
+  ``max_queue`` the service answers 429 immediately (retriable).
+* The **result LRU** and the **warm-store fast path** serve repeats
+  without touching the pool: once any request has materialised a cell,
+  its digest is either in memory or a single JSON read away.
+* The **coalescer** keys in-flight work by the trace store's
+  ``result_digest``, so N concurrent identical cells run once and the
+  result fans out to every waiter.
+* The **micro-batcher** merges cells from concurrent requests into
+  single :func:`~repro.sim.parallel.run_grid` calls against one
+  long-lived worker pool (:func:`~repro.sim.parallel.make_pool`),
+  amortising pool IPC across requests.
+* **Metrics** for all of the above are exposed at ``GET /metrics``
+  (Prometheus text) and ``GET /metrics.json``.
+
+The HTTP layer is deliberately minimal stdlib asyncio — one request per
+connection, ``Connection: close`` — because the interesting machinery
+is behind it, not in it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from dataclasses import dataclass
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import asyncio
+
+from repro.caches.cache import CacheConfig
+from repro.reporting.experiments import EXHIBITS, SWEEP_EXHIBITS
+from repro.service import api
+from repro.service.batcher import MicroBatcher
+from repro.service.coalesce import Coalescer
+from repro.service.metrics import MetricsRegistry
+from repro.service.queue import (
+    AdmissionQueue,
+    DeadlineExceeded,
+    QueueFullError,
+    with_deadline,
+)
+from repro.sim.parallel import SweepTask, TaskError, make_pool, run_grid
+from repro.sim.results import L1Summary, RunResult
+from repro.sim.runner import MissTraceCache
+from repro.trace.store import TraceStore, result_digest, trace_digest
+
+__all__ = ["ServiceConfig", "SimulationService", "ServiceServer", "run_server"]
+
+#: Maximum accepted request body (bytes) — sweeps are tiny; anything
+#: bigger is a client bug or abuse.
+MAX_BODY_BYTES = 2 << 20
+
+#: Maximum accepted header block (bytes).
+MAX_HEADER_BYTES = 64 << 10
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deployment knobs of one service instance.
+
+    Attributes:
+        jobs: worker processes in the shared pool (1 = in-process serial
+            execution on a thread; still batched and coalesced).
+        store_root: persistent :class:`TraceStore` directory; None runs
+            storeless (no cross-restart warmth, fast path disabled).
+        max_queue: admitted-request bound; beyond it requests get 429.
+        max_batch: micro-batcher flush threshold (cells).
+        batch_window_s: micro-batcher linger before flushing a partial
+            batch.
+        default_timeout_s: deadline applied when a request names none.
+        max_timeout_s: hard ceiling a request's own ``timeout_s`` is
+            clamped to.
+        result_cache_entries: in-memory LRU of materialised cells.
+        keep_pcs: propagate PCs into miss traces (PC-indexed baselines).
+        l1_config: primary cache geometry (None = the paper L1).
+    """
+
+    jobs: int = 1
+    store_root: Optional[str] = None
+    max_queue: int = 64
+    max_batch: int = 64
+    batch_window_s: float = 0.002
+    default_timeout_s: float = 300.0
+    max_timeout_s: float = 3600.0
+    result_cache_entries: int = 1024
+    keep_pcs: bool = False
+    l1_config: Optional[CacheConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be positive, got {self.jobs}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be positive, got {self.max_queue}")
+        if self.default_timeout_s <= 0 or self.max_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+
+
+class _LRU:
+    """Tiny insertion-ordered LRU map (single event loop, no locking)."""
+
+    def __init__(self, max_entries: int):
+        self.max_entries = max_entries
+        self._entries: Dict[str, object] = {}
+
+    def get(self, key: str):
+        value = self._entries.get(key)
+        if value is not None:
+            # Re-insert to refresh recency (dicts preserve order).
+            del self._entries[key]
+            self._entries[key] = value
+        return value
+
+    def put(self, key: str, value) -> None:
+        if self.max_entries <= 0:
+            return
+        self._entries.pop(key, None)
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            del self._entries[next(iter(self._entries))]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class SimulationService:
+    """The orchestrator: queue → coalesce → batch → pool → encode."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._c_requests = m.counter("requests_total", "requests accepted for processing")
+        self._c_rejected = m.counter("requests_rejected_total", "429 backpressure rejections")
+        self._c_timeouts = m.counter("requests_timeout_total", "requests past their deadline")
+        self._c_failures = m.counter("requests_failed_total", "requests failed internally")
+        self._c_cells_requested = m.counter("cells_requested_total", "grid cells asked for")
+        self._c_cells_executed = m.counter(
+            "cells_executed_total", "grid cells actually dispatched to run_grid"
+        )
+        self._c_cell_errors = m.counter("cell_errors_total", "cells that came back as TaskError")
+        self._c_batches = m.counter("batches_total", "run_grid batches flushed")
+        self._c_coalesce = m.counter("coalesce_hits_total", "cells joined to in-flight work")
+        self._c_result_cache = m.counter("result_cache_hits_total", "cells served from the LRU")
+        self._c_store_fast = m.counter(
+            "store_fastpath_hits_total", "cells served from the warm store without the pool"
+        )
+        self._g_queue_depth = m.gauge("queue_depth", "admitted requests in flight")
+        self._h_latency = m.histogram("request_latency_ms", "request wall time, ms")
+        self._h_batch = m.histogram("batch_cells", "cells per flushed batch")
+        # Store/runner hook events surface as counters named after them.
+        self._hook_counters = {
+            event: m.counter(f"store_{event}_total", f"TraceStore {event} events")
+            for event in (
+                "trace_hit", "trace_miss", "trace_saved",
+                "result_hit", "result_miss", "result_saved",
+            )
+        }
+        self._hook_counters.update({
+            event: m.counter(f"runner_{event}_total", f"MissTraceCache {event} events")
+            for event in ("trace_mem_hit", "trace_store_hit", "trace_computed")
+        })
+
+        self.l1_config = config.l1_config or CacheConfig.paper_l1()
+        self.store: Optional[TraceStore] = None
+        if config.store_root is not None:
+            self.store = TraceStore(config.store_root, hooks=self._on_cache_event)
+        self._cache = MissTraceCache(
+            self.l1_config,
+            keep_pcs=config.keep_pcs,
+            store=self.store,
+            hooks=self._on_cache_event,
+        )
+        self.queue = AdmissionQueue(config.max_queue, on_depth=self._g_queue_depth.set)
+        self.coalescer = Coalescer()
+        self._results = _LRU(config.result_cache_entries)
+        self._summaries = _LRU(4096)  # trace digest -> L1Summary
+        self._pool = None
+        self._batcher = MicroBatcher(
+            self._run_batch,
+            max_batch=config.max_batch,
+            window_s=config.batch_window_s,
+            on_flush=self._on_flush,
+        )
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        if self.config.jobs > 1:
+            self._pool = make_pool(
+                self.config.jobs,
+                l1_config=self.l1_config,
+                keep_pcs=self.config.keep_pcs,
+                store=self.store,
+            )
+        await self._batcher.start()
+        self._started = True
+
+    async def close(self) -> None:
+        if not self._started:
+            return
+        await self._batcher.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._started = False
+
+    # -- hooks -------------------------------------------------------------
+
+    def _on_cache_event(self, event: str) -> None:
+        counter = self._hook_counters.get(event)
+        if counter is not None:
+            counter.inc()
+
+    def _on_flush(self, size: int) -> None:
+        self._c_batches.inc()
+        self._h_batch.observe(size)
+
+    # -- execution ---------------------------------------------------------
+
+    async def _run_batch(
+        self, tasks: List[SweepTask]
+    ) -> Sequence[Union[RunResult, TaskError]]:
+        """Execute one flushed batch (called by the micro-batcher)."""
+        self._c_cells_executed.inc(len(tasks))
+        if self._pool is not None:
+            fn = partial(
+                run_grid,
+                tasks,
+                jobs=self.config.jobs,
+                executor=self._pool,
+                store=self.store,
+                l1_config=self.l1_config,
+                keep_pcs=self.config.keep_pcs,
+            )
+        else:
+            # Serial mode: the single-flight batcher serialises access to
+            # the shared in-process cache, so no pool and no pickling.
+            fn = partial(run_grid, tasks, jobs=1, cache=self._cache)
+        return await asyncio.to_thread(fn)
+
+    def _digests(self, cell: api.CellSpec) -> Tuple[str, str]:
+        tkey = trace_digest(
+            cell.workload, cell.scale, cell.seed, self.l1_config, self.config.keep_pcs
+        )
+        return tkey, result_digest(tkey, cell.config)
+
+    async def _compute_cell(
+        self, cell: api.CellSpec, tkey: str, digest: str
+    ) -> Union[RunResult, TaskError]:
+        """Materialise one cell: warm store, else batch to the pool."""
+        if self.store is not None:
+            summary = self._summaries.get(tkey)
+            if summary is not None:
+                stats = await asyncio.to_thread(self.store.load_result, digest)
+                if stats is not None:
+                    self._c_store_fast.inc()
+                    result = RunResult(
+                        workload=cell.workload,
+                        scale=cell.scale,
+                        seed=cell.seed,
+                        l1=summary,
+                        streams=stats,
+                    )
+                    self._results.put(digest, result)
+                    return result
+        result = await self._batcher.submit(cell.task())
+        if isinstance(result, RunResult):
+            self._summaries.put(tkey, result.l1)
+            self._results.put(digest, result)
+        return result
+
+    async def _one_cell(
+        self, cell: api.CellSpec
+    ) -> Tuple[api.CellSpec, Union[RunResult, TaskError]]:
+        tkey, digest = self._digests(cell)
+        cached = self._results.get(digest)
+        if cached is not None:
+            self._c_result_cache.inc()
+            return cell, cached
+        future, coalesced = self.coalescer.admit(
+            digest,
+            lambda: asyncio.ensure_future(self._compute_cell(cell, tkey, digest)),
+        )
+        if coalesced:
+            self._c_coalesce.inc()
+        # Shield: this waiter's deadline/cancellation must not kill the
+        # shared computation other waiters are attached to.
+        result = await asyncio.shield(future)
+        return cell, result
+
+    # -- request handlers --------------------------------------------------
+
+    def _clamp_timeout(self, requested: Optional[float]) -> float:
+        timeout = requested if requested is not None else self.config.default_timeout_s
+        return min(timeout, self.config.max_timeout_s)
+
+    async def handle_cells(self, request: api.CellsRequest) -> dict:
+        """Serve a validated run/sweep request; returns the response body."""
+        self._c_requests.inc()
+        self._c_cells_requested.inc(len(request.cells))
+        timeout = self._clamp_timeout(request.timeout_s)
+        started = time.perf_counter()
+        try:
+            async with self.queue.slot():
+                pairs = await with_deadline(
+                    asyncio.gather(*(self._one_cell(cell) for cell in request.cells)),
+                    timeout,
+                )
+        except QueueFullError:
+            self._c_rejected.inc()
+            raise
+        except DeadlineExceeded:
+            self._c_timeouts.inc()
+            raise
+        finally:
+            self._h_latency.observe(1000 * (time.perf_counter() - started))
+        results = [
+            api.encode_cell_result(cell, result)
+            for cell, result in pairs
+            if isinstance(result, RunResult)
+        ]
+        errors = [
+            api.encode_task_error(result)
+            for _, result in pairs
+            if isinstance(result, TaskError)
+        ]
+        if errors:
+            self._c_cell_errors.inc(len(errors))
+        return api.ok_envelope(
+            request.kind,
+            results=results,
+            errors=errors,
+            meta={
+                "cells": len(request.cells),
+                "failed": len(errors),
+                "elapsed_ms": round(1000 * (time.perf_counter() - started), 3),
+            },
+        )
+
+    async def handle_exhibit(self, request: api.ExhibitRequest) -> dict:
+        """Serve a validated exhibit request; returns the response body."""
+        self._c_requests.inc()
+        timeout = self._clamp_timeout(request.timeout_s)
+        started = time.perf_counter()
+        try:
+            async with self.queue.slot():
+                rendered = await with_deadline(
+                    asyncio.to_thread(self._run_exhibit, request), timeout
+                )
+        except QueueFullError:
+            self._c_rejected.inc()
+            raise
+        except DeadlineExceeded:
+            self._c_timeouts.inc()
+            raise
+        finally:
+            self._h_latency.observe(1000 * (time.perf_counter() - started))
+        return api.ok_envelope(
+            "exhibit",
+            name=request.name,
+            rendered=rendered,
+            meta={"elapsed_ms": round(1000 * (time.perf_counter() - started), 3)},
+        )
+
+    def _run_exhibit(self, request: api.ExhibitRequest) -> str:
+        """Run one exhibit driver+renderer (in a worker thread).
+
+        Each request gets its own :class:`MissTraceCache` over the shared
+        store — drivers mutate their cache, and requests may overlap.
+        """
+        driver, renderer = EXHIBITS[request.name]
+        cache = MissTraceCache(
+            self.l1_config, keep_pcs=self.config.keep_pcs, store=self.store
+        )
+        kwargs: dict = {"cache": cache}
+        if request.name in SWEEP_EXHIBITS:
+            kwargs.update(jobs=self.config.jobs, store=self.store)
+        if request.benchmarks:
+            if request.name == "table4":
+                from repro.workloads import TABLE4_SCALES
+
+                scales = {
+                    k: v for k, v in TABLE4_SCALES.items() if k in request.benchmarks
+                }
+                data = driver(scales=scales, **kwargs)
+            else:
+                data = driver(names=list(request.benchmarks), **kwargs)
+        else:
+            data = driver(**kwargs)
+        return renderer(data)
+
+    def health(self) -> dict:
+        return {
+            "ok": True,
+            "v": api.WIRE_VERSION,
+            "queue_depth": self.queue.depth,
+            "inflight_cells": len(self.coalescer),
+            "store": str(self.store.root) if self.store is not None else None,
+            "jobs": self.config.jobs,
+        }
+
+
+# -- HTTP frontend ----------------------------------------------------------
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, code: str, message: str, **extra):
+        self.status = status
+        self.body = api.error_envelope(code, message, **extra)
+        super().__init__(message)
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class ServiceServer:
+    """Binds a :class:`SimulationService` to a TCP port."""
+
+    def __init__(self, service: SimulationService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Start the service and listener; returns the bound address."""
+        await self.service.start()
+        self._server = await asyncio.start_server(self._handle_conn, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _HttpError as exc:
+                await self._respond_json(writer, exc.status, exc.body)
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # client went away mid-request
+            await self._dispatch(writer, method, path, body)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        try:
+            header_block = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _HttpError(413, "headers_too_large", "header block too large")
+        if len(header_block) > MAX_HEADER_BYTES:
+            raise _HttpError(413, "headers_too_large", "header block too large")
+        head, *header_lines = header_block.decode("latin-1").split("\r\n")
+        parts = head.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, "bad_request_line", f"malformed request line {head!r}")
+        method, path = parts[0].upper(), parts[1]
+        headers = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = headers.get("content-length", "0")
+        try:
+            length = int(length)
+        except ValueError:
+            raise _HttpError(400, "bad_content_length", f"bad Content-Length {length!r}")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413, "body_too_large", f"body of {length} bytes exceeds {MAX_BODY_BYTES}"
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _dispatch(
+        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+    ) -> None:
+        path = path.split("?", 1)[0]
+        try:
+            if method == "GET":
+                if path in ("/healthz", "/health"):
+                    await self._respond_json(writer, 200, self.service.health())
+                elif path == "/metrics":
+                    await self._respond_text(writer, 200, self.service.metrics.render_text())
+                elif path == "/metrics.json":
+                    await self._respond_json(writer, 200, self.service.metrics.snapshot())
+                else:
+                    raise _HttpError(404, "not_found", f"no such path {path!r}")
+                return
+            if method != "POST":
+                raise _HttpError(405, "method_not_allowed", f"{method} not supported")
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise _HttpError(400, "bad_json", f"request body is not JSON: {exc}")
+            if path == "/v1/run":
+                request = api.parse_run_request(payload)
+                response = await self.service.handle_cells(request)
+            elif path == "/v1/sweep":
+                request = api.parse_sweep_request(payload)
+                response = await self.service.handle_cells(request)
+            elif path == "/v1/exhibit":
+                request = api.parse_exhibit_request(payload)
+                response = await self.service.handle_exhibit(request)
+            else:
+                raise _HttpError(404, "not_found", f"no such path {path!r}")
+            await self._respond_json(writer, 200, response)
+        except _HttpError as exc:
+            await self._respond_json(writer, exc.status, exc.body)
+        except api.ValidationError as exc:
+            await self._respond_json(
+                writer, 400, api.error_envelope("bad_request", str(exc))
+            )
+        except QueueFullError as exc:
+            await self._respond_json(
+                writer,
+                429,
+                api.error_envelope(
+                    "over_capacity", str(exc), retry_after_s=1.0
+                ),
+                extra_headers={"Retry-After": "1"},
+            )
+        except DeadlineExceeded as exc:
+            await self._respond_json(
+                writer, 504, api.error_envelope("deadline_exceeded", str(exc))
+            )
+        except Exception as exc:  # the server must answer, not die
+            self.service._c_failures.inc()
+            await self._respond_json(
+                writer,
+                500,
+                api.error_envelope(
+                    "internal", f"{type(exc).__name__}: {exc}",
+                    traceback=traceback.format_exc(),
+                ),
+            )
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        content_type: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            headers.append(f"{name}: {value}")
+        writer.write("\r\n".join(headers).encode("latin-1") + b"\r\n\r\n" + payload)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client gone; nothing to deliver the response to
+
+    @classmethod
+    async def _respond_json(
+        cls,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: dict,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        await cls._respond(
+            writer, status, payload, "application/json", extra_headers
+        )
+
+    @classmethod
+    async def _respond_text(
+        cls, writer: asyncio.StreamWriter, status: int, body: str
+    ) -> None:
+        await cls._respond(
+            writer, status, body.encode("utf-8"), "text/plain; version=0.0.4"
+        )
+
+
+async def run_server(
+    config: ServiceConfig, host: str = "127.0.0.1", port: int = 8077
+) -> None:
+    """Start a server and serve until cancelled (the CLI entry point).
+
+    Prints a ``listening on host:port`` line once bound — the smoke test
+    and scripts parse it, so keep the format stable.
+    """
+    server = ServiceServer(SimulationService(config), host=host, port=port)
+    bound_host, bound_port = await server.start()
+    print(f"repro-service listening on {bound_host}:{bound_port}", flush=True)
+    try:
+        await asyncio.Event().wait()  # serve until cancelled
+    finally:
+        await server.close()

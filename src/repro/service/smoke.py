@@ -1,0 +1,116 @@
+"""Service smoke test: boot `repro serve`, one round trip, clean exit.
+
+Exercises the *deployment* path the unit and e2e tests cannot: the real
+CLI subprocess, a real TCP port, a real SIGINT shutdown.  CI runs this
+as its service-smoke job (``make smoke-service``); it is equally useful
+locally after touching the server or CLI wiring.
+
+Exit code 0 on success; any failure prints the reason and exits 1.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.service.client import ServiceClient
+
+_SRC_DIR = Path(__file__).resolve().parents[2]
+
+
+def _spawn_server(store_root: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",  # ephemeral: the listening line tells us what we got
+            "--jobs",
+            "1",
+            "--trace-store",
+            store_root,
+            "--max-queue",
+            "8",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _read_address(proc: subprocess.Popen, timeout_s: float = 30.0) -> tuple:
+    deadline = time.monotonic() + timeout_s
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited before binding (rc={proc.poll()})"
+            )
+        if "listening on" in line:
+            address = line.rsplit(" ", 1)[-1].strip()
+            host, _, port = address.rpartition(":")
+            return host, int(port)
+    raise RuntimeError("server did not print its listening line in time")
+
+
+def main() -> int:
+    """Boot, round-trip, SIGINT; returns the process exit code."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-store-") as store_root:
+        proc = _spawn_server(store_root)
+        try:
+            host, port = _read_address(proc)
+            client = ServiceClient(host, port, timeout=120.0)
+
+            status, body = client.health()
+            if status != 200 or not body.get("ok"):
+                raise RuntimeError(f"healthz failed: {status} {body}")
+
+            status, body = client.run(
+                "sweep", scale=0.25, config={"n_streams": 4}, timeout_s=90
+            )
+            if status != 200 or not body.get("ok") or not body.get("results"):
+                raise RuntimeError(f"run round-trip failed: {status} {body}")
+            hit = body["results"][0]["hit_rate_percent"]
+
+            metrics = client.metrics_text()
+            if "repro_requests_total" not in metrics:
+                raise RuntimeError("metrics exposition missing requests_total")
+
+            proc.send_signal(signal.SIGINT)
+            rc = proc.wait(timeout=30)
+            if rc != 0:
+                raise RuntimeError(f"server exited {rc} on SIGINT (want 0)")
+            print(f"smoke OK: run hit rate {hit:.1f}%, clean shutdown")
+            return 0
+        except Exception as exc:
+            print(f"smoke FAILED: {exc}", file=sys.stderr)
+            if proc.poll() is None:
+                proc.kill()
+            assert proc.stdout is not None
+            tail = proc.stdout.read() or ""
+            if tail:
+                print("--- server output ---\n" + tail[-4000:], file=sys.stderr)
+            return 1
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

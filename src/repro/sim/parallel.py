@@ -24,6 +24,7 @@ against: serial and parallel execution produce bit-identical statistics.
 from __future__ import annotations
 
 import math
+import multiprocessing
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -41,6 +42,7 @@ __all__ = [
     "SweepTask",
     "TaskError",
     "SweepExecutionError",
+    "make_pool",
     "run_grid",
     "grid_stats",
 ]
@@ -70,6 +72,15 @@ class SweepTask:
     seed: int = 0
 
 
+def _json_key(key: Hashable):
+    """Render a task key as a JSON-safe value (tuples become lists)."""
+    if isinstance(key, tuple):
+        return [_json_key(part) for part in key]
+    if isinstance(key, (str, int, float, bool)) or key is None:
+        return key
+    return repr(key)
+
+
 @dataclass(frozen=True)
 class TaskError:
     """A failed grid cell, reported in place of its :class:`RunResult`."""
@@ -79,15 +90,40 @@ class TaskError:
     error: str
     details: str = field(default="", repr=False)
 
+    def to_payload(self) -> dict:
+        """JSON-safe rendering carrying the full traceback.
+
+        Service responses and structured logs use this so a failed cell
+        is diagnosable from the payload alone — nothing is dropped.
+        """
+        return {
+            "key": _json_key(self.key),
+            "workload": self.workload,
+            "error": self.error,
+            "traceback": self.details,
+        }
+
 
 class SweepExecutionError(RuntimeError):
-    """Raised by :func:`grid_stats` when any grid cell failed."""
+    """Raised by :func:`grid_stats` when any grid cell failed.
+
+    ``errors`` keeps every :class:`TaskError` (tracebacks included);
+    :meth:`payload` renders them for JSON error responses.
+    """
 
     def __init__(self, errors: Sequence[TaskError]):
         self.errors = list(errors)
         lines = ", ".join(f"{e.key!r}: {e.error}" for e in self.errors[:5])
         more = "" if len(self.errors) <= 5 else f" (+{len(self.errors) - 5} more)"
-        super().__init__(f"{len(self.errors)} sweep task(s) failed: {lines}{more}")
+        hint = ""
+        if self.errors and self.errors[0].details:
+            last = self.errors[0].details.strip().splitlines()[-1]
+            hint = f" [first traceback ends: {last}]"
+        super().__init__(f"{len(self.errors)} sweep task(s) failed: {lines}{more}{hint}")
+
+    def payload(self) -> List[dict]:
+        """Every failed cell as a JSON-safe dict (key, error, traceback)."""
+        return [error.to_payload() for error in self.errors]
 
 
 def _run_one(task: SweepTask, cache: MissTraceCache) -> Union[RunResult, TaskError]:
@@ -135,7 +171,53 @@ def _run_chunk(index: int, chunk: List[SweepTask]):
     return index, [_run_one(task, _WORKER_CACHE) for task in chunk]
 
 
+def _worker_ready() -> bool:
+    """No-op task used to force worker spin-up (see :func:`make_pool`)."""
+    return _WORKER_CACHE is not None
+
+
 # -- the executor -----------------------------------------------------------
+
+
+def make_pool(
+    jobs: int,
+    l1_config: Optional[CacheConfig] = None,
+    keep_pcs: bool = False,
+    store: Optional[TraceStore] = None,
+    warm: bool = True,
+) -> ProcessPoolExecutor:
+    """A worker pool reusable across many :func:`run_grid` calls.
+
+    :func:`run_grid` builds (and tears down) a pool per invocation,
+    which is right for one-shot sweeps but wasteful for a long-lived
+    caller such as ``repro.service`` that dispatches many small batches.
+    This constructs the same initialized pool once; pass it to
+    :func:`run_grid` via ``executor=``.  The ``l1_config``/``keep_pcs``/
+    ``store`` baked in here must match what later ``run_grid`` calls
+    assume — workers are initialized exactly once.
+
+    Workers use the ``spawn`` start method: a long-lived caller holds
+    sockets and threads that fork-started children would silently
+    inherit (an accepted connection duplicated into a worker never
+    reaches EOF at the client), and spawn is immune by construction.
+    ``warm=True`` additionally forces every worker to spin up *now*, so
+    the first real batch does not pay the spawn+import latency.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    if l1_config is None:
+        l1_config = CacheConfig.paper_l1()
+    store_root = str(store.root) if store is not None else None
+    pool = ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=multiprocessing.get_context("spawn"),
+        initializer=_init_worker,
+        initargs=(l1_config, keep_pcs, store_root),
+    )
+    if warm:
+        for future in [pool.submit(_worker_ready) for _ in range(jobs)]:
+            future.result()
+    return pool
 
 
 def run_grid(
@@ -146,6 +228,7 @@ def run_grid(
     l1_config: Optional[CacheConfig] = None,
     keep_pcs: bool = False,
     chunk_size: Optional[int] = None,
+    executor: Optional[ProcessPoolExecutor] = None,
 ) -> List[Union[RunResult, TaskError]]:
     """Execute a sweep grid, serially or across a process pool.
 
@@ -164,12 +247,18 @@ def run_grid(
         keep_pcs: propagate PCs into the miss traces.
         chunk_size: tasks per scheduling unit (default: enough for ~4
             chunks per worker, amortising task pickling).
+        executor: an already-initialized pool from :func:`make_pool`,
+            reused across calls and **not** shut down here.  Its baked-in
+            ``l1_config``/``keep_pcs``/``store`` take precedence over the
+            arguments above, which only shape chunking.
 
     Returns:
         One :class:`RunResult` per task, with :class:`TaskError` standing
         in for any cell whose simulation raised.
     """
     tasks = list(tasks)
+    if not tasks:
+        return []
     if cache is not None:
         if l1_config is None:
             l1_config = cache.l1_config
@@ -179,25 +268,34 @@ def run_grid(
     if l1_config is None:
         l1_config = CacheConfig.paper_l1()
 
-    if jobs <= 1 or len(tasks) <= 1:
+    if executor is None and (jobs <= 1 or len(tasks) <= 1):
         if cache is None:
             cache = MissTraceCache(l1_config, keep_pcs=keep_pcs, store=store)
         return [_run_one(task, cache) for task in tasks]
 
+    workers = jobs
+    if executor is not None:
+        workers = max(1, executor._max_workers)
     if chunk_size is None:
-        chunk_size = max(1, math.ceil(len(tasks) / (jobs * 4)))
+        chunk_size = max(1, math.ceil(len(tasks) / (workers * 4)))
     chunks = [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
     store_root = str(store.root) if store is not None else None
     assembled: Dict[int, List[Union[RunResult, TaskError]]] = {}
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(chunks)),
-        initializer=_init_worker,
-        initargs=(l1_config, keep_pcs, store_root),
-    ) as pool:
+    pool = executor
+    if pool is None:
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)),
+            initializer=_init_worker,
+            initargs=(l1_config, keep_pcs, store_root),
+        )
+    try:
         futures = [pool.submit(_run_chunk, i, chunk) for i, chunk in enumerate(chunks)]
         for future in as_completed(futures):
             index, results = future.result()
             assembled[index] = results
+    finally:
+        if executor is None:
+            pool.shutdown()
     return [result for i in range(len(chunks)) for result in assembled[i]]
 
 

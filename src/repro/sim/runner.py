@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple, Union
+from typing import Callable, Optional, Tuple, Union
 
 from repro.caches.cache import Cache, CacheConfig, MissTrace
 from repro.caches.split import SplitL1, SplitL1Config
@@ -94,6 +94,11 @@ class MissTraceCache:
             full paper sweep while keeping long multi-workload sessions
             bounded; eviction only drops the in-memory copy — a store, if
             configured, still holds the trace.
+        hooks: optional callback fired with an event name on each lookup
+            — ``trace_mem_hit`` (in-process LRU hit), ``trace_store_hit``
+            (persistent tier hit) or ``trace_computed`` (fresh L1
+            simulation).  The service layer threads its metrics registry
+            through here; hooks must be cheap and must not raise.
     """
 
     def __init__(
@@ -102,6 +107,7 @@ class MissTraceCache:
         keep_pcs: bool = False,
         store: Optional[TraceStore] = None,
         max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+        hooks: Optional[Callable[[str], None]] = None,
     ):
         if max_entries is not None and max_entries <= 0:
             raise ValueError(f"max_entries must be positive or None, got {max_entries}")
@@ -109,9 +115,14 @@ class MissTraceCache:
         self.keep_pcs = keep_pcs
         self.store = store
         self.max_entries = max_entries
+        self.hooks = hooks
         self._entries: "OrderedDict[_Key, Tuple[MissTrace, L1Summary]]" = OrderedDict()
         self.evictions = 0
         self.store_hits = 0
+
+    def _emit(self, event: str) -> None:
+        if self.hooks is not None:
+            self.hooks(event)
 
     def get(
         self,
@@ -131,6 +142,7 @@ class MissTraceCache:
         cached = self._entries.get(key)
         if cached is not None:
             self._entries.move_to_end(key)
+            self._emit("trace_mem_hit")
             return cached
         digest = None
         if self.store is not None:
@@ -139,6 +151,7 @@ class MissTraceCache:
             if stored is not None:
                 self.store_hits += 1
                 self._insert(key, stored)
+                self._emit("trace_store_hit")
                 return stored
         if instance is None:
             instance = get_workload(name, scale=scale, seed=seed)
@@ -146,6 +159,7 @@ class MissTraceCache:
         if self.store is not None:
             self.store.save_trace(digest, *result)
         self._insert(key, result)
+        self._emit("trace_computed")
         return result
 
     def trace_key(self, workload: str, scale: float = 1.0, seed: int = 0) -> str:

@@ -35,10 +35,11 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 import zipfile
 import zlib
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -198,24 +199,48 @@ def stats_from_dict(payload: dict) -> StreamStats:
     )
 
 
+#: Orphaned temp files older than this (seconds) are reaped on open.
+#: Generous: a temp file only outlives its writer if that writer died
+#: mid-write, and an hour comfortably exceeds any legitimate write.
+ORPHAN_TTL_SECONDS = 3600.0
+
+
 class TraceStore:
     """Directory-backed store of miss traces and replay results.
 
-    Safe for concurrent use by independent processes: digests are
-    content-addressed, writers replace atomically, and two workers
-    racing on the same key simply write identical bytes.
+    Safe for concurrent use by independent processes and threads:
+    digests are content-addressed, writers stage to ``*.tmp`` files the
+    readers' globs never match and then rename atomically, a losing
+    racer's rename is treated as benign (the winner wrote identical
+    bytes), and temp files orphaned by a crashed writer are reaped the
+    next time a store is opened (:meth:`clean_orphans`).
 
     Args:
         root: store directory (created on first use).
+        hooks: optional callback fired with an event name on every
+            lookup/write — ``trace_hit``/``trace_miss``/``trace_saved``/
+            ``result_hit``/``result_miss``/``result_saved``.  The service
+            layer threads its metrics registry through here; hooks must
+            be cheap and must not raise.
     """
 
-    def __init__(self, root: Union[str, os.PathLike]):
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        hooks: Optional[Callable[[str], None]] = None,
+    ):
         self.root = Path(root)
+        self.hooks = hooks
         self._traces_dir = self.root / "traces"
         self._results_dir = self.root / "results"
+        self.clean_orphans(ORPHAN_TTL_SECONDS)
 
     def __repr__(self) -> str:
         return f"TraceStore({str(self.root)!r})"
+
+    def _emit(self, event: str) -> None:
+        if self.hooks is not None:
+            self.hooks(event)
 
     # -- trace layer -------------------------------------------------------
 
@@ -239,7 +264,15 @@ class TraceStore:
         if miss_trace.pcs is not None:
             arrays["pcs"] = miss_trace.pcs
         path = self.trace_path(digest)
-        self._write_atomic(path, lambda tmp: np.savez_compressed(tmp, **arrays))
+
+        def _write(tmp: str) -> None:
+            # Hand savez an open handle: the temp name ends in ".tmp" and
+            # numpy would otherwise append ".npz" to a bare path.
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+
+        self._write_atomic(path, _write)
+        self._emit("trace_saved")
         return path
 
     def load_trace(self, digest: str) -> Optional[Tuple[MissTrace, "L1Summary"]]:
@@ -252,6 +285,7 @@ class TraceStore:
             with np.load(path) as archive:
                 meta = json.loads(bytes(archive["meta"]).decode())
                 if meta["store_version"] != STORE_FORMAT_VERSION:
+                    self._emit("trace_miss")
                     return None
                 pcs = None
                 if "pcs" in archive:
@@ -263,10 +297,12 @@ class TraceStore:
                     pcs,
                 )
                 summary = L1Summary(**meta["summary"])
+            self._emit("trace_hit")
             return miss_trace, summary
         except _TRACE_DEFECTS:
             # Missing, truncated or foreign file: treat as a miss and let
             # the caller recompute (the rewrite heals the store).
+            self._emit("trace_miss")
             return None
 
     # -- result layer ------------------------------------------------------
@@ -283,6 +319,7 @@ class TraceStore:
         path = self.result_path(digest)
         data = json.dumps(payload, sort_keys=True, indent=None)
         self._write_atomic(path, lambda tmp: Path(tmp).write_text(data))
+        self._emit("result_saved")
         return path
 
     def load_result(self, digest: str) -> Optional[StreamStats]:
@@ -291,10 +328,14 @@ class TraceStore:
         try:
             payload = json.loads(path.read_text())
             if payload["result_version"] != RESULT_FORMAT_VERSION:
+                self._emit("result_miss")
                 return None
-            return stats_from_dict(payload["stats"])
+            stats = stats_from_dict(payload["stats"])
         except (OSError, KeyError, ValueError, TypeError):
+            self._emit("result_miss")
             return None
+        self._emit("result_hit")
+        return stats
 
     # -- maintenance -------------------------------------------------------
 
@@ -342,17 +383,59 @@ class TraceStore:
                 for path in directory.iterdir():
                     path.unlink(missing_ok=True)
 
+    def clean_orphans(self, max_age_seconds: float = 0.0) -> int:
+        """Reap ``*.tmp`` staging files older than ``max_age_seconds``.
+
+        A writer that dies between ``mkstemp`` and the rename leaves its
+        temp file behind.  Those files are invisible to every lookup (the
+        readers glob ``*.npz``/``*.json``) but accumulate on disk, so
+        opening a store sweeps out any old enough that their writer must
+        be gone.  Live writers are protected by the age threshold — and a
+        lost race with one merely re-orphans a file the next open reaps.
+
+        Returns:
+            Number of temp files removed.
+        """
+        removed = 0
+        now = time.time()
+        for directory in (self._traces_dir, self._results_dir):
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.tmp"):
+                try:
+                    if now - path.stat().st_mtime >= max_age_seconds:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    continue  # racing reaper/writer got there first
+        return removed
+
     # -- internals ---------------------------------------------------------
 
     @staticmethod
     def _write_atomic(path: Path, write) -> None:
-        """Run ``write(tmp_path)`` then rename over ``path``."""
+        """Run ``write(tmp_path)`` then rename over ``path``.
+
+        The staging file lives beside the target as
+        ``<name>.<random>.tmp`` so readers' ``*.npz``/``*.json`` globs
+        never observe a torn write.  Concurrent writers race benignly:
+        content addressing means both produced identical bytes, so if the
+        rename itself fails but the target exists, the other writer won
+        and this write is complete by proxy.
+        """
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=path.suffix)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
         os.close(fd)
         try:
             write(tmp)
-            os.replace(tmp, path)
+            try:
+                os.replace(tmp, path)
+            except OSError:
+                # FileExistsError/PermissionError from a racing rename
+                # (Windows semantics); benign iff the winner's file is
+                # in place.
+                if not path.exists():
+                    raise
         finally:
             if os.path.exists(tmp):
                 os.unlink(tmp)

@@ -185,6 +185,109 @@ class TestStoreBackedCache:
         assert store.load_trace(digest) is not None
 
 
+class TestConcurrentWriterHardening:
+    def test_temp_files_invisible_to_lookups(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save_trace("abc", make_miss_trace(), make_summary())
+        (store.trace_path("zzz").parent / "zzz.npz.12345.tmp").write_bytes(b"partial")
+        (tmp_path / "results").mkdir(exist_ok=True)
+        (tmp_path / "results" / "rrr.json.99.tmp").write_text("{ torn")
+        assert len(store) == 1  # only the real archive counts
+        assert store.n_results() == 0
+        assert store.load_trace("zzz") is None
+
+    def test_clean_orphans_reaps_stale_temps(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save_trace("abc", make_miss_trace(), make_summary())
+        stale = store.trace_path("x").parent / "x.npz.1.tmp"
+        stale.write_bytes(b"orphan")
+        import os
+
+        old = 1e9  # well past any TTL
+        os.utime(stale, (old, old))
+        fresh = store.trace_path("y").parent / "y.npz.2.tmp"
+        fresh.write_bytes(b"in progress")
+        assert store.clean_orphans(60.0) == 1
+        assert not stale.exists()
+        assert fresh.exists()  # a live writer's temp survives
+        assert store.load_trace("abc") is not None
+
+    def test_open_reaps_old_orphans(self, tmp_path):
+        import os
+
+        traces = tmp_path / "traces"
+        traces.mkdir(parents=True)
+        orphan = traces / "dead.npz.7.tmp"
+        orphan.write_bytes(b"left by a crashed writer")
+        os.utime(orphan, (1e9, 1e9))
+        TraceStore(tmp_path)  # opening the store sweeps it out
+        assert not orphan.exists()
+
+    def test_losing_rename_race_is_benign(self, tmp_path, monkeypatch):
+        import os
+
+        store = TraceStore(tmp_path)
+        stats = TestResultRoundTrip().run_stats()
+        store.save_result("r1", stats)  # the "winner" is already in place
+
+        real_replace = os.replace
+
+        def losing_replace(src, dst):
+            # Windows-style loss: the target exists and the rename fails.
+            if str(dst).endswith("r1.json"):
+                raise FileExistsError(dst)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", losing_replace)
+        store.save_result("r1", stats)  # must not raise: winner's bytes are ours
+        assert store.load_result("r1") == stats
+        # No staging debris left behind either.
+        assert not list((tmp_path / "results").glob("*.tmp"))
+
+    def test_failed_rename_without_winner_raises(self, tmp_path, monkeypatch):
+        import os
+
+        store = TraceStore(tmp_path)
+        stats = TestResultRoundTrip().run_stats()
+
+        def broken_replace(src, dst):
+            raise PermissionError(dst)
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(PermissionError):
+            store.save_result("r2", stats)  # no winner: the failure is real
+        assert not list((tmp_path / "results").glob("*.tmp"))
+
+    def test_parallel_saves_same_digest(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        store = TraceStore(tmp_path)
+        mt, summary = make_miss_trace(), make_summary()
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda _: store.save_trace("same", mt, summary), range(16)))
+        assert len(store) == 1
+        loaded = store.load_trace("same")
+        assert loaded is not None
+        assert np.array_equal(loaded[0].addrs, mt.addrs)
+        assert not list((tmp_path / "traces").glob("*.tmp"))
+
+
+class TestStoreHooks:
+    def test_events_fire_per_layer(self, tmp_path):
+        events = []
+        store = TraceStore(tmp_path, hooks=events.append)
+        assert store.load_trace("abc") is None
+        store.save_trace("abc", make_miss_trace(), make_summary())
+        assert store.load_trace("abc") is not None
+        assert store.load_result("r") is None
+        store.save_result("r", TestResultRoundTrip().run_stats())
+        assert store.load_result("r") is not None
+        assert events == [
+            "trace_miss", "trace_saved", "trace_hit",
+            "result_miss", "result_saved", "result_hit",
+        ]
+
+
 class TestCacheLruBound:
     def test_eviction_keeps_recent_entries(self):
         cache = MissTraceCache(max_entries=2)
