@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-quick exhibits examples serve smoke-service clean
+.PHONY: install test bench bench-quick check-diff check-diff-long exhibits examples serve smoke-service clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,6 +16,18 @@ bench:
 # the timings in BENCH_PR1.json for cross-PR perf tracking.
 bench-quick:
 	PYTHONPATH=src python benchmarks/bench_quick.py
+
+# Differential check: optimized simulators vs the golden reference
+# models over a fixed random corpus (docs/modeling.md).  Fails on any
+# divergence; `repro check --replay STAGE:SEED` reproduces one.
+check-diff:
+	PYTHONPATH=src python -m repro check --seeds 50
+
+# Extended corpus for pre-release confidence: more seeds, longer traces,
+# and the runtime invariants armed throughout.
+check-diff-long:
+	REPRO_CHECK=1 PYTHONPATH=src python -m repro check --seeds 300 --events 4000 \
+		--registry-scale 0.1
 
 # The always-on simulation service (docs/service.md).  Local dev
 # defaults: pool of 4 workers sharing a persistent store.

@@ -17,11 +17,13 @@ import enum
 import random
 from collections import OrderedDict
 from dataclasses import dataclass
+from itertools import repeat
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.caches.replacement import POLICY_NAMES
+from repro.check import invariants as _inv
 from repro.mem.address import is_power_of_two, log2_int
 from repro.trace.events import AccessKind, Trace
 
@@ -333,6 +335,19 @@ class Cache:
         evicted, evicted_dirty = self._install_ex(set_index, block, dirty)
         return evicted if evicted_dirty else None
 
+    def mark_dirty(self, block: int) -> bool:
+        """Mark a resident block dirty without counting an access.
+
+        Used to apply a compressed run's collapsed write hits (see
+        :class:`~repro.trace.compress.CompressedTrace`).  Returns True if
+        the block was resident.
+        """
+        entries = self._sets[block & self._set_mask]
+        if block in entries:
+            entries[block] = True
+            return True
+        return False
+
     def probe(self, addr: int) -> bool:
         """Non-mutating lookup: is the block containing ``addr`` resident?"""
         block = addr >> self._block_bits
@@ -374,9 +389,59 @@ class Cache:
             blocks.extend(entries)
         return blocks
 
+    def check_set_invariants(self, set_index: int) -> None:
+        """Structural self-checks for one set (cheap enough per access)."""
+        entries = self._sets[set_index]
+        _inv.invariant(
+            len(entries) <= self._assoc,
+            "cache set %d holds %d blocks > assoc %d",
+            set_index,
+            len(entries),
+            self._assoc,
+        )
+        for block in entries:
+            _inv.invariant(
+                (block & self._set_mask) == set_index,
+                "block %#x filed in wrong set %d",
+                block,
+                set_index,
+            )
+        if self._policy == "random":
+            slots = self._slots[set_index]
+            _inv.invariant(
+                sorted(slots) == sorted(entries),
+                "random-policy slot list disagrees with set contents in set %d",
+                set_index,
+            )
+
+    def check_invariants(self) -> None:
+        """Whole-cache self-checks (``REPRO_CHECK=1`` runs these per simulate)."""
+        for set_index in range(len(self._sets)):
+            self.check_set_invariants(set_index)
+        stats = self.stats
+        _inv.invariant(
+            stats.hits + stats.misses == stats.accesses,
+            "cache stats do not conserve: hits %d + misses %d != accesses %d",
+            stats.hits,
+            stats.misses,
+            stats.accesses,
+        )
+        _inv.invariant(
+            stats.read_misses + stats.write_misses == stats.misses,
+            "miss breakdown does not conserve: %d + %d != %d",
+            stats.read_misses,
+            stats.write_misses,
+            stats.misses,
+        )
+
     # -- bulk API -------------------------------------------------------------
 
-    def simulate(self, trace: Trace, weights: Optional[np.ndarray] = None) -> MissTrace:
+    def simulate(
+        self,
+        trace: Trace,
+        weights: Optional[np.ndarray] = None,
+        dirty: Optional[np.ndarray] = None,
+    ) -> MissTrace:
         """Run a whole trace through the cache, returning its miss trace.
 
         Args:
@@ -386,9 +451,24 @@ class Cache:
                 :func:`~repro.trace.compress.compress_consecutive`.  When
                 given, ``stats.accesses``/``stats.hits`` are corrected to
                 original-trace counts (misses are exact either way).
+            dirty: optional per-access flags from the same compression —
+                an access with ``dirty[i]`` leaves its block dirty even if
+                it is a read (the run it stands for contained a write
+                hit).  Only meaningful for write-back write-allocate
+                caches; other policies must simulate the raw trace.
 
         Statistics accumulate into :attr:`stats`.
         """
+        if dirty is not None:
+            if not (self._write_back and self._write_allocate):
+                raise ValueError(
+                    "dirty-carrying compressed traces require a write-back, "
+                    "write-allocate cache; simulate the raw trace instead"
+                )
+            if dirty.shape[0] != len(trace):
+                raise ValueError(
+                    f"dirty length {dirty.shape[0]} != trace length {len(trace)}"
+                )
         out_addrs: List[int] = []
         out_kinds: List[int] = []
         out_pcs: List[int] = []
@@ -399,8 +479,9 @@ class Cache:
             and self._write_back
             and self._write_allocate
             and not carry_pcs
+            and not _inv.ENABLED
         ):
-            self._simulate_fast_random(trace, out_addrs, out_kinds)
+            self._simulate_fast_random(trace, out_addrs, out_kinds, dirty)
         else:
             write_kind = int(AccessKind.WRITE)
             block_bits = self._block_bits
@@ -409,11 +490,16 @@ class Cache:
             write_miss_kind = int(MissEventKind.WRITE_MISS)
             access_block = self.access_block
             pcs_list = trace.pcs_or_zeros().tolist()
-            for addr, kind, pc in zip(
-                trace.addrs.tolist(), trace.kinds.tolist(), pcs_list
+            dirty_iter = dirty.tolist() if dirty is not None else repeat(False)
+            checking = _inv.ENABLED
+            for addr, kind, pc, drt in zip(
+                trace.addrs.tolist(), trace.kinds.tolist(), pcs_list, dirty_iter
             ):
                 is_write = kind == write_kind
-                hit, writeback = access_block(addr >> block_bits, is_write)
+                block = addr >> block_bits
+                hit, writeback = access_block(block, is_write)
+                if drt and not is_write:
+                    self.mark_dirty(block)
                 if not hit:
                     out_addrs.append(addr)
                     out_kinds.append(write_miss_kind if is_write else read_miss_kind)
@@ -424,6 +510,10 @@ class Cache:
                     out_kinds.append(wb_kind)
                     if carry_pcs:
                         out_pcs.append(0)
+                if checking:
+                    self.check_set_invariants(block & self._set_mask)
+            if checking:
+                self.check_invariants()
 
         if weights is not None:
             if weights.shape[0] != len(trace):
@@ -443,7 +533,11 @@ class Cache:
         )
 
     def _simulate_fast_random(
-        self, trace: Trace, out_addrs: List[int], out_kinds: List[int]
+        self,
+        trace: Trace,
+        out_addrs: List[int],
+        out_kinds: List[int],
+        dirty: Optional[np.ndarray] = None,
     ) -> None:
         """Inlined hot loop for the paper's L1 (random, WB+WA)."""
         block_bits = self._block_bits
@@ -465,15 +559,17 @@ class Cache:
         write_misses = 0
         writebacks = 0
 
-        for addr, kind in zip(trace.addrs.tolist(), trace.kinds.tolist()):
+        dirty_iter = dirty.tolist() if dirty is not None else repeat(False)
+        for addr, kind, drt in zip(trace.addrs.tolist(), trace.kinds.tolist(), dirty_iter):
             accesses += 1
             block = addr >> block_bits
             set_index = block & set_mask
             entries = sets[set_index]
             is_write = kind == write_kind
+            make_dirty = is_write or drt
             if block in entries:
                 hits += 1
-                if is_write:
+                if make_dirty:
                     entries[block] = True
                 continue
             if is_write:
@@ -494,7 +590,7 @@ class Cache:
                 slots[slot] = block
             else:
                 slots.append(block)
-            entries[block] = is_write
+            entries[block] = make_dirty
 
         stats = self.stats
         stats.accesses += accesses

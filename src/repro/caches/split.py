@@ -55,17 +55,29 @@ class SplitL1:
         """Combined I+D statistics."""
         return self.icache.stats.merge(self.dcache.stats)
 
-    def simulate(self, trace: Trace, weights: Optional[np.ndarray] = None) -> MissTrace:
+    def simulate(
+        self,
+        trace: Trace,
+        weights: Optional[np.ndarray] = None,
+        dirty: Optional[np.ndarray] = None,
+    ) -> MissTrace:
         """Run ``trace``, returning the interleaved I+D miss stream.
 
         When the trace contains no instruction fetches this delegates to
         the D-cache's fast path; otherwise accesses are stepped one by one
-        to keep miss ordering exact across the two caches.
+        to keep miss ordering exact across the two caches.  ``weights``
+        and ``dirty`` come from compression and are only accepted on the
+        data-only delegation path.
         """
         ifetch_kind = int(AccessKind.IFETCH)
         if not np.any(trace.kinds == ifetch_kind):
-            return self.dcache.simulate(trace, weights=weights)
+            return self.dcache.simulate(trace, weights=weights, dirty=dirty)
 
+        if dirty is not None:
+            raise ValueError(
+                "dirty-carrying compressed traces with instruction fetches are "
+                "not supported; simulate raw"
+            )
         if weights is not None:
             raise ValueError(
                 "weighted (compressed) traces with instruction fetches are not "

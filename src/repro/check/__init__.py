@@ -1,0 +1,24 @@
+"""Differential correctness harness.
+
+Submodules:
+
+* :mod:`repro.check.invariants` — ``REPRO_CHECK=1``-gated runtime
+  assertions threaded into the optimized simulators.  Imported eagerly
+  (it has no dependencies on the rest of the package, so the hot paths
+  can check ``invariants.ENABLED`` cheaply).
+* :mod:`repro.check.oracle` — golden reference models: deliberately
+  simple, scalar, loop-per-access implementations of the caches and
+  stream prefetcher, written from DESIGN.md/PAPER.md semantics and
+  sharing no code with ``repro.caches``/``repro.core``.
+* :mod:`repro.check.differ` — seeded random-trace/random-config
+  differential testing of optimized vs oracle, with first-divergence
+  localization.
+
+``oracle`` and ``differ`` import the optimized simulators, so they are
+*not* imported here; import them explicitly
+(``from repro.check import differ``).
+"""
+
+from repro.check import invariants
+
+__all__ = ["invariants"]

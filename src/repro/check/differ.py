@@ -1,0 +1,585 @@
+"""Differential testing: optimized simulators vs the golden oracles.
+
+Every check is driven by one integer seed: the seed generates a random
+trace and a random configuration, both sides simulate it, and any
+mismatch is reported as a :class:`Divergence` carrying the first
+diverging event and the seed that replays it
+(``repro check --replay l1:SEED`` / ``streams:SEED``).
+
+Three stages:
+
+* :func:`diff_l1` — a random access trace through a random cache
+  geometry via the production :func:`~repro.sim.runner.simulate_l1` path
+  (compression, fast paths, split I+D included) vs
+  :func:`~repro.check.oracle.ref_simulate_l1`;
+* :func:`diff_streams` — a synthetic miss-event stream through a random
+  :class:`~repro.core.config.StreamConfig`, both per-event (first
+  diverging outcome) and via the bulk ``run()`` fast path, vs
+  :class:`~repro.check.oracle.RefStreamPrefetcher`;
+* :func:`diff_registry_workload` — a real registry workload at small
+  scale through the full L1 + streams pipeline vs both oracles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.caches.cache import CacheConfig, MissEventKind, MissTrace
+from repro.check import oracle
+from repro.core.bank import Lookup
+from repro.core.config import StreamConfig, StrideDetector
+from repro.core.prefetcher import StreamPrefetcher
+from repro.sim.runner import simulate_l1
+from repro.trace.events import Trace
+from repro.workloads.base import BenchmarkInfo, Workload, get_workload
+
+__all__ = [
+    "Divergence",
+    "CheckReport",
+    "random_trace",
+    "random_cache_config",
+    "random_stream_config",
+    "random_miss_trace",
+    "diff_l1",
+    "diff_streams",
+    "diff_registry_workload",
+    "check_seed",
+    "run_corpus",
+    "DEFAULT_REGISTRY_WORKLOADS",
+]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One optimized-vs-oracle mismatch, pinned to a replayable seed.
+
+    Attributes:
+        stage: ``"l1"`` / ``"streams"`` / ``"registry:<name>"``.
+        seed: the seed that regenerates trace + config.
+        what: which quantity diverged (e.g. ``"event[17].kind"``).
+        optimized: the optimized simulator's value, rendered.
+        expected: the oracle's value, rendered.
+        context: extra detail (config repr, neighbouring events).
+    """
+
+    stage: str
+    seed: int
+    what: str
+    optimized: str
+    expected: str
+    context: str = ""
+
+    def __str__(self) -> str:
+        lines = [
+            f"DIVERGENCE [{self.stage}] seed={self.seed}: {self.what}",
+            f"  optimized: {self.optimized}",
+            f"  oracle:    {self.expected}",
+        ]
+        if self.context:
+            lines.append(f"  context:   {self.context}")
+        lines.append(f"  replay:    repro check --replay {self.stage.split(':')[0]}:{self.seed}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CheckReport:
+    """Outcome of a corpus run."""
+
+    seeds_checked: int = 0
+    stages_run: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+# -- generators -------------------------------------------------------------
+
+
+def random_trace(rng: random.Random, n_events: int, with_ifetch: bool = True) -> Trace:
+    """A seeded access trace mixing the patterns the simulators care about.
+
+    Segments of unit-stride walks (same-block runs for the compression
+    path), constant non-unit strides (ascending and descending), tight
+    same-block read/write bursts, and uniform random jumps; reads, writes
+    and (optionally) instruction fetches interleaved.
+    """
+    addrs: List[int] = []
+    kinds: List[int] = []
+    base_span = 1 << 22  # 4 MB address playground
+    while len(addrs) < n_events:
+        pattern = rng.randrange(5)
+        length = rng.randrange(4, 40)
+        start = rng.randrange(base_span)
+        if pattern == 0:  # word-granular unit walk (compressible runs)
+            step = rng.choice([4, 8])
+            for i in range(length):
+                addrs.append(start + i * step)
+                kinds.append(oracle.ACCESS_WRITE if rng.random() < 0.2 else oracle.ACCESS_READ)
+        elif pattern == 1:  # constant non-unit stride, either direction
+            stride = rng.choice([3, 5, 68, 132, 260, 516, 1028]) * rng.choice([1, -1])
+            start = max(start, abs(stride) * length + 1)
+            for i in range(length):
+                addrs.append(start + i * stride)
+                kinds.append(oracle.ACCESS_READ)
+        elif pattern == 2:  # same-block burst with a write in the middle
+            for i in range(length):
+                addrs.append(start + (i % 8) * 4)
+                kinds.append(
+                    oracle.ACCESS_WRITE if i == length // 2 else oracle.ACCESS_READ
+                )
+        elif pattern == 3:  # random jumps
+            for _ in range(length):
+                addrs.append(rng.randrange(base_span))
+                kinds.append(oracle.ACCESS_WRITE if rng.random() < 0.3 else oracle.ACCESS_READ)
+        else:  # instruction-fetch walk (exercises the split L1)
+            if not with_ifetch:
+                continue
+            for i in range(length):
+                addrs.append(start + i * 4)
+                kinds.append(oracle.ACCESS_IFETCH)
+    del addrs[n_events:], kinds[n_events:]
+    return Trace(
+        np.asarray(addrs, dtype=np.int64), np.asarray(kinds, dtype=np.uint8)
+    )
+
+
+def random_cache_config(rng: random.Random) -> CacheConfig:
+    """A random valid cache geometry/policy point."""
+    block_size = rng.choice([16, 32, 64, 128])
+    assoc = rng.choice([1, 2, 4, 8])
+    n_sets = 1 << rng.randrange(2, 7)
+    write_back = rng.random() < 0.7
+    return CacheConfig(
+        capacity=n_sets * assoc * block_size,
+        assoc=assoc,
+        block_size=block_size,
+        policy=rng.choice(["lru", "fifo", "random"]),
+        write_back=write_back,
+        write_allocate=rng.random() < 0.7,
+        seed=rng.randrange(1 << 16),
+    )
+
+
+def random_stream_config(rng: random.Random, block_bits: int = 6) -> StreamConfig:
+    """A random valid stream-system configuration point."""
+    depth = rng.randrange(1, 5)
+    unit_entries = rng.choice([0, 4, 16])
+    detector = StrideDetector.NONE
+    if unit_entries:
+        detector = rng.choice(StrideDetector.ALL)
+    return StreamConfig(
+        n_streams=rng.randrange(1, 11),
+        depth=depth,
+        block_bits=block_bits,
+        unit_filter_entries=unit_entries,
+        stride_detector=detector,
+        czone_filter_entries=rng.choice([2, 8, 16]),
+        czone_bits=rng.randrange(block_bits, block_bits + 14),
+        min_delta_entries=rng.choice([2, 8, 16]),
+        allow_negative_strides=rng.random() < 0.5,
+        min_lead=rng.choice([0, 0, 1, 2, 4]),
+        partitioned=rng.random() < 0.3,
+        i_streams=rng.randrange(1, 4),
+        lookup_depth=rng.randrange(1, depth + 1),
+    )
+
+
+def random_miss_trace(
+    rng: random.Random, n_events: int, block_bits: int = 6
+) -> MissTrace:
+    """A synthetic L1 miss-event stream for the stream-buffer differ.
+
+    Mixes block-sequential runs (both directions), strided runs, random
+    misses, write misses, instruction-fetch misses, and write-backs
+    aimed near recent addresses so stream-entry invalidation triggers.
+    """
+    block = 1 << block_bits
+    addrs: List[int] = []
+    kinds: List[int] = []
+    base_span = 1 << 24
+    while len(addrs) < n_events:
+        pattern = rng.randrange(6)
+        length = rng.randrange(3, 30)
+        start = rng.randrange(base_span)
+        if pattern == 0:  # ascending unit-stride miss run
+            for i in range(length):
+                addrs.append(start + i * block)
+                kinds.append(oracle.EV_READ_MISS)
+        elif pattern == 1:  # descending unit-stride run
+            start = max(start, length * block)
+            for i in range(length):
+                addrs.append(start - i * block)
+                kinds.append(oracle.EV_READ_MISS)
+        elif pattern == 2:  # constant non-unit stride (czone fodder)
+            stride = rng.choice([2, 3, 5, 9]) * block * rng.choice([1, -1])
+            start = max(start, abs(stride) * length + 1)
+            for i in range(length):
+                addrs.append(start + i * stride)
+                kinds.append(oracle.EV_READ_MISS)
+        elif pattern == 3:  # random misses, some writes
+            for _ in range(length):
+                addrs.append(rng.randrange(base_span))
+                kinds.append(
+                    oracle.EV_WRITE_MISS if rng.random() < 0.3 else oracle.EV_READ_MISS
+                )
+        elif pattern == 4:  # ifetch miss run (partitioned-lane fodder)
+            for i in range(length):
+                addrs.append(start + i * block)
+                kinds.append(oracle.EV_IFETCH_MISS)
+        else:  # write-backs near recent addresses (invalidation fodder)
+            for _ in range(min(length, 6)):
+                if addrs and rng.random() < 0.8:
+                    victim = addrs[rng.randrange(max(0, len(addrs) - 20), len(addrs))]
+                    victim += rng.choice([0, block, 2 * block])
+                else:
+                    victim = rng.randrange(base_span)
+                addrs.append((victim >> block_bits) << block_bits)
+                kinds.append(oracle.EV_WRITEBACK)
+    del addrs[n_events:], kinds[n_events:]
+    return MissTrace(
+        np.asarray(addrs, dtype=np.int64),
+        np.asarray(kinds, dtype=np.uint8),
+        block_bits,
+    )
+
+
+class _FixedWorkload(Workload):
+    """Adapter presenting a pre-built trace through the Workload API."""
+
+    info = BenchmarkInfo(name="differ-fixed", suite="micro", description="differ input")
+
+    def __init__(self, trace: Trace, seed: int = 0):
+        super().__init__(scale=1.0, seed=seed)
+        self._fixed = trace
+
+    def build(self) -> Trace:
+        return self._fixed
+
+
+# -- comparisons ------------------------------------------------------------
+
+
+def _compare_events(
+    stage: str,
+    seed: int,
+    opt_addrs: Sequence[int],
+    opt_kinds: Sequence[int],
+    ref_events: Sequence[Tuple[int, int]],
+    context: str,
+) -> Optional[Divergence]:
+    """First diverging (addr, kind) event between the two streams."""
+    n = min(len(opt_addrs), len(ref_events))
+    for i in range(n):
+        ref_addr, ref_kind = ref_events[i]
+        if opt_addrs[i] != ref_addr or opt_kinds[i] != ref_kind:
+            window = ", ".join(
+                f"#{j}:({opt_addrs[j]:#x},{opt_kinds[j]})"
+                for j in range(max(0, i - 2), min(n, i + 3))
+            )
+            return Divergence(
+                stage=stage,
+                seed=seed,
+                what=f"event[{i}]",
+                optimized=f"addr={opt_addrs[i]:#x} kind={opt_kinds[i]}",
+                expected=f"addr={ref_addr:#x} kind={ref_kind}",
+                context=f"{context}; optimized events around: {window}",
+            )
+    if len(opt_addrs) != len(ref_events):
+        return Divergence(
+            stage=stage,
+            seed=seed,
+            what="event count",
+            optimized=str(len(opt_addrs)),
+            expected=str(len(ref_events)),
+            context=context,
+        )
+    return None
+
+
+def _compare_counters(
+    stage: str,
+    seed: int,
+    pairs: Sequence[Tuple[str, object, object]],
+    context: str,
+) -> Optional[Divergence]:
+    for name, opt_value, ref_value in pairs:
+        if opt_value != ref_value:
+            return Divergence(
+                stage=stage,
+                seed=seed,
+                what=name,
+                optimized=repr(opt_value),
+                expected=repr(ref_value),
+                context=context,
+            )
+    return None
+
+
+def diff_l1(seed: int, n_events: int = 3000) -> Optional[Divergence]:
+    """One seeded L1 differential check; None when bit-identical."""
+    rng = random.Random(seed * 2654435761 % (1 << 31))
+    config = random_cache_config(rng)
+    trace = random_trace(rng, n_events)
+    context = f"config={config}"
+
+    workload = _FixedWorkload(trace, seed=seed)
+    miss_trace, summary = simulate_l1(workload, config)
+
+    ref_events, ref_summary = oracle.ref_simulate_l1(
+        trace.addrs.tolist(),
+        trace.kinds.tolist(),
+        capacity=config.capacity,
+        assoc=config.assoc,
+        block_size=config.block_size,
+        policy=config.policy,
+        write_back=config.write_back,
+        write_allocate=config.write_allocate,
+        seed=config.seed,
+    )
+    divergence = _compare_events(
+        "l1",
+        seed,
+        miss_trace.addrs.tolist(),
+        miss_trace.kinds.tolist(),
+        ref_events,
+        context,
+    )
+    if divergence is not None:
+        return divergence
+    return _compare_counters(
+        "l1",
+        seed,
+        [
+            ("summary.accesses", summary.accesses, ref_summary["accesses"]),
+            ("summary.misses", summary.misses, ref_summary["misses"]),
+            ("summary.writebacks", summary.writebacks, ref_summary["writebacks"]),
+            ("summary.ifetch_misses", summary.ifetch_misses, ref_summary["ifetch_misses"]),
+        ],
+        context,
+    )
+
+
+_OUTCOME_BY_LOOKUP = {
+    Lookup.HIT: "hit",
+    Lookup.MISS: "miss",
+    Lookup.IN_FLIGHT: "in_flight",
+}
+
+
+def _run_optimized_streams_per_event(
+    config: StreamConfig, miss_trace: MissTrace
+) -> Tuple[List[str], "StreamPrefetcher"]:
+    """Drive the optimized prefetcher event by event, recording outcomes."""
+    prefetcher = StreamPrefetcher(config)
+    outcomes: List[str] = []
+    wb = int(MissEventKind.WRITEBACK)
+    ifetch = int(MissEventKind.IFETCH_MISS)
+    for addr, kind in zip(miss_trace.addrs.tolist(), miss_trace.kinds.tolist()):
+        if kind == wb:
+            prefetcher.handle_writeback(addr)
+            outcomes.append("writeback")
+        else:
+            result = prefetcher.handle_miss(addr, is_ifetch=kind == ifetch)
+            outcomes.append(_OUTCOME_BY_LOOKUP[result])
+    prefetcher.finalize()
+    return outcomes, prefetcher
+
+
+def _stats_counter_pairs(stats, ref: dict) -> List[Tuple[str, object, object]]:
+    pairs = [
+        ("demand_misses", stats.demand_misses, ref["demand_misses"]),
+        ("stream_hits", stats.stream_hits, ref["stream_hits"]),
+        ("in_flight_matches", stats.in_flight_matches, ref["in_flight_matches"]),
+        ("ifetch_misses", stats.ifetch_misses, ref["ifetch_misses"]),
+        ("writebacks", stats.writebacks, ref["writebacks"]),
+        ("invalidations", stats.invalidations, ref["invalidations"]),
+        ("prefetches_issued", stats.prefetches_issued, ref["prefetches_issued"]),
+        ("prefetches_used", stats.prefetches_used, ref["prefetches_used"]),
+        ("allocations", stats.allocations, ref["allocations"]),
+        ("unit_filter_hits", stats.unit_filter_hits, ref["unit_filter_hits"]),
+        ("unit_filter_misses", stats.unit_filter_misses, ref["unit_filter_misses"]),
+        ("detector_hits", stats.detector_hits, ref["detector_hits"]),
+        (
+            "lengths.hits_by_bucket",
+            dict(stats.lengths.hits_by_bucket),
+            ref["lengths"]["hits_by_bucket"],
+        ),
+        (
+            "lengths.streams_by_bucket",
+            dict(stats.lengths.streams_by_bucket),
+            ref["lengths"]["streams_by_bucket"],
+        ),
+        (
+            "lengths.zero_length_streams",
+            stats.lengths.zero_length_streams,
+            ref["lengths"]["zero_length_streams"],
+        ),
+        # Bandwidth accounting: identical integer inputs must yield
+        # identical floats (same formula, same operand order).
+        ("bandwidth.useless", stats.bandwidth.useless_prefetches, ref["useless_prefetches"]),
+        ("bandwidth.eb_measured", stats.bandwidth.eb_measured, ref["eb_measured"]),
+        ("bandwidth.eb_estimate", stats.bandwidth.eb_estimate, ref["eb_estimate"]),
+    ]
+    return pairs
+
+
+def diff_streams(seed: int, n_events: int = 2000) -> Optional[Divergence]:
+    """One seeded stream-prefetcher differential check."""
+    rng = random.Random(seed * 2246822519 % (1 << 31))
+    config = random_stream_config(rng)
+    miss_trace = random_miss_trace(rng, n_events, block_bits=config.block_bits)
+    context = f"config={config}"
+
+    opt_outcomes, prefetcher = _run_optimized_streams_per_event(config, miss_trace)
+    opt_stats = prefetcher.stats
+
+    ref = oracle.RefStreamPrefetcher(config).run(
+        miss_trace.addrs.tolist(), miss_trace.kinds.tolist()
+    )
+    ref_outcomes = ref["outcomes"]
+    for i, (opt_outcome, ref_outcome) in enumerate(zip(opt_outcomes, ref_outcomes)):
+        if opt_outcome != ref_outcome:
+            return Divergence(
+                stage="streams",
+                seed=seed,
+                what=f"outcome[{i}] (addr={miss_trace.addrs[i]:#x}, kind={miss_trace.kinds[i]})",
+                optimized=opt_outcome,
+                expected=ref_outcome,
+                context=context,
+            )
+    divergence = _compare_counters(
+        "streams", seed, _stats_counter_pairs(opt_stats, ref), context
+    )
+    if divergence is not None:
+        return divergence
+
+    # The bulk run() path (demand-only fast path included) must agree
+    # with the per-event drive above.
+    bulk_stats = StreamPrefetcher(config).run(miss_trace)
+    return _compare_counters(
+        "streams",
+        seed,
+        [
+            (f"run() vs per-event: {name}", bulk, per_event)
+            for (name, per_event, _), (_, bulk, _) in zip(
+                _stats_counter_pairs(opt_stats, ref),
+                _stats_counter_pairs(bulk_stats, ref),
+            )
+        ],
+        context,
+    )
+
+
+#: Small, structurally diverse slice of the registry for corpus runs.
+DEFAULT_REGISTRY_WORKLOADS = ("cgm", "mgrid", "trfd")
+
+
+def diff_registry_workload(
+    name: str, scale: float = 0.05, seed: int = 0
+) -> Optional[Divergence]:
+    """Full-pipeline check of one real workload model at small scale."""
+    stage = f"registry:{name}"
+    workload = get_workload(name, scale=scale, seed=seed)
+    config = CacheConfig.paper_l1()
+    miss_trace, summary = simulate_l1(workload, config)
+
+    trace = workload.trace()
+    ref_events, ref_summary = oracle.ref_simulate_l1(
+        trace.addrs.tolist(),
+        trace.kinds.tolist(),
+        capacity=config.capacity,
+        assoc=config.assoc,
+        block_size=config.block_size,
+        policy=config.policy,
+        write_back=config.write_back,
+        write_allocate=config.write_allocate,
+        seed=config.seed,
+    )
+    context = f"workload={name} scale={scale} seed={seed}"
+    divergence = _compare_events(
+        stage,
+        seed,
+        miss_trace.addrs.tolist(),
+        miss_trace.kinds.tolist(),
+        ref_events,
+        context,
+    )
+    if divergence is not None:
+        return divergence
+    divergence = _compare_counters(
+        stage,
+        seed,
+        [
+            ("summary.misses", summary.misses, ref_summary["misses"]),
+            ("summary.writebacks", summary.writebacks, ref_summary["writebacks"]),
+        ],
+        context,
+    )
+    if divergence is not None:
+        return divergence
+
+    # Streams over the real miss trace, one filtered and one czone config.
+    for stream_config in (
+        StreamConfig.filtered(n_streams=8),
+        StreamConfig.non_unit(n_streams=8, czone_bits=16),
+    ):
+        opt_stats = StreamPrefetcher(stream_config).run(miss_trace)
+        ref = oracle.RefStreamPrefetcher(stream_config).run(
+            miss_trace.addrs.tolist(), miss_trace.kinds.tolist()
+        )
+        divergence = _compare_counters(
+            stage,
+            seed,
+            _stats_counter_pairs(opt_stats, ref),
+            f"{context}; stream config={stream_config}",
+        )
+        if divergence is not None:
+            return divergence
+    return None
+
+
+# -- corpus driver ----------------------------------------------------------
+
+
+def check_seed(seed: int, n_events: int = 2500) -> List[Divergence]:
+    """Run the random-trace stages for one seed."""
+    found = []
+    divergence = diff_l1(seed, n_events=n_events)
+    if divergence is not None:
+        found.append(divergence)
+    divergence = diff_streams(seed, n_events=n_events)
+    if divergence is not None:
+        found.append(divergence)
+    return found
+
+
+def run_corpus(
+    seeds: int = 50,
+    seed_start: int = 0,
+    n_events: int = 2500,
+    registry: bool = True,
+    registry_scale: float = 0.05,
+    registry_workloads: Sequence[str] = DEFAULT_REGISTRY_WORKLOADS,
+    progress=None,
+) -> CheckReport:
+    """Run the full differential corpus; collect every divergence."""
+    report = CheckReport()
+    for seed in range(seed_start, seed_start + seeds):
+        report.divergences.extend(check_seed(seed, n_events=n_events))
+        report.seeds_checked += 1
+        report.stages_run += 2
+        if progress is not None and (seed - seed_start + 1) % 25 == 0:
+            progress(f"  {seed - seed_start + 1}/{seeds} seeds checked")
+    if registry:
+        for name in registry_workloads:
+            divergence = diff_registry_workload(name, scale=registry_scale)
+            report.stages_run += 1
+            if divergence is not None:
+                report.divergences.append(divergence)
+    return report

@@ -1,0 +1,54 @@
+"""``REPRO_CHECK``-gated runtime invariants.
+
+The optimized simulators call :func:`invariant` at structurally
+interesting points (set occupancy, FIFO depth, LRU consistency, counter
+conservation).  The checks are compiled away to a single attribute test
+unless the environment variable ``REPRO_CHECK`` is set to something
+other than ``""``/``"0"`` at import time (or :func:`set_enabled` flips
+it at runtime, e.g. from tests).
+
+This module must stay dependency-free: ``repro.caches`` and
+``repro.core`` import it, so importing anything from those packages
+here would create a cycle.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ENABLED", "InvariantError", "invariant", "set_enabled"]
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_CHECK", "").strip() not in ("", "0")
+
+
+#: Whether invariant checks run.  Hot loops read this once per call.
+ENABLED: bool = _env_enabled()
+
+
+class InvariantError(AssertionError):
+    """An optimized simulator violated a structural invariant.
+
+    Subclasses :class:`AssertionError` so test harnesses treat it as a
+    failed assertion, but it is raised regardless of ``python -O``.
+    """
+
+
+def set_enabled(value: bool) -> bool:
+    """Flip invariant checking at runtime; returns the previous value."""
+    global ENABLED
+    previous = ENABLED
+    ENABLED = bool(value)
+    return previous
+
+
+def invariant(condition: bool, message: str, *args: object) -> None:
+    """Raise :class:`InvariantError` if ``condition`` is false.
+
+    ``message`` is a %-style format string applied to ``args`` lazily,
+    so call sites pay no formatting cost on the happy path.
+    """
+    if condition:
+        return
+    raise InvariantError(message % args if args else message)

@@ -10,6 +10,7 @@ Subcommands::
     repro compare WORKLOAD         # streams vs related-work baselines
     repro timing WORKLOAD          # price the stream vs L2 designs
     repro serve [options]          # always-on simulation service (HTTP)
+    repro check [options]          # differential check vs golden oracles
 
 Every exhibit prints measured values beside the paper's published ones.
 ``sweep`` and ``exhibit`` accept ``--jobs N`` (process-pool fan-out) and
@@ -184,6 +185,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=300.0,
         metavar="S",
         help="default per-request deadline (seconds)",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="differential check: optimized simulators vs golden oracles",
+        description=(
+            "Run randomized traces and configurations through both the "
+            "optimized simulators and the deliberately-simple reference "
+            "models in repro.check.oracle, reporting the first diverging "
+            "event per seed (see docs/modeling.md, 'Differential "
+            "correctness harness')."
+        ),
+    )
+    check.add_argument(
+        "--seeds", type=int, default=50, metavar="N", help="random seeds to check"
+    )
+    check.add_argument(
+        "--seed-start", type=int, default=0, metavar="S", help="first seed (corpus offset)"
+    )
+    check.add_argument(
+        "--events",
+        type=int,
+        default=2500,
+        metavar="N",
+        help="events per generated trace",
+    )
+    check.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="skip the real-workload full-pipeline stages",
+    )
+    check.add_argument(
+        "--registry-scale",
+        type=float,
+        default=0.05,
+        metavar="F",
+        help="scale for the registry workload stages",
+    )
+    check.add_argument(
+        "--replay",
+        default=None,
+        metavar="STAGE:SEED",
+        help="re-run one diverging stage (l1:SEED or streams:SEED) and exit",
     )
 
     return parser
@@ -418,6 +462,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import differ
+
+    if args.replay:
+        stage, _, seed_text = args.replay.partition(":")
+        try:
+            seed = int(seed_text)
+        except ValueError:
+            print(f"bad --replay {args.replay!r}; expected STAGE:SEED", file=sys.stderr)
+            return 2
+        if stage == "l1":
+            divergence = differ.diff_l1(seed, n_events=args.events)
+        elif stage == "streams":
+            divergence = differ.diff_streams(seed, n_events=args.events)
+        else:
+            print(f"unknown replay stage {stage!r}; use l1 or streams", file=sys.stderr)
+            return 2
+        if divergence is None:
+            print(f"{stage}:{seed}: no divergence")
+            return 0
+        print(divergence)
+        return 1
+
+    started = time.perf_counter()
+    report = differ.run_corpus(
+        seeds=args.seeds,
+        seed_start=args.seed_start,
+        n_events=args.events,
+        registry=not args.no_registry,
+        registry_scale=args.registry_scale,
+        progress=print,
+    )
+    elapsed = time.perf_counter() - started
+    print(
+        f"{report.seeds_checked} seeds, {report.stages_run} stages in {elapsed:.1f}s: "
+        + ("all consistent" if report.ok else f"{len(report.divergences)} DIVERGENCES")
+    )
+    for divergence in report.divergences:
+        print(f"\n{divergence}")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -437,6 +523,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_timing(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "check":
+        return _cmd_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

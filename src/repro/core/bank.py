@@ -13,6 +13,7 @@ from __future__ import annotations
 import enum
 from typing import List, Optional
 
+from repro.check import invariants as _inv
 from repro.core.lengths import StreamLengthHistogram
 from repro.core.stream_buffer import StreamBuffer
 
@@ -128,6 +129,8 @@ class StreamBufferBank:
         self.prefetches_issued += 1
         self._heads[index] = self._current_head(index)
         self._touch(index)
+        if _inv.ENABLED:
+            self.check_invariants()
         return result
 
     def allocate(self, start_block: int, stride: int) -> int:
@@ -144,6 +147,8 @@ class StreamBufferBank:
         self.prefetches_issued += len(issued)
         self._heads[index] = self._current_head(index)
         self._touch(index)
+        if _inv.ENABLED:
+            self.check_invariants()
         return index
 
     def invalidate(self, block: int) -> int:
@@ -159,6 +164,8 @@ class StreamBufferBank:
                 count += invalidated
                 self._heads[index] = self._current_head(index)
         self.invalidations += count
+        if _inv.ENABLED:
+            self.check_invariants()
         return count
 
     def finalize(self) -> None:
@@ -168,6 +175,63 @@ class StreamBufferBank:
                 self.lengths.record(stream.hits_since_alloc)
                 stream.flush()
                 self._heads[index] = None
+
+    def check_invariants(self) -> None:
+        """Structural self-checks (``REPRO_CHECK=1`` runs these per op).
+
+        Verified: FIFO depth bounds (an active stream is exactly
+        ``depth`` deep, an inactive one empty), LRU-list consistency (a
+        permutation of the stream indices), head-cache agreement, and
+        counter conservation.
+        """
+        depth = self.depth
+        for index, stream in enumerate(self._streams):
+            occupancy = len(stream)
+            if stream.active:
+                _inv.invariant(
+                    occupancy == depth,
+                    "active stream %d holds %d entries, expected depth %d",
+                    index,
+                    occupancy,
+                    depth,
+                )
+            else:
+                _inv.invariant(
+                    occupancy == 0,
+                    "inactive stream %d still holds %d entries",
+                    index,
+                    occupancy,
+                )
+            _inv.invariant(
+                self._heads[index] == self._current_head(index),
+                "head cache for stream %d (%r) disagrees with the FIFO (%r)",
+                index,
+                self._heads[index],
+                self._current_head(index),
+            )
+        _inv.invariant(
+            sorted(self._lru) == list(range(len(self._streams))),
+            "LRU list %r is not a permutation of the stream indices",
+            self._lru,
+        )
+        _inv.invariant(
+            self.prefetches_used <= self.prefetches_issued,
+            "prefetches_used %d exceeds prefetches_issued %d",
+            self.prefetches_used,
+            self.prefetches_issued,
+        )
+        _inv.invariant(
+            self.hits <= self.prefetches_used,
+            "hits %d exceed consumed prefetches %d",
+            self.hits,
+            self.prefetches_used,
+        )
+        _inv.invariant(
+            self.hits <= self.lookups,
+            "hits %d exceed lookups %d",
+            self.hits,
+            self.lookups,
+        )
 
     # -- internals --------------------------------------------------------
 

@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from repro.caches.cache import MissEventKind, MissTrace
+from repro.check import invariants as _inv
 from repro.core.bandwidth import BandwidthReport
 from repro.core.bank import Lookup, StreamBufferBank
 from repro.core.config import StreamConfig, StrideDetector
@@ -253,4 +254,48 @@ class StreamPrefetcher:
             for bucket, count in lane.bank.lengths.streams_by_bucket.items():
                 stats.lengths.streams_by_bucket[bucket] += count
             stats.lengths.zero_length_streams += lane.bank.lengths.zero_length_streams
+        if _inv.ENABLED:
+            self._check_invariants(stats)
         return stats
+
+    @staticmethod
+    def _check_invariants(stats: StreamStats) -> None:
+        """Conservation checks on a finalized run (``REPRO_CHECK=1``).
+
+        Every consumed prefetch serviced either a stream hit or an
+        in-flight coalesce, each consumption advanced exactly one
+        stream's length counter (so the Table 3 histogram conserves),
+        and nothing is consumed that was never issued.
+        """
+        _inv.invariant(
+            stats.prefetches_used == stats.stream_hits + stats.in_flight_matches,
+            "prefetches_used %d != stream_hits %d + in_flight_matches %d",
+            stats.prefetches_used,
+            stats.stream_hits,
+            stats.in_flight_matches,
+        )
+        _inv.invariant(
+            stats.lengths.total_hits == stats.prefetches_used,
+            "length histogram holds %d hits but %d prefetches were consumed",
+            stats.lengths.total_hits,
+            stats.prefetches_used,
+        )
+        _inv.invariant(
+            stats.prefetches_used <= stats.prefetches_issued,
+            "prefetches_used %d exceeds prefetches_issued %d",
+            stats.prefetches_used,
+            stats.prefetches_issued,
+        )
+        _inv.invariant(
+            stats.stream_hits + stats.in_flight_matches <= stats.demand_misses,
+            "stream hits %d + in-flight %d exceed demand misses %d",
+            stats.stream_hits,
+            stats.in_flight_matches,
+            stats.demand_misses,
+        )
+        _inv.invariant(
+            stats.lengths.total_streams == stats.allocations,
+            "completed streams %d != allocations %d after finalize",
+            stats.lengths.total_streams,
+            stats.allocations,
+        )

@@ -19,19 +19,21 @@ Two extensions harden this for long benchmarking sessions:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Callable, Optional, Tuple, Union
 
 from repro.caches.cache import Cache, CacheConfig, MissTrace
 from repro.caches.split import SplitL1, SplitL1Config
+from repro.check import invariants as _inv
 from repro.core.config import StreamConfig
 from repro.core.prefetcher import StreamPrefetcher, StreamStats
 from repro.mem.address import AddressSpace
 from repro.sim.results import L1Summary, RunResult
 from repro.trace.compress import compress_consecutive
 from repro.trace.events import AccessKind, Trace
-from repro.trace.store import TraceStore, trace_digest
+from repro.trace.store import TraceStore, canonical_scale, trace_digest
 from repro.workloads.base import Workload, get_workload
 
 __all__ = [
@@ -60,11 +62,13 @@ def resolve_workload_ref(
     describe what will actually be simulated, and any conflicting
     ``scale``/``seed`` arguments from the caller are ignored.  Every
     consumer (cache keys, result provenance) must resolve through this
-    helper so the recorded parameters always match the simulation.
+    helper so the recorded parameters always match the simulation.  The
+    scale is canonicalised (:func:`~repro.trace.store.canonical_scale`)
+    so float-noise aliases of one scale share a key and a store digest.
     """
     if isinstance(workload, Workload):
-        return workload.name, workload.scale, workload.seed, workload
-    return workload, scale, seed, None
+        return workload.name, canonical_scale(workload.scale), workload.seed, workload
+    return workload, canonical_scale(scale), seed, None
 
 
 @dataclass(frozen=True)
@@ -78,8 +82,13 @@ class _Key:
 class MissTraceCache:
     """In-process cache of (workload x L1) miss traces.
 
-    Not thread safe; create one per benchmarking session (module-level
-    :func:`default_cache` serves the common case).
+    Thread safe: the entry map is guarded by a lock (the service
+    orchestrator's warm-store fast path calls :meth:`get` from worker
+    threads).  Concurrent misses on the same key may compute the same
+    trace twice — a benign race, since the simulation is deterministic
+    and the second insert overwrites with identical data.  Create one per
+    benchmarking session (module-level :func:`default_cache` serves the
+    common case).
 
     Args:
         l1_config: primary cache geometry (paper default).
@@ -117,6 +126,7 @@ class MissTraceCache:
         self.max_entries = max_entries
         self.hooks = hooks
         self._entries: "OrderedDict[_Key, Tuple[MissTrace, L1Summary]]" = OrderedDict()
+        self._lock = threading.Lock()
         self.evictions = 0
         self.store_hits = 0
 
@@ -139,9 +149,11 @@ class MissTraceCache:
         """
         name, scale, seed, instance = resolve_workload_ref(workload, scale, seed)
         key = _Key(name, scale, seed, self.l1_config)
-        cached = self._entries.get(key)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
         if cached is not None:
-            self._entries.move_to_end(key)
             self._emit("trace_mem_hit")
             return cached
         digest = None
@@ -152,6 +164,7 @@ class MissTraceCache:
                 self.store_hits += 1
                 self._insert(key, stored)
                 self._emit("trace_store_hit")
+                self._check_result(key, digest, stored)
                 return stored
         if instance is None:
             instance = get_workload(name, scale=scale, seed=seed)
@@ -160,25 +173,62 @@ class MissTraceCache:
             self.store.save_trace(digest, *result)
         self._insert(key, result)
         self._emit("trace_computed")
+        self._check_result(key, digest, result)
         return result
+
+    def _check_result(
+        self,
+        key: _Key,
+        digest: Optional[str],
+        result: Tuple[MissTrace, L1Summary],
+    ) -> None:
+        """``REPRO_CHECK=1`` consistency checks on a freshly produced entry."""
+        if not _inv.ENABLED:
+            return
+        miss_trace, summary = result
+        _inv.invariant(
+            key.scale == canonical_scale(key.scale),
+            "cache key scale %r is not canonical",
+            key.scale,
+        )
+        _inv.invariant(
+            miss_trace.block_bits == self.l1_config.block_bits,
+            "miss trace block_bits %d != L1 config block_bits %d",
+            miss_trace.block_bits,
+            self.l1_config.block_bits,
+        )
+        _inv.invariant(
+            miss_trace.n_misses == summary.misses,
+            "miss trace carries %d demand misses but the L1 summary says %d",
+            miss_trace.n_misses,
+            summary.misses,
+        )
+        if digest is not None:
+            _inv.invariant(
+                digest == self.trace_key(key.workload, key.scale, key.seed),
+                "store digest is not reproducible from the cache key",
+            )
 
     def trace_key(self, workload: str, scale: float = 1.0, seed: int = 0) -> str:
         """The persistent-store digest this cache uses for a workload."""
         return trace_digest(workload, scale, seed, self.l1_config, self.keep_pcs)
 
     def _insert(self, key: _Key, value: Tuple[MissTrace, L1Summary]) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 def simulate_l1(
@@ -188,11 +238,13 @@ def simulate_l1(
 ) -> Tuple[MissTrace, L1Summary]:
     """Run a workload's trace through the primary cache.
 
-    Data-only traces run through a single D-cache with exact
-    consecutive-same-block compression; traces containing instruction
-    fetches run through the split I+D pair.  Synthetic PCs are stripped
-    unless ``keep_pcs`` (they are only needed by PC-indexed baselines
-    and disable the L1 fast path).
+    Data-only traces through a write-back write-allocate cache run
+    through a single D-cache with exact consecutive-same-block
+    compression (the collapsed runs' kinds and dirtiness are preserved —
+    see :mod:`repro.trace.compress`); other write policies and traces
+    containing instruction fetches simulate the raw trace.  Synthetic
+    PCs are stripped unless ``keep_pcs`` (they are only needed by
+    PC-indexed baselines and disable the L1 fast path).
     """
     config = l1_config if l1_config is not None else CacheConfig.paper_l1()
     trace = workload.trace()
@@ -211,10 +263,17 @@ def simulate_l1(
             ifetch_misses=split.icache.stats.misses,
         )
         return miss_trace, summary
-    space = AddressSpace(block_size=config.block_size)
-    compressed = compress_consecutive(trace, space)
     cache = Cache(config)
-    miss_trace = cache.simulate(compressed.trace, weights=compressed.weights)
+    if config.write_back and config.write_allocate:
+        space = AddressSpace(block_size=config.block_size)
+        compressed = compress_consecutive(trace, space)
+        miss_trace = cache.simulate(
+            compressed.trace, weights=compressed.weights, dirty=compressed.dirty
+        )
+    else:
+        # Compression is only exact under write-back + write-allocate
+        # (collapsed write hits generate no traffic); simulate raw.
+        miss_trace = cache.simulate(trace)
     summary = L1Summary.from_stats(
         cache.stats,
         trace_length=len(trace),
@@ -224,13 +283,16 @@ def simulate_l1(
 
 
 _DEFAULT_CACHE: Optional[MissTraceCache] = None
+_DEFAULT_CACHE_LOCK = threading.Lock()
 
 
 def default_cache() -> MissTraceCache:
-    """The shared module-level miss-trace cache."""
+    """The shared module-level miss-trace cache (thread safe)."""
     global _DEFAULT_CACHE
     if _DEFAULT_CACHE is None:
-        _DEFAULT_CACHE = MissTraceCache()
+        with _DEFAULT_CACHE_LOCK:
+            if _DEFAULT_CACHE is None:
+                _DEFAULT_CACHE = MissTraceCache()
     return _DEFAULT_CACHE
 
 

@@ -8,23 +8,35 @@ intervening access to the same cache could have evicted it — and (for LRU,
 FIFO and random replacement alike) they change no replacement state.  They
 can therefore be collapsed without changing which accesses miss.
 
-The collapse is exact provided two details are preserved:
+The collapse is exact provided three details are preserved:
 
-* **Dirtiness.** If any access in the run is a write, the collapsed access
-  is recorded as a write: under write-allocate/write-back, a write miss and
-  a read-miss-followed-by-write-hit leave identical cache state and cause
-  identical memory traffic.
+* **Kind.** The collapsed access keeps the *first* access's kind: that is
+  the access that can miss, so the miss event's READ/WRITE classification
+  (and the read/write miss statistics) match the uncompressed simulation.
+* **Dirtiness.** If any access in the run is a write, the run leaves the
+  block dirty even when its first access was a read (a read miss followed
+  by write hits).  That is carried separately in the ``dirty`` array so a
+  write-back/write-allocate cache can mark the block without mislabelling
+  the miss event — under those policies the resulting cache state and
+  write-back traffic are identical to the uncompressed run.
 * **Cache identity.** Instruction fetches go to a different cache than data
   accesses, so a run is broken when the access switches between the two.
 
 Per-access hit counts are recoverable from the returned run ``weights``:
 the number of misses on the compressed trace equals the number of misses on
 the original, and original hits = ``weights.sum() - misses``.
+
+The dirtiness argument relies on write-back/write-allocate semantics
+(collapsed write *hits* generate no traffic of their own); for
+write-through or no-write-allocate caches, per-write traffic events would
+be lost, so such caches must simulate the raw trace
+(:meth:`~repro.caches.cache.Cache.simulate` rejects ``dirty`` for them).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -39,19 +51,29 @@ class CompressedTrace:
     """A compressed trace plus per-access run weights.
 
     Attributes:
-        trace: one access per run of adjacent same-block accesses.
+        trace: one access per run of adjacent same-block accesses, carrying
+            the *first* access's kind.
         weights: int64 array, ``weights[i]`` = number of original accesses
             collapsed into ``trace[i]``.
+        dirty: bool array, ``dirty[i]`` = the run contained at least one
+            write, so the block must end up dirty even if ``trace[i]`` is
+            a read (pass to :meth:`~repro.caches.cache.Cache.simulate`).
     """
 
     trace: Trace
     weights: np.ndarray
+    dirty: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if len(self.trace) != self.weights.shape[0]:
             raise ValueError(
                 f"trace length {len(self.trace)} != weights length "
                 f"{self.weights.shape[0]}"
+            )
+        if self.dirty is not None and self.dirty.shape[0] != len(self.trace):
+            raise ValueError(
+                f"trace length {len(self.trace)} != dirty length "
+                f"{self.dirty.shape[0]}"
             )
 
     @property
@@ -75,13 +97,15 @@ def compress_consecutive(trace: Trace, space: AddressSpace = AddressSpace()) -> 
         space: address-space geometry providing the block size.
 
     Returns:
-        A :class:`CompressedTrace`; the compressed trace misses exactly
-        where the original trace misses in any set-associative cache with
-        blocks of ``space.block_size`` bytes.
+        A :class:`CompressedTrace`; for any write-back write-allocate
+        set-associative cache with blocks of ``space.block_size`` bytes the
+        compressed trace (with its ``dirty`` flags) misses exactly where
+        the original trace misses and emits the identical miss/write-back
+        event stream.
     """
     n = len(trace)
     if n == 0:
-        return CompressedTrace(trace, np.empty(0, dtype=np.int64))
+        return CompressedTrace(trace, np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
 
     blocks = trace.addrs >> space.block_bits
     is_ifetch = trace.kinds == int(AccessKind.IFETCH)
@@ -94,10 +118,11 @@ def compress_consecutive(trace: Trace, space: AddressSpace = AddressSpace()) -> 
     weights = np.diff(np.append(starts, n)).astype(np.int64)
     kept_addrs = trace.addrs[starts].copy()
 
+    # The first access of a run is the one that can miss, so its kind is
+    # the event kind; a write anywhere in the run dirties the block.
     is_write = trace.kinds == int(AccessKind.WRITE)
     run_has_write = np.add.reduceat(is_write.astype(np.int64), starts) > 0
     kept_kinds = trace.kinds[starts].copy()
-    kept_kinds[run_has_write] = int(AccessKind.WRITE)
 
     kept_pcs = trace.pcs[starts].copy() if trace.pcs is not None else None
-    return CompressedTrace(Trace(kept_addrs, kept_kinds, kept_pcs), weights)
+    return CompressedTrace(Trace(kept_addrs, kept_kinds, kept_pcs), weights, run_has_write)

@@ -57,6 +57,7 @@ __all__ = [
     "STORE_FORMAT_VERSION",
     "RESULT_FORMAT_VERSION",
     "TraceStore",
+    "canonical_scale",
     "trace_digest",
     "result_digest",
     "stats_to_dict",
@@ -64,7 +65,9 @@ __all__ = [
 ]
 
 #: Bump when the trace archive layout or the L1 simulation changes.
-STORE_FORMAT_VERSION = 1
+#: v2: compression preserves first-access miss kinds (dirty-carry) and
+#: non-WB+WA configs simulate raw, so stored v1 miss traces are stale.
+STORE_FORMAT_VERSION = 2
 
 #: Bump when the stream replay semantics change (stale results must die).
 RESULT_FORMAT_VERSION = 1
@@ -89,6 +92,20 @@ def _canonical(payload: dict) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
+def canonical_scale(scale: float) -> float:
+    """Collapse float-noise aliases of a workload scale.
+
+    Scales arrive from CLI parsing, JSON round-trips and arithmetic like
+    ``3 * 0.1``, so the same intended value can differ in the last few
+    ulps (``0.3`` vs ``0.30000000000000004``).  Rounding through a
+    12-significant-digit decimal rendering maps such aliases to one
+    float, so in-process cache keys and on-disk digests agree.  Distinct
+    intended scales are unaffected: no sweep in this repo distinguishes
+    scales closer than one part in 1e12.  Idempotent.
+    """
+    return float(f"{float(scale):.12g}")
+
+
 def trace_digest(
     workload: str,
     scale: float,
@@ -106,7 +123,7 @@ def trace_digest(
     payload = {
         "store_version": STORE_FORMAT_VERSION,
         "workload": workload,
-        "scale": scale,
+        "scale": canonical_scale(scale),
         "seed": seed,
         "keep_pcs": keep_pcs,
         "l1": dataclasses.asdict(l1_config),

@@ -1,0 +1,233 @@
+"""Oracle-model tests: crafted cases where the reference must agree with
+the optimized simulators, including the czone-boundary and
+negative-stride satellite coverage."""
+
+import numpy as np
+import pytest
+
+from repro.caches.cache import Cache, CacheConfig, MissEventKind, MissTrace
+from repro.check import oracle
+from repro.core.config import StreamConfig, StrideDetector
+from repro.core.prefetcher import StreamPrefetcher
+from repro.trace.events import Trace
+
+
+def make_miss_trace(addrs, kinds=None, block_bits=6):
+    addrs = np.asarray(addrs, dtype=np.int64)
+    if kinds is None:
+        kinds = np.zeros(addrs.shape, dtype=np.uint8)
+    else:
+        kinds = np.asarray(kinds, dtype=np.uint8)
+    return MissTrace(addrs, kinds, block_bits)
+
+
+def run_both(config, miss_trace):
+    opt = StreamPrefetcher(config).run(miss_trace)
+    ref = oracle.RefStreamPrefetcher(config).run(
+        miss_trace.addrs.tolist(), miss_trace.kinds.tolist()
+    )
+    return opt, ref
+
+
+def assert_counters_match(opt, ref):
+    assert opt.demand_misses == ref["demand_misses"]
+    assert opt.stream_hits == ref["stream_hits"]
+    assert opt.in_flight_matches == ref["in_flight_matches"]
+    assert opt.prefetches_issued == ref["prefetches_issued"]
+    assert opt.prefetches_used == ref["prefetches_used"]
+    assert opt.allocations == ref["allocations"]
+    assert opt.invalidations == ref["invalidations"]
+    assert opt.unit_filter_hits == ref["unit_filter_hits"]
+    assert opt.detector_hits == ref["detector_hits"]
+    assert dict(opt.lengths.hits_by_bucket) == ref["lengths"]["hits_by_bucket"]
+    assert opt.lengths.zero_length_streams == ref["lengths"]["zero_length_streams"]
+    assert opt.bandwidth.eb_measured == ref["eb_measured"]
+    assert opt.bandwidth.eb_estimate == ref["eb_estimate"]
+
+
+class TestRefCache:
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    @pytest.mark.parametrize(
+        "write_back,write_allocate",
+        [(True, True), (True, False), (False, True), (False, False)],
+    )
+    def test_matches_optimized_cache(self, policy, write_back, write_allocate):
+        rng = np.random.default_rng(11)
+        addrs = rng.integers(0, 1 << 14, size=800, dtype=np.int64)
+        kinds = rng.integers(0, 2, size=800).astype(np.uint8)
+        trace = Trace(addrs, kinds)
+        config = CacheConfig(
+            capacity=2048,
+            assoc=2,
+            block_size=64,
+            policy=policy,
+            write_back=write_back,
+            write_allocate=write_allocate,
+            seed=5,
+        )
+        opt_cache = Cache(config)
+        opt_miss = opt_cache.simulate(trace)
+
+        ref = oracle.RefCache(2048, 2, 64, policy, write_back, write_allocate, 5)
+        events = []
+        for addr, kind in zip(addrs.tolist(), kinds.tolist()):
+            ref.access(addr, kind, events)
+
+        assert opt_miss.addrs.tolist() == [a for a, _ in events]
+        assert opt_miss.kinds.tolist() == [k for _, k in events]
+        assert opt_cache.stats.misses == ref.misses
+        assert opt_cache.stats.writebacks == ref.writebacks
+
+    def test_split_l1_with_ifetch(self):
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 1 << 14, size=600, dtype=np.int64)
+        kinds = rng.integers(0, 3, size=600).astype(np.uint8)
+        trace = Trace(addrs, kinds)
+        from repro.check.differ import _FixedWorkload
+        from repro.sim.runner import simulate_l1
+
+        config = CacheConfig(capacity=1024, assoc=2, block_size=64, policy="lru")
+        miss_trace, summary = simulate_l1(_FixedWorkload(trace), config)
+        events, ref_summary = oracle.ref_simulate_l1(
+            addrs.tolist(), kinds.tolist(), 1024, 2, 64, policy="lru"
+        )
+        assert miss_trace.addrs.tolist() == [a for a, _ in events]
+        assert miss_trace.kinds.tolist() == [k for _, k in events]
+        assert summary.ifetch_misses == ref_summary["ifetch_misses"]
+
+
+class TestCzoneBoundary:
+    """Satellite: strided stream crossing a czone partition boundary."""
+
+    def test_boundary_crossing_mid_verification(self):
+        # czone_bits=10 -> 1KB partitions.  A 512-byte stride puts
+        # exactly two misses in every partition: each FSM reaches META2
+        # (one stride guess recorded) and then the walk crosses the
+        # boundary before the third, verifying miss arrives.  No stream
+        # is ever allocated.
+        config = StreamConfig(
+            n_streams=4,
+            unit_filter_entries=4,
+            stride_detector=StrideDetector.CZONE,
+            czone_filter_entries=4,
+            czone_bits=10,
+        )
+        addrs = [8192 + i * 512 for i in range(8)]
+        opt, ref = run_both(config, make_miss_trace(addrs))
+        assert_counters_match(opt, ref)
+        assert opt.detector_hits == 0
+        assert opt.allocations == 0
+
+    def test_stride_reverifies_after_crossing(self):
+        # A shorter stride (192 bytes, ~5 misses per 1KB partition)
+        # loses one verification at the boundary but re-verifies inside
+        # the next partition — the stream survives the crossing.
+        config = StreamConfig(
+            n_streams=4,
+            unit_filter_entries=4,
+            stride_detector=StrideDetector.CZONE,
+            czone_filter_entries=4,
+            czone_bits=10,
+        )
+        start = 4 * (1 << 10) - 384
+        addrs = [start + i * 192 for i in range(10)]
+        opt, ref = run_both(config, make_miss_trace(addrs))
+        assert_counters_match(opt, ref)
+        assert opt.detector_hits >= 1
+        assert opt.stream_hits > 0
+
+    def test_same_zone_stride_verifies(self):
+        # The same stride fully inside one (larger) partition verifies on
+        # the third miss and services the following misses.
+        config = StreamConfig(
+            n_streams=4,
+            unit_filter_entries=4,
+            stride_detector=StrideDetector.CZONE,
+            czone_filter_entries=4,
+            czone_bits=16,
+        )
+        addrs = [4096 + i * 192 for i in range(8)]
+        opt, ref = run_both(config, make_miss_trace(addrs))
+        assert_counters_match(opt, ref)
+        assert opt.detector_hits == 1
+        assert opt.stream_hits > 0
+
+
+class TestNegativeStrides:
+    """Satellite: allow_negative_strides=False suppresses descending
+    allocations in both detectors, and the oracle agrees."""
+
+    def descending(self, stride):
+        start = 1 << 20
+        return [start - i * stride for i in range(10)]
+
+    @pytest.mark.parametrize("detector", [StrideDetector.CZONE, StrideDetector.MIN_DELTA])
+    def test_descending_allocations_suppressed(self, detector):
+        config = StreamConfig(
+            n_streams=4,
+            unit_filter_entries=4,
+            stride_detector=detector,
+            czone_bits=16,
+            allow_negative_strides=False,
+        )
+        opt, ref = run_both(config, make_miss_trace(self.descending(192)))
+        assert_counters_match(opt, ref)
+        assert opt.detector_hits == 0
+        assert opt.stream_hits == 0
+
+    @pytest.mark.parametrize("detector", [StrideDetector.CZONE, StrideDetector.MIN_DELTA])
+    def test_descending_allocations_allowed(self, detector):
+        config = StreamConfig(
+            n_streams=4,
+            unit_filter_entries=4,
+            stride_detector=detector,
+            czone_bits=16,
+            allow_negative_strides=True,
+        )
+        opt, ref = run_both(config, make_miss_trace(self.descending(192)))
+        assert_counters_match(opt, ref)
+        assert opt.detector_hits >= 1
+        assert opt.stream_hits > 0
+
+    def test_descending_unit_runs_unaffected(self):
+        # The unit filter only matches ascending pairs (a then a+1), so
+        # a descending block run allocates nothing either way.
+        config = StreamConfig(
+            n_streams=4, unit_filter_entries=4, allow_negative_strides=False
+        )
+        addrs = [(1 << 16) - i * 64 for i in range(8)]
+        opt, ref = run_both(config, make_miss_trace(addrs))
+        assert_counters_match(opt, ref)
+        assert opt.allocations == 0
+
+
+class TestStreamEquivalence:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            StreamConfig.jouppi(n_streams=4),
+            StreamConfig.filtered(n_streams=4),
+            StreamConfig.non_unit(n_streams=4),
+            StreamConfig(n_streams=4, depth=4, lookup_depth=3, unit_filter_entries=8),
+            StreamConfig(n_streams=4, min_lead=2, unit_filter_entries=8),
+            StreamConfig(n_streams=4, partitioned=True, i_streams=2),
+        ],
+    )
+    def test_mixed_trace_counters_match(self, config):
+        rng = np.random.default_rng(29)
+        addrs, kinds = [], []
+        wb = int(MissEventKind.WRITEBACK)
+        ifetch = int(MissEventKind.IFETCH_MISS)
+        for _ in range(40):
+            start = int(rng.integers(0, 1 << 20))
+            for i in range(int(rng.integers(2, 12))):
+                addrs.append(start + i * 64)
+                kinds.append(int(rng.choice([0, 0, 0, 1, wb, ifetch])))
+        opt, ref = run_both(config, make_miss_trace(addrs, kinds))
+        assert_counters_match(opt, ref)
+
+    def test_bucket_helper_matches_lengths_module(self):
+        from repro.core.lengths import bucket_of
+
+        for length in (1, 5, 6, 10, 11, 15, 16, 20, 21, 100):
+            assert oracle.ref_bucket_of(length) == bucket_of(length)

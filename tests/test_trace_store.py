@@ -102,7 +102,11 @@ class TestTraceRoundTrip:
     def test_stale_version_is_none(self, tmp_path, monkeypatch):
         store = TraceStore(tmp_path)
         store.save_trace("abc", make_miss_trace(), make_summary())
-        monkeypatch.setattr("repro.trace.store.STORE_FORMAT_VERSION", 2)
+        import repro.trace.store as store_mod
+
+        monkeypatch.setattr(
+            "repro.trace.store.STORE_FORMAT_VERSION", store_mod.STORE_FORMAT_VERSION + 1
+        )
         assert store.load_trace("abc") is None
         assert store.prune() == 1
         assert len(store) == 0
