@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-quick check-diff check-diff-long exhibits examples serve smoke-service clean
+.PHONY: install test bench bench-quick profile-bench check-diff check-diff-long exhibits examples serve smoke-service clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,6 +16,12 @@ bench:
 # the timings in BENCH_PR1.json for cross-PR perf tracking.
 bench-quick:
 	PYTHONPATH=src python benchmarks/bench_quick.py
+
+# Analytic Table-4 screen gate: the stack-distance search must agree
+# with brute force on every cell while simulating <=25% of the config
+# grid; timings land in BENCH_PR4.json (docs/analytic.md).
+profile-bench:
+	PYTHONPATH=src python benchmarks/bench_profile.py
 
 # Differential check: optimized simulators vs the golden reference
 # models over a fixed random corpus (docs/modeling.md).  Fails on any

@@ -20,9 +20,15 @@ Public layers:
 * :mod:`repro.workloads` — benchmark models and microbenchmarks
 * :mod:`repro.trace` — traces, sampling, compression
 * :mod:`repro.sim` — runners, sweeps, the L2 comparison
+* :mod:`repro.analytic` — stack-distance profiles and the screened search
 * :mod:`repro.reporting` — the paper's tables and figures
 """
 
+from repro.analytic import (
+    LocalityProfile,
+    min_matching_l2_size_analytic,
+    profile_miss_trace,
+)
 from repro.baselines import (
     OneBlockLookahead,
     PrefetchingCache,
@@ -63,6 +69,7 @@ __all__ = [
     "AccessKind",
     "Cache",
     "CacheConfig",
+    "LocalityProfile",
     "MemorySystem",
     "MissTrace",
     "OneBlockLookahead",
@@ -86,6 +93,8 @@ __all__ = [
     "compare_designs",
     "get_workload",
     "min_matching_l2_size",
+    "min_matching_l2_size_analytic",
+    "profile_miss_trace",
     "run_result",
     "run_streams",
     "sweep_czone_bits",

@@ -1,0 +1,43 @@
+"""Analytic locality engine: stack-distance profiles replacing grid simulation.
+
+One pass over an L1 miss trace (:mod:`repro.analytic.profile`) yields the
+exact fully-associative LRU hit rate of every capacity at once and, via a
+binomial set-partition correction (:mod:`repro.analytic.model`), accurate
+estimates for the paper's whole set-associative L2 grid.  The screening
+search (:mod:`repro.analytic.screen`) uses those curves to answer the
+Table 4 question — the minimum L2 matching the stream hit rate — while
+simulating only a handful of boundary configurations.  See
+``docs/analytic.md``.
+"""
+
+from repro.analytic.model import (
+    best_estimate_at_size,
+    estimate_hit_rate,
+    fa_hit_count,
+    fa_hit_curve,
+    fa_hit_rate,
+)
+from repro.analytic.profile import (
+    PROFILE_BLOCK_SIZES,
+    LocalityProfile,
+    profile_miss_trace,
+)
+from repro.analytic.screen import (
+    ESTIMATOR_SLACK,
+    ensure_profiles,
+    min_matching_l2_size_analytic,
+)
+
+__all__ = [
+    "PROFILE_BLOCK_SIZES",
+    "ESTIMATOR_SLACK",
+    "LocalityProfile",
+    "best_estimate_at_size",
+    "ensure_profiles",
+    "estimate_hit_rate",
+    "fa_hit_count",
+    "fa_hit_curve",
+    "fa_hit_rate",
+    "min_matching_l2_size_analytic",
+    "profile_miss_trace",
+]

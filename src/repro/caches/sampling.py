@@ -18,7 +18,12 @@ import numpy as np
 from repro.caches.cache import CacheConfig, MissTrace
 from repro.caches.secondary import SecondaryResult, simulate_secondary
 
-__all__ = ["SamplingPlan", "sampled_hit_rate", "sampling_error_bound"]
+__all__ = [
+    "SamplingPlan",
+    "sampled_hit_rate",
+    "sampling_error_bound",
+    "sampling_halfwidth",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +59,35 @@ def sampled_hit_rate(
     while sample_every > 1 and config.n_sets // sample_every < 4:
         sample_every //= 2
     return simulate_secondary(miss_trace, config, sample_every=sample_every)
+
+
+def sampling_halfwidth(
+    sampled_demand_accesses: int,
+    hit_rate: float = 0.5,
+    z: float = 3.0,
+) -> float:
+    """A-priori confidence half-width of a set-sampled hit-rate estimate.
+
+    The forward-looking companion of
+    :meth:`~repro.caches.secondary.SecondaryResult.hit_rate_halfwidth`:
+    given how many demand accesses a sampling plan would leave (roughly
+    ``total demand / sample_every``), bound how far the sampled estimate
+    can sit from the full-cache value *before* running any simulation.
+    The analytic screen widens its pruning margin by this amount so
+    sampling noise cannot flip a match decision it skipped simulating.
+
+    Args:
+        sampled_demand_accesses: demand accesses the sampled sets see.
+        hit_rate: anticipated hit rate; the default 0.5 maximises
+            ``p*(1-p)`` and therefore the band (a safe worst case).
+        z: sigma multiplier (3 by default, matching the screen).
+
+    Returns:
+        The half-width, or 1.0 when sampling leaves no accesses.
+    """
+    if sampled_demand_accesses <= 0:
+        return 1.0
+    return z * float(np.sqrt(hit_rate * (1.0 - hit_rate) / sampled_demand_accesses))
 
 
 def sampling_error_bound(

@@ -12,6 +12,7 @@ hit rate; L1 write-backs update the L2 (write-allocate) but do not count.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -58,6 +59,31 @@ class SecondaryResult:
         if not self.demand_accesses:
             return 0.0
         return self.demand_hits / self.demand_accesses
+
+    @property
+    def sampled_fraction(self) -> float:
+        """Fraction of the cache's sets actually simulated."""
+        return self.sampled_sets / self.config.n_sets
+
+    def hit_rate_halfwidth(self, z: float = 3.0) -> float:
+        """Sampling-induced confidence half-width of the hit rate.
+
+        A binomial normal-approximation band: the sampled sets see an
+        unbiased subset of the demand stream, so the estimate's standard
+        error is ``sqrt(p * (1-p) / n)`` over the ``n`` demand accesses
+        that mapped to sampled sets.  ``z`` widens it to the desired
+        confidence (the default 3 sigma is what the analytic screen uses
+        to decide when sampling noise could flip a match decision).
+
+        0.0 when every set was simulated — the measurement is exact; 1.0
+        when sampling left no demand accesses at all (no information).
+        """
+        if self.sampled_sets >= self.config.n_sets:
+            return 0.0
+        if not self.demand_accesses:
+            return 1.0
+        p = self.local_hit_rate
+        return z * math.sqrt(p * (1.0 - p) / self.demand_accesses)
 
 
 def simulate_secondary(

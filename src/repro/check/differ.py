@@ -17,7 +17,11 @@ Three stages:
   diverging outcome) and via the bulk ``run()`` fast path, vs
   :class:`~repro.check.oracle.RefStreamPrefetcher`;
 * :func:`diff_registry_workload` — a real registry workload at small
-  scale through the full L1 + streams pipeline vs both oracles.
+  scale through the full L1 + streams pipeline vs both oracles;
+* :func:`diff_analytic` — the stack-distance profiler's fully-associative
+  LRU hit counts (:mod:`repro.analytic.profile`) vs driving a
+  one-set :class:`~repro.check.oracle.RefCache` with L2 semantics over
+  the same trace — Mattson's theorem, checked bit-for-bit.
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ __all__ = [
     "random_miss_trace",
     "diff_l1",
     "diff_streams",
+    "diff_analytic",
     "diff_registry_workload",
     "check_seed",
     "run_corpus",
@@ -476,6 +481,70 @@ def diff_streams(seed: int, n_events: int = 2000) -> Optional[Divergence]:
     )
 
 
+#: Fully-associative capacities (in blocks) the analytic differ checks.
+#: Small enough that the oracle's O(assoc) scans stay cheap, spread wide
+#: enough to cover empty-, partial- and full-histogram prefixes.
+_ANALYTIC_CAPACITIES = (1, 2, 4, 16, 64, 256)
+
+
+def diff_analytic(seed: int, n_events: int = 2500) -> Optional[Divergence]:
+    """One seeded analytic-vs-oracle check of the locality profiler.
+
+    Profiles a random miss trace at 64B and 128B blocks, then drives a
+    fully-associative (one-set) LRU :class:`~repro.check.oracle.RefCache`
+    over the same trace with L2 semantics — write-backs install but do
+    not count — and demands bit-identical demand/hit counts at every
+    capacity in :data:`_ANALYTIC_CAPACITIES` (Mattson's theorem makes the
+    profile's prefix sums *exact*, so any mismatch is a bug).
+    """
+    from repro.analytic.model import fa_hit_count
+    from repro.analytic.profile import profile_miss_trace
+
+    rng = random.Random(seed * 3266489917 % (1 << 31))
+    miss_trace = random_miss_trace(rng, n_events)
+    profiles = profile_miss_trace(miss_trace, (64, 128))
+
+    addrs = miss_trace.addrs.tolist()
+    kinds = miss_trace.kinds.tolist()
+    for block_size, profile in profiles.items():
+        for capacity_blocks in _ANALYTIC_CAPACITIES:
+            ref = oracle.RefCache(
+                capacity=capacity_blocks * block_size,
+                assoc=capacity_blocks,
+                block_size=block_size,
+                policy="lru",
+                write_back=True,
+                write_allocate=True,
+                seed=0,
+            )
+            sink: List[Tuple[int, int]] = []
+            demand = 0
+            hits = 0
+            for addr, kind in zip(addrs, kinds):
+                if kind == oracle.EV_WRITEBACK:
+                    ref.access(addr, oracle.ACCESS_WRITE, sink)
+                    continue
+                demand += 1
+                is_write = kind == oracle.EV_WRITE_MISS
+                if ref.access(
+                    addr, oracle.ACCESS_WRITE if is_write else oracle.ACCESS_READ, sink
+                ):
+                    hits += 1
+            context = f"block_size={block_size} capacity_blocks={capacity_blocks}"
+            divergence = _compare_counters(
+                "analytic",
+                seed,
+                [
+                    ("demand_accesses", profile.demand_accesses, demand),
+                    ("fa_hit_count", fa_hit_count(profile, capacity_blocks * block_size), hits),
+                ],
+                context,
+            )
+            if divergence is not None:
+                return divergence
+    return None
+
+
 #: Small, structurally diverse slice of the registry for corpus runs.
 DEFAULT_REGISTRY_WORKLOADS = ("cgm", "mgrid", "trfd")
 
@@ -556,6 +625,9 @@ def check_seed(seed: int, n_events: int = 2500) -> List[Divergence]:
     divergence = diff_streams(seed, n_events=n_events)
     if divergence is not None:
         found.append(divergence)
+    divergence = diff_analytic(seed, n_events=n_events)
+    if divergence is not None:
+        found.append(divergence)
     return found
 
 
@@ -573,7 +645,7 @@ def run_corpus(
     for seed in range(seed_start, seed_start + seeds):
         report.divergences.extend(check_seed(seed, n_events=n_events))
         report.seeds_checked += 1
-        report.stages_run += 2
+        report.stages_run += 3
         if progress is not None and (seed - seed_start + 1) % 25 == 0:
             progress(f"  {seed - seed_start + 1}/{seeds} seeds checked")
     if registry:

@@ -114,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("workload")
     profile.add_argument("--scale", type=float, default=1.0)
     profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--locality",
+        action="store_true",
+        help="also print the miss stream's stack-distance locality profile "
+        "(exact FA LRU hit-rate curve; see docs/analytic.md)",
+    )
 
     compare = sub.add_parser(
         "compare", help="compare streams against the related-work prefetch baselines"
@@ -121,6 +127,19 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("workload")
     compare.add_argument("--scale", type=float, default=1.0)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--analytic",
+        action="store_true",
+        help="run the analytically screened streams-vs-L2 search instead "
+        "(Table 4 fast path; see docs/analytic.md)",
+    )
+    compare.add_argument(
+        "--trace-store",
+        default=None,
+        metavar="PATH",
+        help="persistent store for miss traces and locality profiles "
+        "(--analytic only)",
+    )
 
     timing = sub.add_parser(
         "timing", help="price the stream design against a conventional L2 design"
@@ -227,7 +246,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay",
         default=None,
         metavar="STAGE:SEED",
-        help="re-run one diverging stage (l1:SEED or streams:SEED) and exit",
+        help="re-run one diverging stage (l1:SEED, streams:SEED or "
+        "analytic:SEED) and exit",
     )
 
     return parser
@@ -371,10 +391,41 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(f"allocated         : {workload.data_set_bytes / (1 << 20):.2f} MB")
     print(f"unit-stride pairs : {100 * profile.unit_stride_fraction:.1f}%")
     print(f"mean block run    : {profile.mean_block_run:.1f} blocks")
+    if args.locality:
+        _print_locality(workload)
+    return 0
+
+
+def _print_locality(workload) -> int:
+    """The ``repro profile --locality`` section: stack-distance summary."""
+    from repro.analytic import fa_hit_rate, profile_miss_trace
+    from repro.caches.secondary import PAPER_L2_SIZES
+    from repro.sim.compare import format_size
+    from repro.sim.runner import MissTraceCache
+
+    miss_trace, _ = MissTraceCache().get(workload)
+    profiles = profile_miss_trace(miss_trace)
+    print("locality (single-pass stack-distance profile of the L1 miss stream):")
+    for block_size, prof in sorted(profiles.items()):
+        demand = prof.demand_accesses
+        cold = prof.cold_reads + prof.cold_writes
+        cold_pct = 100.0 * cold / demand if demand else 0.0
+        print(
+            f"  {block_size}B blocks      : {demand} demand events, "
+            f"{prof.unique_blocks} unique blocks, {cold_pct:.1f}% cold, "
+            f"{prof.writebacks} writebacks"
+        )
+        curve = "  ".join(
+            f"{format_size(size)}:{100 * fa_hit_rate(prof, size):.1f}%"
+            for size in PAPER_L2_SIZES
+        )
+        print(f"    FA LRU hit rate : {curve}")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.analytic:
+        return _cmd_compare_analytic(args)
     from repro.baselines import (
         OneBlockLookahead,
         PrefetchingCache,
@@ -406,6 +457,47 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=f"Related-work comparison on {args.workload} (scale {args.scale:g})",
         )
     )
+    return 0
+
+
+def _cmd_compare_analytic(args: argparse.Namespace) -> int:
+    """The ``repro compare --analytic`` path: screened Table-4 search."""
+    from repro.analytic import min_matching_l2_size_analytic
+    from repro.caches.secondary import PAPER_L2_ASSOCS, PAPER_L2_BLOCKS
+    from repro.reporting.tables import render_table
+    from repro.sim.compare import format_size
+
+    store = TraceStore(args.trace_store) if args.trace_store else None
+    cache = MissTraceCache(store=store)
+    match = min_matching_l2_size_analytic(
+        args.workload, scale=args.scale, seed=args.seed, cache=cache
+    )
+    probed = {point.size: point for point in match.l2_hit_rates}
+    rows = []
+    for size, estimate in match.analytic_estimates:
+        point = probed.get(size)
+        rows.append(
+            [
+                format_size(size),
+                100.0 * estimate,
+                100.0 * point.hit_rate if point else None,
+                f"{point.assoc}-way/{point.block_size}B" if point else "screened out",
+            ]
+        )
+    print(
+        render_table(
+            ["L2 size", "analytic est %", "simulated %", "best config"],
+            rows,
+            title=(
+                f"Analytic Table-4 screen on {match.workload} "
+                f"(scale {match.scale:g})"
+            ),
+        )
+    )
+    grid = len(match.analytic_estimates) * len(PAPER_L2_ASSOCS) * len(PAPER_L2_BLOCKS)
+    print(f"\nstream hit rate : {match.stream_hit_rate_percent:.1f}%")
+    print(f"min matching L2 : {format_size(match.matched_size)}")
+    print(f"simulated       : {match.configs_simulated}/{grid} candidate configs")
     return 0
 
 
@@ -476,8 +568,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
             divergence = differ.diff_l1(seed, n_events=args.events)
         elif stage == "streams":
             divergence = differ.diff_streams(seed, n_events=args.events)
+        elif stage == "analytic":
+            divergence = differ.diff_analytic(seed, n_events=args.events)
         else:
-            print(f"unknown replay stage {stage!r}; use l1 or streams", file=sys.stderr)
+            print(
+                f"unknown replay stage {stage!r}; use l1, streams or analytic",
+                file=sys.stderr,
+            )
             return 2
         if divergence is None:
             print(f"{stage}:{seed}: no divergence")

@@ -44,6 +44,8 @@ __all__ = [
     "render_figure9",
     "table4",
     "render_table4",
+    "analytic4",
+    "render_analytic4",
 ]
 
 #: The czone size used wherever the paper's non-unit stride filter is on
@@ -432,6 +434,112 @@ def render_table4(rows: List[Table4Row]) -> str:
     )
 
 
+# -- analytic Table 4 screen ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnalyticScreenRow:
+    """One (workload, scale) cell of the analytic-vs-simulated screen.
+
+    Attributes:
+        name / scale: the Table 4 cell.
+        stream_hit_pct: stream hit rate being matched.
+        min_l2_analytic: matched size from the analytic screen.
+        min_l2_simulated: matched size from the pure binary search
+            (``"-"`` when verification was skipped).
+        configs_analytic / configs_simulated: L2 configurations each
+            path simulated (out of ``grid_configs``).
+        grid_configs: size of the full candidate grid.
+        agree: both paths returned the same matched size.
+    """
+
+    name: str
+    scale: float
+    stream_hit_pct: float
+    min_l2_analytic: str
+    min_l2_simulated: str
+    configs_analytic: int
+    configs_simulated: int
+    grid_configs: int
+    agree: bool
+
+
+def analytic4(
+    names: Optional[Sequence[str]] = None,
+    scales: Optional[Dict[str, Tuple[float, float]]] = None,
+    cache: Optional[MissTraceCache] = None,
+    verify: bool = True,
+) -> List[AnalyticScreenRow]:
+    """Table 4 via the analytic screen, cross-checked against simulation.
+
+    Runs :func:`repro.analytic.screen.min_matching_l2_size_analytic` on
+    every Table 4 cell and (by default) the pure-simulation search too,
+    recording whether the matched sizes agree and how many of the
+    candidate configurations each path actually simulated.
+    """
+    from repro.analytic import min_matching_l2_size_analytic
+    from repro.caches.secondary import PAPER_L2_ASSOCS, PAPER_L2_BLOCKS, PAPER_L2_SIZES
+
+    scales = scales if scales is not None else TABLE4_SCALES
+    if names is not None:
+        scales = {k: v for k, v in scales.items() if k in names}
+    cache = cache if cache is not None else default_cache()
+    grid = len(PAPER_L2_SIZES) * len(PAPER_L2_ASSOCS) * len(PAPER_L2_BLOCKS)
+    rows = []
+    for name, pair in scales.items():
+        for scale in pair:
+            analytic = min_matching_l2_size_analytic(name, scale=scale, cache=cache)
+            if verify:
+                simulated = min_matching_l2_size(name, scale=scale, cache=cache)
+                min_l2_simulated = format_size(simulated.matched_size)
+                configs_simulated = simulated.configs_simulated
+                agree = simulated.matched_size == analytic.matched_size
+            else:
+                min_l2_simulated = "-"
+                configs_simulated = 0
+                agree = True
+            rows.append(
+                AnalyticScreenRow(
+                    name=name,
+                    scale=scale,
+                    stream_hit_pct=analytic.stream_hit_rate_percent,
+                    min_l2_analytic=format_size(analytic.matched_size),
+                    min_l2_simulated=min_l2_simulated,
+                    configs_analytic=analytic.configs_simulated,
+                    configs_simulated=configs_simulated,
+                    grid_configs=grid,
+                    agree=agree,
+                )
+            )
+    return rows
+
+
+def render_analytic4(rows: List[AnalyticScreenRow]) -> str:
+    """Render the analytic-screen exhibit with its simulation budget."""
+    table = render_table(
+        ["bench", "scale", "stream hit %", "analytic L2", "simulated L2", "cfgs", "brute cfgs"],
+        [
+            [
+                r.name,
+                r.scale,
+                r.stream_hit_pct,
+                r.min_l2_analytic,
+                r.min_l2_simulated,
+                f"{r.configs_analytic}/{r.grid_configs}",
+                f"{r.configs_simulated}/{r.grid_configs}",
+            ]
+            for r in rows
+        ],
+        title="Analytic Table 4 screen: stack-distance search vs brute force",
+        precision=2,
+    )
+    disagreements = [r for r in rows if not r.agree]
+    if disagreements:
+        cells = ", ".join(f"{r.name}@{r.scale:g}" for r in disagreements)
+        return table + f"\n\nDISAGREEMENTS: {cells}"
+    return table + "\n\nall matched sizes agree with brute-force simulation"
+
+
 # -- exhibit registry -------------------------------------------------------
 
 #: Canonical (driver, renderer) registry of every exhibit, shared by the
@@ -445,6 +553,7 @@ EXHIBITS = {
     "figure8": (figure8, render_figure8),
     "figure9": (figure9, render_figure9),
     "table4": (table4, render_table4),
+    "analytic4": (analytic4, render_analytic4),
 }
 
 #: Exhibits whose drivers fan out through the parallel sweep engine and

@@ -4,12 +4,23 @@ For a workload at a given input scale, find the minimum secondary cache
 capacity whose best-configuration local hit rate (associativity 1-4,
 block 64/128B) matches the stream buffers' hit rate.  Set sampling keeps
 the multi-megabyte configurations affordable, as in the paper.
+
+The search exploits that the best-config hit rate is monotone
+non-decreasing in capacity (more sets of the same geometry can only keep
+more of the working set): instead of simulating every size in ascending
+order, :func:`min_matching_l2_size` binary-searches the size ladder and
+each probed size stops at the first configuration reaching the target.
+``MatchResult.l2_hit_rates`` records the probed sizes only, each with the
+(assoc, block) provenance of its best configuration.
+
+:mod:`repro.analytic.screen` layers a stack-distance fast path on the
+same probe helper, pruning most sizes without any simulation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from repro.caches.sampling import SamplingPlan, sampled_hit_rate
 from repro.caches.secondary import PAPER_L2_SIZES, candidate_configs
@@ -19,9 +30,34 @@ from repro.sim.runner import MissTraceCache, default_cache, resolve_workload_ref
 from repro.core.prefetcher import StreamPrefetcher
 from repro.workloads.base import Workload
 
-__all__ = ["MatchResult", "min_matching_l2_size", "format_size"]
+__all__ = [
+    "SizePoint",
+    "MatchResult",
+    "min_matching_l2_size",
+    "probe_size",
+    "search_min_match",
+    "format_size",
+]
 
 WorkloadRef = Union[str, Workload]
+
+
+class SizePoint(NamedTuple):
+    """Best probed configuration at one candidate L2 size.
+
+    Attributes:
+        size: L2 capacity in bytes.
+        hit_rate: best local hit rate observed at this size (the probe
+            stops at the first configuration reaching the target, so
+            this is the match witness, not necessarily the grid optimum).
+        assoc: associativity of that best configuration.
+        block_size: block size of that best configuration.
+    """
+
+    size: int
+    hit_rate: float
+    assoc: int
+    block_size: int
 
 
 @dataclass(frozen=True)
@@ -34,18 +70,103 @@ class MatchResult:
         stream_stats: the stream run being matched.
         matched_size: smallest L2 capacity reaching the stream hit rate,
             or None if even the largest candidate fell short.
-        l2_hit_rates: best local hit rate at each candidate size.
+        l2_hit_rates: per-size best probe results, ascending by size.
+            Only sizes the search actually simulated appear.
+        configs_simulated: L2 configurations simulated during the search.
+        method: ``"simulated"`` (pure binary search) or ``"analytic"``
+            (stack-distance screen, :mod:`repro.analytic.screen`).
+        analytic_estimates: ``(size, estimate)`` pairs from the analytic
+            screen; empty for the pure-simulation path.
     """
 
     workload: str
     scale: float
     stream_stats: StreamStats
     matched_size: Optional[int]
-    l2_hit_rates: Tuple[Tuple[int, float], ...]
+    l2_hit_rates: Tuple[SizePoint, ...]
+    configs_simulated: int = 0
+    method: str = "simulated"
+    analytic_estimates: Tuple[Tuple[int, float], ...] = field(default=())
 
     @property
     def stream_hit_rate_percent(self) -> float:
         return self.stream_stats.hit_rate_percent
+
+
+def probe_size(
+    miss_trace,
+    size: int,
+    sampling: SamplingPlan,
+    target: float,
+) -> Tuple[SizePoint, int]:
+    """Simulate one candidate size's grid, stopping at the first match.
+
+    Configurations are visited in the fixed :func:`candidate_configs`
+    order (assoc ascending x block ascending) and the probe early-exits
+    at the first hit rate reaching ``target`` — a deterministic witness,
+    so any two searches probing the same size see identical results.
+
+    Returns:
+        ``(best point, configurations simulated)``.
+    """
+    best_rate = 0.0
+    best_config = None
+    simulated = 0
+    for config in candidate_configs(size):
+        simulated += 1
+        rate = sampled_hit_rate(miss_trace, config, sampling).local_hit_rate
+        if best_config is None or rate > best_rate:
+            best_rate, best_config = rate, config
+        if rate >= target:
+            break
+    assert best_config is not None  # candidate_configs never returns an empty grid
+    return (
+        SizePoint(
+            size=size,
+            hit_rate=best_rate,
+            assoc=best_config.assoc,
+            block_size=best_config.block_size,
+        ),
+        simulated,
+    )
+
+
+def search_min_match(
+    n_sizes: int,
+    decide: Callable[[int], bool],
+    guess: Optional[int] = None,
+) -> Optional[int]:
+    """Lower-bound search over a monotone match predicate.
+
+    Args:
+        n_sizes: ladder length; indices ``0 .. n_sizes-1`` ascend in size.
+        decide: ``decide(i)`` — does the size at index ``i`` reach the
+            target?  Must be monotone (False below some boundary, True
+            at and above it) for the result to be the true minimum.
+        guess: optional index to probe first (an analytic screen's
+            predicted boundary).  After each probe the next guess is the
+            adjacent boundary candidate, so a correct prediction resolves
+            in two probes; a wrong one degrades gracefully toward plain
+            binary search.
+
+    Returns:
+        Index of the smallest matching size, or None when nothing
+        matches.
+    """
+    guided = guess is not None
+    left, right = 0, n_sizes
+    while left < right:
+        if guided and guess is not None and left <= guess < right:
+            mid = guess
+        else:
+            mid = (left + right) // 2
+        if decide(mid):
+            right = mid
+            guess = mid - 1
+        else:
+            left = mid + 1
+            guess = mid + 1
+    return left if left < n_sizes else None
 
 
 def min_matching_l2_size(
@@ -61,7 +182,8 @@ def min_matching_l2_size(
 
     The default stream configuration is the paper's Table 4 setup: ten
     streams, a 16-entry unit filter backed by a 16-entry non-unit stride
-    filter.
+    filter.  The size ladder is binary-searched (see the module
+    docstring), so only O(log n) of the candidate sizes are simulated.
     """
     cache = cache if cache is not None else default_cache()
     config = stream_config if stream_config is not None else StreamConfig.non_unit()
@@ -71,25 +193,25 @@ def min_matching_l2_size(
     stream_stats = StreamPrefetcher(config).run(miss_trace)
     target = stream_stats.hit_rate
 
-    rates = []
-    matched: Optional[int] = None
-    for size in sorted(sizes):
-        best = 0.0
-        for l2_config in candidate_configs(size):
-            result = sampled_hit_rate(miss_trace, l2_config, sampling)
-            best = max(best, result.local_hit_rate)
-        rates.append((size, best))
-        if matched is None and best >= target:
-            matched = size
-            # Larger sizes can only do better; stop early but record the
-            # point so the series is monotone up to the match.
-            break
+    sizes_sorted = sorted(sizes)
+    points: List[SizePoint] = []
+    counter = [0]
+
+    def decide(index: int) -> bool:
+        point, simulated = probe_size(miss_trace, sizes_sorted[index], sampling, target)
+        points.append(point)
+        counter[0] += simulated
+        return point.hit_rate >= target
+
+    matched_index = search_min_match(len(sizes_sorted), decide)
     return MatchResult(
         workload=name,
         scale=scale,
         stream_stats=stream_stats,
-        matched_size=matched,
-        l2_hit_rates=tuple(rates),
+        matched_size=None if matched_index is None else sizes_sorted[matched_index],
+        l2_hit_rates=tuple(sorted(points)),
+        configs_simulated=counter[0],
+        method="simulated",
     )
 
 

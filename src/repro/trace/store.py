@@ -17,6 +17,11 @@ this module extends it across processes and sessions:
   :class:`~repro.core.prefetcher.StreamStats` (all-integer counters) is
   cached as JSON under a digest of ``(trace digest, config)``.  Warm
   figure sweeps then skip both the L1 simulation *and* the replay.
+* **profiles/** — the single-pass stack-distance profiles of
+  :mod:`repro.analytic.profile` are a pure function of the miss trace,
+  so they are keyed by the *same* trace digest (one ``.npz`` holding
+  every profiled block size).  Warm analytic Table-4 screens then skip
+  the profiling pass too.
 
 Robustness rules: every load returns ``None`` on any defect — missing
 file, truncated archive, bad JSON, wrong format version — and the caller
@@ -48,6 +53,7 @@ import numpy as np
 # at module scope.  Runtime imports happen inside the functions that need
 # the classes (they are no-ops once the interpreter has warmed up).
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analytic.profile import LocalityProfile
     from repro.caches.cache import CacheConfig, MissTrace
     from repro.core.config import StreamConfig
     from repro.core.prefetcher import StreamStats
@@ -56,6 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "STORE_FORMAT_VERSION",
     "RESULT_FORMAT_VERSION",
+    "PROFILE_FORMAT_VERSION",
     "TraceStore",
     "canonical_scale",
     "trace_digest",
@@ -71,6 +78,11 @@ STORE_FORMAT_VERSION = 2
 
 #: Bump when the stream replay semantics change (stale results must die).
 RESULT_FORMAT_VERSION = 1
+
+#: Bump when the locality-profile layout or the profiling semantics
+#: change (see :mod:`repro.analytic.profile`); stale profiles then load
+#: as misses and are recomputed.
+PROFILE_FORMAT_VERSION = 1
 
 #: Everything a missing/truncated/foreign trace archive can raise.
 #: ``np.load`` surfaces zip-container damage as ``BadZipFile``/``EOFError``
@@ -236,9 +248,10 @@ class TraceStore:
         root: store directory (created on first use).
         hooks: optional callback fired with an event name on every
             lookup/write — ``trace_hit``/``trace_miss``/``trace_saved``/
-            ``result_hit``/``result_miss``/``result_saved``.  The service
-            layer threads its metrics registry through here; hooks must
-            be cheap and must not raise.
+            ``result_hit``/``result_miss``/``result_saved``/
+            ``profile_hit``/``profile_miss``/``profile_saved``.  The
+            service layer threads its metrics registry through here;
+            hooks must be cheap and must not raise.
     """
 
     def __init__(
@@ -250,6 +263,7 @@ class TraceStore:
         self.hooks = hooks
         self._traces_dir = self.root / "traces"
         self._results_dir = self.root / "results"
+        self._profiles_dir = self.root / "profiles"
         self.clean_orphans(ORPHAN_TTL_SECONDS)
 
     def __repr__(self) -> str:
@@ -354,6 +368,83 @@ class TraceStore:
         self._emit("result_hit")
         return stats
 
+    # -- profile layer -----------------------------------------------------
+
+    def profile_path(self, digest: str) -> Path:
+        return self._profiles_dir / f"{digest}.npz"
+
+    def save_profiles(
+        self, digest: str, profiles: "dict[int, LocalityProfile]"
+    ) -> Path:
+        """Persist a trace's locality profiles under its digest (atomic).
+
+        ``profiles`` maps block size -> profile, as produced by
+        :func:`repro.analytic.profile.profile_miss_trace`; every block
+        size shares one archive so a lookup is a single read.
+        """
+        meta = {
+            "profile_version": PROFILE_FORMAT_VERSION,
+            "blocks": {
+                str(block_size): {
+                    "cold_reads": profile.cold_reads,
+                    "cold_writes": profile.cold_writes,
+                    "writebacks": profile.writebacks,
+                    "unique_blocks": profile.unique_blocks,
+                }
+                for block_size, profile in profiles.items()
+            },
+        }
+        arrays = {
+            "meta": np.frombuffer(_canonical(meta).encode(), dtype=np.uint8),
+        }
+        for block_size, profile in profiles.items():
+            arrays[f"read_hist_{block_size}"] = profile.read_hist
+            arrays[f"write_hist_{block_size}"] = profile.write_hist
+        path = self.profile_path(digest)
+
+        def _write(tmp: str) -> None:
+            # Same open-handle trick as save_trace: the temp name ends in
+            # ".tmp" and numpy would append ".npz" to a bare path.
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+
+        self._write_atomic(path, _write)
+        self._emit("profile_saved")
+        return path
+
+    def load_profiles(self, digest: str) -> Optional["dict[int, LocalityProfile]"]:
+        """The stored locality profiles, or None on any defect."""
+        from repro.analytic.profile import LocalityProfile
+
+        path = self.profile_path(digest)
+        try:
+            with np.load(path) as archive:
+                meta = json.loads(bytes(archive["meta"]).decode())
+                if meta["profile_version"] != PROFILE_FORMAT_VERSION:
+                    self._emit("profile_miss")
+                    return None
+                profiles = {}
+                for key, counters in meta["blocks"].items():
+                    block_size = int(key)
+                    profiles[block_size] = LocalityProfile(
+                        block_size=block_size,
+                        read_hist=archive[f"read_hist_{block_size}"].astype(
+                            np.int64, copy=True
+                        ),
+                        write_hist=archive[f"write_hist_{block_size}"].astype(
+                            np.int64, copy=True
+                        ),
+                        cold_reads=int(counters["cold_reads"]),
+                        cold_writes=int(counters["cold_writes"]),
+                        writebacks=int(counters["writebacks"]),
+                        unique_blocks=int(counters["unique_blocks"]),
+                    )
+        except _TRACE_DEFECTS:
+            self._emit("profile_miss")
+            return None
+        self._emit("profile_hit")
+        return profiles
+
     # -- maintenance -------------------------------------------------------
 
     def __len__(self) -> int:
@@ -366,6 +457,11 @@ class TraceStore:
         if not self._results_dir.is_dir():
             return 0
         return sum(1 for _ in self._results_dir.glob("*.json"))
+
+    def n_profiles(self) -> int:
+        if not self._profiles_dir.is_dir():
+            return 0
+        return sum(1 for _ in self._profiles_dir.glob("*.npz"))
 
     def prune(self) -> int:
         """Delete entries whose format version is stale; return the count."""
@@ -391,11 +487,23 @@ class TraceStore:
             if not ok:
                 path.unlink(missing_ok=True)
                 removed += 1
+        for path in (
+            self._profiles_dir.glob("*.npz") if self._profiles_dir.is_dir() else ()
+        ):
+            try:
+                with np.load(path) as archive:
+                    meta = json.loads(bytes(archive["meta"]).decode())
+                    ok = meta["profile_version"] == PROFILE_FORMAT_VERSION
+            except _TRACE_DEFECTS:
+                ok = False
+            if not ok:
+                path.unlink(missing_ok=True)
+                removed += 1
         return removed
 
     def clear(self) -> None:
-        """Delete every stored trace and result."""
-        for directory in (self._traces_dir, self._results_dir):
+        """Delete every stored trace, result and profile."""
+        for directory in (self._traces_dir, self._results_dir, self._profiles_dir):
             if directory.is_dir():
                 for path in directory.iterdir():
                     path.unlink(missing_ok=True)
@@ -415,7 +523,7 @@ class TraceStore:
         """
         removed = 0
         now = time.time()
-        for directory in (self._traces_dir, self._results_dir):
+        for directory in (self._traces_dir, self._results_dir, self._profiles_dir):
             if not directory.is_dir():
                 continue
             for path in directory.glob("*.tmp"):

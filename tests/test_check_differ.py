@@ -48,6 +48,12 @@ class TestCorpus:
     def test_seed_replay_is_deterministic(self):
         assert differ.diff_l1(9, n_events=600) == differ.diff_l1(9, n_events=600)
         assert differ.diff_streams(9, n_events=600) == differ.diff_streams(9, n_events=600)
+        assert differ.diff_analytic(9, n_events=600) == differ.diff_analytic(9, n_events=600)
+
+    def test_analytic_stage_clean_across_seeds(self):
+        for seed in range(6):
+            divergence = differ.diff_analytic(seed, n_events=800)
+            assert divergence is None, str(divergence)
 
     def test_registry_workload_clean(self):
         assert differ.diff_registry_workload("cgm", scale=0.03) is None
@@ -83,6 +89,24 @@ class TestDetectionPower:
         assert divergence.stage == "l1"
         assert divergence.seed == 0
         assert "replay" in str(divergence)
+
+    def test_detects_profiler_mutation(self, monkeypatch):
+        # A profiler that ignores write-back recency updates is exactly
+        # the kind of semantic drift the analytic stage must catch.
+        import repro.analytic.model as model
+
+        real = model.fa_hit_count
+
+        def broken(profile, capacity_bytes):
+            count = real(profile, capacity_bytes)
+            return count + 1 if count else count  # off-by-one on any hits
+
+        monkeypatch.setattr(model, "fa_hit_count", broken)
+        divergence = differ.diff_analytic(0, n_events=1200)
+        assert divergence is not None
+        assert divergence.stage == "analytic"
+        assert "fa_hit_count" in divergence.what
+        assert "repro check --replay analytic:0" in str(divergence)
 
 
 class TestDivergenceRendering:

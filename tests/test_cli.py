@@ -89,6 +89,38 @@ class TestCommands:
         assert "OBL" in out
         assert "streams" in out
 
+    def test_profile_locality(self, capsys):
+        assert main(["profile", "sweep", "--scale", "0.25", "--locality"]) == 0
+        out = capsys.readouterr().out
+        assert "stack-distance" in out
+        assert "FA LRU" in out
+        assert "64 KB" in out
+
+    def test_compare_analytic(self, capsys):
+        # A pure sweep is screened out entirely: every ladder entry is a
+        # certain miss, so the search simulates nothing.
+        assert main(["compare", "sweep", "--scale", "0.25", "--analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic est %" in out
+        assert "screened out" in out
+        assert "min matching L2 : >4 MB" in out
+        assert "simulated       : 0/42" in out
+
+    def test_compare_analytic_trace_store(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        args = ["compare", "sweep", "--scale", "0.25", "--analytic",
+                "--trace-store", store_dir]
+        assert main(args) == 0
+        capsys.readouterr()
+        from repro.trace.store import TraceStore
+
+        assert TraceStore(store_dir).n_profiles() == 1
+        assert main(args) == 0  # second run loads trace + profiles
+
+    def test_check_replay_analytic(self, capsys):
+        assert main(["check", "--replay", "analytic:3"]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
     def test_timing(self, capsys):
         assert main(["timing", "sweep", "--scale", "0.25", "--bandwidth", "2"]) == 0
         out = capsys.readouterr().out

@@ -85,12 +85,25 @@ class TestMinMatchingL2:
         assert result.matched_size is None
         # The 128B-block L2 configs reach 50% from spatial locality (the
         # L1 misses both halves); no config approaches the stream rate.
-        assert all(rate <= 0.55 for _, rate in result.l2_hit_rates)
+        assert all(point.hit_rate <= 0.55 for point in result.l2_hit_rates)
 
     def test_l2_rates_recorded_per_size(self, cache):
         result = min_matching_l2_size("random", cache=cache)
-        sizes = [size for size, _ in result.l2_hit_rates]
+        sizes = [point.size for point in result.l2_hit_rates]
         assert sizes == sorted(sizes)
+
+    def test_points_carry_config_provenance(self, cache):
+        from repro.caches.secondary import PAPER_L2_ASSOCS, PAPER_L2_BLOCKS
+
+        result = min_matching_l2_size("random", cache=cache)
+        for point in result.l2_hit_rates:
+            assert point.assoc in PAPER_L2_ASSOCS
+            assert point.block_size in PAPER_L2_BLOCKS
+
+    def test_binary_search_counts_configs(self, cache):
+        result = min_matching_l2_size("random", cache=cache)
+        assert result.method == "simulated"
+        assert result.configs_simulated >= len(result.l2_hit_rates)
 
 
 class TestFormatSize:

@@ -151,6 +151,66 @@ class TestResultRoundTrip:
         assert store.n_results() == 0
 
 
+class TestProfileRoundTrip:
+    def make_profiles(self):
+        from repro.analytic import profile_miss_trace
+
+        return profile_miss_trace(make_miss_trace(n=256))
+
+    def test_exact_round_trip(self, tmp_path):
+        store = TraceStore(tmp_path)
+        profiles = self.make_profiles()
+        store.save_profiles("abc", profiles)
+        loaded = store.load_profiles("abc")
+        assert loaded is not None
+        assert set(loaded) == set(profiles)
+        for bs, profile in profiles.items():
+            got = loaded[bs]
+            assert np.array_equal(got.read_hist, profile.read_hist)
+            assert np.array_equal(got.write_hist, profile.write_hist)
+            assert got.cold_reads == profile.cold_reads
+            assert got.cold_writes == profile.cold_writes
+            assert got.writebacks == profile.writebacks
+            assert got.unique_blocks == profile.unique_blocks
+        assert store.n_profiles() == 1
+
+    def test_missing_entry_is_none(self, tmp_path):
+        assert TraceStore(tmp_path).load_profiles("nonesuch") is None
+
+    def test_corrupted_file_is_none(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save_profiles("abc", self.make_profiles())
+        store.profile_path("abc").write_text("not an npz archive")
+        assert store.load_profiles("abc") is None
+
+    def test_stale_version_is_none_and_pruned(self, tmp_path, monkeypatch):
+        store = TraceStore(tmp_path)
+        store.save_profiles("abc", self.make_profiles())
+        monkeypatch.setattr("repro.trace.store.PROFILE_FORMAT_VERSION", 99)
+        assert store.load_profiles("abc") is None
+        assert store.prune() == 1
+        assert store.n_profiles() == 0
+
+    def test_clear_covers_profiles(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save_profiles("abc", self.make_profiles())
+        store.clear()
+        assert store.n_profiles() == 0
+
+    def test_hook_events(self, tmp_path):
+        events = []
+        store = TraceStore(tmp_path, hooks=events.append)
+        assert store.load_profiles("abc") is None
+        store.save_profiles("abc", self.make_profiles())
+        assert store.load_profiles("abc") is not None
+        assert events == ["profile_miss", "profile_saved", "profile_hit"]
+
+    def test_no_temp_debris(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save_profiles("abc", self.make_profiles())
+        assert not list((tmp_path / "profiles").glob("*.tmp"))
+
+
 class TestStoreBackedCache:
     def test_second_process_equivalent_cache_hits_store(self, tmp_path):
         store = TraceStore(tmp_path)
