@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-quick profile-bench check-diff check-diff-long exhibits examples serve smoke-service clean
+.PHONY: install test bench bench-quick obs-smoke obs-bench profile-bench check-diff check-diff-long exhibits examples serve smoke-service clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,6 +16,17 @@ bench:
 # the timings in BENCH_PR1.json for cross-PR perf tracking.
 bench-quick:
 	PYTHONPATH=src python benchmarks/bench_quick.py
+
+# Telemetry gate (docs/observability.md): a traced quick sweep must
+# produce a schema-valid Perfetto trace with one `cell` span per
+# executed cell and a manifest whose outcome counts sum to the grid.
+obs-smoke:
+	PYTHONPATH=src python -m repro.obs.smoke
+
+# Telemetry overhead probe alone (also runs as part of bench-quick):
+# traced vs untraced warm sweeps, <=5% overhead, BENCH_PR5.json.
+obs-bench:
+	PYTHONPATH=src python benchmarks/bench_obs.py
 
 # Analytic Table-4 screen gate: the stack-distance search must agree
 # with brute force on every cell while simulating <=25% of the config

@@ -1,0 +1,150 @@
+"""Telemetry overhead probe: traced vs untraced replication sweeps.
+
+The obs subsystem's core promise is that it can stay compiled into
+every layer because it is nearly free: counter bumps always-on, spans
+only when tracing is enabled.  This probe prices both states on real
+sweep work — every cell's stream replay actually runs, against an
+in-memory miss-trace cache, so the measured ratio is what a figure
+replication would pay —
+
+* **disabled** (the default): tracer off, no manifest; the only
+  telemetry cost is engine-registry counter bumps;
+* **enabled**: tracer on plus the full artifact path (ManifestBuilder
+  construction, per-cell records, manifest build from the drained
+  spans).
+
+Each state is timed ``REPEATS`` times, interleaved to spread thermal /
+cache drift across both, and the minima are compared.  The gate:
+enabled within ``MAX_OVERHEAD`` (5%) of disabled.  Results land in
+``BENCH_PR5.json``.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_obs.py``) or
+as the final phase of ``make bench-quick``, hydrating its in-memory
+cache from the already-warm store.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.manifest import ManifestBuilder
+from repro.obs.spans import set_tracing
+from repro.sim.parallel import TaskError, run_grid
+from repro.sim.runner import MissTraceCache
+from repro.trace.store import TraceStore
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+MAX_OVERHEAD = 0.05
+REPEATS = 3
+
+
+def replay_cache(tasks, store: TraceStore) -> MissTraceCache:
+    """An in-memory cache holding every task's miss trace, store detached.
+
+    Hydrating from the warm store is cheap; detaching it afterwards
+    makes each probe pass replay every cell for real instead of
+    loading memoised results — replay work is what the overhead ratio
+    must be measured against.
+    """
+    cache = MissTraceCache(store=store)
+    for task in tasks:
+        cache.get(task.workload, scale=task.scale, seed=task.seed)
+    cache.store = None
+    return cache
+
+
+def _one_pass(tasks, cache: MissTraceCache, enabled: bool) -> float:
+    tracer = set_tracing(enabled)
+    tracer.clear()
+    builder = ManifestBuilder("bench_obs") if enabled else None
+    started = time.perf_counter()
+    results = run_grid(tasks, jobs=1, cache=cache)
+    if builder is not None:
+        builder.add_results(tasks, results)
+        builder.build(span_events=tracer.events())
+    elapsed = time.perf_counter() - started
+    tracer.enabled = False
+    tracer.clear()
+    errors = [r for r in results if isinstance(r, TaskError)]
+    if errors:
+        raise SystemExit(f"bench_obs: {len(errors)} cells failed: {errors[0]}")
+    return elapsed
+
+
+def overhead_probe(tasks, store: TraceStore, repeats: int = REPEATS) -> dict:
+    """Time traced vs untraced replay sweeps and write ``BENCH_PR5.json``."""
+    cache = replay_cache(tasks, store)
+    _one_pass(tasks, cache, enabled=False)  # warm the replay path once
+    disabled: list = []
+    enabled: list = []
+    for _ in range(repeats):
+        disabled.append(_one_pass(tasks, cache, enabled=False))
+        enabled.append(_one_pass(tasks, cache, enabled=True))
+    best_disabled, best_enabled = min(disabled), min(enabled)
+    overhead = best_enabled / best_disabled - 1.0
+    ok = overhead <= MAX_OVERHEAD
+    print(
+        f"{'telemetry disabled':24s} {best_disabled:7.3f}s  "
+        f"({len(tasks) / best_disabled:6.1f} cells/s, min of {repeats})"
+    )
+    print(
+        f"{'telemetry enabled':24s} {best_enabled:7.3f}s  "
+        f"({len(tasks) / best_enabled:6.1f} cells/s, min of {repeats})"
+    )
+    print(
+        f"telemetry overhead: {100 * overhead:+.1f}% "
+        f"(gate <= {100 * MAX_OVERHEAD:.0f}%)  ->  {'PASS' if ok else 'FAIL'}"
+    )
+
+    payload = {
+        "pr": 5,
+        "benchmark": "bench_obs: traced vs untraced warm sweep (repro.obs)",
+        "grid": {"cells": len(tasks), "jobs": 1, "repeats": repeats},
+        "seconds": {
+            "disabled_min": round(best_disabled, 4),
+            "enabled_min": round(best_enabled, 4),
+            "disabled_all": [round(s, 4) for s in disabled],
+            "enabled_all": [round(s, 4) for s in enabled],
+        },
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead_fraction": MAX_OVERHEAD,
+        "pass": ok,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    return payload
+
+
+def main() -> int:
+    from bench_quick import build_tasks  # same replication grid as PR 1's gate
+
+    tasks = build_tasks()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as store_dir:
+        store = TraceStore(store_dir)
+        print(f"grid: {len(tasks)} cells; populating store ...")
+        run_grid(tasks, jobs=4, store=store)
+        payload = overhead_probe(tasks, store)
+    if not payload["pass"]:
+        print(
+            f"FAIL: telemetry overhead {100 * payload['overhead_fraction']:.1f}% "
+            f"> {100 * MAX_OVERHEAD:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

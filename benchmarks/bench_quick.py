@@ -22,6 +22,10 @@ plus the coalescing/caching counters to ``BENCH_PR2.json``.  The gate:
 every request answers 200 and the grid executes at most once — the
 queue → coalesce → batch path must collapse the other 99 requests.
 
+A fifth phase prices the **telemetry subsystem** (``repro.obs``) on
+the same warm store: traced vs untraced sweeps, gated at 5% overhead,
+recorded in ``BENCH_PR5.json`` (see ``bench_obs.py``).
+
 Run via ``make bench-quick`` (or ``PYTHONPATH=src python
 benchmarks/bench_quick.py``).
 """
@@ -148,6 +152,10 @@ def main() -> int:
             f"{probe['counters']['cells_executed_total']} cells executed)"
         )
 
+        import bench_obs
+
+        obs_payload = bench_obs.overhead_probe(build_tasks(), store)
+
     identical = serial_stats == warm_stats
     speedup = serial_s / parallel_warm_s
     print(f"\nwarm-vs-cold speedup: {speedup:.1f}x   bit-identical: {identical}")
@@ -202,6 +210,14 @@ def main() -> int:
         print(
             f"FAIL: service executed {executed} cells for a "
             f"{probe['unique_cells']}-cell grid (coalescing broken)",
+            file=sys.stderr,
+        )
+        return 1
+    if not obs_payload["pass"]:
+        print(
+            f"FAIL: telemetry overhead "
+            f"{100 * obs_payload['overhead_fraction']:.1f}% > "
+            f"{100 * obs_payload['max_overhead_fraction']:.0f}%",
             file=sys.stderr,
         )
         return 1

@@ -28,6 +28,7 @@ the returned ``matched_size`` agrees with the brute-force search.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analytic.model import best_estimate_at_size, fa_hit_rate
@@ -41,6 +42,8 @@ from repro.caches.sampling import SamplingPlan, sampling_halfwidth
 from repro.caches.secondary import PAPER_L2_SIZES
 from repro.core.config import StreamConfig
 from repro.core.prefetcher import StreamPrefetcher
+from repro.obs.metrics import engine_registry
+from repro.obs.spans import get_tracer
 from repro.sim.compare import (
     MatchResult,
     SizePoint,
@@ -76,7 +79,8 @@ def ensure_profiles(
         stored = store.load_profiles(digest)
         if stored is not None and all(bs in stored for bs in block_sizes):
             return stored
-    profiles = profile_miss_trace(miss_trace, block_sizes)
+    with get_tracer().span("analytic.profile", blocks=len(tuple(block_sizes))):
+        profiles = profile_miss_trace(miss_trace, block_sizes)
     if store is not None and digest is not None:
         store.save_profiles(digest, profiles)
     return profiles
@@ -134,13 +138,27 @@ def min_matching_l2_size_analytic(
 
     points: List[SizePoint] = []
     counter = [0]
+    pruned = [0]
+    probe_clock = [0.0]
+    registry = engine_registry()
 
     def decide(index: int) -> bool:
         if bounds[index] + margin < target:
+            pruned[0] += 1
+            registry.counter(
+                "engine_analytic_pruned_total",
+                "ladder sizes rejected analytically without simulation",
+            ).inc()
             return False  # certain miss: no configuration can reach the target
+        started = time.perf_counter()
         point, simulated = probe_size(
             miss_trace, sizes_sorted[index], sampling, target
         )
+        probe_clock[0] += time.perf_counter() - started
+        registry.counter(
+            "engine_analytic_probed_total",
+            "ladder sizes the analytic screen had to simulate",
+        ).inc()
         points.append(point)
         counter[0] += simulated
         return point.hit_rate >= target
@@ -158,4 +176,6 @@ def min_matching_l2_size_analytic(
         configs_simulated=counter[0],
         method="analytic",
         analytic_estimates=tuple(zip(sizes_sorted, estimates)),
+        sizes_pruned=pruned[0],
+        probe_seconds=probe_clock[0],
     )

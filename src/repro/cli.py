@@ -11,12 +11,15 @@ Subcommands::
     repro timing WORKLOAD          # price the stream vs L2 designs
     repro serve [options]          # always-on simulation service (HTTP)
     repro check [options]          # differential check vs golden oracles
+    repro obs summarize MANIFEST   # digest a run manifest (slow cells, phases)
 
 Every exhibit prints measured values beside the paper's published ones.
 ``sweep`` and ``exhibit`` accept ``--jobs N`` (process-pool fan-out) and
 ``--trace-store PATH`` (persistent miss-trace/result store, so repeated
 invocations never recompute an L1 simulation — see docs/api.md,
-"Scaling sweeps").
+"Scaling sweeps").  ``sweep``, ``exhibit`` and ``compare`` additionally
+accept ``--trace-out FILE`` (Perfetto-loadable span trace) and
+``--manifest DIR`` (JSON run manifest) — see docs/observability.md.
 """
 
 from __future__ import annotations
@@ -99,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="unit-stride filter entries for the base config (0 = no filter)",
     )
     _add_engine_flags(sweep)
+    _add_obs_flags(sweep)
 
     exhibit = sub.add_parser("exhibit", help="regenerate a paper table/figure")
     exhibit.add_argument("name", choices=sorted(_EXHIBITS), help="exhibit to run")
@@ -109,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to these benchmarks (default: the paper's set)",
     )
     _add_engine_flags(exhibit)
+    _add_obs_flags(exhibit)
 
     profile = sub.add_parser("profile", help="show trace statistics of a workload model")
     profile.add_argument("workload")
@@ -140,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent store for miss traces and locality profiles "
         "(--analytic only)",
     )
+    _add_obs_flags(compare)
 
     timing = sub.add_parser(
         "timing", help="price the stream design against a conventional L2 design"
@@ -250,6 +256,21 @@ def build_parser() -> argparse.ArgumentParser:
         "analytic:SEED) and exit",
     )
 
+    obs = sub.add_parser(
+        "obs", help="inspect telemetry artifacts (see docs/observability.md)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize",
+        help="digest a run manifest: outcomes, slowest cells, phase times",
+    )
+    summarize.add_argument(
+        "manifest", help="path to a manifest JSON written by --manifest DIR"
+    )
+    summarize.add_argument(
+        "--top", type=int, default=10, metavar="N", help="slowest cells to show"
+    )
+
     return parser
 
 
@@ -268,6 +289,75 @@ def _add_engine_flags(command: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="persistent miss-trace/result store directory (reused across runs)",
     )
+
+
+def _add_obs_flags(command: argparse.ArgumentParser) -> None:
+    """The telemetry knobs shared by ``sweep``, ``exhibit`` and ``compare``."""
+    command.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event JSON of this run's spans "
+        "(load in Perfetto / chrome://tracing)",
+    )
+    command.add_argument(
+        "--manifest",
+        default=None,
+        metavar="DIR",
+        help="write a JSON run manifest (git SHA, per-cell outcomes, "
+        "store IO, phase times) into DIR",
+    )
+
+
+class _ObsSession:
+    """Per-invocation telemetry capture behind --trace-out/--manifest.
+
+    Construction enables the process tracer (clearing any stale events)
+    and snapshots the engine registry through a
+    :class:`~repro.obs.manifest.ManifestBuilder`; :meth:`finish` drains
+    the spans, restores the tracer, and writes whichever artifacts were
+    requested.  With neither flag set, every method is a no-op and the
+    tracer stays disabled (the zero-overhead default).
+    """
+
+    def __init__(self, args: argparse.Namespace, command: str):
+        self.trace_out = getattr(args, "trace_out", None)
+        self.manifest_dir = getattr(args, "manifest", None)
+        self.active = bool(self.trace_out or self.manifest_dir)
+        self.builder = None
+        self._was_enabled = False
+        if not self.active:
+            return
+        from repro.obs import ManifestBuilder, get_tracer
+
+        tracer = get_tracer()
+        self._was_enabled = tracer.enabled
+        tracer.enabled = True
+        tracer.clear()
+        self.builder = ManifestBuilder(command, argv=sys.argv[1:])
+
+    def add_results(self, tasks, results) -> None:
+        if self.builder is not None:
+            self.builder.add_results(tasks, results)
+
+    def set_meta(self, **entries) -> None:
+        if self.builder is not None:
+            self.builder.set_meta(**entries)
+
+    def finish(self) -> None:
+        if not self.active:
+            return
+        from repro.obs import get_tracer, write_chrome_trace
+
+        tracer = get_tracer()
+        events = tracer.drain()
+        tracer.enabled = self._was_enabled
+        if self.trace_out:
+            write_chrome_trace(self.trace_out, events)
+            print(f"trace written   : {self.trace_out} ({len(events)} events)")
+        if self.manifest_dir:
+            path = self.builder.write(self.manifest_dir, span_events=events)
+            print(f"manifest written: {path}")
 
 
 def _cmd_list() -> int:
@@ -326,9 +416,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for name in args.workloads
         for n in values
     ]
+    obs = _ObsSession(args, "sweep")
     started = time.perf_counter()
     results = run_grid(tasks, jobs=args.jobs, store=store)
     elapsed = time.perf_counter() - started
+    obs.add_results(tasks, results)
 
     by_key = {task.key: result for task, result in zip(tasks, results)}
     errors = [r for r in results if isinstance(r, TaskError)]
@@ -354,6 +446,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({len(tasks) / elapsed:.1f} cells/s)"
         + (f"; store: {args.trace_store}" if store else "")
     )
+    obs.finish()
     for error in errors:
         print(f"FAILED {error.key!r}: {error.error}", file=sys.stderr)
     return 1 if errors else 0
@@ -367,6 +460,8 @@ def _cmd_exhibit(args: argparse.Namespace) -> int:
     if args.name in experiments.SWEEP_EXHIBITS:
         # The sweep-based exhibits fan out through the parallel engine.
         kwargs.update(jobs=args.jobs, store=store)
+    obs = _ObsSession(args, "exhibit")
+    obs.set_meta(exhibit=args.name)
     if args.benchmarks:
         if args.name == "table4":
             from repro.workloads import TABLE4_SCALES
@@ -378,6 +473,7 @@ def _cmd_exhibit(args: argparse.Namespace) -> int:
     else:
         data = driver(**kwargs)
     print(renderer(data))
+    obs.finish()
     return 0
 
 
@@ -435,6 +531,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.reporting.tables import render_table
     from repro.sim.runner import MissTraceCache
 
+    obs = _ObsSession(args, "compare")
+    obs.set_meta(workload=args.workload, scale=args.scale)
     cache = MissTraceCache(keep_pcs=True)
     miss_trace, _ = cache.get(args.workload, scale=args.scale, seed=args.seed)
     rows = []
@@ -457,6 +555,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=f"Related-work comparison on {args.workload} (scale {args.scale:g})",
         )
     )
+    obs.finish()
     return 0
 
 
@@ -469,8 +568,16 @@ def _cmd_compare_analytic(args: argparse.Namespace) -> int:
 
     store = TraceStore(args.trace_store) if args.trace_store else None
     cache = MissTraceCache(store=store)
+    obs = _ObsSession(args, "compare")
     match = min_matching_l2_size_analytic(
         args.workload, scale=args.scale, seed=args.seed, cache=cache
+    )
+    obs.set_meta(
+        workload=match.workload,
+        scale=match.scale,
+        matched_size=match.matched_size,
+        configs_simulated=match.configs_simulated,
+        sizes_pruned=match.sizes_pruned,
     )
     probed = {point.size: point for point in match.l2_hit_rates}
     rows = []
@@ -498,6 +605,11 @@ def _cmd_compare_analytic(args: argparse.Namespace) -> int:
     print(f"\nstream hit rate : {match.stream_hit_rate_percent:.1f}%")
     print(f"min matching L2 : {format_size(match.matched_size)}")
     print(f"simulated       : {match.configs_simulated}/{grid} candidate configs")
+    print(
+        f"screened out    : {match.sizes_pruned} ladder sizes "
+        f"({match.probe_seconds:.2f}s probing)"
+    )
+    obs.finish()
     return 0
 
 
@@ -601,6 +713,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import load_manifest, summarize
+
+    if args.obs_command == "summarize":
+        try:
+            manifest = load_manifest(args.manifest)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read manifest {args.manifest!r}: {exc}", file=sys.stderr)
+            return 2
+        print(summarize(manifest, top=args.top))
+        return 0
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -622,6 +748,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,82 @@
+"""``repro.obs`` — the unified telemetry subsystem.
+
+Dependency-free observability for the whole simulation engine, in four
+pieces (each its own module, each importable alone):
+
+* :mod:`repro.obs.metrics` — shared Counter/Gauge/Histogram registry
+  with a mergeable snapshot format; the process-global
+  :func:`~repro.obs.metrics.engine_registry` is where engine layers
+  record, and the service merges it into ``GET /metrics``.
+* :mod:`repro.obs.spans` — low-overhead span tracing (context manager +
+  decorator, no-op fast path when disabled) exporting Chrome
+  trace-event JSON that loads in Perfetto.
+* :mod:`repro.obs.events` — typed :class:`~repro.obs.events.StoreEvent`
+  hook payloads (name, digest, bytes, duration), ``str``-compatible
+  with PR 2's name-only hooks.
+* :mod:`repro.obs.manifest` — per-invocation run manifests (git SHA,
+  cell outcomes with wall time and worker id, store I/O, phase times)
+  and the ``repro obs summarize`` rendering.
+
+Cross-process collection is wired in :mod:`repro.sim.parallel`: sweep
+workers drain their local registry and tracer with every completed
+chunk and the parent merges, so one ``run_grid`` yields one registry
+and one timeline covering the whole fleet.  See docs/observability.md.
+"""
+
+from repro.obs.events import StoreEvent, as_legacy_hook, record_event
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    ManifestBuilder,
+    git_sha,
+    load_manifest,
+    phase_times,
+    summarize,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    engine_registry,
+    merge_snapshots,
+    render_snapshot_text,
+    strip_samples,
+)
+from repro.obs.spans import (
+    Tracer,
+    chrome_trace,
+    get_tracer,
+    set_tracing,
+    traced,
+    validate_chrome_events,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "engine_registry",
+    "merge_snapshots",
+    "diff_snapshots",
+    "strip_samples",
+    "render_snapshot_text",
+    "Tracer",
+    "get_tracer",
+    "set_tracing",
+    "traced",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_events",
+    "StoreEvent",
+    "as_legacy_hook",
+    "record_event",
+    "MANIFEST_VERSION",
+    "ManifestBuilder",
+    "git_sha",
+    "load_manifest",
+    "phase_times",
+    "summarize",
+]

@@ -1,0 +1,95 @@
+"""Typed hook events for the trace store and miss-trace cache.
+
+PR 2 wired :class:`~repro.trace.store.TraceStore` and
+:class:`~repro.sim.runner.MissTraceCache` hooks as bare
+``Callable[[str], None]`` callbacks fired with an event *name*
+(``"trace_hit"``, ``"result_saved"`` …).  Observability wants more than
+a name: which digest, how many bytes moved, how long the operation
+took.  :class:`StoreEvent` carries that payload.
+
+Compatibility is by construction rather than by adapter shims at every
+call site: ``StoreEvent`` subclasses :class:`str`, equal and hashable
+as its event name, so every pre-existing ``Callable[[str], None]`` hook
+(the service's counter dispatch included) keeps working unmodified —
+it simply receives a string that *also* has ``.digest``/``.nbytes``/
+``.duration_s``.  Hooks that insist on a plain ``str`` can be wrapped
+with :func:`as_legacy_hook`.
+
+:func:`record_event` is the standard sink: it folds an event into the
+process-global engine registry (``engine_<group>_<name>_total``
+counters, byte counters split by read/write direction, and an
+``engine_<group>_op_ms`` latency histogram), so store and runner
+traffic is measured even when no explicit hooks are installed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.metrics import engine_registry
+
+__all__ = ["StoreEvent", "as_legacy_hook", "record_event"]
+
+
+class StoreEvent(str):
+    """An event name plus its payload; ``str``-compatible by design.
+
+    Attributes:
+        digest: content digest of the entry touched (None for events
+            that have no single entry).
+        nbytes: bytes read or written by the operation (0 if nothing
+            moved — e.g. a miss).
+        duration_s: operation wall time in seconds (0.0 when the
+            emitter did not time it).
+    """
+
+    __slots__ = ("digest", "nbytes", "duration_s")
+
+    def __new__(
+        cls,
+        name: str,
+        digest: Optional[str] = None,
+        nbytes: int = 0,
+        duration_s: float = 0.0,
+    ) -> "StoreEvent":
+        self = super().__new__(cls, name)
+        self.digest = digest
+        self.nbytes = nbytes
+        self.duration_s = duration_s
+        return self
+
+    @property
+    def event_name(self) -> str:
+        """The bare event name (what legacy hooks key on)."""
+        return str(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreEvent({str(self)!r}, digest={self.digest!r}, "
+            f"nbytes={self.nbytes}, duration_s={self.duration_s:g})"
+        )
+
+
+def as_legacy_hook(hook: Callable[[str], None]) -> Callable[[StoreEvent], None]:
+    """Adapt an old name-only hook to the typed-event protocol.
+
+    Rarely needed — :class:`StoreEvent` already *is* a ``str`` — but it
+    guarantees the callee sees a plain built-in string, for hooks that
+    type-check or pickle their argument.
+    """
+
+    def adapted(event: StoreEvent) -> None:
+        hook(str(event))
+
+    return adapted
+
+
+def record_event(event: StoreEvent, group: str = "store") -> None:
+    """Fold one typed event into the process-global engine registry."""
+    registry = engine_registry()
+    registry.counter(f"engine_{group}_{event}_total").inc()
+    if event.nbytes:
+        direction = "written" if event.endswith("_saved") else "read"
+        registry.counter(f"engine_{group}_{direction}_bytes_total").inc(event.nbytes)
+    if event.duration_s:
+        registry.histogram(f"engine_{group}_op_ms").observe(1e3 * event.duration_s)

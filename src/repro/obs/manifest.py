@@ -1,0 +1,296 @@
+"""Run manifests: one JSON record of what an invocation actually did.
+
+A manifest makes a performance claim reproducible without rerunning it:
+it records the code identity (git SHA), the grid that was asked for,
+what each cell cost (wall time, worker id, whether the store or the
+analytic screen short-circuited it), the engine counters the run moved
+(store hits/misses, bytes read/written, cells pruned vs simulated) and
+a phase-time breakdown aggregated from the span tracer.  ``repro sweep
+--manifest DIR`` drops one per invocation into ``DIR``; ``repro obs
+summarize FILE`` renders the top-k slowest cells and the phase
+breakdown back out.
+
+Schema (``manifest_version`` 1) — see docs/observability.md for the
+field-by-field description:
+
+.. code-block:: json
+
+    {"manifest_version": 1, "command": "sweep", "argv": [...],
+     "git_sha": "...", "python": "3.11.x",
+     "started_at_unix": 0.0, "wall_time_s": 0.0,
+     "grid": {"cells": 0},
+     "outcomes": {"store_hits": 0, "store_misses": 0,
+                  "analytic_pruned": 0, "errors": 0, "by_source": {}},
+     "cells": [{"key": [], "workload": "", "ok": true, "error": "",
+                "wall_time_s": 0.0, "worker": 0, "source": ""}],
+     "store_io": {"read_bytes": 0, "written_bytes": 0},
+     "phase_times": {"cell": {"count": 0, "total_ms": 0.0, "max_ms": 0.0}},
+     "metrics_delta": {"counters": {}, "gauges": {}, "histograms": {}},
+     "meta": {}}
+
+Cell ``source`` vocabulary: ``"store"`` (replay result loaded from the
+persistent store), ``"replayed"`` (actually simulated),
+``"analytic_pruned"`` (screened out without simulation),
+``"skipped"`` (never visited — e.g. a binary search converged before
+probing it) and ``"error"``.  ``store_hits + store_misses +
+analytic_pruned + skipped`` always equals the grid size; for a plain
+sweep (every cell executes) the first three alone cover it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.obs.metrics import diff_snapshots, engine_registry
+from repro.obs.spans import get_tracer
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "git_sha",
+    "phase_times",
+    "ManifestBuilder",
+    "load_manifest",
+    "summarize",
+]
+
+MANIFEST_VERSION = 1
+
+_RUN_SEQ = itertools.count()
+
+
+def git_sha(cwd: Optional[Union[str, os.PathLike]] = None) -> Optional[str]:
+    """The current commit SHA, or None when not in a usable git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def phase_times(events: Iterable[dict]) -> Dict[str, dict]:
+    """Aggregate span events into per-phase count/total/max milliseconds."""
+    phases: Dict[str, dict] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        entry = phases.setdefault(
+            event["name"], {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+        )
+        duration_ms = event.get("dur", 0) / 1000.0
+        entry["count"] += 1
+        entry["total_ms"] = round(entry["total_ms"] + duration_ms, 3)
+        entry["max_ms"] = round(max(entry["max_ms"], duration_ms), 3)
+    return phases
+
+
+def _json_key(key):
+    """Task keys rendered JSON-safe, matching the sweep engine's payloads."""
+    if isinstance(key, tuple):
+        return [_json_key(part) for part in key]
+    if isinstance(key, (str, int, float, bool)) or key is None:
+        return key
+    return repr(key)
+
+
+class ManifestBuilder:
+    """Accumulates one invocation's record; construct *before* running.
+
+    The constructor snapshots the engine registry and wall clock, so
+    everything recorded between construction and :meth:`build` is
+    attributed to this run.  Cells are added from sweep results
+    (:meth:`add_results`) or one at a time (:meth:`add_cell`).
+    """
+
+    def __init__(
+        self,
+        command: str,
+        argv: Optional[Sequence[str]] = None,
+        registry=None,
+        tracer=None,
+    ):
+        self.command = command
+        self.argv = list(argv) if argv is not None else None
+        self._registry = registry if registry is not None else engine_registry()
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self.started_at_unix = time.time()
+        self._started = time.perf_counter()
+        self._before = self._registry.snapshot()
+        self._cells: List[dict] = []
+        self.meta: Dict[str, object] = {}
+
+    def add_cell(
+        self,
+        key,
+        workload: str,
+        source: str,
+        wall_time_s: float = 0.0,
+        worker: int = 0,
+        ok: bool = True,
+        error: str = "",
+    ) -> None:
+        self._cells.append(
+            {
+                "key": _json_key(key),
+                "workload": workload,
+                "ok": bool(ok),
+                "error": error,
+                "wall_time_s": round(float(wall_time_s), 6),
+                "worker": int(worker),
+                "source": source,
+            }
+        )
+
+    def add_results(self, tasks: Sequence, results: Sequence) -> None:
+        """Record one sweep grid from ``run_grid``'s tasks and results."""
+        from repro.sim.parallel import TaskError  # runtime import: no cycle
+        from repro.sim.results import RunResult
+
+        for task, result in zip(tasks, results):
+            if isinstance(result, RunResult):
+                self.add_cell(
+                    task.key,
+                    result.workload,
+                    source=result.source or "replayed",
+                    wall_time_s=result.wall_time_s,
+                    worker=result.worker,
+                    ok=True,
+                )
+            elif isinstance(result, TaskError):
+                self.add_cell(
+                    task.key,
+                    result.workload,
+                    source="error",
+                    wall_time_s=result.wall_time_s,
+                    worker=result.worker,
+                    ok=False,
+                    error=result.error,
+                )
+
+    def set_meta(self, **entries) -> None:
+        """Attach run parameters (config digests, store path, flags …)."""
+        self.meta.update(entries)
+
+    def build(self, span_events: Optional[Iterable[dict]] = None) -> dict:
+        """The finished manifest dict (callable more than once)."""
+        delta = diff_snapshots(self._registry.snapshot(), self._before)
+        counters = delta.get("counters", {})
+        by_source: Dict[str, int] = {}
+        for cell in self._cells:
+            by_source[cell["source"]] = by_source.get(cell["source"], 0) + 1
+        events = (
+            list(span_events) if span_events is not None else self._tracer.events()
+        )
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "command": self.command,
+            "argv": self.argv,
+            "git_sha": git_sha(),
+            "python": platform.python_version(),
+            "started_at_unix": round(self.started_at_unix, 3),
+            "wall_time_s": round(time.perf_counter() - self._started, 6),
+            "grid": {"cells": len(self._cells)},
+            "outcomes": {
+                "store_hits": by_source.get("store", 0),
+                "store_misses": by_source.get("replayed", 0)
+                + by_source.get("error", 0),
+                "analytic_pruned": by_source.get("analytic_pruned", 0),
+                "skipped": by_source.get("skipped", 0),
+                "errors": by_source.get("error", 0),
+                "by_source": by_source,
+            },
+            "cells": list(self._cells),
+            "store_io": {
+                "read_bytes": counters.get("engine_store_read_bytes_total", 0),
+                "written_bytes": counters.get("engine_store_written_bytes_total", 0),
+            },
+            "phase_times": phase_times(events),
+            "metrics_delta": delta,
+            "meta": dict(self.meta),
+        }
+
+    def write(
+        self,
+        directory: Union[str, os.PathLike],
+        span_events: Optional[Iterable[dict]] = None,
+    ) -> Path:
+        """Write the manifest into ``directory`` under a unique run name."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.localtime(self.started_at_unix))
+        name = f"run-{stamp}-{os.getpid()}-{next(_RUN_SEQ)}.json"
+        path = directory / name
+        path.write_text(json.dumps(self.build(span_events), indent=2) + "\n")
+        return path
+
+
+def load_manifest(path: Union[str, os.PathLike]) -> dict:
+    """Parse a manifest file, checking the schema version."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("manifest_version")
+    if version != MANIFEST_VERSION:
+        raise ValueError(
+            f"{path}: manifest_version {version!r} != {MANIFEST_VERSION}"
+        )
+    return payload
+
+
+def summarize(manifest: dict, top: int = 10) -> str:
+    """Human-readable digest: slowest cells + phase-time breakdown."""
+    lines: List[str] = []
+    sha = manifest.get("git_sha") or "unknown"
+    outcomes = manifest.get("outcomes", {})
+    lines.append(
+        f"{manifest.get('command', '?')}: {manifest['grid']['cells']} cells "
+        f"in {manifest.get('wall_time_s', 0.0):.2f}s  (git {sha[:12]})"
+    )
+    lines.append(
+        "outcomes        : "
+        f"{outcomes.get('store_hits', 0)} store hits, "
+        f"{outcomes.get('store_misses', 0)} store misses, "
+        f"{outcomes.get('analytic_pruned', 0)} analytically pruned, "
+        f"{outcomes.get('skipped', 0)} skipped, "
+        f"{outcomes.get('errors', 0)} errors"
+    )
+    io = manifest.get("store_io", {})
+    lines.append(
+        f"store io        : {io.get('read_bytes', 0)} bytes read, "
+        f"{io.get('written_bytes', 0)} bytes written"
+    )
+    cells = sorted(
+        manifest.get("cells", ()), key=lambda c: c.get("wall_time_s", 0.0), reverse=True
+    )
+    if cells:
+        lines.append(f"slowest {min(top, len(cells))} cells:")
+        for cell in cells[:top]:
+            status = "ok" if cell.get("ok", True) else f"ERROR {cell.get('error', '')}"
+            lines.append(
+                f"  {1e3 * cell.get('wall_time_s', 0.0):9.2f} ms  "
+                f"{json.dumps(cell.get('key'))}  {cell.get('workload', '?'):12s} "
+                f"{cell.get('source', '?'):14s} worker {cell.get('worker', 0)}  {status}"
+            )
+    phases = manifest.get("phase_times", {})
+    if phases:
+        lines.append("phase times (total across processes):")
+        ordered = sorted(
+            phases.items(), key=lambda item: item[1].get("total_ms", 0.0), reverse=True
+        )
+        for name, entry in ordered:
+            lines.append(
+                f"  {entry.get('total_ms', 0.0):10.2f} ms  {name:20s} "
+                f"x{entry.get('count', 0)}  (max {entry.get('max_ms', 0.0):.2f} ms)"
+            )
+    return "\n".join(lines)

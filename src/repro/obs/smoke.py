@@ -1,0 +1,104 @@
+"""The ``make obs-smoke`` gate: one traced sweep, artifacts validated.
+
+Mirrors ``repro.service.smoke``: drive the real CLI end to end —
+``repro sweep --jobs 2 --trace-store ... --trace-out ... --manifest
+...`` — then hold the artifacts to the contracts docs/observability.md
+promises:
+
+* the trace file is schema-valid Chrome trace-event JSON
+  (:func:`repro.obs.spans.validate_chrome_events`) and contains exactly
+  one ``cell`` span per executed grid cell, from more than one process;
+* the manifest's outcome counts (store hits + store misses +
+  analytically pruned + skipped) sum to the grid size, and every cell
+  record carries a wall time and worker id;
+* ``repro obs summarize`` renders it without error.
+
+Exits 0 on success, 1 with a diagnostic on the first violated contract.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.obs.manifest import load_manifest
+from repro.obs.spans import validate_chrome_events
+
+WORKLOADS = ("sweep", "stride")
+N_STREAMS = (1, 2, 4)
+SCALE = 0.25
+JOBS = 2
+
+
+def fail(message: str) -> int:
+    """Print one diagnostic and return the failure exit code."""
+    print(f"obs-smoke FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    """Run the traced sweep and validate its artifacts; exit code."""
+    cells = len(WORKLOADS) * len(N_STREAMS)
+    with tempfile.TemporaryDirectory(prefix="repro-obs-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        trace_path = tmp_path / "trace.json"
+        manifest_dir = tmp_path / "runs"
+        argv = [
+            "sweep",
+            "--workloads", *WORKLOADS,
+            "--n-streams", *(str(n) for n in N_STREAMS),
+            "--scale", str(SCALE),
+            "--jobs", str(JOBS),
+            "--trace-store", str(tmp_path / "store"),
+            "--trace-out", str(trace_path),
+            "--manifest", str(manifest_dir),
+        ]
+        print(f"obs-smoke: repro {' '.join(argv)}")
+        if cli_main(argv) != 0:
+            return fail("traced sweep exited nonzero")
+
+        document = json.loads(trace_path.read_text())
+        events = document["traceEvents"]
+        try:
+            validate_chrome_events(events)
+        except ValueError as exc:
+            return fail(f"trace schema: {exc}")
+        cell_spans = [e for e in events if e.get("name") == "cell"]
+        if len(cell_spans) != cells:
+            return fail(f"{len(cell_spans)} cell spans for {cells} executed cells")
+        pids = {e["pid"] for e in cell_spans}
+        if JOBS > 1 and len(pids) < 2:
+            return fail(f"cell spans came from one process ({pids}) despite jobs={JOBS}")
+
+        manifests = sorted(manifest_dir.glob("run-*.json"))
+        if len(manifests) != 1:
+            return fail(f"expected one manifest, found {manifests}")
+        manifest = load_manifest(manifests[0])
+        outcomes = manifest["outcomes"]
+        total = (
+            outcomes["store_hits"]
+            + outcomes["store_misses"]
+            + outcomes["analytic_pruned"]
+            + outcomes["skipped"]
+        )
+        if total != manifest["grid"]["cells"] or total != cells:
+            return fail(f"outcomes {outcomes} do not sum to grid size {cells}")
+        for cell in manifest["cells"]:
+            if cell["wall_time_s"] <= 0 or cell["worker"] <= 0:
+                return fail(f"cell without wall time / worker id: {cell}")
+
+        if cli_main(["obs", "summarize", str(manifests[0]), "--top", "3"]) != 0:
+            return fail("obs summarize exited nonzero")
+
+    print(
+        f"obs-smoke PASS: {cells} cells, {len(cell_spans)} cell spans "
+        f"across {len(pids)} processes, manifest outcomes consistent"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,261 @@
+"""Low-overhead span tracing with Chrome trace-event / Perfetto export.
+
+A *span* is one timed operation — an L1 simulation, a store lookup, a
+stream replay, one whole grid cell.  Spans are recorded as completed
+Chrome trace-event ``"X"`` (complete) events: monotonic microsecond
+start, duration, process id, thread id, name, optional args.  A trace
+file written by :func:`write_chrome_trace` loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``, giving a sweep a
+single zoomable timeline across the parent and every worker process.
+
+Design constraints, in order:
+
+1. **Near-zero cost when disabled.**  ``tracer.span(...)`` on a
+   disabled tracer returns a shared no-op context manager — one
+   attribute read, no allocation — and the :func:`traced` decorator
+   calls straight through.  Telemetry must be free enough to leave
+   compiled in everywhere.
+2. **Mergeable across processes.**  Workers record into their own
+   process-global tracer and ship drained events back with each chunk
+   (:mod:`repro.sim.parallel`); ``pid`` disambiguates, and
+   ``perf_counter`` is CLOCK_MONOTONIC-based on Linux so timestamps
+   from processes on one machine share a timebase.
+3. **Dependency-free.**  Plain dicts and ``json``; nothing here
+   imports the rest of ``repro``.
+
+Span naming convention (see docs/observability.md): dotted
+``layer.operation`` — ``grid.run``, ``grid.chunk``, ``cell``,
+``l1.simulate``, ``stream.replay``, ``store.load_trace``,
+``analytic.profile``, ``l2.probe`` …
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "Tracer",
+    "get_tracer",
+    "set_tracing",
+    "traced",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_events",
+]
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: times itself and reports to its tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Optional[dict]):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.perf_counter_ns()
+        args = self.args
+        if exc_type is not None:
+            args = dict(args or {})
+            args["error"] = exc_type.__name__
+        self._tracer._record(self.name, self._start_ns, end_ns, args)
+        return False
+
+
+class Tracer:
+    """Collects completed span events; thread safe; off by default.
+
+    Events accumulate in memory as JSON-safe dicts until drained or
+    exported.  One process-global tracer (:func:`get_tracer`) serves
+    the engine; independent instances work too (tests use them).
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._events: List[dict] = []
+        self._lock = threading.Lock()
+
+    def span(self, name: str, **args):
+        """A context manager timing one operation (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, args or None)
+
+    def _record(
+        self, name: str, start_ns: int, end_ns: int, args: Optional[dict]
+    ) -> None:
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": start_ns // 1000,
+            "dur": max(0, (end_ns - start_ns) // 1000),
+            "pid": os.getpid(),
+            "tid": threading.get_native_id(),
+        }
+        if args:
+            event["args"] = args
+        with self._lock:
+            self._events.append(event)
+
+    def extend(self, events: Iterable[dict]) -> None:
+        """Merge foreign (e.g. worker-shipped) events into this tracer."""
+        events = list(events)
+        if not events:
+            return
+        with self._lock:
+            self._events.extend(events)
+
+    def events(self) -> List[dict]:
+        """A copy of everything recorded so far."""
+        with self._lock:
+            return list(self._events)
+
+    def drain(self) -> List[dict]:
+        """Recorded events, handing off ownership (the buffer empties)."""
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events = []
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer the engine records into."""
+    return _TRACER
+
+
+def set_tracing(enabled: bool) -> Tracer:
+    """Enable/disable the global tracer; returns it for chaining."""
+    _TRACER.enabled = enabled
+    return _TRACER
+
+
+def traced(name: str) -> Callable:
+    """Decorator recording a span per call on the global tracer.
+
+    Checks ``enabled`` at call time, so decorated functions stay
+    zero-overhead until tracing is switched on.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = _TRACER
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+# -- Chrome trace-event export ----------------------------------------------
+
+
+def chrome_trace(
+    events: Iterable[dict], process_labels: Optional[Dict[int, str]] = None
+) -> dict:
+    """Wrap span events as a Chrome trace-event JSON object.
+
+    Adds ``process_name`` metadata records so Perfetto's track headers
+    read ``parent`` / ``worker-<pid>`` instead of bare pids;
+    ``process_labels`` overrides those names per pid.
+    """
+    events = list(events)
+    labels = dict(process_labels or {})
+    metadata = []
+    for pid in sorted({event["pid"] for event in events if "pid" in event}):
+        name = labels.get(pid) or (
+            "parent" if pid == os.getpid() else f"worker-{pid}"
+        )
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Union[str, os.PathLike],
+    events: Iterable[dict],
+    process_labels: Optional[Dict[int, str]] = None,
+) -> Path:
+    """Write events as a Perfetto-loadable ``.json`` trace file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(events, process_labels)) + "\n")
+    return path
+
+
+def validate_chrome_events(events: Iterable[dict]) -> None:
+    """Assert the trace-event schema this module promises.
+
+    Checks every event for the required ``ph``/``ts``/``pid``/``tid``/
+    ``name`` keys and non-negative times, and that within each
+    ``(pid, tid)`` the ``"X"`` events appear in completion order
+    (non-decreasing ``ts + dur`` — spans are recorded as they finish).
+    Raises ``ValueError`` on the first defect; tests and the obs-smoke
+    gate call this on real trace files.
+    """
+    last_end: Dict[tuple, int] = {}
+    for i, event in enumerate(events):
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            if key not in event:
+                raise ValueError(f"event {i} missing required key {key!r}: {event}")
+        if event["ts"] < 0:
+            raise ValueError(f"event {i} has negative ts: {event}")
+        if event["ph"] != "X":
+            continue
+        if event.get("dur", 0) < 0:
+            raise ValueError(f"event {i} has negative dur: {event}")
+        thread = (event["pid"], event["tid"])
+        end = event["ts"] + event.get("dur", 0)
+        if end < last_end.get(thread, 0):
+            raise ValueError(
+                f"event {i} out of completion order on thread {thread}: {event}"
+            )
+        last_end[thread] = end

@@ -1,211 +1,12 @@
-"""Lightweight counter/gauge/histogram registry for the service.
+"""Compatibility shim: the metrics registry moved to :mod:`repro.obs`.
 
-The serving layer wants exactly three instrument shapes — monotonic
-counters (requests, coalesce hits, store hits), point-in-time gauges
-(queue depth) and latency histograms with quantiles — and it wants them
-dependency-free and cheap enough to bump on every request.  This module
-provides those, plus two renderings:
-
-* :meth:`MetricsRegistry.snapshot` — a plain dict for ``/metrics.json``
-  and for assertions in tests/benchmarks;
-* :meth:`MetricsRegistry.render_text` — a Prometheus-style text
-  exposition for ``/metrics``, so the standard scrape tooling works
-  against a dev deployment unchanged.
-
-All instruments are thread safe: the asyncio loop, the batcher's worker
-threads and the store/runner hook callbacks may all bump them
-concurrently.
+PR 5 promoted the service's Counter/Gauge/Histogram/MetricsRegistry
+into :mod:`repro.obs.metrics` so the sweep engine, trace store and
+analytic screen can share one instrument substrate (and one mergeable
+snapshot format) with the service.  This module re-exports the public
+names unchanged; new code should import from ``repro.obs.metrics``.
 """
 
-from __future__ import annotations
-
-import threading
-from typing import Dict, List, Optional
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
-
-
-class Counter:
-    """A monotonically increasing integer."""
-
-    def __init__(self, name: str, help: str = ""):
-        self.name = name
-        self.help = help
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def inc(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError(f"counters only go up, got {amount}")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-
-class Gauge:
-    """A value that goes up and down (queue depth, in-flight cells)."""
-
-    def __init__(self, name: str, help: str = ""):
-        self.name = name
-        self.help = help
-        self._value = 0.0
-        self._lock = threading.Lock()
-
-    def set(self, value: float) -> None:
-        with self._lock:
-            self._value = value
-
-    def add(self, delta: float) -> None:
-        with self._lock:
-            self._value += delta
-
-    @property
-    def value(self) -> float:
-        with self._lock:
-            return self._value
-
-
-class Histogram:
-    """Observations with cumulative count/sum and sampled quantiles.
-
-    Quantiles come from a bounded ring of the most recent
-    ``max_samples`` observations — a deliberate trade: exact for any
-    test-sized series, sliding-window-recent for a long-lived server,
-    and O(1) memory either way.  ``count``/``sum`` stay exact forever.
-    """
-
-    def __init__(self, name: str, help: str = "", max_samples: int = 2048):
-        if max_samples <= 0:
-            raise ValueError(f"max_samples must be positive, got {max_samples}")
-        self.name = name
-        self.help = help
-        self._max_samples = max_samples
-        self._samples: List[float] = []
-        self._next = 0
-        self.count = 0
-        self.sum = 0.0
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            self.count += 1
-            self.sum += value
-            if len(self._samples) < self._max_samples:
-                self._samples.append(value)
-            else:
-                self._samples[self._next] = value
-                self._next = (self._next + 1) % self._max_samples
-
-    def percentile(self, pct: float) -> float:
-        """The ``pct``-th percentile of the sampled window (0 if empty)."""
-        if not 0 <= pct <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {pct}")
-        with self._lock:
-            data = sorted(self._samples)
-        if not data:
-            return 0.0
-        rank = max(0, min(len(data) - 1, round(pct / 100 * (len(data) - 1))))
-        return data[rank]
-
-
-class MetricsRegistry:
-    """Named instruments, created on first use and rendered on demand.
-
-    ``counter``/``gauge``/``histogram`` are get-or-create and idempotent,
-    so independent components (queue, coalescer, batcher, store hooks)
-    can each grab the instruments they bump without wiring order
-    mattering.  Re-registering a name as a different instrument type is
-    a bug and raises.
-    """
-
-    #: Quantiles rendered in the text exposition and JSON snapshot.
-    QUANTILES = (50.0, 95.0, 99.0)
-
-    def __init__(self, prefix: str = "repro"):
-        self.prefix = prefix
-        self._instruments: Dict[str, object] = {}
-        self._lock = threading.Lock()
-
-    def _get_or_create(self, cls, name: str, help: str, **kwargs):
-        with self._lock:
-            existing = self._instruments.get(name)
-            if existing is not None:
-                if not isinstance(existing, cls):
-                    raise TypeError(
-                        f"metric {name!r} already registered as "
-                        f"{type(existing).__name__}, not {cls.__name__}"
-                    )
-                return existing
-            instrument = cls(name, help, **kwargs)
-            self._instruments[name] = instrument
-            return instrument
-
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help)
-
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, help)
-
-    def histogram(
-        self, name: str, help: str = "", max_samples: int = 2048
-    ) -> Histogram:
-        return self._get_or_create(Histogram, name, help, max_samples=max_samples)
-
-    def get(self, name: str) -> Optional[object]:
-        with self._lock:
-            return self._instruments.get(name)
-
-    # -- renderings --------------------------------------------------------
-
-    def snapshot(self) -> dict:
-        """All instruments as one JSON-safe dict."""
-        with self._lock:
-            instruments = dict(self._instruments)
-        counters: Dict[str, int] = {}
-        gauges: Dict[str, float] = {}
-        histograms: Dict[str, dict] = {}
-        for name, instrument in sorted(instruments.items()):
-            if isinstance(instrument, Counter):
-                counters[name] = instrument.value
-            elif isinstance(instrument, Gauge):
-                gauges[name] = instrument.value
-            elif isinstance(instrument, Histogram):
-                histograms[name] = {
-                    "count": instrument.count,
-                    "sum": instrument.sum,
-                    **{
-                        f"p{pct:g}": instrument.percentile(pct)
-                        for pct in self.QUANTILES
-                    },
-                }
-        return {"counters": counters, "gauges": gauges, "histograms": histograms}
-
-    def render_text(self) -> str:
-        """Prometheus-style text exposition (for ``GET /metrics``)."""
-        with self._lock:
-            instruments = dict(self._instruments)
-        lines: List[str] = []
-        for name, instrument in sorted(instruments.items()):
-            full = f"{self.prefix}_{name}"
-            if instrument.help:
-                lines.append(f"# HELP {full} {instrument.help}")
-            if isinstance(instrument, Counter):
-                lines.append(f"# TYPE {full} counter")
-                lines.append(f"{full} {instrument.value}")
-            elif isinstance(instrument, Gauge):
-                lines.append(f"# TYPE {full} gauge")
-                lines.append(f"{full} {instrument.value:g}")
-            elif isinstance(instrument, Histogram):
-                lines.append(f"# TYPE {full} summary")
-                for pct in self.QUANTILES:
-                    lines.append(
-                        f'{full}{{quantile="{pct / 100:g}"}} '
-                        f"{instrument.percentile(pct):g}"
-                    )
-                lines.append(f"{full}_count {instrument.count}")
-                lines.append(f"{full}_sum {instrument.sum:g}")
-        return "\n".join(lines) + "\n"

@@ -42,9 +42,15 @@ import asyncio
 from repro.caches.cache import CacheConfig
 from repro.reporting.experiments import EXHIBITS, SWEEP_EXHIBITS
 from repro.service import api
+from repro.obs.metrics import (
+    MetricsRegistry,
+    engine_registry,
+    merge_snapshots,
+    render_snapshot_text,
+    strip_samples,
+)
 from repro.service.batcher import MicroBatcher
 from repro.service.coalesce import Coalescer
-from repro.service.metrics import MetricsRegistry
 from repro.service.queue import (
     AdmissionQueue,
     DeadlineExceeded,
@@ -275,6 +281,7 @@ class SimulationService:
                         seed=cell.seed,
                         l1=summary,
                         streams=stats,
+                        source="store",
                     )
                     self._results.put(digest, result)
                     return result
@@ -513,6 +520,26 @@ class ServiceServer:
         body = await reader.readexactly(length) if length else b""
         return method, path, body
 
+    def _merged_snapshot(self) -> dict:
+        """Service instruments plus the process-global engine registry.
+
+        The engine registry (``repro.obs``) collects what the simulation
+        layers record — store IO, cell outcomes, L1 sim time — in this
+        process *and*, merged back by ``run_grid``, in the pool workers.
+        All its names carry an ``engine_`` prefix, so the union with the
+        service's ``service_``/cache instruments is collision-free.
+        """
+        return merge_snapshots(
+            self.service.metrics.snapshot(include_samples=True),
+            engine_registry().snapshot(include_samples=True),
+        )
+
+    def _merged_metrics_text(self) -> str:
+        return render_snapshot_text(self._merged_snapshot())
+
+    def _merged_metrics_json(self) -> dict:
+        return strip_samples(self._merged_snapshot())
+
     async def _dispatch(
         self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
     ) -> None:
@@ -522,9 +549,9 @@ class ServiceServer:
                 if path in ("/healthz", "/health"):
                     await self._respond_json(writer, 200, self.service.health())
                 elif path == "/metrics":
-                    await self._respond_text(writer, 200, self.service.metrics.render_text())
+                    await self._respond_text(writer, 200, self._merged_metrics_text())
                 elif path == "/metrics.json":
-                    await self._respond_json(writer, 200, self.service.metrics.snapshot())
+                    await self._respond_json(writer, 200, self._merged_metrics_json())
                 else:
                     raise _HttpError(404, "not_found", f"no such path {path!r}")
                 return

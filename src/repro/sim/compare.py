@@ -19,6 +19,7 @@ same probe helper, pruning most sizes without any simulation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
@@ -26,6 +27,8 @@ from repro.caches.sampling import SamplingPlan, sampled_hit_rate
 from repro.caches.secondary import PAPER_L2_SIZES, candidate_configs
 from repro.core.config import StreamConfig
 from repro.core.prefetcher import StreamStats
+from repro.obs.metrics import engine_registry
+from repro.obs.spans import get_tracer
 from repro.sim.runner import MissTraceCache, default_cache, resolve_workload_ref
 from repro.core.prefetcher import StreamPrefetcher
 from repro.workloads.base import Workload
@@ -77,6 +80,11 @@ class MatchResult:
             (stack-distance screen, :mod:`repro.analytic.screen`).
         analytic_estimates: ``(size, estimate)`` pairs from the analytic
             screen; empty for the pure-simulation path.
+        sizes_pruned: ladder sizes the analytic screen rejected as
+            certain misses without simulating (0 for the pure path).
+        probe_seconds: wall time spent inside :func:`probe_size` across
+            the whole search.  Excluded from equality, like the
+            provenance fields on :class:`~repro.sim.results.RunResult`.
     """
 
     workload: str
@@ -87,6 +95,8 @@ class MatchResult:
     configs_simulated: int = 0
     method: str = "simulated"
     analytic_estimates: Tuple[Tuple[int, float], ...] = field(default=())
+    sizes_pruned: int = 0
+    probe_seconds: float = field(default=0.0, compare=False)
 
     @property
     def stream_hit_rate_percent(self) -> float:
@@ -112,13 +122,17 @@ def probe_size(
     best_rate = 0.0
     best_config = None
     simulated = 0
-    for config in candidate_configs(size):
-        simulated += 1
-        rate = sampled_hit_rate(miss_trace, config, sampling).local_hit_rate
-        if best_config is None or rate > best_rate:
-            best_rate, best_config = rate, config
-        if rate >= target:
-            break
+    with get_tracer().span("l2.probe", size=size):
+        for config in candidate_configs(size):
+            simulated += 1
+            rate = sampled_hit_rate(miss_trace, config, sampling).local_hit_rate
+            if best_config is None or rate > best_rate:
+                best_rate, best_config = rate, config
+            if rate >= target:
+                break
+    engine_registry().counter(
+        "engine_l2_configs_simulated_total", "secondary-cache configurations simulated"
+    ).inc(simulated)
     assert best_config is not None  # candidate_configs never returns an empty grid
     return (
         SizePoint(
@@ -196,9 +210,12 @@ def min_matching_l2_size(
     sizes_sorted = sorted(sizes)
     points: List[SizePoint] = []
     counter = [0]
+    probe_clock = [0.0]
 
     def decide(index: int) -> bool:
+        started = time.perf_counter()
         point, simulated = probe_size(miss_trace, sizes_sorted[index], sampling, target)
+        probe_clock[0] += time.perf_counter() - started
         points.append(point)
         counter[0] += simulated
         return point.hit_rate >= target
@@ -212,6 +229,7 @@ def min_matching_l2_size(
         l2_hit_rates=tuple(sorted(points)),
         configs_simulated=counter[0],
         method="simulated",
+        probe_seconds=probe_clock[0],
     )
 
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import os
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -33,6 +35,8 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Union
 from repro.caches.cache import CacheConfig
 from repro.core.config import StreamConfig
 from repro.core.prefetcher import StreamPrefetcher, StreamStats
+from repro.obs.metrics import engine_registry
+from repro.obs.spans import get_tracer
 from repro.sim.results import RunResult
 from repro.sim.runner import MissTraceCache, resolve_workload_ref
 from repro.trace.store import TraceStore, result_digest
@@ -83,12 +87,21 @@ def _json_key(key: Hashable):
 
 @dataclass(frozen=True)
 class TaskError:
-    """A failed grid cell, reported in place of its :class:`RunResult`."""
+    """A failed grid cell, reported in place of its :class:`RunResult`.
+
+    ``wall_time_s``/``worker`` record how long the cell burned before
+    failing and which process ran it — without them failed cells are
+    invisible in any timing analysis (a sweep stuck on one pathological
+    cell used to look idle).  Excluded from equality, like the matching
+    fields on :class:`~repro.sim.results.RunResult`.
+    """
 
     key: Hashable
     workload: str
     error: str
     details: str = field(default="", repr=False)
+    wall_time_s: float = field(default=0.0, compare=False)
+    worker: int = field(default=0, compare=False)
 
     def to_payload(self) -> dict:
         """JSON-safe rendering carrying the full traceback.
@@ -101,6 +114,8 @@ class TaskError:
             "workload": self.workload,
             "error": self.error,
             "traceback": self.details,
+            "wall_time_s": self.wall_time_s,
+            "worker": self.worker,
         }
 
 
@@ -127,28 +142,68 @@ class SweepExecutionError(RuntimeError):
 
 
 def _run_one(task: SweepTask, cache: MissTraceCache) -> Union[RunResult, TaskError]:
-    """Execute one cell against a (possibly store-backed) cache."""
+    """Execute one cell against a (possibly store-backed) cache.
+
+    Every cell — success or failure — is timed and tagged with the pid
+    of the process that ran it, wrapped in a ``cell`` span, and counted
+    in the engine registry under its outcome (``store``/``replayed``/
+    ``error``).  Manifests and traces are built entirely from these
+    per-cell records, so they work identically in serial and pooled
+    runs.
+    """
     name, scale, seed, _ = resolve_workload_ref(task.workload, task.scale, task.seed)
+    registry = engine_registry()
+    started = time.perf_counter()
     try:
-        miss_trace, summary = cache.get(task.workload, scale=scale, seed=seed)
-        store = cache.store
-        stats: Optional[StreamStats] = None
-        digest = None
-        if store is not None:
-            digest = result_digest(cache.trace_key(name, scale, seed), task.config)
-            stats = store.load_result(digest)
-        if stats is None:
-            stats = StreamPrefetcher(task.config).run(miss_trace)
+        with get_tracer().span("cell", key=str(task.key), workload=name):
+            miss_trace, summary = cache.get(task.workload, scale=scale, seed=seed)
+            store = cache.store
+            stats: Optional[StreamStats] = None
+            digest = None
             if store is not None:
-                store.save_result(digest, stats)
-        return RunResult(workload=name, scale=scale, seed=seed, l1=summary, streams=stats)
+                digest = result_digest(cache.trace_key(name, scale, seed), task.config)
+                stats = store.load_result(digest)
+            source = "store"
+            if stats is None:
+                source = "replayed"
+                with get_tracer().span("stream.replay", workload=name):
+                    stats = StreamPrefetcher(task.config).run(miss_trace)
+                if store is not None:
+                    store.save_result(digest, stats)
+        wall = time.perf_counter() - started
+        _count_cell(registry, source, wall)
+        return RunResult(
+            workload=name,
+            scale=scale,
+            seed=seed,
+            l1=summary,
+            streams=stats,
+            wall_time_s=wall,
+            worker=os.getpid(),
+            source=source,
+        )
     except Exception as exc:  # tagged, not fatal: one bad cell must not kill a sweep
+        wall = time.perf_counter() - started
+        _count_cell(registry, "error", wall)
         return TaskError(
             key=task.key,
             workload=name,
             error=f"{type(exc).__name__}: {exc}",
             details=traceback.format_exc(),
+            wall_time_s=wall,
+            worker=os.getpid(),
         )
+
+
+def _count_cell(registry, source: str, wall: float) -> None:
+    """Tally one finished cell in the engine registry."""
+    registry.counter("engine_cells_total", "grid cells executed").inc()
+    registry.counter(
+        f"engine_cells_{source}_total", f"grid cells with outcome {source!r}"
+    ).inc()
+    registry.histogram("engine_cell_wall_ms", "wall time of one grid cell").observe(
+        1e3 * wall
+    )
 
 
 # -- worker-process state ---------------------------------------------------
@@ -157,18 +212,48 @@ _WORKER_CACHE: Optional[MissTraceCache] = None
 
 
 def _init_worker(
-    l1_config: CacheConfig, keep_pcs: bool, store_root: Optional[str]
+    l1_config: CacheConfig,
+    keep_pcs: bool,
+    store_root: Optional[str],
+    trace_enabled: bool = False,
 ) -> None:
-    """Build this worker's cache once (executor ``initializer``)."""
+    """Build this worker's cache once (executor ``initializer``).
+
+    ``trace_enabled`` carries the parent's tracer state across the
+    spawn boundary: spawned workers start with a fresh (disabled)
+    module tracer, so the parent snapshots ``get_tracer().enabled`` at
+    pool-creation time and replays it here.
+    """
     global _WORKER_CACHE
     store = TraceStore(store_root) if store_root is not None else None
     _WORKER_CACHE = MissTraceCache(l1_config, keep_pcs=keep_pcs, store=store)
+    # Fork-started workers inherit the parent's registry contents and
+    # span buffer; shipping those back would double-count them.  Every
+    # worker starts from zero telemetry.
+    engine_registry().drain()
+    tracer = get_tracer()
+    tracer.clear()
+    tracer.enabled = trace_enabled
 
 
 def _run_chunk(index: int, chunk: List[SweepTask]):
-    """Run one chunk of tasks in a worker; never raises."""
+    """Run one chunk of tasks in a worker; never raises.
+
+    Besides the per-task results, each chunk ships back the telemetry
+    the worker accumulated while running it: a drained (snapshot +
+    reset) engine-registry delta, and any span events.  Draining means
+    repeated chunks from the same worker never double-count, so the
+    parent can merge every payload unconditionally.
+    """
     assert _WORKER_CACHE is not None, "worker initializer did not run"
-    return index, [_run_one(task, _WORKER_CACHE) for task in chunk]
+    tracer = get_tracer()
+    with tracer.span("grid.chunk", index=index, tasks=len(chunk)):
+        results = [_run_one(task, _WORKER_CACHE) for task in chunk]
+    telemetry = {
+        "metrics": engine_registry().drain(),
+        "spans": tracer.drain() if tracer.enabled else [],
+    }
+    return index, results, telemetry
 
 
 def _worker_ready() -> bool:
@@ -212,7 +297,7 @@ def make_pool(
         max_workers=jobs,
         mp_context=multiprocessing.get_context("spawn"),
         initializer=_init_worker,
-        initargs=(l1_config, keep_pcs, store_root),
+        initargs=(l1_config, keep_pcs, store_root, get_tracer().enabled),
     )
     if warm:
         for future in [pool.submit(_worker_ready) for _ in range(jobs)]:
@@ -271,7 +356,8 @@ def run_grid(
     if executor is None and (jobs <= 1 or len(tasks) <= 1):
         if cache is None:
             cache = MissTraceCache(l1_config, keep_pcs=keep_pcs, store=store)
-        return [_run_one(task, cache) for task in tasks]
+        with get_tracer().span("grid.run", cells=len(tasks), jobs=1):
+            return [_run_one(task, cache) for task in tasks]
 
     workers = jobs
     if executor is not None:
@@ -286,13 +372,21 @@ def run_grid(
         pool = ProcessPoolExecutor(
             max_workers=min(workers, len(chunks)),
             initializer=_init_worker,
-            initargs=(l1_config, keep_pcs, store_root),
+            initargs=(l1_config, keep_pcs, store_root, get_tracer().enabled),
         )
     try:
-        futures = [pool.submit(_run_chunk, i, chunk) for i, chunk in enumerate(chunks)]
-        for future in as_completed(futures):
-            index, results = future.result()
-            assembled[index] = results
+        with get_tracer().span("grid.run", cells=len(tasks), jobs=workers):
+            futures = [
+                pool.submit(_run_chunk, i, chunk) for i, chunk in enumerate(chunks)
+            ]
+            for future in as_completed(futures):
+                index, results, telemetry = future.result()
+                assembled[index] = results
+                # Fold each worker's drained telemetry into this process
+                # so sweeps observe one registry and one trace no matter
+                # how many processes did the work.
+                engine_registry().merge(telemetry.get("metrics") or {})
+                get_tracer().extend(telemetry.get("spans") or [])
     finally:
         if executor is None:
             pool.shutdown()

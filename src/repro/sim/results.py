@@ -7,7 +7,7 @@ serialise to plain dicts for logging.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Dict
 
 from repro.caches.cache import CacheStats
@@ -60,13 +60,25 @@ class L1Summary:
 
 @dataclass(frozen=True)
 class RunResult:
-    """One (workload, stream configuration) simulation outcome."""
+    """One (workload, stream configuration) simulation outcome.
+
+    ``wall_time_s``/``worker``/``source`` are execution provenance
+    filled in by the sweep engine (:mod:`repro.sim.parallel`): how long
+    the cell took, which process ran it, and whether the replay came
+    from the persistent store (``"store"``) or was simulated
+    (``"replayed"``).  They default to empty for results built outside
+    the engine and are deliberately excluded from equality — two runs
+    of the same cell are the *same result* however long they took.
+    """
 
     workload: str
     scale: float
     seed: int
     l1: L1Summary
     streams: StreamStats
+    wall_time_s: float = field(default=0.0, compare=False)
+    worker: int = field(default=0, compare=False)
+    source: str = field(default="", compare=False)
 
     @property
     def hit_rate_percent(self) -> float:
@@ -98,4 +110,7 @@ class RunResult:
             "prefetches_issued": self.streams.prefetches_issued,
             "prefetches_used": self.streams.prefetches_used,
             "allocations": self.streams.allocations,
+            "wall_time_s": self.wall_time_s,
+            "worker": self.worker,
+            "source": self.source,
         }

@@ -24,9 +24,14 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Callable, Optional, Tuple, Union
 
+import time
+
 from repro.caches.cache import Cache, CacheConfig, MissTrace
 from repro.caches.split import SplitL1, SplitL1Config
 from repro.check import invariants as _inv
+from repro.obs.events import StoreEvent, record_event
+from repro.obs.metrics import engine_registry
+from repro.obs.spans import get_tracer
 from repro.core.config import StreamConfig
 from repro.core.prefetcher import StreamPrefetcher, StreamStats
 from repro.mem.address import AddressSpace
@@ -103,11 +108,15 @@ class MissTraceCache:
             full paper sweep while keeping long multi-workload sessions
             bounded; eviction only drops the in-memory copy — a store, if
             configured, still holds the trace.
-        hooks: optional callback fired with an event name on each lookup
-            — ``trace_mem_hit`` (in-process LRU hit), ``trace_store_hit``
-            (persistent tier hit) or ``trace_computed`` (fresh L1
-            simulation).  The service layer threads its metrics registry
-            through here; hooks must be cheap and must not raise.
+        hooks: optional callback fired on each lookup with a typed
+            :class:`~repro.obs.events.StoreEvent` (``str``-compatible,
+            so name-only hooks keep working) — ``trace_mem_hit``
+            (in-process LRU hit), ``trace_store_hit`` (persistent tier
+            hit) or ``trace_computed`` (fresh L1 simulation, with the
+            simulation wall time as the event duration).  The service
+            layer threads its metrics registry through here; hooks must
+            be cheap and must not raise.  Every event is also folded
+            into the process-global engine registry (``engine_runner_*``).
     """
 
     def __init__(
@@ -130,7 +139,11 @@ class MissTraceCache:
         self.evictions = 0
         self.store_hits = 0
 
-    def _emit(self, event: str) -> None:
+    def _emit(
+        self, name: str, digest: Optional[str] = None, duration_s: float = 0.0
+    ) -> None:
+        event = StoreEvent(name, digest=digest, duration_s=duration_s)
+        record_event(event, group="runner")
         if self.hooks is not None:
             self.hooks(event)
 
@@ -163,16 +176,18 @@ class MissTraceCache:
             if stored is not None:
                 self.store_hits += 1
                 self._insert(key, stored)
-                self._emit("trace_store_hit")
+                self._emit("trace_store_hit", digest=digest)
                 self._check_result(key, digest, stored)
                 return stored
         if instance is None:
             instance = get_workload(name, scale=scale, seed=seed)
+        started = time.perf_counter()
         result = simulate_l1(instance, self.l1_config, keep_pcs=self.keep_pcs)
+        computed_s = time.perf_counter() - started
         if self.store is not None:
             self.store.save_trace(digest, *result)
         self._insert(key, result)
-        self._emit("trace_computed")
+        self._emit("trace_computed", digest=digest, duration_s=computed_s)
         self._check_result(key, digest, result)
         return result
 
@@ -247,6 +262,18 @@ def simulate_l1(
     PC-indexed baselines and disable the L1 fast path).
     """
     config = l1_config if l1_config is not None else CacheConfig.paper_l1()
+    started = time.perf_counter()
+    with get_tracer().span("l1.simulate", workload=workload.name):
+        result = _simulate_l1(workload, config, keep_pcs)
+    engine_registry().histogram(
+        "engine_l1_sim_ms", "wall time of one L1 miss-trace simulation"
+    ).observe(1e3 * (time.perf_counter() - started))
+    return result
+
+
+def _simulate_l1(
+    workload: Workload, config: CacheConfig, keep_pcs: bool
+) -> Tuple[MissTrace, L1Summary]:
     trace = workload.trace()
     if trace.has_pcs and not keep_pcs:
         trace = Trace(trace.addrs, trace.kinds)

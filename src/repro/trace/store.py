@@ -48,10 +48,14 @@ from typing import TYPE_CHECKING, Callable, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs.events import StoreEvent, record_event
+from repro.obs.spans import get_tracer
+
 # The cache/core layers import repro.trace.events at module scope, which
 # runs this package's __init__ — so this module must not import them back
 # at module scope.  Runtime imports happen inside the functions that need
 # the classes (they are no-ops once the interpreter has warmed up).
+# (repro.obs is dependency-free by contract, so importing it here is safe.)
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analytic.profile import LocalityProfile
     from repro.caches.cache import CacheConfig, MissTrace
@@ -246,12 +250,19 @@ class TraceStore:
 
     Args:
         root: store directory (created on first use).
-        hooks: optional callback fired with an event name on every
-            lookup/write — ``trace_hit``/``trace_miss``/``trace_saved``/
+        hooks: optional callback fired on every lookup/write with a
+            typed :class:`~repro.obs.events.StoreEvent` —
+            ``trace_hit``/``trace_miss``/``trace_saved``/
             ``result_hit``/``result_miss``/``result_saved``/
-            ``profile_hit``/``profile_miss``/``profile_saved``.  The
-            service layer threads its metrics registry through here;
-            hooks must be cheap and must not raise.
+            ``profile_hit``/``profile_miss``/``profile_saved`` — which
+            carries the entry digest, bytes moved and operation wall
+            time.  ``StoreEvent`` subclasses ``str`` (equal to the
+            event name), so PR 2-era ``Callable[[str], None]`` hooks
+            keep working unchanged; :func:`repro.obs.events.
+            as_legacy_hook` wraps hooks that need a plain ``str``.
+            Hooks must be cheap and must not raise.  Independent of any
+            hook, every event is folded into the process-global engine
+            metrics registry (``engine_store_*``).
     """
 
     def __init__(
@@ -269,9 +280,25 @@ class TraceStore:
     def __repr__(self) -> str:
         return f"TraceStore({str(self.root)!r})"
 
-    def _emit(self, event: str) -> None:
+    def _emit(
+        self,
+        name: str,
+        digest: Optional[str] = None,
+        nbytes: int = 0,
+        duration_s: float = 0.0,
+    ) -> None:
+        event = StoreEvent(name, digest=digest, nbytes=nbytes, duration_s=duration_s)
+        record_event(event, group="store")
         if self.hooks is not None:
             self.hooks(event)
+
+    @staticmethod
+    def _size_of(path: Path) -> int:
+        """On-disk size of an entry, 0 when it is missing (racing writer)."""
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
 
     # -- trace layer -------------------------------------------------------
 
@@ -302,8 +329,15 @@ class TraceStore:
             with open(tmp, "wb") as handle:
                 np.savez_compressed(handle, **arrays)
 
-        self._write_atomic(path, _write)
-        self._emit("trace_saved")
+        started = time.perf_counter()
+        with get_tracer().span("store.save_trace", digest=digest[:12]):
+            self._write_atomic(path, _write)
+        self._emit(
+            "trace_saved",
+            digest=digest,
+            nbytes=self._size_of(path),
+            duration_s=time.perf_counter() - started,
+        )
         return path
 
     def load_trace(self, digest: str) -> Optional[Tuple[MissTrace, "L1Summary"]]:
@@ -312,28 +346,41 @@ class TraceStore:
         from repro.sim.results import L1Summary
 
         path = self.trace_path(digest)
+        started = time.perf_counter()
         try:
-            with np.load(path) as archive:
-                meta = json.loads(bytes(archive["meta"]).decode())
-                if meta["store_version"] != STORE_FORMAT_VERSION:
-                    self._emit("trace_miss")
-                    return None
-                pcs = None
-                if "pcs" in archive:
-                    pcs = archive["pcs"].astype(np.int64, copy=True)
-                miss_trace = MissTrace(
-                    archive["addrs"].astype(np.int64, copy=True),
-                    archive["kinds"].astype(np.uint8, copy=True),
-                    int(meta["block_bits"]),
-                    pcs,
-                )
-                summary = L1Summary(**meta["summary"])
-            self._emit("trace_hit")
+            with get_tracer().span("store.load_trace", digest=digest[:12]):
+                with np.load(path) as archive:
+                    meta = json.loads(bytes(archive["meta"]).decode())
+                    if meta["store_version"] != STORE_FORMAT_VERSION:
+                        self._emit(
+                            "trace_miss",
+                            digest=digest,
+                            duration_s=time.perf_counter() - started,
+                        )
+                        return None
+                    pcs = None
+                    if "pcs" in archive:
+                        pcs = archive["pcs"].astype(np.int64, copy=True)
+                    miss_trace = MissTrace(
+                        archive["addrs"].astype(np.int64, copy=True),
+                        archive["kinds"].astype(np.uint8, copy=True),
+                        int(meta["block_bits"]),
+                        pcs,
+                    )
+                    summary = L1Summary(**meta["summary"])
+            self._emit(
+                "trace_hit",
+                digest=digest,
+                nbytes=self._size_of(path),
+                duration_s=time.perf_counter() - started,
+            )
             return miss_trace, summary
         except _TRACE_DEFECTS:
             # Missing, truncated or foreign file: treat as a miss and let
             # the caller recompute (the rewrite heals the store).
-            self._emit("trace_miss")
+            self._emit(
+                "trace_miss", digest=digest, duration_s=time.perf_counter() - started
+            )
             return None
 
     # -- result layer ------------------------------------------------------
@@ -349,23 +396,44 @@ class TraceStore:
         }
         path = self.result_path(digest)
         data = json.dumps(payload, sort_keys=True, indent=None)
-        self._write_atomic(path, lambda tmp: Path(tmp).write_text(data))
-        self._emit("result_saved")
+        started = time.perf_counter()
+        with get_tracer().span("store.save_result", digest=digest[:12]):
+            self._write_atomic(path, lambda tmp: Path(tmp).write_text(data))
+        self._emit(
+            "result_saved",
+            digest=digest,
+            nbytes=len(data),
+            duration_s=time.perf_counter() - started,
+        )
         return path
 
     def load_result(self, digest: str) -> Optional[StreamStats]:
         """The stored replay statistics, or None on any defect."""
         path = self.result_path(digest)
+        started = time.perf_counter()
         try:
-            payload = json.loads(path.read_text())
-            if payload["result_version"] != RESULT_FORMAT_VERSION:
-                self._emit("result_miss")
-                return None
-            stats = stats_from_dict(payload["stats"])
+            with get_tracer().span("store.load_result", digest=digest[:12]):
+                text = path.read_text()
+                payload = json.loads(text)
+                if payload["result_version"] != RESULT_FORMAT_VERSION:
+                    self._emit(
+                        "result_miss",
+                        digest=digest,
+                        duration_s=time.perf_counter() - started,
+                    )
+                    return None
+                stats = stats_from_dict(payload["stats"])
         except (OSError, KeyError, ValueError, TypeError):
-            self._emit("result_miss")
+            self._emit(
+                "result_miss", digest=digest, duration_s=time.perf_counter() - started
+            )
             return None
-        self._emit("result_hit")
+        self._emit(
+            "result_hit",
+            digest=digest,
+            nbytes=len(text),
+            duration_s=time.perf_counter() - started,
+        )
         return stats
 
     # -- profile layer -----------------------------------------------------
@@ -408,8 +476,15 @@ class TraceStore:
             with open(tmp, "wb") as handle:
                 np.savez_compressed(handle, **arrays)
 
-        self._write_atomic(path, _write)
-        self._emit("profile_saved")
+        started = time.perf_counter()
+        with get_tracer().span("store.save_profiles", digest=digest[:12]):
+            self._write_atomic(path, _write)
+        self._emit(
+            "profile_saved",
+            digest=digest,
+            nbytes=self._size_of(path),
+            duration_s=time.perf_counter() - started,
+        )
         return path
 
     def load_profiles(self, digest: str) -> Optional["dict[int, LocalityProfile]"]:
@@ -417,11 +492,16 @@ class TraceStore:
         from repro.analytic.profile import LocalityProfile
 
         path = self.profile_path(digest)
+        started = time.perf_counter()
         try:
             with np.load(path) as archive:
                 meta = json.loads(bytes(archive["meta"]).decode())
                 if meta["profile_version"] != PROFILE_FORMAT_VERSION:
-                    self._emit("profile_miss")
+                    self._emit(
+                        "profile_miss",
+                        digest=digest,
+                        duration_s=time.perf_counter() - started,
+                    )
                     return None
                 profiles = {}
                 for key, counters in meta["blocks"].items():
@@ -440,9 +520,16 @@ class TraceStore:
                         unique_blocks=int(counters["unique_blocks"]),
                     )
         except _TRACE_DEFECTS:
-            self._emit("profile_miss")
+            self._emit(
+                "profile_miss", digest=digest, duration_s=time.perf_counter() - started
+            )
             return None
-        self._emit("profile_hit")
+        self._emit(
+            "profile_hit",
+            digest=digest,
+            nbytes=self._size_of(path),
+            duration_s=time.perf_counter() - started,
+        )
         return profiles
 
     # -- maintenance -------------------------------------------------------

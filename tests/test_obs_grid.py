@@ -1,0 +1,233 @@
+"""End-to-end telemetry tests: sweep engine, manifests, CLI round-trip.
+
+These drive the tentpole's acceptance path: a traced grid produces one
+``cell`` span per executed cell (serial and pooled, with worker pids
+merged into one timeline), failed cells carry wall time and worker id,
+and a ``repro sweep --trace-out/--manifest`` invocation yields a
+Perfetto-valid trace plus a manifest whose outcome counts sum to the
+grid size.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.config import StreamConfig
+from repro.obs.manifest import ManifestBuilder, load_manifest, phase_times, summarize
+from repro.obs.metrics import MetricsRegistry, engine_registry
+from repro.obs.spans import get_tracer, set_tracing, validate_chrome_events
+from repro.sim.parallel import SweepTask, TaskError, run_grid
+from repro.sim.results import RunResult
+
+WORKLOADS = ("sweep", "stride")
+SCALE = 0.25
+
+
+def small_tasks():
+    return [
+        SweepTask(
+            key=(name, n),
+            workload=name,
+            config=StreamConfig.jouppi(n_streams=n),
+            scale=SCALE,
+        )
+        for name in WORKLOADS
+        for n in (1, 2)
+    ]
+
+
+@pytest.fixture
+def traced_session():
+    """Enable the global tracer for one test, restoring a clean slate."""
+    tracer = set_tracing(True)
+    tracer.clear()
+    yield tracer
+    tracer.enabled = False
+    tracer.clear()
+
+
+class TestProvenance:
+    def test_serial_results_carry_provenance(self):
+        results = run_grid(small_tasks(), jobs=1)
+        for result in results:
+            assert isinstance(result, RunResult)
+            assert result.source == "replayed"
+            assert result.wall_time_s > 0
+            assert result.worker > 0
+
+    def test_store_hits_tagged_as_store(self, tmp_path):
+        from repro.trace.store import TraceStore
+
+        store = TraceStore(tmp_path / "store")
+        tasks = small_tasks()
+        cold = run_grid(tasks, jobs=1, store=store)
+        warm = run_grid(tasks, jobs=1, store=store)
+        assert all(r.source == "replayed" for r in cold)
+        assert all(r.source == "store" for r in warm)
+        assert cold == warm  # provenance is excluded from equality
+
+    def test_task_error_carries_wall_time_and_worker(self):
+        tasks = [
+            SweepTask(key="bad", workload="no-such-workload", config=StreamConfig.jouppi())
+        ]
+        (error,) = run_grid(tasks, jobs=1)
+        assert isinstance(error, TaskError)
+        assert error.wall_time_s >= 0
+        assert error.worker > 0
+        payload = error.to_payload()
+        assert payload["wall_time_s"] == error.wall_time_s
+        assert payload["worker"] == error.worker
+
+
+class TestCrossProcessCollection:
+    def test_pooled_grid_merges_spans_and_metrics(self, traced_session):
+        before = engine_registry().counter("engine_cells_total").value
+        tasks = small_tasks()
+        results = run_grid(tasks, jobs=2)
+        assert all(isinstance(r, RunResult) for r in results)
+        events = traced_session.events()
+        cells = [e for e in events if e["name"] == "cell"]
+        assert len(cells) == len(tasks)
+        # Worker pids differ from the parent's grid.run span.
+        (grid_span,) = [e for e in events if e["name"] == "grid.run"]
+        assert {e["pid"] for e in cells} != {grid_span["pid"]}
+        validate_chrome_events(sorted(events, key=lambda e: e["ts"] + e.get("dur", 0)))
+        # Counters shipped back loss-free: one bump per cell.
+        after = engine_registry().counter("engine_cells_total").value
+        assert after - before == len(tasks)
+
+    def test_untraced_pooled_grid_ships_no_spans(self):
+        tracer = get_tracer()
+        assert not tracer.enabled
+        before = len(tracer)
+        run_grid(small_tasks()[:2], jobs=2)
+        assert len(tracer) == before
+
+
+class TestManifestBuilder:
+    def test_outcomes_sum_to_grid_size(self):
+        builder = ManifestBuilder("sweep", registry=MetricsRegistry())
+        tasks = small_tasks()
+        results = run_grid(tasks, jobs=1)
+        builder.add_results(tasks, results)
+        manifest = builder.build(span_events=[])
+        outcomes = manifest["outcomes"]
+        assert (
+            outcomes["store_hits"]
+            + outcomes["store_misses"]
+            + outcomes["analytic_pruned"]
+            + outcomes["skipped"]
+            == manifest["grid"]["cells"]
+            == len(tasks)
+        )
+
+    def test_errors_counted_as_store_misses(self):
+        builder = ManifestBuilder("sweep", registry=MetricsRegistry())
+        tasks = [
+            SweepTask(key="bad", workload="no-such-workload", config=StreamConfig.jouppi())
+        ]
+        builder.add_results(tasks, run_grid(tasks, jobs=1))
+        outcomes = builder.build(span_events=[])["outcomes"]
+        assert outcomes["errors"] == 1
+        assert outcomes["store_misses"] == 1
+
+    def test_phase_times_aggregates_x_events(self):
+        events = [
+            {"name": "cell", "ph": "X", "ts": 0, "dur": 2000, "pid": 1, "tid": 1},
+            {"name": "cell", "ph": "X", "ts": 5, "dur": 4000, "pid": 2, "tid": 1},
+            {"name": "meta", "ph": "M", "ts": 0, "pid": 1, "tid": 0},
+        ]
+        times = phase_times(events)
+        assert times == {"cell": {"count": 2, "total_ms": 6.0, "max_ms": 4.0}}
+
+    def test_manifest_is_json_and_versioned(self, tmp_path):
+        builder = ManifestBuilder("sweep", argv=["--jobs", "2"], registry=MetricsRegistry())
+        path = builder.write(tmp_path, span_events=[])
+        manifest = load_manifest(path)
+        assert manifest["manifest_version"] == 1
+        assert manifest["argv"] == ["--jobs", "2"]
+        with pytest.raises(ValueError, match="manifest_version"):
+            path.write_text(json.dumps({"manifest_version": 99}))
+            load_manifest(path)
+
+
+class TestCliRoundTrip:
+    def test_obs_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--trace-out", "t.json", "--manifest", "runs"]
+        )
+        assert args.trace_out == "t.json"
+        assert args.manifest == "runs"
+        args = build_parser().parse_args(["compare", "sweep", "--trace-out", "t.json"])
+        assert args.trace_out == "t.json"
+
+    def test_sweep_writes_valid_trace_and_manifest(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        manifest_dir = tmp_path / "runs"
+        code = main(
+            [
+                "sweep",
+                "--workloads", "sweep", "stride",
+                "--n-streams", "1", "2",
+                "--scale", str(SCALE),
+                "--trace-out", str(trace_path),
+                "--manifest", str(manifest_dir),
+            ]
+        )
+        assert code == 0
+        assert not get_tracer().enabled  # session restored the toggle
+
+        doc = json.loads(trace_path.read_text())
+        validate_chrome_events(doc["traceEvents"])
+        cells = [e for e in doc["traceEvents"] if e.get("name") == "cell"]
+        assert len(cells) == 4  # one span per executed cell
+
+        (manifest_path,) = manifest_dir.glob("run-*.json")
+        manifest = load_manifest(manifest_path)
+        assert manifest["command"] == "sweep"
+        outcomes = manifest["outcomes"]
+        assert (
+            outcomes["store_hits"]
+            + outcomes["store_misses"]
+            + outcomes["analytic_pruned"]
+            + outcomes["skipped"]
+            == manifest["grid"]["cells"]
+            == 4
+        )
+        assert len(manifest["cells"]) == 4
+        assert "cell" in manifest["phase_times"]
+        capsys.readouterr()
+
+        # ... and `repro obs summarize` digests it back.
+        assert main(["obs", "summarize", str(manifest_path), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out
+        assert "slowest 2 cells" in out
+        assert "phase times" in out
+
+    def test_summarize_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["obs", "summarize", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read manifest" in capsys.readouterr().err
+
+    def test_summarize_text_lists_slowest_first(self):
+        manifest = {
+            "manifest_version": 1,
+            "command": "sweep",
+            "git_sha": "a" * 40,
+            "wall_time_s": 1.0,
+            "grid": {"cells": 2},
+            "outcomes": {"store_hits": 1, "store_misses": 1},
+            "cells": [
+                {"key": ["a", 1], "workload": "a", "ok": True, "error": "",
+                 "wall_time_s": 0.1, "worker": 1, "source": "store"},
+                {"key": ["b", 2], "workload": "b", "ok": True, "error": "",
+                 "wall_time_s": 0.9, "worker": 2, "source": "replayed"},
+            ],
+            "store_io": {"read_bytes": 10, "written_bytes": 0},
+            "phase_times": {},
+            "meta": {},
+        }
+        text = summarize(manifest, top=1)
+        assert '["b", 2]' in text
+        assert '["a", 1]' not in text  # top=1 keeps only the slowest
