@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-quick obs-smoke obs-bench profile-bench check-diff check-diff-long exhibits examples serve smoke-service clean
+.PHONY: install test bench bench-quick obs-smoke obs-bench profile-bench vector-bench vector-smoke check-diff check-diff-long exhibits examples serve smoke-service clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -33,6 +33,18 @@ obs-bench:
 # grid; timings land in BENCH_PR4.json (docs/analytic.md).
 profile-bench:
 	PYTHONPATH=src python benchmarks/bench_profile.py
+
+# Vector engine gate alone (also runs as part of bench-quick): scalar
+# vs batch l1.simulate span times and the warm jobs=1 sweep wall time,
+# bit-identical across engines, BENCH_PR6.json (docs/vectorized.md).
+vector-bench:
+	PYTHONPATH=src python benchmarks/bench_vector.py
+
+# Vector differ stage on a small corpus: the batch engines of
+# repro.sim.vector vs their scalar counterparts, first-diverging-event
+# reports (`repro check --replay vector:SEED` reproduces one).
+vector-smoke:
+	PYTHONPATH=src python -m repro check --seeds 50 --no-registry --stages vector
 
 # Differential check: optimized simulators vs the golden reference
 # models over a fixed random corpus (docs/modeling.md).  Fails on any

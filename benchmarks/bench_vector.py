@@ -1,0 +1,240 @@
+"""Vector engine gate: scalar vs batch replay on the replication grid.
+
+Two measurements against the warm replication grid (the same 40 cells
+as ``bench_quick``), both engine-for-engine with everything else held
+fixed —
+
+* **l1.simulate span time**: each workload's trace is built once, then
+  ``simulate_l1`` runs under each engine with tracing enabled and the
+  ``l1.simulate`` span durations are compared (min over repeats).  The
+  scalar side pays consecutive-same-block compression plus the
+  per-access ``Cache.simulate`` loop; the vector side the set-local
+  collapse plus the residue loop (see docs/vectorized.md).
+* **warm jobs=1 sweep wall time**: the PR 5 trajectory number (6.4 s in
+  ``BENCH_PR5.json``) re-measured per engine — miss traces hydrated in
+  memory, every cell's stream replay running for real.
+
+Both must be bit-identical across engines, and the speedups must clear
+the gate floors below.  ISSUE 6 asked for a 10x ``l1.simulate`` target;
+the measured ceiling of this trace family is lower because the
+replacement-state residue is RNG-serialized (every set shares one
+``random.Random`` stream, so draw order is a global sequential
+dependency) — the gate pins the robustly reproducible floor and
+``BENCH_PR6.json`` records both the target and what was achieved; the
+irreducibility argument lives in docs/vectorized.md.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_vector.py``
+or ``make vector-bench``) or as the sixth phase of ``make bench-quick``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.spans import set_tracing
+from repro.sim.parallel import TaskError, run_grid
+from repro.sim.runner import MissTraceCache, simulate_l1
+from repro.sim.vector import ENGINE_ENV_VAR, ENGINE_SCALAR, ENGINE_VECTOR
+from repro.trace.store import TraceStore
+from repro.workloads import get_workload
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+
+#: The PR 5 trajectory anchor: BENCH_PR5.json's ``disabled_min`` as
+#: committed by PR 5 (scalar engines).  Pinned rather than read from the
+#: live file, which later bench runs rewrite with current-engine times.
+PR5_BASELINE_S = 6.3921
+
+#: Gate floors: robustly reproducible on the replication grid (the
+#: measured ratios sit well above these; see module docstring for why
+#: the ISSUE's 10x aspiration is not the gate).
+MIN_L1_SPEEDUP = 1.8
+MIN_SWEEP_SPEEDUP = 1.8
+ISSUE_TARGET_L1_SPEEDUP = 10.0
+REPEATS = 3
+
+
+def _l1_span_ms(workload, engine: str) -> float:
+    """One traced ``simulate_l1`` pass; returns the l1.simulate span ms."""
+    tracer = set_tracing(True)
+    tracer.clear()
+    try:
+        simulate_l1(workload, engine=engine)
+        events = tracer.events()
+    finally:
+        tracer.enabled = False
+        tracer.clear()
+    return sum(e["dur"] for e in events if e["name"] == "l1.simulate") / 1000.0
+
+
+def l1_probe(workload_names) -> dict:
+    """Per-workload scalar-vs-vector ``l1.simulate`` span times (warm)."""
+    per_workload = {}
+    scalar_total = 0.0
+    vector_total = 0.0
+    for name in workload_names:
+        workload = get_workload(name)
+        workload.trace()  # memoize the trace build out of the measurement
+
+        scalar_trace, scalar_summary = simulate_l1(workload, engine=ENGINE_SCALAR)
+        vector_trace, vector_summary = simulate_l1(workload, engine=ENGINE_VECTOR)
+        if not (
+            np.array_equal(scalar_trace.addrs, vector_trace.addrs)
+            and np.array_equal(scalar_trace.kinds, vector_trace.kinds)
+            and scalar_summary == vector_summary
+        ):
+            raise SystemExit(f"bench_vector: engines diverge on workload {name}")
+
+        scalar_ms = min(_l1_span_ms(workload, ENGINE_SCALAR) for _ in range(REPEATS))
+        vector_ms = min(_l1_span_ms(workload, ENGINE_VECTOR) for _ in range(REPEATS))
+        per_workload[name] = {
+            "scalar_ms": round(scalar_ms, 1),
+            "vector_ms": round(vector_ms, 1),
+            "speedup": round(scalar_ms / vector_ms, 2),
+        }
+        scalar_total += scalar_ms
+        vector_total += vector_ms
+    return {
+        "per_workload": per_workload,
+        "scalar_total_ms": round(scalar_total, 1),
+        "vector_total_ms": round(vector_total, 1),
+        "speedup": round(scalar_total / vector_total, 2),
+    }
+
+
+def _hydrated_cache(tasks, store: TraceStore) -> MissTraceCache:
+    """Every task's miss trace in memory, store detached (as bench_obs)."""
+    cache = MissTraceCache(store=store)
+    for task in tasks:
+        cache.get(task.workload, scale=task.scale, seed=task.seed)
+    cache.store = None
+    return cache
+
+
+def _sweep_pass(tasks, cache: MissTraceCache) -> tuple:
+    started = time.perf_counter()
+    results = run_grid(tasks, jobs=1, cache=cache)
+    elapsed = time.perf_counter() - started
+    errors = [r for r in results if isinstance(r, TaskError)]
+    if errors:
+        raise SystemExit(f"bench_vector: {len(errors)} cells failed: {errors[0]}")
+    return elapsed, [r.streams for r in results]
+
+
+def sweep_probe(tasks, store: TraceStore) -> dict:
+    """Warm jobs=1 sweep wall time per engine (the PR 5 trajectory number)."""
+    cache = _hydrated_cache(tasks, store)
+    times = {}
+    stats = {}
+    saved = os.environ.get(ENGINE_ENV_VAR)
+    try:
+        for engine in (ENGINE_SCALAR, ENGINE_VECTOR):
+            os.environ[ENGINE_ENV_VAR] = engine
+            _sweep_pass(tasks, cache)  # warm this engine's replay path once
+            best = None
+            for _ in range(REPEATS):
+                elapsed, streams = _sweep_pass(tasks, cache)
+                best = elapsed if best is None else min(best, elapsed)
+            times[engine] = best
+            stats[engine] = streams
+    finally:
+        if saved is None:
+            os.environ.pop(ENGINE_ENV_VAR, None)
+        else:
+            os.environ[ENGINE_ENV_VAR] = saved
+    identical = stats[ENGINE_SCALAR] == stats[ENGINE_VECTOR]
+    if not identical:
+        raise SystemExit("bench_vector: sweep stream stats diverge across engines")
+
+    return {
+        "cells": len(tasks),
+        "scalar_s": round(times[ENGINE_SCALAR], 3),
+        "vector_s": round(times[ENGINE_VECTOR], 3),
+        "speedup": round(times[ENGINE_SCALAR] / times[ENGINE_VECTOR], 2),
+        "pr5_baseline_s": PR5_BASELINE_S,
+    }
+
+
+def vector_probe(tasks, store: TraceStore) -> dict:
+    """Run both probes, print the gate verdict, write ``BENCH_PR6.json``."""
+    workload_names = sorted({task.workload for task in tasks})
+    l1 = l1_probe(workload_names)
+    sweep = sweep_probe(tasks, store)
+
+    ok = l1["speedup"] >= MIN_L1_SPEEDUP and sweep["speedup"] >= MIN_SWEEP_SPEEDUP
+    print(
+        f"{'l1.simulate span':24s} {l1['scalar_total_ms']:7.0f}ms scalar ->"
+        f" {l1['vector_total_ms']:5.0f}ms vector  ({l1['speedup']:.1f}x,"
+        f" gate >= {MIN_L1_SPEEDUP}x, issue target {ISSUE_TARGET_L1_SPEEDUP:.0f}x)"
+    )
+    baseline = (
+        f", PR5 baseline {sweep['pr5_baseline_s']:.1f}s"
+        if sweep["pr5_baseline_s"]
+        else ""
+    )
+    print(
+        f"{'warm sweep jobs=1':24s} {sweep['scalar_s']:7.2f}s scalar ->"
+        f" {sweep['vector_s']:5.2f}s vector  ({sweep['speedup']:.1f}x,"
+        f" gate >= {MIN_SWEEP_SPEEDUP}x{baseline})"
+    )
+    print(f"vector engine gate: {'PASS' if ok else 'FAIL'} (bit-identical: True)")
+
+    payload = {
+        "pr": 6,
+        "benchmark": "bench_vector: scalar vs batch replay engines (repro.sim.vector)",
+        "grid": {"cells": len(tasks), "workloads": workload_names, "repeats": REPEATS},
+        "l1_simulate_span": l1,
+        "warm_sweep_jobs1": sweep,
+        "gates": {
+            "min_l1_speedup": MIN_L1_SPEEDUP,
+            "min_sweep_speedup": MIN_SWEEP_SPEEDUP,
+            "issue_target_l1_speedup": ISSUE_TARGET_L1_SPEEDUP,
+        },
+        "bit_identical": True,
+        "notes": (
+            "L1 residue loop is RNG-serialized (one shared random.Random "
+            "across all sets), bounding the honest l1.simulate speedup below "
+            "the issue's 10x aspiration; see docs/vectorized.md."
+        ),
+        "pass": ok,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    return payload
+
+
+def main() -> int:
+    from bench_quick import build_tasks  # same replication grid as PR 1's gate
+
+    tasks = build_tasks()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-vector-") as store_dir:
+        store = TraceStore(store_dir)
+        print(f"grid: {len(tasks)} cells; populating store ...")
+        run_grid(tasks, jobs=4, store=store)
+        payload = vector_probe(tasks, store)
+    if not payload["pass"]:
+        print(
+            "FAIL: vector engine speedup below gate "
+            f"(l1 {payload['l1_simulate_span']['speedup']}x, "
+            f"sweep {payload['warm_sweep_jobs1']['speedup']}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,7 +41,7 @@ from repro.caches.cache import MissTrace
 from repro.caches.sampling import SamplingPlan, sampling_halfwidth
 from repro.caches.secondary import PAPER_L2_SIZES
 from repro.core.config import StreamConfig
-from repro.core.prefetcher import StreamPrefetcher
+from repro.sim.vector import replay_streams
 from repro.obs.metrics import engine_registry
 from repro.obs.spans import get_tracer
 from repro.sim.compare import (
@@ -108,7 +108,7 @@ def min_matching_l2_size_analytic(
     config = stream_config if stream_config is not None else StreamConfig.non_unit()
     name, scale, seed, _ = resolve_workload_ref(workload, scale, seed)
     miss_trace, _ = cache.get(workload, scale=scale, seed=seed)
-    stream_stats = StreamPrefetcher(config).run(miss_trace)
+    stream_stats = replay_streams(config, miss_trace)
     target = stream_stats.hit_rate
 
     digest = None

@@ -17,6 +17,7 @@ import enum
 import random
 from collections import OrderedDict
 from dataclasses import dataclass
+from functools import cached_property
 from itertools import repeat
 from typing import List, Optional, Tuple
 
@@ -171,6 +172,31 @@ class MissTrace:
     @property
     def n_writebacks(self) -> int:
         return int(np.count_nonzero(self.kinds == int(MissEventKind.WRITEBACK)))
+
+    @cached_property
+    def _kind_flags(self) -> Tuple[bool, bool]:
+        """(has write-backs, has instruction-fetch misses), one scan.
+
+        Cached on the instance so a miss trace replayed across a whole
+        stream-configuration sweep scans its kind array once, not per
+        replay (``cached_property`` writes into ``__dict__`` directly,
+        so it works on this frozen dataclass).
+        """
+        kinds = self.kinds
+        return (
+            bool(np.any(kinds == int(MissEventKind.WRITEBACK))),
+            bool(np.any(kinds == int(MissEventKind.IFETCH_MISS))),
+        )
+
+    @property
+    def has_writebacks(self) -> bool:
+        """Whether any event is a write-back (cached after first scan)."""
+        return self._kind_flags[0]
+
+    @property
+    def has_ifetch_misses(self) -> bool:
+        """Whether any event is an instruction fetch (cached)."""
+        return self._kind_flags[1]
 
     def misses_only(self) -> "MissTrace":
         """The demand-fetch sub-stream (write-backs removed)."""

@@ -70,7 +70,7 @@ class SplitL1:
         data-only delegation path.
         """
         ifetch_kind = int(AccessKind.IFETCH)
-        if not np.any(trace.kinds == ifetch_kind):
+        if not trace.has_ifetch:
             return self.dcache.simulate(trace, weights=weights, dirty=dirty)
 
         if dirty is not None:

@@ -21,23 +21,33 @@ Three stages:
 * :func:`diff_analytic` — the stack-distance profiler's fully-associative
   LRU hit counts (:mod:`repro.analytic.profile`) vs driving a
   one-set :class:`~repro.check.oracle.RefCache` with L2 semantics over
-  the same trace — Mattson's theorem, checked bit-for-bit.
+  the same trace — Mattson's theorem, checked bit-for-bit;
+* :func:`diff_vector` — the batch engines of :mod:`repro.sim.vector`
+  (L1, stream replay, sampled L2 probe) vs their scalar counterparts on
+  configurations coerced into the vector support envelope
+  (``repro check --replay vector:SEED``).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.caches.cache import CacheConfig, MissEventKind, MissTrace
+from repro.caches.cache import Cache, CacheConfig, MissEventKind, MissTrace
+from repro.caches.secondary import simulate_secondary
 from repro.check import oracle
 from repro.core.bank import Lookup
 from repro.core.config import StreamConfig, StrideDetector
 from repro.core.prefetcher import StreamPrefetcher
 from repro.sim.runner import simulate_l1
+from repro.sim.vector import (
+    vector_replay_streams,
+    vector_simulate_cache,
+    vector_simulate_secondary,
+)
 from repro.trace.events import Trace
 from repro.workloads.base import BenchmarkInfo, Workload, get_workload
 
@@ -51,10 +61,12 @@ __all__ = [
     "diff_l1",
     "diff_streams",
     "diff_analytic",
+    "diff_vector",
     "diff_registry_workload",
     "check_seed",
     "run_corpus",
     "DEFAULT_REGISTRY_WORKLOADS",
+    "DEFAULT_STAGES",
 ]
 
 
@@ -545,6 +557,163 @@ def diff_analytic(seed: int, n_events: int = 2500) -> Optional[Divergence]:
     return None
 
 
+_STREAM_COUNTER_NAMES = (
+    "demand_misses",
+    "stream_hits",
+    "in_flight_matches",
+    "ifetch_misses",
+    "writebacks",
+    "invalidations",
+    "prefetches_issued",
+    "prefetches_used",
+    "allocations",
+    "unit_filter_hits",
+    "unit_filter_misses",
+    "detector_hits",
+)
+
+
+def diff_vector(seed: int, n_events: int = 2500) -> Optional[Divergence]:
+    """One seeded vector-vs-scalar engine check (:mod:`repro.sim.vector`).
+
+    Three sub-checks share the seed: the batch L1 engine vs the scalar
+    :class:`~repro.caches.cache.Cache` over a random write-back,
+    write-allocate geometry; the flat stream-replay engine vs
+    :meth:`~repro.core.prefetcher.StreamPrefetcher.run` over a random
+    non-partitioned window config; and the sampled vector L2 probe vs
+    :func:`~repro.caches.secondary.simulate_secondary`.  Random
+    configurations are coerced *into* each engine's support envelope —
+    anything outside it falls back to scalar in production, so only the
+    envelope needs differential coverage.  ``force=True`` keeps the
+    vector engines live even under ``REPRO_CHECK=1``, where they
+    normally stand down in favour of the instrumented scalar paths.
+    """
+    rng = random.Random(seed * 2246822507 % (1 << 31))
+
+    # -- L1: batch engine vs scalar Cache ------------------------------
+    config = replace(random_cache_config(rng), write_back=True, write_allocate=True)
+    trace = random_trace(rng, n_events)
+    context = f"l1 config={config}"
+    vectorized = vector_simulate_cache(config, trace, force=True)
+    if vectorized is None:
+        return Divergence(
+            stage="vector",
+            seed=seed,
+            what="l1 engine gate",
+            optimized="None (engine refused a supported configuration)",
+            expected="(miss_trace, stats)",
+            context=context,
+        )
+    vec_trace, vec_stats = vectorized
+    scalar = Cache(config)
+    ref_trace = scalar.simulate(trace)
+    divergence = _compare_events(
+        "vector",
+        seed,
+        vec_trace.addrs.tolist(),
+        vec_trace.kinds.tolist(),
+        list(zip(ref_trace.addrs.tolist(), ref_trace.kinds.tolist())),
+        context,
+    )
+    if divergence is not None:
+        return divergence
+    ref_stats = scalar.stats
+    divergence = _compare_counters(
+        "vector",
+        seed,
+        [
+            ("l1.accesses", vec_stats.accesses, ref_stats.accesses),
+            ("l1.hits", vec_stats.hits, ref_stats.hits),
+            ("l1.misses", vec_stats.misses, ref_stats.misses),
+            ("l1.read_misses", vec_stats.read_misses, ref_stats.read_misses),
+            ("l1.write_misses", vec_stats.write_misses, ref_stats.write_misses),
+            ("l1.writebacks", vec_stats.writebacks, ref_stats.writebacks),
+        ],
+        context,
+    )
+    if divergence is not None:
+        return divergence
+
+    # -- streams: flat replay engine vs StreamPrefetcher.run -----------
+    stream_config = replace(
+        random_stream_config(rng),
+        partitioned=False,
+        lookup_depth=1,
+        min_lead=0,
+        stride_detector=StrideDetector.NONE,
+    )
+    miss_trace = random_miss_trace(rng, n_events, block_bits=stream_config.block_bits)
+    context = f"stream config={stream_config}"
+    vec_streams = vector_replay_streams(stream_config, miss_trace, force=True)
+    if vec_streams is None:
+        return Divergence(
+            stage="vector",
+            seed=seed,
+            what="stream engine gate",
+            optimized="None (engine refused a supported configuration)",
+            expected="StreamStats",
+            context=context,
+        )
+    ref_streams = StreamPrefetcher(stream_config).run(miss_trace)
+    pairs: List[Tuple[str, object, object]] = [
+        (f"streams.{name}", getattr(vec_streams, name), getattr(ref_streams, name))
+        for name in _STREAM_COUNTER_NAMES
+    ]
+    pairs += [
+        (
+            "streams.lengths.hits_by_bucket",
+            dict(vec_streams.lengths.hits_by_bucket),
+            dict(ref_streams.lengths.hits_by_bucket),
+        ),
+        (
+            "streams.lengths.streams_by_bucket",
+            dict(vec_streams.lengths.streams_by_bucket),
+            dict(ref_streams.lengths.streams_by_bucket),
+        ),
+        (
+            "streams.lengths.zero_length_streams",
+            vec_streams.lengths.zero_length_streams,
+            ref_streams.lengths.zero_length_streams,
+        ),
+    ]
+    divergence = _compare_counters("vector", seed, pairs, context)
+    if divergence is not None:
+        return divergence
+
+    # -- secondary: sampled vector probe vs simulate_secondary ---------
+    l2_config = replace(random_cache_config(rng), write_back=True, write_allocate=True)
+    sample_every = rng.choice([1, 2, 4, 8])
+    context = f"l2 config={l2_config} sample_every={sample_every}"
+    vec_l2 = vector_simulate_secondary(
+        miss_trace, l2_config, sample_every=sample_every, force=True
+    )
+    if vec_l2 is None:
+        return Divergence(
+            stage="vector",
+            seed=seed,
+            what="secondary engine gate",
+            optimized="None (engine refused a supported configuration)",
+            expected="SecondaryResult",
+            context=context,
+        )
+    ref_l2 = simulate_secondary(miss_trace, l2_config, sample_every=sample_every)
+    return _compare_counters(
+        "vector",
+        seed,
+        [
+            ("l2.demand_accesses", vec_l2.demand_accesses, ref_l2.demand_accesses),
+            ("l2.demand_hits", vec_l2.demand_hits, ref_l2.demand_hits),
+            (
+                "l2.writebacks_received",
+                vec_l2.writebacks_received,
+                ref_l2.writebacks_received,
+            ),
+            ("l2.sampled_sets", vec_l2.sampled_sets, ref_l2.sampled_sets),
+        ],
+        context,
+    )
+
+
 #: Small, structurally diverse slice of the registry for corpus runs.
 DEFAULT_REGISTRY_WORKLOADS = ("cgm", "mgrid", "trfd")
 
@@ -616,18 +785,28 @@ def diff_registry_workload(
 # -- corpus driver ----------------------------------------------------------
 
 
-def check_seed(seed: int, n_events: int = 2500) -> List[Divergence]:
+#: Per-seed stage registry: name -> diff function.  ``--replay`` and the
+#: corpus driver both dispatch through this table.
+STAGE_FUNCTIONS = {
+    "l1": diff_l1,
+    "streams": diff_streams,
+    "analytic": diff_analytic,
+    "vector": diff_vector,
+}
+
+#: Stages a default corpus run exercises per seed, in order.
+DEFAULT_STAGES = ("l1", "streams", "analytic", "vector")
+
+
+def check_seed(
+    seed: int, n_events: int = 2500, stages: Sequence[str] = DEFAULT_STAGES
+) -> List[Divergence]:
     """Run the random-trace stages for one seed."""
     found = []
-    divergence = diff_l1(seed, n_events=n_events)
-    if divergence is not None:
-        found.append(divergence)
-    divergence = diff_streams(seed, n_events=n_events)
-    if divergence is not None:
-        found.append(divergence)
-    divergence = diff_analytic(seed, n_events=n_events)
-    if divergence is not None:
-        found.append(divergence)
+    for stage in stages:
+        divergence = STAGE_FUNCTIONS[stage](seed, n_events=n_events)
+        if divergence is not None:
+            found.append(divergence)
     return found
 
 
@@ -638,14 +817,20 @@ def run_corpus(
     registry: bool = True,
     registry_scale: float = 0.05,
     registry_workloads: Sequence[str] = DEFAULT_REGISTRY_WORKLOADS,
+    stages: Sequence[str] = DEFAULT_STAGES,
     progress=None,
 ) -> CheckReport:
     """Run the full differential corpus; collect every divergence."""
+    unknown = [stage for stage in stages if stage not in STAGE_FUNCTIONS]
+    if unknown:
+        raise ValueError(
+            f"unknown stages {unknown}; choose from {sorted(STAGE_FUNCTIONS)}"
+        )
     report = CheckReport()
     for seed in range(seed_start, seed_start + seeds):
-        report.divergences.extend(check_seed(seed, n_events=n_events))
+        report.divergences.extend(check_seed(seed, n_events=n_events, stages=stages))
         report.seeds_checked += 1
-        report.stages_run += 3
+        report.stages_run += len(stages)
         if progress is not None and (seed - seed_start + 1) % 25 == 0:
             progress(f"  {seed - seed_start + 1}/{seeds} seeds checked")
     if registry:

@@ -25,6 +25,7 @@ accept ``--trace-out FILE`` (Perfetto-loadable span trace) and
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -32,6 +33,7 @@ from typing import List, Optional
 from repro.core.config import StreamConfig, StrideDetector
 from repro.reporting import experiments
 from repro.sim.runner import MissTraceCache, run_result
+from repro.sim.vector import ENGINE_ENV_VAR, ENGINES
 from repro.trace.stats import profile_trace
 from repro.trace.store import TraceStore
 from repro.workloads import all_benchmarks, get_workload
@@ -249,11 +251,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="scale for the registry workload stages",
     )
     check.add_argument(
+        "--stages",
+        default=None,
+        metavar="LIST",
+        help="comma-separated per-seed stages to run (default: "
+        "l1,streams,analytic,vector)",
+    )
+    check.add_argument(
         "--replay",
         default=None,
         metavar="STAGE:SEED",
-        help="re-run one diverging stage (l1:SEED, streams:SEED or "
-        "analytic:SEED) and exit",
+        help="re-run one diverging stage (l1:SEED, streams:SEED, "
+        "analytic:SEED or vector:SEED) and exit",
     )
 
     obs = sub.add_parser(
@@ -288,6 +297,14 @@ def _add_engine_flags(command: argparse.ArgumentParser) -> None:
         default=None,
         metavar="PATH",
         help="persistent miss-trace/result store directory (reused across runs)",
+    )
+    command.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="replay engine: 'vector' (batch, the default) or 'scalar' "
+        "(per-event reference loops); exported as REPRO_ENGINE so worker "
+        "processes inherit it (see docs/vectorized.md)",
     )
 
 
@@ -676,24 +693,32 @@ def _cmd_check(args: argparse.Namespace) -> int:
         except ValueError:
             print(f"bad --replay {args.replay!r}; expected STAGE:SEED", file=sys.stderr)
             return 2
-        if stage == "l1":
-            divergence = differ.diff_l1(seed, n_events=args.events)
-        elif stage == "streams":
-            divergence = differ.diff_streams(seed, n_events=args.events)
-        elif stage == "analytic":
-            divergence = differ.diff_analytic(seed, n_events=args.events)
-        else:
+        diff_fn = differ.STAGE_FUNCTIONS.get(stage)
+        if diff_fn is None:
             print(
-                f"unknown replay stage {stage!r}; use l1, streams or analytic",
+                f"unknown replay stage {stage!r}; use one of "
+                + ", ".join(sorted(differ.STAGE_FUNCTIONS)),
                 file=sys.stderr,
             )
             return 2
+        divergence = diff_fn(seed, n_events=args.events)
         if divergence is None:
             print(f"{stage}:{seed}: no divergence")
             return 0
         print(divergence)
         return 1
 
+    stages = differ.DEFAULT_STAGES
+    if args.stages:
+        stages = tuple(name.strip() for name in args.stages.split(",") if name.strip())
+        unknown = [name for name in stages if name not in differ.STAGE_FUNCTIONS]
+        if unknown:
+            print(
+                f"unknown stages {unknown}; use a comma-separated subset of "
+                + ", ".join(sorted(differ.STAGE_FUNCTIONS)),
+                file=sys.stderr,
+            )
+            return 2
     started = time.perf_counter()
     report = differ.run_corpus(
         seeds=args.seeds,
@@ -701,6 +726,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         n_events=args.events,
         registry=not args.no_registry,
         registry_scale=args.registry_scale,
+        stages=stages,
         progress=print,
     )
     elapsed = time.perf_counter() - started
@@ -730,6 +756,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "engine", None):
+        # Through the environment rather than plumbed arguments so that
+        # spawn-based worker processes make the same engine choice.
+        os.environ[ENGINE_ENV_VAR] = args.engine
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":

@@ -193,7 +193,7 @@ class StreamPrefetcher:
         wb_kind = int(MissEventKind.WRITEBACK)
         ifetch_kind = int(MissEventKind.IFETCH_MISS)
         kinds = miss_trace.kinds
-        if not bool(np.any((kinds == wb_kind) | (kinds == ifetch_kind))):
+        if not (miss_trace.has_writebacks or miss_trace.has_ifetch_misses):
             # Fast path: a pure demand-miss stream (no write-backs, no
             # instruction fetches) needs no per-event kind dispatch — every
             # event is a data miss on the data lane.  Semantics are

@@ -30,7 +30,7 @@ from repro.core.prefetcher import StreamStats
 from repro.obs.metrics import engine_registry
 from repro.obs.spans import get_tracer
 from repro.sim.runner import MissTraceCache, default_cache, resolve_workload_ref
-from repro.core.prefetcher import StreamPrefetcher
+from repro.sim.vector import replay_streams
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -204,7 +204,7 @@ def min_matching_l2_size(
     # Provenance must match the simulation: an instance's own scale wins.
     name, scale, seed, _ = resolve_workload_ref(workload, scale, seed)
     miss_trace, _ = cache.get(workload, scale=scale, seed=seed)
-    stream_stats = StreamPrefetcher(config).run(miss_trace)
+    stream_stats = replay_streams(config, miss_trace)
     target = stream_stats.hit_rate
 
     sizes_sorted = sorted(sizes)

@@ -34,11 +34,12 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Union
 
 from repro.caches.cache import CacheConfig
 from repro.core.config import StreamConfig
-from repro.core.prefetcher import StreamPrefetcher, StreamStats
+from repro.core.prefetcher import StreamStats
 from repro.obs.metrics import engine_registry
 from repro.obs.spans import get_tracer
 from repro.sim.results import RunResult
 from repro.sim.runner import MissTraceCache, resolve_workload_ref
+from repro.sim.vector import replay_streams
 from repro.trace.store import TraceStore, result_digest
 from repro.workloads.base import Workload
 
@@ -167,7 +168,7 @@ def _run_one(task: SweepTask, cache: MissTraceCache) -> Union[RunResult, TaskErr
             if stats is None:
                 source = "replayed"
                 with get_tracer().span("stream.replay", workload=name):
-                    stats = StreamPrefetcher(task.config).run(miss_trace)
+                    stats = replay_streams(task.config, miss_trace)
                 if store is not None:
                     store.save_result(digest, stats)
         wall = time.perf_counter() - started

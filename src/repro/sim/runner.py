@@ -33,9 +33,15 @@ from repro.obs.events import StoreEvent, record_event
 from repro.obs.metrics import engine_registry
 from repro.obs.spans import get_tracer
 from repro.core.config import StreamConfig
-from repro.core.prefetcher import StreamPrefetcher, StreamStats
+from repro.core.prefetcher import StreamStats
 from repro.mem.address import AddressSpace
 from repro.sim.results import L1Summary, RunResult
+from repro.sim.vector import (
+    ENGINE_VECTOR,
+    replay_streams,
+    resolve_engine,
+    vector_simulate_cache,
+)
 from repro.trace.compress import compress_consecutive
 from repro.trace.events import AccessKind, Trace
 from repro.trace.store import TraceStore, canonical_scale, trace_digest
@@ -126,6 +132,7 @@ class MissTraceCache:
         store: Optional[TraceStore] = None,
         max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
         hooks: Optional[Callable[[str], None]] = None,
+        engine: Optional[str] = None,
     ):
         if max_entries is not None and max_entries <= 0:
             raise ValueError(f"max_entries must be positive or None, got {max_entries}")
@@ -134,6 +141,10 @@ class MissTraceCache:
         self.store = store
         self.max_entries = max_entries
         self.hooks = hooks
+        # Engine choice never enters cache keys or store digests: the
+        # vector engine is bit-identical to the scalar one, so entries
+        # are interchangeable (None = resolve per call via REPRO_ENGINE).
+        self.engine = engine
         self._entries: "OrderedDict[_Key, Tuple[MissTrace, L1Summary]]" = OrderedDict()
         self._lock = threading.Lock()
         self.evictions = 0
@@ -182,7 +193,9 @@ class MissTraceCache:
         if instance is None:
             instance = get_workload(name, scale=scale, seed=seed)
         started = time.perf_counter()
-        result = simulate_l1(instance, self.l1_config, keep_pcs=self.keep_pcs)
+        result = simulate_l1(
+            instance, self.l1_config, keep_pcs=self.keep_pcs, engine=self.engine
+        )
         computed_s = time.perf_counter() - started
         if self.store is not None:
             self.store.save_trace(digest, *result)
@@ -250,21 +263,25 @@ def simulate_l1(
     workload: Workload,
     l1_config: Optional[CacheConfig] = None,
     keep_pcs: bool = False,
+    engine: Optional[str] = None,
 ) -> Tuple[MissTrace, L1Summary]:
     """Run a workload's trace through the primary cache.
 
-    Data-only traces through a write-back write-allocate cache run
-    through a single D-cache with exact consecutive-same-block
-    compression (the collapsed runs' kinds and dirtiness are preserved —
-    see :mod:`repro.trace.compress`); other write policies and traces
+    With the default ``vector`` engine, data-only traces through a
+    write-back write-allocate cache run through the batch engine of
+    :mod:`repro.sim.vector` (set-local run collapse + residue replay,
+    bit-identical to the scalar cache).  The scalar engine uses a single
+    D-cache with exact consecutive-same-block compression (see
+    :mod:`repro.trace.compress`); other write policies and traces
     containing instruction fetches simulate the raw trace.  Synthetic
     PCs are stripped unless ``keep_pcs`` (they are only needed by
-    PC-indexed baselines and disable the L1 fast path).
+    PC-indexed baselines and disable the L1 fast paths).
     """
     config = l1_config if l1_config is not None else CacheConfig.paper_l1()
+    engine = resolve_engine(engine)
     started = time.perf_counter()
-    with get_tracer().span("l1.simulate", workload=workload.name):
-        result = _simulate_l1(workload, config, keep_pcs)
+    with get_tracer().span("l1.simulate", workload=workload.name, engine=engine):
+        result = _simulate_l1(workload, config, keep_pcs, engine)
     engine_registry().histogram(
         "engine_l1_sim_ms", "wall time of one L1 miss-trace simulation"
     ).observe(1e3 * (time.perf_counter() - started))
@@ -272,12 +289,12 @@ def simulate_l1(
 
 
 def _simulate_l1(
-    workload: Workload, config: CacheConfig, keep_pcs: bool
+    workload: Workload, config: CacheConfig, keep_pcs: bool, engine: str = ENGINE_VECTOR
 ) -> Tuple[MissTrace, L1Summary]:
     trace = workload.trace()
+    has_ifetch = trace.has_ifetch  # cached on the memoized trace instance
     if trace.has_pcs and not keep_pcs:
         trace = Trace(trace.addrs, trace.kinds)
-    has_ifetch = bool(np.any(trace.kinds == int(AccessKind.IFETCH)))
     if has_ifetch:
         split = SplitL1(
             SplitL1Config(icache=replace(config, seed=config.seed + 1), dcache=config)
@@ -290,6 +307,16 @@ def _simulate_l1(
             ifetch_misses=split.icache.stats.misses,
         )
         return miss_trace, summary
+    if engine == ENGINE_VECTOR:
+        vectorized = vector_simulate_cache(config, trace)
+        if vectorized is not None:
+            miss_trace, stats = vectorized
+            summary = L1Summary.from_stats(
+                stats,
+                trace_length=len(trace),
+                data_set_bytes=workload.data_set_bytes,
+            )
+            return miss_trace, summary
     cache = Cache(config)
     if config.write_back and config.write_allocate:
         space = AddressSpace(block_size=config.block_size)
@@ -329,11 +356,12 @@ def run_streams(
     scale: float = 1.0,
     seed: int = 0,
     cache: Optional[MissTraceCache] = None,
+    engine: Optional[str] = None,
 ) -> StreamStats:
     """Simulate one stream configuration over a workload's miss stream."""
     cache = cache if cache is not None else default_cache()
     miss_trace, _ = cache.get(workload, scale=scale, seed=seed)
-    return StreamPrefetcher(config).run(miss_trace)
+    return replay_streams(config, miss_trace, engine=engine)
 
 
 def run_result(
@@ -353,5 +381,5 @@ def run_result(
     cache = cache if cache is not None else default_cache()
     name, scale, seed, _ = resolve_workload_ref(workload, scale, seed)
     miss_trace, summary = cache.get(workload, scale=scale, seed=seed)
-    stats = StreamPrefetcher(config).run(miss_trace)
+    stats = replay_streams(config, miss_trace)
     return RunResult(workload=name, scale=scale, seed=seed, l1=summary, streams=stats)

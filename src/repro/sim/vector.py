@@ -1,0 +1,704 @@
+"""Vectorized batch replay engines (scalar/vector engine selector).
+
+The scalar simulators in :mod:`repro.caches.cache` and
+:mod:`repro.core.prefetcher` step access-by-access through Python loops;
+profiling (``l1.simulate`` / ``stream.replay`` spans, BENCH_PR5) shows
+those loops dominate every executed sweep cell.  This module rebuilds the
+hot paths as batch engines that stay **bit-identical** to the scalar
+code — same miss events in the same order, same statistics, same RNG
+draws — so results are interchangeable and the differential harness can
+prove equivalence (the ``vector`` stage of ``repro check``).
+
+Design (see docs/vectorized.md for the full argument):
+
+* **Set-local collapse (L1).**  An access is a *guaranteed hit* whenever
+  the previous access to the same cache set touched the same block: no
+  other block intervened in that set, so no replacement policy can have
+  evicted it, and servicing it changes no replacement state (for LRU the
+  block is already most-recent; hit-dirtiness is carried as a per-run
+  flag).  The whole trace is segmented set-locally with numpy (stable
+  argsort by set index, adjacent same-block comparison), collapsing
+  70-95% of accesses on the paper's workloads.  Only the residue — the
+  first access of each set-local run — is replayed through a tight
+  per-policy Python loop that mirrors :meth:`Cache.simulate` exactly,
+  including the shared-RNG victim draws of random replacement.  This is
+  strictly stronger than the *globally* consecutive collapse of
+  :func:`repro.trace.compress.compress_consecutive` and subsumes it.
+
+* **Flat stream replay.**  With the paper's bank semantics (head-only
+  lookup, ``min_lead`` 0, unit strides, unified lanes) a stream's FIFO is
+  always the contiguous block window ``[next - depth, next)``, so the
+  per-entry ``StreamEntry`` objects and per-stream list shuffling of
+  :class:`StreamBufferBank` can be replaced by a few ints per stream plus
+  one dict mapping head blocks to their multiplicity for O(1) miss
+  detection.  Configurations outside that family (partitioned banks,
+  ``lookup_depth`` > 1, latency model, stride detectors) fall back to the
+  scalar prefetcher.
+
+* **Sampled L2 probes.**  :func:`vector_simulate_secondary` applies the
+  set-sampling filter as one vectorized mask (the scalar loop pays full
+  loop cost even for skipped accesses) and then runs the same set-local
+  collapse; only hit/miss membership matters for the L2's counters, so
+  the residue loop is even leaner than L1's.
+
+Engine choice: callers pass ``engine="scalar"|"vector"`` or leave it to
+:func:`resolve_engine`, which reads the ``REPRO_ENGINE`` environment
+variable (inherited by sweep worker processes) and defaults to
+``vector``.  Under ``REPRO_CHECK=1`` the vector engines stand down in
+favour of the scalar code so the per-operation runtime invariants keep
+their coverage; the differ's ``vector`` stage drives the batch engines
+directly (``force=True``) so they stay differentially tested even then.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from collections import Counter, OrderedDict
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.caches.cache import CacheConfig, CacheStats, MissEventKind, MissTrace
+from repro.caches.secondary import SecondaryResult
+from repro.check import invariants as _inv
+from repro.core.config import StreamConfig, StrideDetector
+from repro.core.filters import UnitStrideFilter
+from repro.core.lengths import StreamLengthHistogram, bucket_of
+from repro.core.prefetcher import StreamPrefetcher, StreamStats
+from repro.trace.events import AccessKind, Trace
+
+__all__ = [
+    "ENGINE_SCALAR",
+    "ENGINE_VECTOR",
+    "ENGINES",
+    "ENGINE_ENV_VAR",
+    "resolve_engine",
+    "cache_vector_supported",
+    "vector_simulate_cache",
+    "streams_vector_supported",
+    "vector_replay_streams",
+    "replay_streams",
+    "secondary_vector_supported",
+    "vector_simulate_secondary",
+]
+
+ENGINE_SCALAR = "scalar"
+ENGINE_VECTOR = "vector"
+ENGINES = (ENGINE_SCALAR, ENGINE_VECTOR)
+
+#: Environment override for the default engine; sweep workers inherit it.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+DEFAULT_ENGINE = ENGINE_VECTOR
+
+_WRITE = int(AccessKind.WRITE)
+_WB = int(MissEventKind.WRITEBACK)
+_IFETCH_MISS = int(MissEventKind.IFETCH_MISS)
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve an engine choice: explicit arg > ``REPRO_ENGINE`` > vector.
+
+    Raises:
+        ValueError: for an unknown engine name.
+    """
+    choice = engine if engine else os.environ.get(ENGINE_ENV_VAR, "") or DEFAULT_ENGINE
+    if choice not in ENGINES:
+        raise ValueError(f"unknown engine {choice!r}; expected one of {ENGINES}")
+    return choice
+
+
+# ---------------------------------------------------------------------------
+# Shared set-local segmentation
+# ---------------------------------------------------------------------------
+
+
+def _collapse_set_local(
+    blocks: np.ndarray, set_mask: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Segment a block stream into set-local same-block runs.
+
+    Returns ``(kept, starts_sorted, order)`` where ``kept`` holds the
+    original indices of each run's first access in original trace order,
+    ``order`` is the stable set-grouping permutation and ``starts_sorted``
+    the run starts within that permutation (for ``reduceat`` folds).
+    Callers fold per-run payloads (dirtiness, demand counts) with
+    :func:`_fold_runs`.
+    """
+    sets = blocks & set_mask
+    if set_mask <= 0xFFFF:
+        sets = sets.astype(np.uint16)
+    order = np.argsort(sets, kind="stable")
+    sorted_blocks = blocks[order]
+    # Within one set's stable subsequence, an adjacent equal block means
+    # the previous access to this set was the same block: a guaranteed
+    # hit.  Across set boundaries blocks always differ (the set index is
+    # a function of the block), so no mask on set equality is needed.
+    dup = np.empty(len(sorted_blocks), dtype=bool)
+    if len(dup):
+        dup[0] = False
+        np.equal(sorted_blocks[1:], sorted_blocks[:-1], out=dup[1:])
+    starts_sorted = np.flatnonzero(~dup)
+    kept = np.sort(order[starts_sorted])
+    return kept, starts_sorted, order
+
+
+def _fold_runs(
+    payload_sorted: np.ndarray,
+    starts_sorted: np.ndarray,
+    order: np.ndarray,
+    kept: np.ndarray,
+    reducer,
+) -> np.ndarray:
+    """Reduce a per-access payload over set-local runs, in ``kept`` order."""
+    per_run = reducer(payload_sorted, starts_sorted)
+    full = np.empty(order.shape[0], dtype=per_run.dtype)
+    full[order[starts_sorted]] = per_run
+    return full[kept]
+
+
+# ---------------------------------------------------------------------------
+# L1 / generic set-associative cache
+# ---------------------------------------------------------------------------
+
+
+def cache_vector_supported(config: CacheConfig, trace: Trace) -> bool:
+    """Can :func:`vector_simulate_cache` replace ``Cache.simulate`` here?
+
+    The batch engine covers the dirty-collapse domain (write-back +
+    write-allocate; see :mod:`repro.trace.compress`) for all three
+    replacement policies.  PC-carrying traces keep the scalar path (miss
+    events would need per-event PC tracking), as does ``REPRO_CHECK=1``
+    so the per-access invariant hooks retain coverage.
+    """
+    return (
+        config.write_back
+        and config.write_allocate
+        and config.policy in ("random", "lru", "fifo")
+        and not trace.has_pcs
+        and not _inv.ENABLED
+    )
+
+
+def vector_simulate_cache(
+    config: CacheConfig, trace: Trace, force: bool = False
+) -> Optional[Tuple[MissTrace, CacheStats]]:
+    """Batch-simulate a set-associative cache over a raw trace.
+
+    Bit-identical to feeding ``trace`` through
+    :meth:`repro.caches.cache.Cache.simulate` (with the runner's
+    compression applied for WB+WA): same miss/write-back event stream,
+    same statistics, same RNG consumption for random replacement.
+
+    Returns:
+        ``(miss_trace, stats)``, or None when the configuration/trace is
+        outside the engine's domain (``force`` only bypasses the
+        ``REPRO_CHECK`` stand-down, for the differ's vector stage).
+    """
+    if not (
+        config.write_back
+        and config.write_allocate
+        and config.policy in ("random", "lru", "fifo")
+        and not trace.has_pcs
+    ):
+        return None
+    if _inv.ENABLED and not force:
+        return None
+
+    n = len(trace)
+    block_bits = config.block_bits
+    if n == 0:
+        return (
+            MissTrace(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint8), block_bits
+            ),
+            CacheStats(),
+        )
+
+    set_mask = config.n_sets - 1
+    blocks = trace.addrs >> block_bits
+    kept, starts_sorted, order = _collapse_set_local(blocks, set_mask)
+
+    is_write = trace.kinds == _WRITE
+    run_dirty = _fold_runs(
+        is_write[order], starts_sorted, order, kept, np.logical_or.reduceat
+    )
+    kept_write = is_write[kept].view(np.uint8)
+    # One small int per residue access: bit 0 = the miss-event kind
+    # (READ_MISS=0 / WRITE_MISS=1 == is_write), bit 1 = run dirtiness.
+    flag_col = (kept_write + 2 * (kept_write | run_dirty.view(np.uint8))).tolist()
+    block_col = blocks[kept].tolist()
+    addr_col = trace.addrs[kept].tolist()
+
+    out_addrs: List[int] = []
+    out_kinds: List[int] = []
+    if config.policy == "random":
+        _residue_random(
+            config, set_mask, block_col, flag_col, addr_col, out_addrs, out_kinds
+        )
+    else:
+        _residue_ordered(
+            config, set_mask, block_col, flag_col, addr_col, out_addrs, out_kinds
+        )
+
+    kinds_arr = np.asarray(out_kinds, dtype=np.uint8)
+    addrs_arr = np.asarray(out_addrs, dtype=np.int64)
+    read_misses = int(np.count_nonzero(kinds_arr == int(MissEventKind.READ_MISS)))
+    write_misses = int(np.count_nonzero(kinds_arr == int(MissEventKind.WRITE_MISS)))
+    misses = read_misses + write_misses
+    stats = CacheStats(
+        accesses=n,
+        hits=n - misses,
+        misses=misses,
+        read_misses=read_misses,
+        write_misses=write_misses,
+        writebacks=int(np.count_nonzero(kinds_arr == _WB)),
+    )
+    return MissTrace(addrs_arr, kinds_arr, block_bits), stats
+
+
+def _residue_random(
+    config: CacheConfig,
+    set_mask: int,
+    block_col: List[int],
+    flag_col: List[int],
+    addr_col: List[int],
+    out_addrs: List[int],
+    out_kinds: List[int],
+) -> None:
+    """Residue replay, random replacement (mirrors _simulate_fast_random).
+
+    Blocks embed their set index, so one global residency dict stands in
+    for the per-set dicts; victim draws consume ``Random(config.seed)``
+    in the same order as the scalar cache.
+    """
+    assoc = config.assoc
+    block_bits = config.block_bits
+    rng = random.Random(config.seed)
+    # randrange(assoc) is exactly _randbelow(assoc) for positive ints;
+    # binding the inner method skips the argument-parsing wrapper.
+    randbelow = getattr(rng, "_randbelow", None) or rng.randrange
+    resident: dict = {}
+    slots: List[List[int]] = [[] for _ in range(set_mask + 1)]
+    append_addr = out_addrs.append
+    append_kind = out_kinds.append
+    wb_kind = _WB
+    for block, flags, addr in zip(block_col, flag_col, addr_col):
+        if block in resident:
+            if flags > 1:
+                resident[block] = 1
+            continue
+        append_addr(addr)
+        append_kind(flags & 1)
+        set_slots = slots[block & set_mask]
+        if len(set_slots) >= assoc:
+            slot = randbelow(assoc)
+            victim = set_slots[slot]
+            if resident.pop(victim):
+                append_addr(victim << block_bits)
+                append_kind(wb_kind)
+            set_slots[slot] = block
+        else:
+            set_slots.append(block)
+        resident[block] = flags >> 1
+
+
+def _residue_ordered(
+    config: CacheConfig,
+    set_mask: int,
+    block_col: List[int],
+    flag_col: List[int],
+    addr_col: List[int],
+    out_addrs: List[int],
+    out_kinds: List[int],
+) -> None:
+    """Residue replay for LRU/FIFO (mirrors the general scalar loop)."""
+    assoc = config.assoc
+    block_bits = config.block_bits
+    lru = config.policy == "lru"
+    sets: List["OrderedDict[int, int]"] = [
+        OrderedDict() for _ in range(set_mask + 1)
+    ]
+    append_addr = out_addrs.append
+    append_kind = out_kinds.append
+    wb_kind = _WB
+    for block, flags, addr in zip(block_col, flag_col, addr_col):
+        entries = sets[block & set_mask]
+        if block in entries:
+            if lru:
+                entries.move_to_end(block)
+            if flags > 1:
+                entries[block] = 1
+            continue
+        append_addr(addr)
+        append_kind(flags & 1)
+        if len(entries) >= assoc:
+            victim, victim_dirty = entries.popitem(last=False)
+            if victim_dirty:
+                append_addr(victim << block_bits)
+                append_kind(wb_kind)
+        entries[block] = flags >> 1
+
+
+# ---------------------------------------------------------------------------
+# Stream-buffer replay
+# ---------------------------------------------------------------------------
+
+
+def streams_vector_supported(config: StreamConfig) -> bool:
+    """Is ``config`` inside the flat engine's family?
+
+    The flat engine models exactly the paper's bank: unified lanes,
+    head-only comparison, zero-latency prefetches and unit strides (no
+    stride detector), which keeps every stream's FIFO a contiguous block
+    window.  Everything else falls back to the scalar prefetcher.
+    """
+    return (
+        not config.partitioned
+        and config.lookup_depth <= 1
+        and config.min_lead == 0
+        and config.stride_detector == StrideDetector.NONE
+        and not _inv.ENABLED
+    )
+
+
+def vector_replay_streams(
+    config: StreamConfig, miss_trace: MissTrace, force: bool = False
+) -> Optional[StreamStats]:
+    """Flat-state stream-buffer replay, bit-identical to the scalar run.
+
+    Returns None when ``config`` needs the full scalar machinery
+    (``force`` only bypasses the ``REPRO_CHECK`` stand-down).
+
+    Raises:
+        ValueError: on block-geometry mismatch, like the scalar run.
+    """
+    if not (
+        not config.partitioned
+        and config.lookup_depth <= 1
+        and config.min_lead == 0
+        and config.stride_detector == StrideDetector.NONE
+    ):
+        return None
+    if _inv.ENABLED and not force:
+        return None
+    if miss_trace.block_bits != config.block_bits:
+        raise ValueError(
+            f"miss trace block_bits {miss_trace.block_bits} != "
+            f"config block_bits {config.block_bits}"
+        )
+
+    kinds = miss_trace.kinds
+    has_writebacks = miss_trace.has_writebacks
+    n_events = len(miss_trace)
+    wb_count = miss_trace.n_writebacks if has_writebacks else 0
+    ifetch_count = (
+        int(np.count_nonzero(kinds == _IFETCH_MISS))
+        if miss_trace.has_ifetch_misses
+        else 0
+    )
+    block_col = (miss_trace.addrs >> config.block_bits).tolist()
+
+    n_streams = config.n_streams
+    depth = config.depth
+    unit_filter = (
+        UnitStrideFilter(config.unit_filter_entries) if config.has_unit_filter else None
+    )
+    observe = unit_filter.observe if unit_filter is not None else None
+
+    # Flat per-stream state: the FIFO of stream i is always the window
+    # [nxt[i] - depth, nxt[i]) of block addresses, minus the blocks in
+    # invs[i] (invalidated by write-backs).  heads[i] caches the head
+    # block (None when invalid), and head_count is a multiset of the
+    # valid head blocks so a bank miss is a single dict probe.
+    nxt = [0] * n_streams
+    active = [False] * n_streams
+    hits_since = [0] * n_streams
+    invs: List[Optional[set]] = [None] * n_streams
+    heads: List[Optional[int]] = [None] * n_streams
+    head_count: dict = {}
+    lru_order = list(range(n_streams))
+
+    hits = 0
+    issued = 0
+    used = 0
+    allocations = 0
+    invalidations = 0
+    finished_lengths: List[int] = []
+
+    head_count_get = head_count.get
+    if has_writebacks:
+        # Mixed stream: write-backs interleave with demand misses.
+        for block, kind in zip(block_col, kinds.tolist()):
+            if kind == _WB:
+                # Invalidate stale copies in every stream window.
+                for i in range(n_streams):
+                    if active[i] and nxt[i] - depth <= block < nxt[i]:
+                        inv = invs[i]
+                        if inv is None:
+                            inv = invs[i] = set()
+                        elif block in inv:
+                            continue
+                        inv.add(block)
+                        invalidations += 1
+                        if heads[i] == block:
+                            heads[i] = None
+                            count = head_count[block]
+                            if count == 1:
+                                del head_count[block]
+                            else:
+                                head_count[block] = count - 1
+                continue
+            count = head_count_get(block)
+            if count:
+                # Head hit on the lowest-indexed matching stream, like
+                # the scalar bank's heads.index scan.
+                i = heads.index(block)
+                hits += 1
+                used += 1
+                issued += 1  # the consumed head's replacement prefetch
+                if count == 1:
+                    del head_count[block]
+                else:
+                    head_count[block] = count - 1
+                hits_since[i] += 1
+                new_head = nxt[i] - depth + 1
+                nxt[i] += 1
+                inv = invs[i]
+                if inv is not None and new_head in inv:
+                    heads[i] = None
+                else:
+                    heads[i] = new_head
+                    head_count[new_head] = head_count_get(new_head, 0) + 1
+                lru_order.remove(i)
+                lru_order.append(i)
+                continue
+            # Bank miss: the unit filter (if any) gates allocation.
+            if observe is not None and not observe(block):
+                continue
+            i = lru_order.pop(0)
+            if active[i]:
+                finished_lengths.append(hits_since[i])
+                old_head = heads[i]
+                if old_head is not None:
+                    count = head_count[old_head]
+                    if count == 1:
+                        del head_count[old_head]
+                    else:
+                        head_count[old_head] = count - 1
+            active[i] = True
+            hits_since[i] = 0
+            invs[i] = None
+            nxt[i] = block + 1 + depth
+            heads[i] = block + 1
+            head_count[block + 1] = head_count_get(block + 1, 0) + 1
+            issued += depth
+            allocations += 1
+            lru_order.append(i)
+    else:
+        # Pure demand stream (ifetch misses included: the unified lane
+        # treats them like data misses) — no per-event kind dispatch, and
+        # no invalidations means the per-stream invalid sets stay empty.
+        for block in block_col:
+            count = head_count_get(block)
+            if count:
+                i = heads.index(block)
+                hits += 1
+                used += 1
+                issued += 1
+                if count == 1:
+                    del head_count[block]
+                else:
+                    head_count[block] = count - 1
+                hits_since[i] += 1
+                new_head = nxt[i] - depth + 1
+                nxt[i] += 1
+                heads[i] = new_head
+                head_count[new_head] = head_count_get(new_head, 0) + 1
+                lru_order.remove(i)
+                lru_order.append(i)
+                continue
+            if observe is not None and not observe(block):
+                continue
+            i = lru_order.pop(0)
+            if active[i]:
+                finished_lengths.append(hits_since[i])
+                old_head = heads[i]
+                if old_head is not None:
+                    count = head_count[old_head]
+                    if count == 1:
+                        del head_count[old_head]
+                    else:
+                        head_count[old_head] = count - 1
+            active[i] = True
+            hits_since[i] = 0
+            nxt[i] = block + 1 + depth
+            heads[i] = block + 1
+            head_count[block + 1] = head_count_get(block + 1, 0) + 1
+            issued += depth
+            allocations += 1
+            lru_order.append(i)
+
+    for i in range(n_streams):
+        if active[i]:
+            finished_lengths.append(hits_since[i])
+
+    lengths = StreamLengthHistogram()
+    # The histogram is a bag, so bulk-record distinct lengths at once.
+    for length, times in Counter(finished_lengths).items():
+        if length == 0:
+            lengths.zero_length_streams += times
+        else:
+            bucket = bucket_of(length)
+            lengths.hits_by_bucket[bucket] += length * times
+            lengths.streams_by_bucket[bucket] += times
+
+    return StreamStats(
+        config=config,
+        demand_misses=n_events - wb_count,
+        stream_hits=hits,
+        in_flight_matches=0,
+        ifetch_misses=ifetch_count,
+        writebacks=wb_count,
+        invalidations=invalidations,
+        prefetches_issued=issued,
+        prefetches_used=used,
+        allocations=allocations,
+        unit_filter_hits=unit_filter.hits if unit_filter is not None else 0,
+        unit_filter_misses=unit_filter.misses if unit_filter is not None else 0,
+        detector_hits=0,
+        lengths=lengths,
+    )
+
+
+def replay_streams(
+    config: StreamConfig, miss_trace: MissTrace, engine: Optional[str] = None
+) -> StreamStats:
+    """Replay a miss trace through stream buffers with engine dispatch.
+
+    The single entry point used by the runner, the parallel sweep workers
+    and the Table 4 search: vector when selected and supported, scalar
+    :class:`StreamPrefetcher` otherwise.
+    """
+    if resolve_engine(engine) == ENGINE_VECTOR:
+        stats = vector_replay_streams(config, miss_trace)
+        if stats is not None:
+            return stats
+    return StreamPrefetcher(config).run(miss_trace)
+
+
+# ---------------------------------------------------------------------------
+# Sampled secondary-cache probes
+# ---------------------------------------------------------------------------
+
+
+def secondary_vector_supported(config: CacheConfig) -> bool:
+    """Can the batch engine answer :func:`simulate_secondary` queries?"""
+    return (
+        config.write_back
+        and config.write_allocate
+        and config.policy in ("random", "lru", "fifo")
+        and not _inv.ENABLED
+    )
+
+
+def vector_simulate_secondary(
+    miss_trace: MissTrace,
+    config: CacheConfig,
+    sample_every: int = 1,
+    force: bool = False,
+) -> Optional[SecondaryResult]:
+    """Batch equivalent of :func:`repro.caches.secondary.simulate_secondary`.
+
+    The set-sampling filter becomes one vectorized mask (the scalar loop
+    still pays per-event dispatch for skipped accesses), then the same
+    set-local collapse as the L1 engine resolves guaranteed hits.  Only
+    residency matters for the L2 counters — dirty state never surfaces in
+    a :class:`SecondaryResult` — so the residue loop tracks membership
+    and recency only.  RNG draws for random replacement match the scalar
+    cache's order exactly.
+    """
+    if sample_every <= 0:
+        raise ValueError(f"sample_every must be positive, got {sample_every}")
+    if not (
+        config.write_back
+        and config.write_allocate
+        and config.policy in ("random", "lru", "fifo")
+    ):
+        return None
+    if _inv.ENABLED and not force:
+        return None
+
+    block_bits = config.block_bits
+    set_mask = config.n_sets - 1
+    blocks = miss_trace.addrs >> block_bits
+    kinds = miss_trace.kinds
+    if sample_every > 1:
+        sampled = ((blocks & set_mask) % sample_every) == 0
+        blocks = blocks[sampled]
+        kinds = kinds[sampled]
+
+    is_demand = kinds != _WB
+    demand_total = int(np.count_nonzero(is_demand))
+    wb_total = int(kinds.shape[0]) - demand_total
+    n_sets = config.n_sets
+    sampled_sets = (
+        (n_sets + sample_every - 1) // sample_every if sample_every > 1 else n_sets
+    )
+
+    hits = 0
+    if blocks.shape[0]:
+        kept, starts_sorted, order = _collapse_set_local(blocks, set_mask)
+        demand_per_run = _fold_runs(
+            is_demand[order].astype(np.int64), starts_sorted, order, kept, np.add.reduceat
+        )
+        block_col = blocks[kept].tolist()
+        demand_col = demand_per_run.tolist()
+        first_demand_col = is_demand[kept].view(np.uint8).tolist()
+        assoc = config.assoc
+        if config.policy == "random":
+            rng = random.Random(config.seed)
+            randbelow = getattr(rng, "_randbelow", None) or rng.randrange
+            resident: set = set()
+            slots: List[List[int]] = [[] for _ in range(n_sets)]
+            for block, run_demand, first_demand in zip(
+                block_col, demand_col, first_demand_col
+            ):
+                if block in resident:
+                    hits += run_demand
+                    continue
+                hits += run_demand - first_demand
+                set_slots = slots[block & set_mask]
+                if len(set_slots) >= assoc:
+                    slot = randbelow(assoc)
+                    resident.discard(set_slots[slot])
+                    set_slots[slot] = block
+                else:
+                    set_slots.append(block)
+                resident.add(block)
+        else:
+            is_lru = config.policy == "lru"
+            sets: List["OrderedDict[int, None]"] = [
+                OrderedDict() for _ in range(n_sets)
+            ]
+            for block, run_demand, first_demand in zip(
+                block_col, demand_col, first_demand_col
+            ):
+                entries = sets[block & set_mask]
+                if block in entries:
+                    hits += run_demand
+                    if is_lru:
+                        entries.move_to_end(block)
+                    continue
+                hits += run_demand - first_demand
+                if len(entries) >= assoc:
+                    entries.popitem(last=False)
+                entries[block] = None
+
+    return SecondaryResult(
+        config=config,
+        demand_accesses=demand_total,
+        demand_hits=hits,
+        writebacks_received=wb_total,
+        sampled_sets=sampled_sets,
+    )

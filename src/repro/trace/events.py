@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -87,6 +88,17 @@ class Trace:
     @property
     def has_pcs(self) -> bool:
         return self.pcs is not None
+
+    @cached_property
+    def has_ifetch(self) -> bool:
+        """Whether any access is an instruction fetch.
+
+        Cached on the instance (``cached_property`` writes straight into
+        ``__dict__``, so it works on this frozen dataclass): replaying a
+        memoized workload trace scans the kind array only once, not per
+        simulation.
+        """
+        return bool(np.any(self.kinds == int(AccessKind.IFETCH)))
 
     def pcs_or_zeros(self) -> np.ndarray:
         """The PC array, or zeros for traces without PC information."""
