@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-quick obs-smoke obs-bench profile-bench vector-bench vector-smoke check-diff check-diff-long exhibits examples serve smoke-service clean
+.PHONY: install test bench bench-quick obs-smoke obs-bench profile-bench vector-bench vector-smoke check-diff check-diff-long exhibits examples serve smoke-service fleet-smoke fleet-bench clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -68,6 +68,19 @@ serve:
 # shutdown — the CI service-smoke job runs exactly this.
 smoke-service:
 	PYTHONPATH=src python -m repro.service.smoke
+
+# Fleet gate (docs/fleet.md): 1 frontend + 2 self-registering worker
+# subprocesses, duplicate concurrent sweeps executed exactly once
+# cluster-wide, >=2 worker pids in the merged manifest, clean SIGINT.
+fleet-smoke:
+	PYTHONPATH=src python -m repro.fleet.smoke
+
+# Zipf load generator vs fleets of 0 / 2 / 4 workers; throughput,
+# latency percentiles and dedup counters land in BENCH_PR7.json.
+# CI runs the reduced profile: make FLEET_BENCH_PROFILE=ci fleet-bench
+FLEET_BENCH_PROFILE ?= full
+fleet-bench:
+	PYTHONPATH=src python benchmarks/bench_fleet.py --profile $(FLEET_BENCH_PROFILE)
 
 # Regenerate every paper exhibit, printing the renderings.
 exhibits:

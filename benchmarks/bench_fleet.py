@@ -1,0 +1,209 @@
+"""Fleet benchmark: zipf load vs 1 frontend + N worker subprocesses.
+
+For each fleet size (0, 2 and 4 workers) this boots a real ``repro
+serve`` frontend plus worker subprocesses (the production topology:
+separate processes, separate stores, chunk dispatch over TCP), then
+drives the :mod:`repro.fleet.loadgen` harness against it — thousands of
+logical client sessions sampling single-cell requests from a
+Zipf-skewed config universe through a bounded connection window.
+
+Recorded per size: throughput, latency percentiles, status mix, and the
+dedup/dispatch counters that prove the fleet executed each touched cell
+at most once cluster-wide.  Results land in ``BENCH_PR7.json`` next to
+the earlier anchors (PR 2's single-host service probe measured 151.9
+req/s on duplicate sweeps; the zipf workload here is different — the
+anchor rides along for trajectory, not apples-to-apples).
+
+Gates (exit 1 on violation):
+
+* every request answers 200 (no transport failures, no 429/504 — the
+  queue is sized for the window);
+* cluster-wide coalescing holds at every size: executed cells <= cells
+  the load actually touched;
+* the 2-worker fleet answers at least as many req/s as 0 workers x 0.7
+  (dispatch overhead must not eat the fleet).
+
+Run via ``make fleet-bench`` (or ``PYTHONPATH=src python
+benchmarks/bench_fleet.py``); CI runs a reduced profile via
+``--profile ci``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import signal
+import sys
+import time
+from pathlib import Path
+
+import asyncio
+
+from repro.fleet.loadgen import LoadSpec, run_load
+from repro.fleet.smoke import _read_address, _spawn, _wait_for_workers
+from repro.service.client import ServiceClient
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+SINGLE_HOST_ANCHOR_REQ_S = 151.9  # BENCH_PR2.json, duplicate-sweep probe
+FLEET_SIZES = (0, 2, 4)
+MIN_FLEET_VS_LOCAL = 0.7
+
+PROFILES = {
+    # thousands of sessions, the headline run
+    "full": LoadSpec(clients=2000, requests_per_client=1, max_inflight=256),
+    # CI: same shape, smaller universe and session count
+    "ci": LoadSpec(
+        clients=400,
+        requests_per_client=1,
+        max_inflight=128,
+        n_streams=tuple(range(1, 13)),
+    ),
+}
+
+
+def _measure_fleet(n_workers: int, spec: LoadSpec, root: Path) -> dict:
+    """Boot 1 frontend + n workers, run the load, tear down; stats."""
+    procs = []
+    try:
+        frontend = _spawn(
+            [
+                "--trace-store",
+                str(root / f"front{n_workers}"),
+                "--max-queue",
+                str(4 * spec.max_inflight),
+            ]
+        )
+        procs.append(frontend)
+        host, port = _read_address(frontend)
+        for i in range(n_workers):
+            worker = _spawn(
+                [
+                    "--worker",
+                    "--trace-store",
+                    str(root / f"w{n_workers}.{i}"),
+                    "--register",
+                    f"http://{host}:{port}",
+                ]
+            )
+            procs.append(worker)
+            _read_address(worker)
+
+        client = ServiceClient(host, port, timeout=120.0)
+        if n_workers:
+            _wait_for_workers(client, want=n_workers)
+
+        stats = asyncio.run(run_load(host, port, spec))
+
+        counters = client.metrics()["counters"]
+        stats["workers"] = n_workers
+        stats["counters"] = {
+            name: counters.get(name, 0)
+            for name in (
+                "requests_total",
+                "requests_rejected_total",
+                "cells_executed_total",
+                "coalesce_hits_total",
+                "result_cache_hits_total",
+                "store_fastpath_hits_total",
+                "fleet_dispatch_total",
+                "fleet_dispatch_cells_total",
+                "fleet_retry_total",
+                "fleet_failover_cells_total",
+                "fleet_local_fallback_cells_total",
+            )
+        }
+
+        for proc in procs:
+            proc.send_signal(signal.SIGINT)
+        for proc in procs:
+            if proc.wait(timeout=30) != 0:
+                raise RuntimeError(f"pid {proc.pid} exited non-zero on SIGINT")
+        return stats
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="full")
+    args = parser.parse_args()
+    spec = PROFILES[args.profile]
+
+    import tempfile
+
+    runs = []
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as root:
+        for n_workers in FLEET_SIZES:
+            print(
+                f"fleet of {n_workers} worker(s): {spec.clients} sessions, "
+                f"window {spec.max_inflight} ...",
+                flush=True,
+            )
+            stats = _measure_fleet(n_workers, spec, Path(root))
+            runs.append(stats)
+            print(
+                f"  {stats['requests_per_second']:8.1f} req/s   "
+                f"p50 {stats['latency_ms']['p50']:7.1f} ms   "
+                f"p99 {stats['latency_ms']['p99']:8.1f} ms   "
+                f"{stats['counters']['cells_executed_total']} cells executed, "
+                f"{stats['counters']['fleet_dispatch_cells_total']} dispatched",
+                flush=True,
+            )
+
+    payload = {
+        "pr": 7,
+        "benchmark": "bench_fleet: zipf load vs 1 frontend + N worker subprocesses",
+        "profile": args.profile,
+        "load": {
+            "clients": spec.clients,
+            "requests_per_client": spec.requests_per_client,
+            "max_inflight": spec.max_inflight,
+            "universe_cells": len(spec.workloads) * len(spec.n_streams),
+            "zipf_s": spec.zipf_s,
+            "scale": spec.scale,
+        },
+        "single_host_anchor_req_s": SINGLE_HOST_ANCHOR_REQ_S,
+        "runs": runs,
+        "total_seconds": round(time.perf_counter() - started, 1),
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+    failures = []
+    for stats in runs:
+        if set(stats["statuses"]) != {"200"}:
+            failures.append(
+                f"{stats['workers']} workers: statuses {stats['statuses']}"
+            )
+        executed = stats["counters"]["cells_executed_total"]
+        if executed > stats["unique_cells_requested"]:
+            failures.append(
+                f"{stats['workers']} workers: {executed} cells executed for "
+                f"{stats['unique_cells_requested']} touched (dedup broken)"
+            )
+    by_workers = {stats["workers"]: stats for stats in runs}
+    local = by_workers.get(0)
+    fleet2 = by_workers.get(2)
+    if local and fleet2:
+        floor = MIN_FLEET_VS_LOCAL * local["requests_per_second"]
+        if fleet2["requests_per_second"] < floor:
+            failures.append(
+                f"2-worker fleet {fleet2['requests_per_second']} req/s under "
+                f"{floor:.1f} (0 workers ran {local['requests_per_second']})"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -213,6 +213,63 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="default per-request deadline (seconds)",
     )
+    serve.add_argument(
+        "--worker",
+        action="store_true",
+        help="run as a fleet worker (executes chunks, never dispatches)",
+    )
+    serve.add_argument(
+        "--workers",
+        default=None,
+        metavar="URL[,URL...]",
+        help="comma-separated worker base URLs to dispatch to",
+    )
+    serve.add_argument(
+        "--register",
+        default=None,
+        metavar="URL",
+        help="frontend base URL to self-register with on start",
+    )
+    serve.add_argument(
+        "--advertise",
+        default=None,
+        metavar="URL",
+        help="base URL this server advertises (default: its bound address)",
+    )
+    serve.add_argument(
+        "--fetch-policy",
+        choices=("fallback", "require"),
+        default="fallback",
+        help="worker behaviour on a trace miss: recompute (fallback) or fail (require)",
+    )
+    serve.add_argument(
+        "--fleet-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="chunk requests in flight per worker",
+    )
+    serve.add_argument(
+        "--fleet-timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="per-attempt deadline of one dispatched chunk",
+    )
+    serve.add_argument(
+        "--fleet-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per worker before failing a chunk over",
+    )
+    serve.add_argument(
+        "--fleet-heartbeat",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="worker liveness poll period in seconds (0 disables)",
+    )
 
     check = sub.add_parser(
         "check",
@@ -668,6 +725,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service.server import ServiceConfig, run_server
 
+    workers = tuple(
+        url.strip() for url in (args.workers or "").split(",") if url.strip()
+    )
     config = ServiceConfig(
         jobs=args.jobs,
         store_root=args.trace_store,
@@ -675,6 +735,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         batch_window_s=args.batch_window_ms / 1000.0,
         default_timeout_s=args.timeout,
+        worker=args.worker,
+        workers=workers,
+        register_url=args.register,
+        advertise_url=args.advertise,
+        fetch_policy=args.fetch_policy,
+        fleet_max_inflight=args.fleet_inflight,
+        fleet_chunk_timeout_s=args.fleet_timeout,
+        fleet_max_attempts=args.fleet_attempts,
+        fleet_heartbeat_s=args.fleet_heartbeat,
     )
     try:
         asyncio.run(run_server(config, host=args.host, port=args.port))

@@ -1,0 +1,41 @@
+"""Sharded worker-fleet execution tier behind the simulation service.
+
+One frontend ``repro serve`` process owns admission, coalescing and
+batching (PR 2); this package adds the scale-out layer behind it:
+
+* :mod:`repro.fleet.hashing` — rendezvous (highest-random-weight)
+  placement of grid cells onto workers by **trace digest**, so every
+  cell of one workload lands on the worker whose caches are warm for
+  that trace, and membership changes only move the cells they must.
+* :mod:`repro.fleet.dispatch` — the frontend-side
+  :class:`~repro.fleet.dispatch.FleetDispatcher`: per-worker bounded
+  in-flight windows, heartbeat liveness over ``/healthz``, request
+  timeouts with exponential-backoff retry, failover re-dispatch of a
+  dead worker's cells to survivors, and local fallback when no worker
+  is alive (results stay bit-identical either way).
+* :mod:`repro.fleet.remote` — the replicated trace-store layer: a
+  worker that misses a trace locally fetches the raw content-addressed
+  blob by digest from the frontend (``GET /v1/blob/...``) and ingests
+  it into its own :class:`~repro.trace.store.TraceStore`.
+* :mod:`repro.fleet.loadgen` — the zipf load generator used by
+  ``make fleet-bench`` (BENCH_PR7.json) as the "millions of users"
+  proxy.
+
+See docs/fleet.md for topology, failure semantics and how to run a
+local 1xN fleet.
+"""
+
+from repro.fleet.dispatch import FleetDispatcher, WorkerHandle
+from repro.fleet.hashing import rendezvous_owner, rendezvous_rank
+from repro.fleet.remote import BlobNotFound, RemoteStoreError, fetch_blob, replicate_traces
+
+__all__ = [
+    "FleetDispatcher",
+    "WorkerHandle",
+    "rendezvous_owner",
+    "rendezvous_rank",
+    "BlobNotFound",
+    "RemoteStoreError",
+    "fetch_blob",
+    "replicate_traces",
+]

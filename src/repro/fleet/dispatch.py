@@ -1,0 +1,548 @@
+"""Frontend-side fleet dispatcher: shard, window, retry, fail over.
+
+The :class:`FleetDispatcher` slots in behind the service's micro-batcher
+(:meth:`repro.service.server.SimulationService._run_batch`): a flushed
+batch of :class:`~repro.sim.parallel.SweepTask` cells is sharded across
+the registered workers by **trace digest** (rendezvous hashing — the
+same trace always lands on the same worker while membership holds, so
+its :class:`~repro.sim.runner.MissTraceCache` and local store stay
+warm), each shard travels as one ``POST /v1/chunk`` request, and the
+decoded results are reassembled in task order.
+
+Reliability mechanics, in dispatch order:
+
+* **bounded in-flight window** — at most ``max_inflight`` chunk
+  requests outstanding per worker; excess shards queue on the window
+  semaphore, not on the worker.
+* **timeout + exponential-backoff retry** — a chunk that times out or
+  fails at transport level is retried against the same worker up to
+  ``max_attempts`` times with doubling backoff.
+* **failover** — when attempts are exhausted the worker is marked dead
+  and the shard's cells are re-sharded (rendezvous again) across the
+  surviving workers; with no survivors they run on the **local
+  fallback** runner.  Replays are deterministic and content-addressed,
+  so results are bit-identical whichever path executed them.
+* **heartbeats** — a background task polls every worker's ``/healthz``;
+  ``dead_after`` consecutive failures mark it dead (skipped by the
+  sharder), and a later successful heartbeat revives it.
+
+Every chunk response ships the worker's drained telemetry (metrics
+snapshot + spans); the dispatcher merges both into this process's
+engine registry and tracer, so ``/metrics``, manifests and Perfetto
+traces cover the whole fleet with per-worker provenance.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from collections import deque
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import asyncio
+
+from repro.caches.cache import CacheConfig
+from repro.fleet.hashing import rendezvous_owner
+from repro.obs.metrics import MetricsRegistry, engine_registry
+from repro.obs.spans import get_tracer
+from repro.service import api
+from repro.sim.parallel import SweepTask, TaskError
+from repro.sim.results import RunResult
+from repro.sim.runner import resolve_workload_ref
+from repro.trace.store import trace_digest
+
+__all__ = ["WorkerHandle", "FleetDispatcher"]
+
+CellResult = Union[RunResult, TaskError]
+LocalRunner = Callable[[List[SweepTask]], Awaitable[Sequence[CellResult]]]
+
+
+def _metric_suffix(url: str) -> str:
+    """A worker URL as a Prometheus-safe metric-name suffix."""
+    bare = url.split("://", 1)[-1]
+    return re.sub(r"[^0-9A-Za-z]+", "_", bare).strip("_")
+
+
+class WorkerHandle:
+    """Dispatcher-side state of one registered worker."""
+
+    def __init__(self, url: str, max_inflight: int):
+        self.url = url.rstrip("/")
+        parts = self.url.split("://", 1)[-1]
+        host, _, port = parts.rpartition(":")
+        self.host = host or parts
+        self.port = int(port) if port else 80
+        self.max_inflight = max_inflight
+        self.window = asyncio.Semaphore(max_inflight)
+        self.alive = True
+        self.strikes = 0
+        self.pid: Optional[int] = None
+        self.last_heartbeat_unix: Optional[float] = None
+        self.inflight = 0
+        self.dispatched_chunks = 0
+        self.dispatched_cells = 0
+        self.retries = 0
+        self.failed_over_cells = 0
+        self.metric_suffix = _metric_suffix(self.url)
+
+    def mark_alive(self, pid: Optional[int]) -> None:
+        self.alive = True
+        self.strikes = 0
+        self.pid = pid
+        self.last_heartbeat_unix = time.time()
+
+    def mark_strike(self, dead_after: int) -> None:
+        self.strikes += 1
+        if self.strikes >= dead_after:
+            self.alive = False
+
+    def mark_dead(self) -> None:
+        self.alive = False
+        self.strikes = max(self.strikes, 1)
+
+    def summary(self) -> dict:
+        return {
+            "url": self.url,
+            "alive": self.alive,
+            "pid": self.pid,
+            "strikes": self.strikes,
+            "inflight": self.inflight,
+            "dispatched_chunks": self.dispatched_chunks,
+            "dispatched_cells": self.dispatched_cells,
+            "retries": self.retries,
+            "failed_over_cells": self.failed_over_cells,
+            "last_heartbeat_unix": self.last_heartbeat_unix,
+        }
+
+
+class FleetDispatcher:
+    """Shards batches across workers; falls back to local execution.
+
+    Args:
+        local_runner: coroutine executing tasks in this process (the
+            service's single-host pool path) — the zero-worker fallback
+            and the failover path of last resort.
+        l1_config/keep_pcs: must match the workers' configuration; they
+            feed the trace digests cells are sharded by.
+        workers: initial worker base URLs; more may join at runtime via
+            :meth:`register` (``POST /v1/fleet/register``).
+        blob_origin: base URL workers may fetch missing trace blobs
+            from (the frontend fills in its own bound address).
+        fetch_policy: forwarded to workers (see ``api.ChunkRequest``).
+        max_inflight: chunk requests in flight per worker.
+        chunk_timeout_s: per-attempt deadline of one chunk request.
+        max_attempts: attempts per worker before failing over.
+        heartbeat_s: liveness poll period; 0 disables the background
+            heartbeat task (tests drive :meth:`heartbeat` directly).
+        dead_after: consecutive heartbeat failures before a worker is
+            declared dead.
+    """
+
+    def __init__(
+        self,
+        local_runner: LocalRunner,
+        l1_config: Optional[CacheConfig] = None,
+        keep_pcs: bool = False,
+        workers: Sequence[str] = (),
+        blob_origin: Optional[str] = None,
+        fetch_policy: str = "fallback",
+        max_inflight: int = 4,
+        chunk_timeout_s: float = 120.0,
+        max_attempts: int = 3,
+        backoff_s: float = 0.05,
+        heartbeat_s: float = 2.0,
+        dead_after: int = 3,
+        registry: Optional[MetricsRegistry] = None,
+        cell_log_entries: int = 8192,
+    ):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be positive, got {max_attempts}")
+        self.local_runner = local_runner
+        self.l1_config = l1_config or CacheConfig.paper_l1()
+        self.keep_pcs = keep_pcs
+        self.blob_origin = blob_origin
+        self.fetch_policy = fetch_policy
+        self.max_inflight = max_inflight
+        self.chunk_timeout_s = chunk_timeout_s
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.heartbeat_s = heartbeat_s
+        self.dead_after = dead_after
+        self.workers: Dict[str, WorkerHandle] = {}
+        self.cell_log: deque = deque(maxlen=cell_log_entries)
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        m = registry if registry is not None else engine_registry()
+        self._m = m
+        self._c_dispatch = m.counter("fleet_dispatch_total", "chunk requests dispatched")
+        self._c_dispatch_cells = m.counter(
+            "fleet_dispatch_cells_total", "cells dispatched to workers"
+        )
+        self._c_retry = m.counter("fleet_retry_total", "chunk dispatch retries")
+        self._c_failover = m.counter(
+            "fleet_failover_cells_total", "cells re-dispatched off a dead worker"
+        )
+        self._c_local = m.counter(
+            "fleet_local_fallback_cells_total", "cells executed on the local fallback"
+        )
+        self._h_chunk = m.histogram("fleet_chunk_ms", "chunk round-trip wall time, ms")
+        for url in workers:
+            self.register(url)
+
+    # -- membership --------------------------------------------------------
+
+    def register(self, url: str) -> WorkerHandle:
+        """Add (or re-arm) a worker; idempotent per URL."""
+        url = url.rstrip("/")
+        handle = self.workers.get(url)
+        if handle is None:
+            handle = WorkerHandle(url, self.max_inflight)
+            self.workers[url] = handle
+        else:
+            # Re-registration is a liveness claim (a restarted worker
+            # announcing itself); give it a clean slate.
+            handle.mark_alive(handle.pid)
+        return handle
+
+    def alive_workers(self) -> List[WorkerHandle]:
+        return [w for w in self.workers.values() if w.alive]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.heartbeat_s > 0 and self._heartbeat_task is None:
+            self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
+
+    async def close(self) -> None:
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat_task = None
+
+    # -- heartbeats --------------------------------------------------------
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.heartbeat_s)
+            try:
+                await self.heartbeat()
+            except Exception:
+                # The liveness prober must never die; individual worker
+                # failures are already recorded as strikes.
+                pass
+
+    async def heartbeat(self) -> None:
+        """One liveness round: poll every worker's ``/healthz``."""
+        from repro.service.client import arequest
+
+        async def probe(worker: WorkerHandle) -> None:
+            try:
+                status, body = await arequest(
+                    worker.host,
+                    worker.port,
+                    "GET",
+                    "/healthz",
+                    timeout=min(5.0, max(self.heartbeat_s, 1.0)),
+                )
+                ok = (
+                    status == 200
+                    and isinstance(body, dict)
+                    and body.get("ok") is True
+                    and body.get("v") == api.WIRE_VERSION
+                )
+            except (OSError, asyncio.TimeoutError, ValueError):
+                ok = False
+                body = None
+            if ok:
+                worker.mark_alive(body.get("pid"))
+            else:
+                worker.mark_strike(self.dead_after)
+            self._gauge_depth(worker)
+
+        await asyncio.gather(*(probe(w) for w in self.workers.values()))
+
+    # -- metrics helpers ---------------------------------------------------
+
+    def _gauge_depth(self, worker: WorkerHandle) -> None:
+        self._m.gauge(
+            f"fleet_worker_queue_depth_{worker.metric_suffix}",
+            f"in-flight chunks on {worker.url}",
+        ).set(worker.inflight)
+        self._m.gauge(
+            f"fleet_worker_alive_{worker.metric_suffix}",
+            f"1 when {worker.url} is alive",
+        ).set(1.0 if worker.alive else 0.0)
+
+    def _observe_chunk(self, worker: WorkerHandle, elapsed_ms: float) -> None:
+        self._h_chunk.observe(elapsed_ms)
+        self._m.histogram(
+            f"fleet_worker_chunk_ms_{worker.metric_suffix}",
+            f"chunk round-trip wall time on {worker.url}, ms",
+        ).observe(elapsed_ms)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _task_trace_digest(self, task: SweepTask) -> str:
+        name, scale, seed, _ = resolve_workload_ref(task.workload, task.scale, task.seed)
+        return trace_digest(name, scale, seed, self.l1_config, self.keep_pcs)
+
+    @staticmethod
+    def _encode_cells(tasks: Sequence[SweepTask]) -> List[dict]:
+        import dataclasses
+
+        from repro.sim.parallel import _json_key
+
+        cells = []
+        for task in tasks:
+            name, scale, seed, _ = resolve_workload_ref(
+                task.workload, task.scale, task.seed
+            )
+            cells.append(
+                {
+                    "key": _json_key(task.key),
+                    "workload": name,
+                    "scale": scale,
+                    "seed": seed,
+                    "config": dataclasses.asdict(task.config),
+                }
+            )
+        return cells
+
+    async def run_batch(self, tasks: Sequence[SweepTask]) -> List[CellResult]:
+        """Execute one batch across the fleet; results in task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        alive = self.alive_workers()
+        if not alive:
+            return await self._run_local(tasks)
+        with get_tracer().span("fleet.batch", cells=len(tasks), workers=len(alive)):
+            groups = self._shard(tasks, alive)
+            results: Dict[int, CellResult] = {}
+
+            async def run_group(worker: WorkerHandle, indexed) -> None:
+                indices = [i for i, _ in indexed]
+                shard = [t for _, t in indexed]
+                outcome = await self._dispatch_shard(worker, shard, excluded=set())
+                for index, result in zip(indices, outcome):
+                    results[index] = result
+
+            await asyncio.gather(
+                *(run_group(worker, indexed) for worker, indexed in groups)
+            )
+        return [results[i] for i in range(len(tasks))]
+
+    def _shard(
+        self, tasks: Sequence[SweepTask], alive: Sequence[WorkerHandle]
+    ) -> List[Tuple[WorkerHandle, List[Tuple[int, SweepTask]]]]:
+        by_url = {w.url: w for w in alive}
+        urls = sorted(by_url)
+        grouped: Dict[str, List[Tuple[int, SweepTask]]] = {}
+        for index, task in enumerate(tasks):
+            owner = rendezvous_owner(self._task_trace_digest(task), urls)
+            grouped.setdefault(owner, []).append((index, task))
+        return [(by_url[url], indexed) for url, indexed in grouped.items()]
+
+    async def _run_local(self, tasks: List[SweepTask]) -> List[CellResult]:
+        self._c_local.inc(len(tasks))
+        results = list(await self.local_runner(tasks))
+        self._log_cells(tasks, results, origin="local")
+        return results
+
+    async def _dispatch_shard(
+        self,
+        worker: WorkerHandle,
+        shard: List[SweepTask],
+        excluded: Set[str],
+    ) -> List[CellResult]:
+        """Dispatch one shard to ``worker``, retrying then failing over."""
+        payload = {
+            "v": api.WIRE_VERSION,
+            "cells": self._encode_cells(shard),
+            "timeout_s": self.chunk_timeout_s,
+            "fetch_policy": self.fetch_policy,
+        }
+        if self.blob_origin:
+            payload["blob_origin"] = self.blob_origin
+        backoff = self.backoff_s
+        for attempt in range(self.max_attempts):
+            if not worker.alive:
+                break  # the heartbeat (or another shard) saw it die
+            if attempt:
+                self._c_retry.inc()
+                worker.retries += 1
+                await asyncio.sleep(backoff)
+                backoff *= 2
+            outcome = await self._attempt_chunk(worker, shard, payload)
+            if outcome is not None:
+                return outcome
+        worker.mark_dead()
+        self._gauge_depth(worker)
+        return await self._failover(worker, shard, excluded)
+
+    async def _attempt_chunk(
+        self, worker: WorkerHandle, shard: List[SweepTask], payload: dict
+    ) -> Optional[List[CellResult]]:
+        """One chunk attempt; None means 'retry-worthy failure'."""
+        from repro.service.client import arequest
+
+        async with self._window(worker):
+            self._c_dispatch.inc()
+            self._c_dispatch_cells.inc(len(shard))
+            worker.dispatched_chunks += 1
+            worker.dispatched_cells += len(shard)
+            started = time.perf_counter()
+            try:
+                status, body = await arequest(
+                    worker.host,
+                    worker.port,
+                    "POST",
+                    "/v1/chunk",
+                    payload,
+                    timeout=self.chunk_timeout_s,
+                )
+            except (OSError, asyncio.TimeoutError, ValueError):
+                return None
+            finally:
+                self._observe_chunk(worker, 1e3 * (time.perf_counter() - started))
+        if status != 200 or not isinstance(body, dict) or not body.get("ok"):
+            return None
+        try:
+            return self._decode_chunk(worker, shard, body)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _window(self, worker: WorkerHandle):
+        dispatcher = self
+
+        class _Window:
+            async def __aenter__(self):
+                await worker.window.acquire()
+                worker.inflight += 1
+                dispatcher._gauge_depth(worker)
+
+            async def __aexit__(self, *exc):
+                worker.inflight -= 1
+                worker.window.release()
+                dispatcher._gauge_depth(worker)
+
+        return _Window()
+
+    def _decode_chunk(
+        self, worker: WorkerHandle, shard: List[SweepTask], body: dict
+    ) -> List[CellResult]:
+        cells = body["cells"]
+        if len(cells) != len(shard):
+            raise ValueError(
+                f"chunk returned {len(cells)} cells for {len(shard)} tasks"
+            )
+        results: List[CellResult] = []
+        for task, cell in zip(shard, cells):
+            if cell.get("ok", False):
+                results.append(api.decode_cell_result(cell))
+            else:
+                error = api.decode_task_error(cell.get("error", {}))
+                # Re-key from the task: the frontend's key is canonical
+                # (tuples, not the JSON lists that crossed the wire).
+                results.append(
+                    TaskError(
+                        key=task.key,
+                        workload=error.workload,
+                        error=error.error,
+                        details=error.details,
+                        wall_time_s=error.wall_time_s,
+                        worker=error.worker,
+                    )
+                )
+        telemetry = body.get("telemetry") or {}
+        engine_registry().merge(telemetry.get("metrics") or {})
+        get_tracer().extend(telemetry.get("spans") or [])
+        self._log_cells(shard, results, origin=worker.url)
+        return results
+
+    async def _failover(
+        self,
+        worker: WorkerHandle,
+        shard: List[SweepTask],
+        excluded: Set[str],
+    ) -> List[CellResult]:
+        """Re-shard a dead worker's cells across the survivors."""
+        excluded = excluded | {worker.url}
+        survivors = [w for w in self.alive_workers() if w.url not in excluded]
+        self._c_failover.inc(len(shard))
+        worker.failed_over_cells += len(shard)
+        if not survivors:
+            return await self._run_local(shard)
+        by_url = {w.url: w for w in survivors}
+        urls = sorted(by_url)
+        grouped: Dict[str, List[Tuple[int, SweepTask]]] = {}
+        for index, task in enumerate(shard):
+            owner = rendezvous_owner(self._task_trace_digest(task), urls)
+            grouped.setdefault(owner, []).append((index, task))
+        results: Dict[int, CellResult] = {}
+
+        async def run_subgroup(url: str, indexed) -> None:
+            indices = [i for i, _ in indexed]
+            subshard = [t for _, t in indexed]
+            outcome = await self._dispatch_shard(by_url[url], subshard, excluded)
+            for index, result in zip(indices, outcome):
+                results[index] = result
+
+        await asyncio.gather(
+            *(run_subgroup(url, indexed) for url, indexed in grouped.items())
+        )
+        return [results[i] for i in range(len(shard))]
+
+    # -- provenance --------------------------------------------------------
+
+    def _log_cells(
+        self, tasks: Sequence[SweepTask], results: Sequence[CellResult], origin: str
+    ) -> None:
+        for task, result in zip(tasks, results):
+            if isinstance(result, RunResult):
+                self.cell_log.append(
+                    {
+                        "key": task.key,
+                        "workload": result.workload,
+                        "ok": True,
+                        "error": "",
+                        "wall_time_s": result.wall_time_s,
+                        "worker": result.worker,
+                        "source": result.source,
+                        "origin": origin,
+                    }
+                )
+            elif isinstance(result, TaskError):
+                self.cell_log.append(
+                    {
+                        "key": task.key,
+                        "workload": result.workload,
+                        "ok": False,
+                        "error": result.error,
+                        "wall_time_s": result.wall_time_s,
+                        "worker": result.worker,
+                        "source": "error",
+                        "origin": origin,
+                    }
+                )
+
+    def status(self) -> dict:
+        """Fleet summary for ``GET /v1/fleet/status`` (JSON-safe)."""
+        from repro.sim.parallel import _json_key
+
+        return {
+            "workers": [w.summary() for w in self.workers.values()],
+            "alive": sum(1 for w in self.workers.values() if w.alive),
+            "fetch_policy": self.fetch_policy,
+            "blob_origin": self.blob_origin,
+            "cells": [
+                {**cell, "key": _json_key(cell["key"])} for cell in self.cell_log
+            ],
+        }

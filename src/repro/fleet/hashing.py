@@ -1,0 +1,51 @@
+"""Rendezvous (highest-random-weight) hashing for cell placement.
+
+The dispatcher shards grid cells across workers by **trace digest**:
+every cell replaying the same miss trace should land on the same worker
+so its in-memory :class:`~repro.sim.runner.MissTraceCache` and on-disk
+:class:`~repro.trace.store.TraceStore` stay warm, and adding/removing a
+worker should move only the traces it must (1/N of them), not reshuffle
+everything the way modular hashing would.
+
+Rendezvous hashing gives both properties with no ring state: score
+every ``(key, node)`` pair with a stable hash and pick the
+highest-scoring node.  Removing a node only reassigns the keys it
+owned (each to its runner-up), and every surviving assignment is
+untouched — exactly the failover semantics the dispatcher wants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Sequence
+
+__all__ = ["rendezvous_score", "rendezvous_rank", "rendezvous_owner"]
+
+
+def rendezvous_score(key: str, node: str) -> int:
+    """Stable 64-bit score of one (key, node) pair.
+
+    sha256 rather than ``hash()``: placement must agree across
+    processes and Python runs (PYTHONHASHSEED randomises ``hash``).
+    """
+    digest = hashlib.sha256(f"{key}\x00{node}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rendezvous_rank(key: str, nodes: Sequence[str]) -> List[str]:
+    """All nodes ordered by preference for ``key`` (best first).
+
+    The full ranking is the failover order: when the owner is dead, the
+    runner-up inherits the key, and so on — deterministically, so every
+    frontend (and every retry) picks the same survivor.
+    """
+    return sorted(
+        nodes, key=lambda node: (rendezvous_score(key, node), node), reverse=True
+    )
+
+
+def rendezvous_owner(key: str, nodes: Sequence[str]) -> Optional[str]:
+    """The preferred node for ``key``, or None when no nodes exist."""
+    if not nodes:
+        return None
+    return max(nodes, key=lambda node: (rendezvous_score(key, node), node))

@@ -1,0 +1,143 @@
+"""Zipf load generator: the fleet's "millions of users" stand-in.
+
+Real query traffic over a config grid is heavily skewed — a few popular
+(workload, config) cells dominate while a long tail trickles — so the
+generator samples each simulated client's requests from a Zipf
+distribution over a fixed config universe.  The skew is what makes the
+serving tier interesting: popular cells should collapse into the
+frontend's result LRU and coalescer while the tail fans out across the
+worker fleet.
+
+The generator is a classic open-pool harness: ``clients`` logical
+sessions each issue ``requests_per_client`` single-cell ``/v1/run``
+requests, with at most ``max_inflight`` requests on the wire at once
+(thousands of sessions multiplexed over a bounded connection window,
+the way wrk/vegeta drive load).  Everything is seeded and deterministic
+apart from service-side timing.
+
+Used by ``benchmarks/bench_fleet.py`` (``make fleet-bench``), which
+records the results as ``BENCH_PR7.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import asyncio
+
+from repro.service.client import arequest
+
+__all__ = ["LoadSpec", "zipf_weights", "build_universe", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One load-generation run, fully determined by its fields."""
+
+    clients: int = 2000
+    requests_per_client: int = 1
+    max_inflight: int = 256
+    workloads: Tuple[str, ...] = ("sweep", "stride", "interleaved", "random")
+    n_streams: Tuple[int, ...] = tuple(range(1, 31))
+    scale: float = 0.25
+    zipf_s: float = 1.1
+    seed: int = 0
+    timeout_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1 or self.requests_per_client < 1:
+            raise ValueError("clients and requests_per_client must be positive")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        if self.zipf_s <= 0:
+            raise ValueError("zipf_s must be positive")
+
+
+def zipf_weights(n: int, s: float) -> List[float]:
+    """Unnormalised Zipf weights: rank r (1-based) gets ``1 / r**s``."""
+    return [1.0 / (rank**s) for rank in range(1, n + 1)]
+
+
+def build_universe(spec: LoadSpec) -> List[dict]:
+    """The config universe as ready-to-send ``/v1/run`` payloads.
+
+    Rank order (and hence popularity) interleaves workloads so the hot
+    head of the distribution spans several trace digests — the skew
+    should stress the cache tier, not pin a single worker.
+    """
+    return [
+        {
+            "workload": name,
+            "scale": spec.scale,
+            "config": {"n_streams": n},
+            "timeout_s": spec.timeout_s,
+        }
+        for n in spec.n_streams
+        for name in spec.workloads
+    ]
+
+
+async def run_load(host: str, port: int, spec: LoadSpec) -> dict:
+    """Drive one load run against a frontend; returns the measurements.
+
+    Every request's status and wall time are recorded; nothing is
+    retried (the point is to observe the service's own behaviour under
+    pressure, 429s included).
+    """
+    universe = build_universe(spec)
+    weights = zipf_weights(len(universe), spec.zipf_s)
+    rng = random.Random(spec.seed)
+    total = spec.clients * spec.requests_per_client
+    choices = rng.choices(range(len(universe)), weights=weights, k=total)
+    window = asyncio.Semaphore(spec.max_inflight)
+    statuses: Dict[int, int] = {}
+    latencies_ms: List[float] = []
+    touched = {index for index in choices}
+
+    async def one(index: int) -> None:
+        payload = universe[index]
+        async with window:
+            started = time.perf_counter()
+            try:
+                status, _ = await arequest(
+                    host, port, "POST", "/v1/run", payload, timeout=spec.timeout_s
+                )
+            except (OSError, asyncio.TimeoutError, ValueError):
+                status = -1  # transport failure, counted, never raised
+            latencies_ms.append(1e3 * (time.perf_counter() - started))
+            statuses[status] = statuses.get(status, 0) + 1
+
+    started = time.perf_counter()
+    await asyncio.gather(*(one(index) for index in choices))
+    elapsed = time.perf_counter() - started
+
+    latencies_ms.sort()
+
+    def percentile(q: float) -> float:
+        if not latencies_ms:
+            return 0.0
+        rank = min(len(latencies_ms) - 1, int(q * (len(latencies_ms) - 1)))
+        return round(latencies_ms[rank], 2)
+
+    return {
+        "clients": spec.clients,
+        "requests_per_client": spec.requests_per_client,
+        "max_inflight": spec.max_inflight,
+        "requests": total,
+        "universe_cells": len(universe),
+        "unique_cells_requested": len(touched),
+        "zipf_s": spec.zipf_s,
+        "seed": spec.seed,
+        "seconds": round(elapsed, 3),
+        "requests_per_second": round(total / elapsed, 1),
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "latency_ms": {
+            "p50": percentile(0.50),
+            "p95": percentile(0.95),
+            "p99": percentile(0.99),
+            "max": round(latencies_ms[-1], 2) if latencies_ms else 0.0,
+        },
+    }

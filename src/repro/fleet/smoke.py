@@ -1,0 +1,242 @@
+"""Fleet smoke test: 1 frontend + 2 worker subprocesses, clean exit.
+
+The subprocess variant of ``tests/test_fleet_e2e.py`` — it exercises
+the deployment path the in-process tests cannot: real ``repro serve``
+processes, worker **self-registration** (``--register``), real TCP,
+cross-process telemetry shipping, and SIGINT shutdown of the whole
+fleet.  CI runs this as its fleet-smoke job (``make fleet-smoke``).
+
+Checks, in order:
+
+1. two workers self-register and turn up alive in ``/v1/fleet/status``;
+2. three concurrent duplicate 40-cell sweeps (4 workloads x 10 stream
+   counts) all answer 200 with full results — and the frontend's
+   ``cells_executed_total`` says each unique cell was executed exactly
+   **once fleet-wide** (cluster-wide coalescing);
+3. the dispatch log attributes every cell to a worker (no local
+   fallback), and — after a few extra seed-shifted rounds if needed —
+   covers **>=2 distinct worker pids**;
+4. a merged run manifest built from the dispatch log validates and
+   carries the per-worker provenance;
+5. SIGINT stops all three processes with exit code 0.
+
+Exit code 0 on success; any failure prints the reason and exits 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+import asyncio
+
+from repro.obs.manifest import ManifestBuilder, load_manifest
+from repro.service.client import ServiceClient, arequest
+
+_SRC_DIR = Path(__file__).resolve().parents[2]
+
+WORKLOADS = ["sweep", "stride", "interleaved", "random"]
+N_STREAMS = [1, 2, 3, 4, 5, 6, 7, 8, 10, 12]
+SCALE = 0.25
+DUPLICATE_SWEEPS = 3
+
+
+def _spawn(args: List[str]) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--jobs", "1", *args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _read_address(proc: subprocess.Popen, timeout_s: float = 30.0) -> Tuple[str, int]:
+    deadline = time.monotonic() + timeout_s
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(f"server exited before binding (rc={proc.poll()})")
+        if "listening on" in line:
+            address = line.rsplit(" ", 1)[-1].strip()
+            host, _, port = address.rpartition(":")
+            return host, int(port)
+    raise RuntimeError("server did not print its listening line in time")
+
+
+def _wait_for_workers(client: ServiceClient, want: int, timeout_s: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, body = client.fleet_status()
+        if status == 200 and body.get("alive", 0) >= want:
+            return
+        time.sleep(0.25)
+    raise RuntimeError(f"fewer than {want} workers registered within {timeout_s}s")
+
+
+def _sweep_round(host: str, port: int, seed: int) -> List[Tuple[int, dict]]:
+    payload = {
+        "workloads": WORKLOADS,
+        "n_streams": N_STREAMS,
+        "scale": SCALE,
+        "seed": seed,
+        "timeout_s": 300,
+    }
+
+    async def round_():
+        return await asyncio.gather(
+            *(
+                arequest(host, port, "POST", "/v1/sweep", payload, timeout=360)
+                for _ in range(DUPLICATE_SWEEPS)
+            )
+        )
+
+    return asyncio.run(round_())
+
+
+def main() -> int:
+    """Boot the fleet, run the checks, SIGINT everything; 0 on success."""
+    grid_cells = len(WORKLOADS) * len(N_STREAMS)
+    procs: List[subprocess.Popen] = []
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-smoke-") as root:
+        try:
+            frontend = _spawn(["--trace-store", f"{root}/front", "--max-queue", "64"])
+            procs.append(frontend)
+            host, port = _read_address(frontend)
+            frontend_url = f"http://{host}:{port}"
+            for i in range(2):
+                worker = _spawn(
+                    [
+                        "--worker",
+                        "--trace-store",
+                        f"{root}/w{i}",
+                        "--register",
+                        frontend_url,
+                    ]
+                )
+                procs.append(worker)
+                _read_address(worker)
+
+            client = ServiceClient(host, port, timeout=120.0)
+            _wait_for_workers(client, want=2)
+
+            # duplicate concurrent sweeps: every response full, every
+            # unique cell executed exactly once across the whole fleet
+            responses = _sweep_round(host, port, seed=0)
+            for status, body in responses:
+                if status != 200 or not body.get("ok") or body.get("errors"):
+                    raise RuntimeError(f"sweep failed: {status} {body}")
+                if len(body["results"]) != grid_cells:
+                    raise RuntimeError(
+                        f"expected {grid_cells} results, got {len(body['results'])}"
+                    )
+            metrics = client.metrics()
+            executed = metrics["counters"]["cells_executed_total"]
+            if executed != grid_cells:
+                raise RuntimeError(
+                    f"coalescing broke: {executed} cells executed fleet-wide "
+                    f"for {grid_cells} unique cells x {DUPLICATE_SWEEPS} sweeps"
+                )
+
+            # dispatch log: every cell ran on a worker, none locally;
+            # extra seed-shifted rounds until >=2 pids are covered
+            # (rendezvous may place one seed's 4 traces on one worker)
+            status, fleet = client.fleet_status()
+            if status != 200:
+                raise RuntimeError(f"fleet status failed: {status}")
+            cells = fleet["cells"]
+            keys = [tuple(c["key"]) for c in cells]
+            if len(keys) != grid_cells or len(set(keys)) != grid_cells:
+                raise RuntimeError(
+                    f"dispatch log has {len(keys)} cells "
+                    f"({len(set(keys))} unique), want {grid_cells}"
+                )
+            if any(c["origin"] == "local" for c in cells):
+                raise RuntimeError("cells fell back to local execution")
+            for round_seed in range(1, 7):
+                if len({c["worker"] for c in cells if c["worker"]}) >= 2:
+                    break
+                _sweep_round(host, port, seed=round_seed)
+                _, fleet = client.fleet_status()
+                cells = fleet["cells"]
+            pids = {c["worker"] for c in cells if c["worker"]}
+            if len(pids) < 2:
+                raise RuntimeError(f"only one worker pid in the dispatch log: {pids}")
+
+            # merged manifest: one record covering the whole fleet
+            manifest = ManifestBuilder("fleet-smoke", argv=sys.argv)
+            for cell in cells:
+                manifest.add_cell(
+                    tuple(cell["key"]),
+                    cell["workload"],
+                    source=cell["source"],
+                    wall_time_s=cell["wall_time_s"],
+                    worker=cell["worker"],
+                    ok=cell["ok"],
+                    error=cell["error"],
+                    origin=cell["origin"],
+                )
+            manifest.set_meta(
+                frontend=frontend_url,
+                workers=[w["url"] for w in fleet["workers"]],
+            )
+            path = manifest.write(f"{root}/manifests")
+            reloaded = load_manifest(path)
+            manifest_pids = {
+                c["worker"]
+                for c in reloaded["cells"]
+                if c["worker"] and c.get("origin") != "local"
+            }
+            if len(manifest_pids) < 2:
+                raise RuntimeError(
+                    f"merged manifest covers {len(manifest_pids)} worker pid(s)"
+                )
+
+            # whole-fleet shutdown: SIGINT everyone, want rc 0
+            for proc in procs:
+                proc.send_signal(signal.SIGINT)
+            for proc in procs:
+                rc = proc.wait(timeout=30)
+                if rc != 0:
+                    raise RuntimeError(f"process exited {rc} on SIGINT (want 0)")
+            print(
+                f"fleet smoke OK: {grid_cells} unique cells executed once across "
+                f"{len(pids)} workers (pids {sorted(pids)}), manifest {path.name}, "
+                "clean shutdown"
+            )
+            return 0
+        except Exception as exc:
+            print(f"fleet smoke FAILED: {exc}", file=sys.stderr)
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                assert proc.stdout is not None
+                tail = proc.stdout.read() or ""
+                if tail:
+                    print(
+                        f"--- output of pid {proc.pid} ---\n" + tail[-3000:],
+                        file=sys.stderr,
+                    )
+            return 1
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

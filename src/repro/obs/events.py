@@ -89,7 +89,11 @@ def record_event(event: StoreEvent, group: str = "store") -> None:
     registry = engine_registry()
     registry.counter(f"engine_{group}_{event}_total").inc()
     if event.nbytes:
-        direction = "written" if event.endswith("_saved") else "read"
+        direction = (
+            "written"
+            if event.endswith("_saved") or event.endswith("_ingested")
+            else "read"
+        )
         registry.counter(f"engine_{group}_{direction}_bytes_total").inc(event.nbytes)
     if event.duration_s:
         registry.histogram(f"engine_{group}_op_ms").observe(1e3 * event.duration_s)

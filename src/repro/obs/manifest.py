@@ -141,18 +141,22 @@ class ManifestBuilder:
         worker: int = 0,
         ok: bool = True,
         error: str = "",
+        origin: str = "",
     ) -> None:
-        self._cells.append(
-            {
-                "key": _json_key(key),
-                "workload": workload,
-                "ok": bool(ok),
-                "error": error,
-                "wall_time_s": round(float(wall_time_s), 6),
-                "worker": int(worker),
-                "source": source,
-            }
-        )
+        cell = {
+            "key": _json_key(key),
+            "workload": workload,
+            "ok": bool(ok),
+            "error": error,
+            "wall_time_s": round(float(wall_time_s), 6),
+            "worker": int(worker),
+            "source": source,
+        }
+        if origin:
+            # Fleet provenance: which node executed this cell ("local"
+            # or a worker base URL).  Single-host manifests omit it.
+            cell["origin"] = origin
+        self._cells.append(cell)
 
     def add_results(self, tasks: Sequence, results: Sequence) -> None:
         """Record one sweep grid from ``run_grid``'s tasks and results."""

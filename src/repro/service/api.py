@@ -54,12 +54,18 @@ __all__ = [
     "CellSpec",
     "CellsRequest",
     "ExhibitRequest",
+    "ChunkRequest",
     "config_from_payload",
     "parse_run_request",
     "parse_sweep_request",
     "parse_exhibit_request",
+    "parse_chunk_request",
+    "parse_register_request",
     "encode_cell_result",
     "encode_task_error",
+    "decode_cell_result",
+    "decode_task_error",
+    "key_from_json",
     "ok_envelope",
     "error_envelope",
 ]
@@ -122,6 +128,32 @@ class ExhibitRequest:
 
     name: str
     benchmarks: Optional[Tuple[str, ...]] = None
+    timeout_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ChunkRequest:
+    """A validated fleet ``chunk`` request (frontend -> worker).
+
+    Unlike a sweep, every cell carries its *full* stream configuration:
+    the dispatcher shards arbitrary batches, so cells in one chunk need
+    not share anything but their target worker.
+
+    Attributes:
+        cells: the grid cells to execute, in result order.
+        blob_origin: base URL (``http://host:port``) the worker may
+            fetch missing trace blobs from, or None.
+        fetch_policy: ``"fallback"`` (compute locally on a remote miss,
+            the default) or ``"require"`` (a cell whose trace is neither
+            local nor fetchable fails with a tagged TaskError instead of
+            being recomputed — used when trace generation is pinned to
+            the frontend).
+        timeout_s: worker-side deadline for the whole chunk.
+    """
+
+    cells: Tuple[CellSpec, ...]
+    blob_origin: Optional[str] = None
+    fetch_policy: str = "fallback"
     timeout_s: Optional[float] = None
 
 
@@ -269,6 +301,78 @@ def parse_sweep_request(payload) -> CellsRequest:
     return CellsRequest(kind="sweep", cells=cells, timeout_s=_parse_timeout(payload))
 
 
+#: Fetch policies a chunk request may name (see :class:`ChunkRequest`).
+FETCH_POLICIES = ("fallback", "require")
+
+
+def key_from_json(key):
+    """Invert :func:`~repro.sim.parallel._json_key`: lists become tuples.
+
+    Task keys cross the fleet wire as JSON arrays; round-tripping them
+    back to tuples keeps worker-side results keyed identically to the
+    frontend's tasks (dict lookups and equality both depend on it).
+    """
+    if isinstance(key, list):
+        return tuple(key_from_json(part) for part in key)
+    return key
+
+
+def parse_chunk_request(payload) -> ChunkRequest:
+    """Validate a fleet ``chunk`` body (each cell self-contained)."""
+    payload = _require_dict(payload)
+    _check_version(payload)
+    raw_cells = payload.get("cells")
+    if not isinstance(raw_cells, list) or not raw_cells:
+        raise ValidationError("cells must be a non-empty list")
+    if len(raw_cells) > MAX_CELLS_PER_REQUEST:
+        raise ValidationError(
+            f"chunk of {len(raw_cells)} cells exceeds the per-request "
+            f"cap of {MAX_CELLS_PER_REQUEST}"
+        )
+    known = workload_names()
+    cells = []
+    for raw in raw_cells:
+        raw = _require_dict(raw)
+        workload = _parse_workload(raw.get("workload"), known)
+        cells.append(
+            CellSpec(
+                key=key_from_json(raw.get("key", [workload])),
+                workload=workload,
+                config=config_from_payload(raw.get("config")),
+                scale=_parse_scale(raw),
+                seed=_parse_seed(raw),
+            )
+        )
+    blob_origin = payload.get("blob_origin")
+    if blob_origin is not None:
+        if not isinstance(blob_origin, str):
+            raise ValidationError(
+                f"blob_origin must be a string URL, got {blob_origin!r}"
+            )
+        blob_origin = blob_origin.rstrip("/")
+    fetch_policy = payload.get("fetch_policy", "fallback")
+    if fetch_policy not in FETCH_POLICIES:
+        raise ValidationError(
+            f"unknown fetch_policy {fetch_policy!r}; valid: {FETCH_POLICIES}"
+        )
+    return ChunkRequest(
+        cells=tuple(cells),
+        blob_origin=blob_origin,
+        fetch_policy=fetch_policy,
+        timeout_s=_parse_timeout(payload),
+    )
+
+
+def parse_register_request(payload) -> str:
+    """Validate a fleet ``register`` body; returns the worker's URL."""
+    payload = _require_dict(payload)
+    _check_version(payload)
+    url = payload.get("url")
+    if not isinstance(url, str) or not url.startswith(("http://", "https://")):
+        raise ValidationError(f"url must be an http(s) URL, got {url!r}")
+    return url.rstrip("/")
+
+
 def parse_exhibit_request(payload) -> ExhibitRequest:
     """Validate an ``exhibit`` body against the exhibit registry."""
     payload = _require_dict(payload)
@@ -293,7 +397,13 @@ def parse_exhibit_request(payload) -> ExhibitRequest:
 
 
 def encode_cell_result(cell: CellSpec, result: RunResult) -> dict:
-    """One successful cell as a lossless JSON object."""
+    """One successful cell as a lossless JSON object.
+
+    Execution provenance (``wall_time_s``/``worker``/``source``) rides
+    along so fleet frontends can rebuild the exact :class:`RunResult` a
+    remote worker produced — manifests then attribute every cell to the
+    process that actually ran it, across hosts.
+    """
     return {
         "key": _json_key(cell.key),
         "workload": result.workload,
@@ -302,12 +412,53 @@ def encode_cell_result(cell: CellSpec, result: RunResult) -> dict:
         "hit_rate_percent": result.hit_rate_percent,
         "l1": dataclasses.asdict(result.l1),
         "stats": stats_to_dict(result.streams),
+        "wall_time_s": result.wall_time_s,
+        "worker": result.worker,
+        "source": result.source,
     }
+
+
+def decode_cell_result(payload: dict) -> RunResult:
+    """Rebuild the :class:`RunResult` behind :func:`encode_cell_result`.
+
+    Exact inverse up to provenance defaults: ``stats`` round-trips
+    bit-identically (the e2e tests assert equality against a direct
+    ``run_grid``), and missing provenance fields decode to the
+    dataclass defaults.
+
+    Raises:
+        KeyError/TypeError/ValueError: on malformed payloads.
+    """
+    from repro.sim.results import L1Summary
+    from repro.trace.store import stats_from_dict
+
+    return RunResult(
+        workload=payload["workload"],
+        scale=float(payload["scale"]),
+        seed=int(payload["seed"]),
+        l1=L1Summary(**payload["l1"]),
+        streams=stats_from_dict(payload["stats"]),
+        wall_time_s=float(payload.get("wall_time_s", 0.0)),
+        worker=int(payload.get("worker", 0)),
+        source=str(payload.get("source", "")),
+    )
 
 
 def encode_task_error(error: TaskError) -> dict:
     """One failed cell, traceback included."""
     return error.to_payload()
+
+
+def decode_task_error(payload: dict) -> TaskError:
+    """Rebuild a :class:`TaskError` from its wire payload."""
+    return TaskError(
+        key=key_from_json(payload.get("key")),
+        workload=str(payload.get("workload", "")),
+        error=str(payload.get("error", "")),
+        details=str(payload.get("traceback", "")),
+        wall_time_s=float(payload.get("wall_time_s", 0.0)),
+        worker=int(payload.get("worker", 0)),
+    )
 
 
 def ok_envelope(kind: str, **body) -> dict:

@@ -3,27 +3,73 @@
 Two thin stdlib clients over the v1 wire format:
 
 * :class:`ServiceClient` — blocking ``http.client`` wrapper for
-  scripts, benchmarks and the smoke test;
+  scripts, benchmarks, the smoke tests and worker-side blob fetches.
+  It **reuses one persistent connection** (the server speaks HTTP/1.1
+  keep-alive) and **retries with exponential backoff** on transport
+  errors and retriable statuses (429/503), with attempts capped and the
+  whole retry loop bounded by an optional deadline so retries can never
+  exceed a caller's request budget.
 * :func:`arequest` — a coroutine speaking just enough HTTP/1.1 for the
   concurrency tests to open hundreds of simultaneous requests from one
-  event loop.
+  event loop (one connection per request, ``Connection: close``).
 
 Both return ``(status_code, decoded_body)``; JSON responses decode to
-dicts, everything else to text.
+dicts, ``application/octet-stream`` to bytes, everything else to text.
+
+Retry safety: every POST this service accepts is idempotent by
+construction — cells are pure content-addressed computations, and
+registration is a set-insert — so replaying a request whose response
+was lost can only repeat work the store/coalescer absorbs, never
+corrupt state.  Non-retriable client errors (4xx other than 429) are
+returned immediately.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import socket
+import time
 from typing import Any, Optional, Tuple
 
 import asyncio
 
-__all__ = ["ServiceClient", "arequest"]
+__all__ = ["ServiceClient", "RequestFailed", "arequest"]
+
+
+#: Transport-level failures worth a retry: the request may never have
+#: reached the server, or the reused connection went stale between
+#: requests (server restart, idle timeout).
+_TRANSPORT_ERRORS = (
+    ConnectionError,
+    http.client.NotConnected,
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    http.client.ResponseNotReady,
+    http.client.ImproperConnectionState,
+    socket.timeout,
+    TimeoutError,
+    OSError,
+)
+
+#: HTTP statuses that invite a retry (overload / not-ready, not a bug).
+_RETRIABLE_STATUSES = (429, 503)
+
+
+class RequestFailed(RuntimeError):
+    """Every attempt failed (attempts capped or deadline exhausted)."""
+
+    def __init__(self, method: str, path: str, attempts: int, cause: str):
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"{method} {path} failed after {attempts} attempt(s): {cause}"
+        )
 
 
 def _decode(content_type: str, raw: bytes):
+    if "octet-stream" in content_type:
+        return raw
     text = raw.decode("utf-8", errors="replace")
     if "json" in content_type:
         return json.loads(text)
@@ -31,29 +77,140 @@ def _decode(content_type: str, raw: bytes):
 
 
 class ServiceClient:
-    """Blocking client for one service instance."""
+    """Blocking client for one service instance.
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
+    Args:
+        host/port: the service address.
+        timeout: per-attempt socket timeout (seconds).
+        retries: extra attempts after the first (``0`` disables retry).
+        backoff_s: initial sleep before the first retry; doubles per
+            attempt, capped at ``backoff_cap_s``.
+
+    Not thread safe — one client per thread (each holds one persistent
+    connection).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- connection management ---------------------------------------------
+
+    def _connection(self, attempt_timeout: float) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=attempt_timeout
+            )
+        elif self._conn.sock is not None:
+            self._conn.sock.settimeout(attempt_timeout)
+        else:
+            self._conn.timeout = attempt_timeout
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def close(self) -> None:
+        """Close the persistent connection (the client stays usable)."""
+        self._drop_connection()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the request loop --------------------------------------------------
 
     def request(
-        self, method: str, path: str, payload: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        deadline_s: Optional[float] = None,
+        retries: Optional[int] = None,
     ) -> Tuple[int, Any]:
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            body = None
-            headers = {}
-            if payload is not None:
-                body = json.dumps(payload).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
-            return response.status, _decode(response.getheader("Content-Type", ""), raw)
-        finally:
-            conn.close()
+        """One logical request, transparently retried.
+
+        Args:
+            deadline_s: total budget (seconds) across *all* attempts,
+                including backoff sleeps; attempts stop — and per-attempt
+                socket timeouts shrink — so the budget is never exceeded.
+            retries: override the client-level retry cap for this call.
+
+        Returns:
+            ``(status, decoded_body)`` of the first conclusive response.
+
+        Raises:
+            RequestFailed: when every allowed attempt failed on
+                transport or came back retriable and the caps ran out.
+        """
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        max_attempts = 1 + (self.retries if retries is None else retries)
+        deadline = (
+            time.monotonic() + deadline_s if deadline_s is not None else None
+        )
+        backoff = self.backoff_s
+        last_cause = "no attempts made"
+        attempt = 0
+        while attempt < max_attempts:
+            attempt += 1
+            attempt_timeout = self.timeout
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                attempt_timeout = min(attempt_timeout, remaining)
+            try:
+                conn = self._connection(attempt_timeout)
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                if response.will_close:
+                    self._drop_connection()
+                status = response.status
+                decoded = _decode(response.getheader("Content-Type", "") or "", raw)
+                if status in _RETRIABLE_STATUSES and attempt < max_attempts:
+                    last_cause = f"retriable status {status}"
+                else:
+                    return status, decoded
+            except _TRANSPORT_ERRORS as exc:
+                self._drop_connection()
+                last_cause = f"{type(exc).__name__}: {exc}"
+                if attempt >= max_attempts:
+                    break
+            # Back off before the next attempt, never past the deadline.
+            sleep = min(backoff, self.backoff_cap_s)
+            if deadline is not None:
+                sleep = min(sleep, max(0.0, deadline - time.monotonic()))
+                if time.monotonic() + sleep >= deadline:
+                    time.sleep(max(0.0, sleep))
+                    break
+            time.sleep(sleep)
+            backoff *= 2
+        raise RequestFailed(method, path, attempt, last_cause)
 
     # -- the verbs ---------------------------------------------------------
 
@@ -65,6 +222,19 @@ class ServiceClient:
 
     def exhibit(self, name: str, **payload) -> Tuple[int, Any]:
         return self.request("POST", "/v1/exhibit", {"name": name, **payload})
+
+    def chunk(self, cells, **payload) -> Tuple[int, Any]:
+        return self.request("POST", "/v1/chunk", {"cells": list(cells), **payload})
+
+    def register(self, url: str) -> Tuple[int, Any]:
+        return self.request("POST", "/v1/fleet/register", {"url": url})
+
+    def fleet_status(self) -> Tuple[int, Any]:
+        return self.request("GET", "/v1/fleet/status")
+
+    def blob(self, kind: str, digest: str, **kwargs) -> Tuple[int, Any]:
+        """Fetch one store entry's raw bytes (``404`` when absent)."""
+        return self.request("GET", f"/v1/blob/{kind}/{digest}", **kwargs)
 
     def health(self) -> Tuple[int, Any]:
         return self.request("GET", "/healthz")
@@ -118,9 +288,14 @@ async def arequest(
             await writer.wait_closed()
         except (ConnectionError, OSError):
             pass
+    if not raw:
+        raise ConnectionError("connection closed before any response")
     head, _, rest = raw.partition(b"\r\n\r\n")
     header_lines = head.decode("latin-1").split("\r\n")
-    status = int(header_lines[0].split()[1])
+    status_parts = header_lines[0].split()
+    if len(status_parts) < 2:
+        raise ValueError(f"malformed status line {header_lines[0]!r}")
+    status = int(status_parts[1])
     content_type = ""
     for line in header_lines[1:]:
         name, _, value = line.partition(":")

@@ -23,14 +23,25 @@ Request path (the shape every later scaling PR plugs into)::
 * **Metrics** for all of the above are exposed at ``GET /metrics``
   (Prometheus text) and ``GET /metrics.json``.
 
-The HTTP layer is deliberately minimal stdlib asyncio — one request per
-connection, ``Connection: close`` — because the interesting machinery
-is behind it, not in it.
+Behind the micro-batcher sits the optional **fleet tier**
+(:mod:`repro.fleet`): when workers are registered, flushed batches are
+sharded across them by trace digest instead of running on the local
+pool; with zero workers the single-host pool path is the fallback and
+results are bit-identical either way.  The same server binary is the
+worker: ``repro serve --worker`` exposes ``POST /v1/chunk`` (execute a
+shard, ship drained telemetry back) and every server exposes
+``GET /v1/blob/...`` (raw content-addressed store bytes) so workers can
+replicate traces they miss.
+
+The HTTP layer is deliberately minimal stdlib asyncio — HTTP/1.1 with
+keep-alive, one request at a time per connection — because the
+interesting machinery is behind it, not in it.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 import traceback
 from dataclasses import dataclass
@@ -49,6 +60,7 @@ from repro.obs.metrics import (
     render_snapshot_text,
     strip_samples,
 )
+from repro.obs.spans import get_tracer
 from repro.service.batcher import MicroBatcher
 from repro.service.coalesce import Coalescer
 from repro.service.queue import (
@@ -91,6 +103,20 @@ class ServiceConfig:
         result_cache_entries: in-memory LRU of materialised cells.
         keep_pcs: propagate PCs into miss traces (PC-indexed baselines).
         l1_config: primary cache geometry (None = the paper L1).
+        worker: run as a fleet worker (reported by ``/healthz``; workers
+            execute chunks and never dispatch to other workers).
+        workers: worker base URLs known at startup; more may join via
+            ``POST /v1/fleet/register``.
+        register_url: frontend base URL to self-register with on start
+            (the worker side of ``--register``).
+        advertise_url: base URL this server registers itself as (when it
+            differs from the bound address, e.g. behind NAT).
+        fetch_policy: chunk fetch policy the frontend dispatches with
+            (see :class:`repro.service.api.ChunkRequest`).
+        fleet_max_inflight: chunk requests in flight per worker.
+        fleet_chunk_timeout_s: per-attempt deadline of one chunk.
+        fleet_max_attempts: attempts per worker before failing over.
+        fleet_heartbeat_s: worker liveness poll period (0 disables).
     """
 
     jobs: int = 1
@@ -103,6 +129,15 @@ class ServiceConfig:
     result_cache_entries: int = 1024
     keep_pcs: bool = False
     l1_config: Optional[CacheConfig] = None
+    worker: bool = False
+    workers: Tuple[str, ...] = ()
+    register_url: Optional[str] = None
+    advertise_url: Optional[str] = None
+    fetch_policy: str = "fallback"
+    fleet_max_inflight: int = 4
+    fleet_chunk_timeout_s: float = 120.0
+    fleet_max_attempts: int = 3
+    fleet_heartbeat_s: float = 2.0
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -111,6 +146,13 @@ class ServiceConfig:
             raise ValueError(f"max_queue must be positive, got {self.max_queue}")
         if self.default_timeout_s <= 0 or self.max_timeout_s <= 0:
             raise ValueError("timeouts must be positive")
+        if self.fetch_policy not in api.FETCH_POLICIES:
+            raise ValueError(
+                f"fetch_policy must be one of {api.FETCH_POLICIES}, "
+                f"got {self.fetch_policy!r}"
+            )
+        if self.worker and self.workers:
+            raise ValueError("a worker cannot itself dispatch to workers")
 
 
 class _LRU:
@@ -177,6 +219,12 @@ class SimulationService:
             event: m.counter(f"runner_{event}_total", f"MissTraceCache {event} events")
             for event in ("trace_mem_hit", "trace_store_hit", "trace_computed")
         })
+        self._c_chunks = m.counter("chunk_requests_total", "fleet chunks accepted")
+        self._c_chunk_cells = m.counter("chunk_cells_total", "cells arrived in chunks")
+        self._c_chunk_unavailable = m.counter(
+            "chunk_cells_unavailable_total",
+            "require-policy cells failed for want of a trace blob",
+        )
 
         self.l1_config = config.l1_config or CacheConfig.paper_l1()
         self.store: Optional[TraceStore] = None
@@ -199,6 +247,25 @@ class SimulationService:
             window_s=config.batch_window_s,
             on_flush=self._on_flush,
         )
+        # The fleet tier: workers execute chunks themselves and never
+        # re-dispatch, so only non-workers get a dispatcher.  Imported
+        # here, not at module top: repro.fleet speaks the service wire
+        # format, so the module dependency runs the other way.
+        from repro.fleet.dispatch import FleetDispatcher
+
+        self.fleet: Optional[FleetDispatcher] = None
+        if not config.worker:
+            self.fleet = FleetDispatcher(
+                self._run_batch_local,
+                l1_config=self.l1_config,
+                keep_pcs=config.keep_pcs,
+                workers=config.workers,
+                fetch_policy=config.fetch_policy,
+                max_inflight=config.fleet_max_inflight,
+                chunk_timeout_s=config.fleet_chunk_timeout_s,
+                max_attempts=config.fleet_max_attempts,
+                heartbeat_s=config.fleet_heartbeat_s,
+            )
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -214,11 +281,15 @@ class SimulationService:
                 store=self.store,
             )
         await self._batcher.start()
+        if self.fleet is not None:
+            await self.fleet.start()
         self._started = True
 
     async def close(self) -> None:
         if not self._started:
             return
+        if self.fleet is not None:
+            await self.fleet.close()
         await self._batcher.close()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -241,8 +312,22 @@ class SimulationService:
     async def _run_batch(
         self, tasks: List[SweepTask]
     ) -> Sequence[Union[RunResult, TaskError]]:
-        """Execute one flushed batch (called by the micro-batcher)."""
+        """Execute one flushed batch (called by the micro-batcher).
+
+        With live workers registered the batch is sharded across the
+        fleet; otherwise (or for any cells the fleet fails over) it runs
+        on the local pool.  Replays are deterministic, so both paths
+        produce bit-identical results.
+        """
         self._c_cells_executed.inc(len(tasks))
+        if self.fleet is not None and self.fleet.alive_workers():
+            return await self.fleet.run_batch(tasks)
+        return await self._run_batch_local(tasks)
+
+    async def _run_batch_local(
+        self, tasks: List[SweepTask]
+    ) -> Sequence[Union[RunResult, TaskError]]:
+        """The single-host path: run_grid on this process's pool."""
         if self._pool is not None:
             fn = partial(
                 run_grid,
@@ -411,14 +496,132 @@ class SimulationService:
             data = driver(**kwargs)
         return renderer(data)
 
+    # -- fleet handlers ----------------------------------------------------
+
+    async def handle_chunk(self, request: api.ChunkRequest) -> dict:
+        """Execute one dispatched shard (the worker side of the fleet).
+
+        Cells run through the same per-cell machinery as a sweep (result
+        LRU, warm-store fast path, coalescer, micro-batcher), so a
+        worker is just a service whose traffic happens to be chunks.
+        Before executing, missing trace blobs are replicated from the
+        chunk's ``blob_origin``; under the ``"require"`` policy, cells
+        whose trace is available nowhere fail with a tagged TaskError
+        instead of being recomputed.
+
+        The response ships this process's drained telemetry (engine
+        metrics delta + spans) so the frontend's ``/metrics``, manifests
+        and traces cover the whole fleet.
+        """
+        self._c_requests.inc()
+        self._c_chunks.inc()
+        self._c_chunk_cells.inc(len(request.cells))
+        timeout = self._clamp_timeout(request.timeout_s)
+        started = time.perf_counter()
+        digests = [self._digests(cell) for cell in request.cells]
+        unavailable: set = set()
+        if request.blob_origin is not None or request.fetch_policy == "require":
+            from repro.fleet.remote import replicate_traces
+
+            wanted = {tkey for tkey, _ in digests}
+            unavailable = await asyncio.to_thread(
+                replicate_traces, self.store, request.blob_origin, wanted
+            )
+        try:
+            async with self.queue.slot():
+
+                async def one(cell: api.CellSpec, tkey: str):
+                    if request.fetch_policy == "require" and tkey in unavailable:
+                        self._c_chunk_unavailable.inc()
+                        return TaskError(
+                            key=cell.key,
+                            workload=cell.workload,
+                            error="trace_unavailable",
+                            details=(
+                                f"trace {tkey} is neither local nor at "
+                                f"{request.blob_origin!r} and fetch_policy="
+                                "'require' forbids recomputing it"
+                            ),
+                            worker=os.getpid(),
+                        )
+                    _, result = await self._one_cell(cell)
+                    return result
+
+                results = await with_deadline(
+                    asyncio.gather(
+                        *(
+                            one(cell, tkey)
+                            for cell, (tkey, _) in zip(request.cells, digests)
+                        )
+                    ),
+                    timeout,
+                )
+        except QueueFullError:
+            self._c_rejected.inc()
+            raise
+        except DeadlineExceeded:
+            self._c_timeouts.inc()
+            raise
+        finally:
+            self._h_latency.observe(1000 * (time.perf_counter() - started))
+        encoded = []
+        failed = 0
+        for cell, result in zip(request.cells, results):
+            if isinstance(result, RunResult):
+                encoded.append({"ok": True, **api.encode_cell_result(cell, result)})
+            else:
+                failed += 1
+                encoded.append({"ok": False, "error": api.encode_task_error(result)})
+        if failed:
+            self._c_cell_errors.inc(failed)
+        tracer = get_tracer()
+        return api.ok_envelope(
+            "chunk",
+            cells=encoded,
+            telemetry={
+                "metrics": engine_registry().drain(),
+                "spans": tracer.drain() if tracer.enabled else [],
+            },
+            meta={
+                "pid": os.getpid(),
+                "cells": len(request.cells),
+                "failed": failed,
+                "elapsed_ms": round(1000 * (time.perf_counter() - started), 3),
+            },
+        )
+
+    def handle_register(self, url: str) -> dict:
+        """Admit a worker into the fleet (``POST /v1/fleet/register``)."""
+        if self.fleet is None:
+            raise api.ValidationError("this server is a worker; it has no fleet")
+        self.fleet.register(url)
+        return api.ok_envelope(
+            "register", url=url, workers=len(self.fleet)
+        )
+
+    def fleet_status(self) -> dict:
+        """Fleet topology + bounded per-cell dispatch log (JSON-safe)."""
+        if self.fleet is None:
+            return api.ok_envelope("fleet_status", role="worker", workers=[], cells=[])
+        return api.ok_envelope("fleet_status", role="frontend", **self.fleet.status())
+
     def health(self) -> dict:
+        from repro import __version__
+
         return {
             "ok": True,
             "v": api.WIRE_VERSION,
+            "version": __version__,
+            "role": "worker" if self.config.worker else "frontend",
+            "pid": os.getpid(),
             "queue_depth": self.queue.depth,
             "inflight_cells": len(self.coalescer),
             "store": str(self.store.root) if self.store is not None else None,
             "jobs": self.config.jobs,
+            "fleet_workers": len(self.fleet) if self.fleet is not None else 0,
+            "fleet_alive": (
+                len(self.fleet.alive_workers()) if self.fleet is not None else 0
+            ),
         }
 
 
@@ -458,6 +661,12 @@ class ServiceServer:
         await self.service.start()
         self._server = await asyncio.start_server(self._handle_conn, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.service.fleet is not None and self.service.fleet.blob_origin is None:
+            # Workers fetch missing trace blobs from this frontend.
+            self.service.fleet.blob_origin = (
+                self.service.config.advertise_url
+                or f"http://{self.host}:{self.port}"
+            )
         return self.host, self.port
 
     async def close(self) -> None:
@@ -472,15 +681,25 @@ class ServiceServer:
     async def _handle_conn(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve requests on one connection until either side closes.
+
+        HTTP/1.1 keep-alive: the connection is reused for subsequent
+        requests unless the client sent ``Connection: close`` (the
+        blocking client leans on reuse; :func:`arequest` opts out).
+        """
         try:
-            try:
-                method, path, body = await self._read_request(reader)
-            except _HttpError as exc:
-                await self._respond_json(writer, exc.status, exc.body)
-                return
-            except (asyncio.IncompleteReadError, ConnectionError):
-                return  # client went away mid-request
-            await self._dispatch(writer, method, path, body)
+            while True:
+                try:
+                    method, path, body, headers = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._respond_json(writer, exc.status, exc.body, close=True)
+                    return
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # client went away (EOF between requests is normal)
+                close = headers.get("connection", "").lower() == "close"
+                await self._dispatch(writer, method, path, body, close=close)
+                if close:
+                    return
         finally:
             try:
                 writer.close()
@@ -490,7 +709,7 @@ class ServiceServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
+    ) -> Tuple[str, str, bytes, Dict[str, str]]:
         try:
             header_block = await reader.readuntil(b"\r\n\r\n")
         except asyncio.LimitOverrunError:
@@ -518,7 +737,7 @@ class ServiceServer:
                 413, "body_too_large", f"body of {length} bytes exceeds {MAX_BODY_BYTES}"
             )
         body = await reader.readexactly(length) if length else b""
-        return method, path, body
+        return method, path, body, headers
 
     def _merged_snapshot(self) -> dict:
         """Service instruments plus the process-global engine registry.
@@ -540,18 +759,62 @@ class ServiceServer:
     def _merged_metrics_json(self) -> dict:
         return strip_samples(self._merged_snapshot())
 
+    async def _serve_blob(
+        self, writer: asyncio.StreamWriter, path: str, close: bool
+    ) -> None:
+        """``GET /v1/blob/<kind>/<digest>`` — raw store bytes or 404."""
+        parts = path.split("/")
+        if len(parts) != 5 or not parts[4]:
+            raise _HttpError(404, "not_found", f"no such path {path!r}")
+        kind, digest = parts[3], parts[4]
+        store = self.service.store
+        if store is None:
+            raise _HttpError(404, "blob_not_found", "this server runs storeless")
+        try:
+            data = (
+                await asyncio.to_thread(store.read_blob, kind, digest)
+                if store.has_blob(kind, digest)
+                else None
+            )
+        except ValueError as exc:  # unknown blob kind
+            raise _HttpError(404, "blob_not_found", str(exc))
+        if data is None:
+            raise _HttpError(
+                404, "blob_not_found", f"no {kind} blob {digest} in this store"
+            )
+        await self._respond(
+            writer, 200, data, "application/octet-stream", close=close
+        )
+
     async def _dispatch(
-        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: bytes,
+        close: bool = True,
     ) -> None:
         path = path.split("?", 1)[0]
         try:
             if method == "GET":
                 if path in ("/healthz", "/health"):
-                    await self._respond_json(writer, 200, self.service.health())
+                    await self._respond_json(
+                        writer, 200, self.service.health(), close=close
+                    )
                 elif path == "/metrics":
-                    await self._respond_text(writer, 200, self._merged_metrics_text())
+                    await self._respond_text(
+                        writer, 200, self._merged_metrics_text(), close=close
+                    )
                 elif path == "/metrics.json":
-                    await self._respond_json(writer, 200, self._merged_metrics_json())
+                    await self._respond_json(
+                        writer, 200, self._merged_metrics_json(), close=close
+                    )
+                elif path == "/v1/fleet/status":
+                    await self._respond_json(
+                        writer, 200, self.service.fleet_status(), close=close
+                    )
+                elif path.startswith("/v1/blob/"):
+                    await self._serve_blob(writer, path, close)
                 else:
                     raise _HttpError(404, "not_found", f"no such path {path!r}")
                 return
@@ -570,14 +833,20 @@ class ServiceServer:
             elif path == "/v1/exhibit":
                 request = api.parse_exhibit_request(payload)
                 response = await self.service.handle_exhibit(request)
+            elif path == "/v1/chunk":
+                request = api.parse_chunk_request(payload)
+                response = await self.service.handle_chunk(request)
+            elif path == "/v1/fleet/register":
+                url = api.parse_register_request(payload)
+                response = self.service.handle_register(url)
             else:
                 raise _HttpError(404, "not_found", f"no such path {path!r}")
-            await self._respond_json(writer, 200, response)
+            await self._respond_json(writer, 200, response, close=close)
         except _HttpError as exc:
-            await self._respond_json(writer, exc.status, exc.body)
+            await self._respond_json(writer, exc.status, exc.body, close=close)
         except api.ValidationError as exc:
             await self._respond_json(
-                writer, 400, api.error_envelope("bad_request", str(exc))
+                writer, 400, api.error_envelope("bad_request", str(exc)), close=close
             )
         except QueueFullError as exc:
             await self._respond_json(
@@ -587,10 +856,14 @@ class ServiceServer:
                     "over_capacity", str(exc), retry_after_s=1.0
                 ),
                 extra_headers={"Retry-After": "1"},
+                close=close,
             )
         except DeadlineExceeded as exc:
             await self._respond_json(
-                writer, 504, api.error_envelope("deadline_exceeded", str(exc))
+                writer,
+                504,
+                api.error_envelope("deadline_exceeded", str(exc)),
+                close=close,
             )
         except Exception as exc:  # the server must answer, not die
             self.service._c_failures.inc()
@@ -601,6 +874,7 @@ class ServiceServer:
                     "internal", f"{type(exc).__name__}: {exc}",
                     traceback=traceback.format_exc(),
                 ),
+                close=close,
             )
 
     @staticmethod
@@ -610,13 +884,14 @@ class ServiceServer:
         payload: bytes,
         content_type: str,
         extra_headers: Optional[Dict[str, str]] = None,
+        close: bool = True,
     ) -> None:
         reason = _STATUS_TEXT.get(status, "Unknown")
         headers = [
             f"HTTP/1.1 {status} {reason}",
             f"Content-Type: {content_type}",
             f"Content-Length: {len(payload)}",
-            "Connection: close",
+            f"Connection: {'close' if close else 'keep-alive'}",
         ]
         for name, value in (extra_headers or {}).items():
             headers.append(f"{name}: {value}")
@@ -633,19 +908,58 @@ class ServiceServer:
         status: int,
         body: dict,
         extra_headers: Optional[Dict[str, str]] = None,
+        close: bool = True,
     ) -> None:
         payload = json.dumps(body).encode("utf-8")
         await cls._respond(
-            writer, status, payload, "application/json", extra_headers
+            writer, status, payload, "application/json", extra_headers, close=close
         )
 
     @classmethod
     async def _respond_text(
-        cls, writer: asyncio.StreamWriter, status: int, body: str
+        cls,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: str,
+        close: bool = True,
     ) -> None:
         await cls._respond(
-            writer, status, body.encode("utf-8"), "text/plain; version=0.0.4"
+            writer,
+            status,
+            body.encode("utf-8"),
+            "text/plain; version=0.0.4",
+            close=close,
         )
+
+
+async def _register_with_frontend(
+    register_url: str, advertise_url: str, attempts: int = 60, delay_s: float = 1.0
+) -> None:
+    """Announce this worker to its frontend, retrying until it is up."""
+    from urllib.parse import urlsplit
+
+    from repro.service.client import arequest
+
+    parts = urlsplit(register_url)
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 80
+    for attempt in range(attempts):
+        try:
+            status, body = await arequest(
+                host,
+                port,
+                "POST",
+                "/v1/fleet/register",
+                {"v": api.WIRE_VERSION, "url": advertise_url},
+                timeout=5.0,
+            )
+            if status == 200 and isinstance(body, dict) and body.get("ok"):
+                print(f"repro-service registered with {register_url}", flush=True)
+                return
+        except (OSError, asyncio.TimeoutError, ValueError):
+            pass
+        await asyncio.sleep(delay_s)
+    print(f"repro-service failed to register with {register_url}", flush=True)
 
 
 async def run_server(
@@ -659,7 +973,15 @@ async def run_server(
     server = ServiceServer(SimulationService(config), host=host, port=port)
     bound_host, bound_port = await server.start()
     print(f"repro-service listening on {bound_host}:{bound_port}", flush=True)
+    register_task: Optional[asyncio.Task] = None
+    if config.register_url:
+        advertise = config.advertise_url or f"http://{bound_host}:{bound_port}"
+        register_task = asyncio.ensure_future(
+            _register_with_frontend(config.register_url, advertise)
+        )
     try:
         await asyncio.Event().wait()  # serve until cancelled
     finally:
+        if register_task is not None:
+            register_task.cancel()
         await server.close()

@@ -532,6 +532,72 @@ class TraceStore:
         )
         return profiles
 
+    # -- blob layer (fleet replication) ------------------------------------
+    #
+    # Workers in a sweep fleet replicate entries by digest: a worker that
+    # misses locally fetches the raw on-disk bytes of an entry from the
+    # frontend (or a peer) over HTTP and ingests them verbatim.  Content
+    # addressing makes this trivially safe — the bytes under a digest are
+    # identical on every host that has them — and the usual robustness
+    # rule still applies on top: a corrupt transfer loads as a miss and
+    # is recomputed/overwritten locally.
+
+    #: Blob kinds the replication layer moves, mapped to path resolvers.
+    BLOB_KINDS = ("trace", "result", "profile")
+
+    def blob_path(self, kind: str, digest: str) -> Path:
+        """On-disk path of one entry, by blob kind."""
+        if kind == "trace":
+            return self.trace_path(digest)
+        if kind == "result":
+            return self.result_path(digest)
+        if kind == "profile":
+            return self.profile_path(digest)
+        raise ValueError(f"unknown blob kind {kind!r}; known: {self.BLOB_KINDS}")
+
+    def has_blob(self, kind: str, digest: str) -> bool:
+        """Cheap existence probe (no content validation)."""
+        return self.blob_path(kind, digest).is_file()
+
+    def read_blob(self, kind: str, digest: str) -> Optional[bytes]:
+        """The raw stored bytes of one entry, or None when absent.
+
+        This is what the service's ``GET /v1/blob/<kind>/<digest>``
+        endpoint serves; readers never see a torn write because writers
+        stage to ``*.tmp`` and rename.
+        """
+        path = self.blob_path(kind, digest)
+        started = time.perf_counter()
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        self._emit(
+            f"{kind}_blob_read",
+            digest=digest,
+            nbytes=len(data),
+            duration_s=time.perf_counter() - started,
+        )
+        return data
+
+    def ingest_blob(self, kind: str, digest: str, data: bytes) -> Path:
+        """Install raw entry bytes fetched from a peer (atomic).
+
+        No validation happens here: the digest is the contract, and the
+        next ``load_*`` call validates format version and structure,
+        degrading a bad transfer to an ordinary miss.
+        """
+        path = self.blob_path(kind, digest)
+        started = time.perf_counter()
+        self._write_atomic(path, lambda tmp: Path(tmp).write_bytes(data))
+        self._emit(
+            f"{kind}_blob_ingested",
+            digest=digest,
+            nbytes=len(data),
+            duration_s=time.perf_counter() - started,
+        )
+        return path
+
     # -- maintenance -------------------------------------------------------
 
     def __len__(self) -> int:
