@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-quick obs-smoke obs-bench profile-bench vector-bench vector-smoke check-diff check-diff-long exhibits examples serve smoke-service fleet-smoke fleet-bench clean
+.PHONY: install test bench bench-quick obs-smoke obs-bench profile-bench analytic-bench vector-bench vector-smoke check-diff check-diff-long exhibits examples serve smoke-service fleet-smoke fleet-bench clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -33,6 +33,13 @@ obs-bench:
 # grid; timings land in BENCH_PR4.json (docs/analytic.md).
 profile-bench:
 	PYTHONPATH=src python benchmarks/bench_profile.py
+
+# PR 8 analytic gate: the combined-locality screen must beat the PR 4
+# simulated-config baseline strictly, and every closed-form stream
+# sweep's witness replay must land inside its declared error bound;
+# results in BENCH_PR8.json (docs/analytic.md).
+analytic-bench:
+	PYTHONPATH=src python benchmarks/bench_analytic.py
 
 # Vector engine gate alone (also runs as part of bench-quick): scalar
 # vs batch l1.simulate span times and the warm jobs=1 sweep wall time,

@@ -6,8 +6,13 @@ binomial set-partition correction (:mod:`repro.analytic.model`), accurate
 estimates for the paper's whole set-associative L2 grid.  The screening
 search (:mod:`repro.analytic.screen`) uses those curves to answer the
 Table 4 question — the minimum L2 matching the stream hit rate — while
-simulating only a handful of boundary configurations.  See
-``docs/analytic.md``.
+simulating only a handful of boundary configurations.  The companion
+stream-side model (:mod:`repro.analytic.streams`) does the same for the
+*other* axis of the paper: a one-pass miss-spectrum extraction
+(:mod:`repro.trace.spectrum`) feeds a closed-form stream-buffer hit-rate
+model that predicts ``n_streams``/filter/czone sweep cells without
+replay, each prediction carrying a declared error bound the differ
+enforces against the golden oracle.  See ``docs/analytic.md``.
 """
 
 from repro.analytic.model import (
@@ -27,17 +32,29 @@ from repro.analytic.screen import (
     ensure_profiles,
     min_matching_l2_size_analytic,
 )
+from repro.analytic.streams import (
+    StreamPrediction,
+    ensure_spectrum,
+    in_envelope,
+    predict_streams,
+    stream_envelope_config,
+)
 
 __all__ = [
     "PROFILE_BLOCK_SIZES",
     "ESTIMATOR_SLACK",
     "LocalityProfile",
+    "StreamPrediction",
     "best_estimate_at_size",
     "ensure_profiles",
+    "ensure_spectrum",
     "estimate_hit_rate",
     "fa_hit_count",
     "fa_hit_curve",
     "fa_hit_rate",
+    "in_envelope",
     "min_matching_l2_size_analytic",
+    "predict_streams",
     "profile_miss_trace",
+    "stream_envelope_config",
 ]

@@ -24,18 +24,30 @@ the read and write histograms and the cold/write-back counters together.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.caches.cache import MissEventKind, MissTrace
 from repro.mem.address import is_power_of_two, log2_int
 
-__all__ = ["PROFILE_BLOCK_SIZES", "LocalityProfile", "profile_miss_trace"]
+__all__ = [
+    "PROFILE_BLOCK_SIZES",
+    "PROFILE_BUCKETS",
+    "LocalityProfile",
+    "profile_miss_trace",
+]
 
 #: The L2 block sizes of the paper's Table 4 grid; the default profiling
 #: granularities.
 PROFILE_BLOCK_SIZES: Tuple[int, ...] = (64, 128)
+
+#: Index-bucket count for the combined-locality arrays: block address
+#: modulo this many buckets.  A power of two at least as large as any
+#: swept set count, so exact per-set footprints/demand shares fall out of
+#: a reshape-sum for every ``n_sets <= PROFILE_BUCKETS`` (set index =
+#: bucket mod n_sets when both are powers of two).
+PROFILE_BUCKETS = 1024
 
 
 @dataclass(frozen=True)
@@ -52,6 +64,11 @@ class LocalityProfile:
         cold_writes: first-touch demand write misses.
         writebacks: L1 write-backs absorbed (recency/install only).
         unique_blocks: distinct blocks touched by any event.
+        bucket_footprint: ``bucket_footprint[i]`` counts distinct blocks
+            whose index ``block % PROFILE_BUCKETS == i`` (combined
+            locality: the footprint's spread over set indices).  ``None``
+            on profiles predating the combined-locality estimator.
+        bucket_demand: demand events per index bucket, same keying.
     """
 
     block_size: int
@@ -61,6 +78,8 @@ class LocalityProfile:
     cold_writes: int
     writebacks: int
     unique_blocks: int
+    bucket_footprint: Optional[np.ndarray] = None
+    bucket_demand: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.block_size):
@@ -165,6 +184,8 @@ def _profile_one(miss_trace: MissTrace, block_size: int) -> LocalityProfile:
     cold_reads = 0
     cold_writes = 0
     writebacks = 0
+    bucket_mask = PROFILE_BUCKETS - 1
+    bucket_demand = [0] * PROFILE_BUCKETS
     for position, (addr, kind) in enumerate(zip(addrs, kinds)):
         block = addr >> bits
         previous = last_position.get(block)
@@ -181,10 +202,16 @@ def _profile_one(miss_trace: MissTrace, block_size: int) -> LocalityProfile:
             distance = _prefix(position - 1) - _prefix(previous)
             counts = write_counts if kind == write_kind else read_counts
             counts[distance] = counts.get(distance, 0) + 1
+        if kind != wb_kind:
+            bucket_demand[block & bucket_mask] += 1
         if previous is not None:
             _add(previous, -1)
         _add(position, +1)
         last_position[block] = position
+
+    bucket_footprint = [0] * PROFILE_BUCKETS
+    for block in last_position:
+        bucket_footprint[block & bucket_mask] += 1
 
     return LocalityProfile(
         block_size=block_size,
@@ -194,6 +221,8 @@ def _profile_one(miss_trace: MissTrace, block_size: int) -> LocalityProfile:
         cold_writes=cold_writes,
         writebacks=writebacks,
         unique_blocks=len(last_position),
+        bucket_footprint=np.array(bucket_footprint, dtype=np.int64),
+        bucket_demand=np.array(bucket_demand, dtype=np.int64),
     )
 
 

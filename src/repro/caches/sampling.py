@@ -80,6 +80,7 @@ def sampling_halfwidth(
     sampled_demand_accesses: int,
     hit_rate: float = 0.5,
     z: float = 3.0,
+    population: int = None,
 ) -> float:
     """A-priori confidence half-width of a set-sampled hit-rate estimate.
 
@@ -91,17 +92,34 @@ def sampling_halfwidth(
     The analytic screen widens its pruning margin by this amount so
     sampling noise cannot flip a match decision it skipped simulating.
 
+    Degenerate cases are pinned rather than extrapolated: a sample that
+    covers the whole population is an exact measurement (half-width 0.0,
+    not a positive band that would loosen the screen), and an empty
+    *population* has nothing to mis-estimate (0.0 again, matching the
+    PR 3 convention of pinning empty-trace hit rates to 0.0).  Only an
+    empty sample drawn from a non-empty population is genuinely
+    uninformative and returns the vacuous band 1.0.
+
     Args:
         sampled_demand_accesses: demand accesses the sampled sets see.
         hit_rate: anticipated hit rate; the default 0.5 maximises
             ``p*(1-p)`` and therefore the band (a safe worst case).
         z: sigma multiplier (3 by default, matching the screen).
+        population: total demand accesses the full cache would see, when
+            known.  Enables the exact-measurement and empty-population
+            pins above; ``None`` preserves the bare binomial band.
 
     Returns:
-        The half-width, or 1.0 when sampling leaves no accesses.
+        The half-width: 0.0 for exact or vacuously-exact measurements,
+        1.0 when a non-empty population is entirely unsampled, else the
+        ``z * sqrt(p(1-p)/n)`` binomial band.
     """
+    if population is not None and population <= 0:
+        return 0.0
     if sampled_demand_accesses <= 0:
         return 1.0
+    if population is not None and sampled_demand_accesses >= population:
+        return 0.0
     return z * float(np.sqrt(hit_rate * (1.0 - hit_rate) / sampled_demand_accesses))
 
 

@@ -22,6 +22,12 @@ Three stages:
   LRU hit counts (:mod:`repro.analytic.profile`) vs driving a
   one-set :class:`~repro.check.oracle.RefCache` with L2 semantics over
   the same trace — Mattson's theorem, checked bit-for-bit;
+* :func:`diff_analytic_streams` — the miss-spectrum extraction
+  (:mod:`repro.trace.spectrum`) vs its naive O(n^2) reference,
+  bit-for-bit, and the closed-form stream-buffer model
+  (:mod:`repro.analytic.streams`) vs
+  :class:`~repro.check.oracle.RefStreamPrefetcher`, within each
+  prediction's declared error bound;
 * :func:`diff_vector` — the batch engines of :mod:`repro.sim.vector`
   (L1, stream replay, sampled L2 probe) vs their scalar counterparts on
   configurations coerced into the vector support envelope
@@ -61,6 +67,7 @@ __all__ = [
     "diff_l1",
     "diff_streams",
     "diff_analytic",
+    "diff_analytic_streams",
     "diff_vector",
     "diff_registry_workload",
     "check_seed",
@@ -557,6 +564,120 @@ def diff_analytic(seed: int, n_events: int = 2500) -> Optional[Divergence]:
     return None
 
 
+def diff_analytic_streams(seed: int, n_events: int = 2000) -> Optional[Divergence]:
+    """One seeded check of the closed-form stream-buffer model.
+
+    Two sub-checks share the seed.  First the one-pass spectrum
+    extraction (:func:`~repro.trace.spectrum.extract_spectrum`) is
+    compared bit-for-bit against the naive O(n^2) reference on a
+    truncated prefix of the trace — every scalar and every per-run array
+    must match exactly.  Then the full trace's spectrum feeds
+    :func:`~repro.analytic.streams.predict_streams` for a random
+    envelope configuration, and the predicted hit rate must sit within
+    the prediction's *declared* error bound of the golden
+    :class:`~repro.check.oracle.RefStreamPrefetcher` — the same contract
+    the analytic sweep path relies on when it prunes cells without
+    replaying them.
+    """
+    from repro.analytic.streams import predict_streams, stream_envelope_config
+    from repro.trace.spectrum import extract_spectrum, naive_spectrum
+
+    rng = random.Random(seed * 3266489917 % (1 << 31))
+    config = stream_envelope_config(random_stream_config(rng))
+    miss_trace = random_miss_trace(rng, n_events, block_bits=config.block_bits)
+
+    # -- spectrum extraction vs naive reference (truncated prefix) -----
+    prefix_len = min(400, len(miss_trace.addrs))
+    prefix = MissTrace(
+        addrs=miss_trace.addrs[:prefix_len],
+        kinds=miss_trace.kinds[:prefix_len],
+        block_bits=miss_trace.block_bits,
+    )
+    fast = extract_spectrum(prefix)
+    naive = naive_spectrum(prefix)
+    if fast != naive:
+        for name in (
+            "n_events",
+            "demand_misses",
+            "writebacks",
+            "ifetch_misses",
+            "lone_misses",
+            "seed_events",
+            "alloc_events",
+        ):
+            fast_value = getattr(fast, name)
+            naive_value = getattr(naive, name)
+            if fast_value != naive_value:
+                return Divergence(
+                    stage="analytic-streams",
+                    seed=seed,
+                    what=f"spectrum.{name}",
+                    optimized=str(fast_value),
+                    expected=str(naive_value),
+                    context=f"prefix_len={prefix_len}",
+                )
+        for name in (
+            "run_start_addr",
+            "run_stride_bytes",
+            "run_length",
+            "run_wb_next",
+            "run_wb_window",
+            "run_primer_age",
+            "run_kind",
+            "run_byte_uniform",
+            "run_gaps_ge",
+            "run_conc_ge",
+        ):
+            fast_value = getattr(fast, name)
+            naive_value = getattr(naive, name)
+            if not np.array_equal(fast_value, naive_value):
+                return Divergence(
+                    stage="analytic-streams",
+                    seed=seed,
+                    what=f"spectrum.{name}",
+                    optimized=np.array2string(fast_value, threshold=24),
+                    expected=np.array2string(naive_value, threshold=24),
+                    context=f"prefix_len={prefix_len}",
+                )
+        return Divergence(
+            stage="analytic-streams",
+            seed=seed,
+            what="spectrum equality",
+            optimized=repr(fast),
+            expected=repr(naive),
+            context=f"prefix_len={prefix_len}",
+        )
+
+    # -- closed-form prediction vs golden oracle, within bound ---------
+    spectrum = extract_spectrum(miss_trace)
+    prediction = predict_streams(spectrum, config)
+    ref = oracle.RefStreamPrefetcher(config).run(
+        miss_trace.addrs.tolist(), miss_trace.kinds.tolist()
+    )
+    demand = ref["demand_misses"]
+    truth = ref["stream_hits"] / demand if demand else 0.0
+    error = abs(prediction.hit_rate - truth)
+    if error > prediction.bound:
+        return Divergence(
+            stage="analytic-streams",
+            seed=seed,
+            what="hit_rate out of declared bound",
+            optimized=f"{prediction.hit_rate:.6f} (bound {prediction.bound:.6f})",
+            expected=f"{truth:.6f} (|error| {error:.6f})",
+            context=f"config={config}",
+        )
+    if spectrum.demand_misses != demand:
+        return Divergence(
+            stage="analytic-streams",
+            seed=seed,
+            what="spectrum.demand_misses",
+            optimized=str(spectrum.demand_misses),
+            expected=str(demand),
+            context=f"config={config}",
+        )
+    return None
+
+
 _STREAM_COUNTER_NAMES = (
     "demand_misses",
     "stream_hits",
@@ -791,11 +912,12 @@ STAGE_FUNCTIONS = {
     "l1": diff_l1,
     "streams": diff_streams,
     "analytic": diff_analytic,
+    "analytic-streams": diff_analytic_streams,
     "vector": diff_vector,
 }
 
 #: Stages a default corpus run exercises per seed, in order.
-DEFAULT_STAGES = ("l1", "streams", "analytic", "vector")
+DEFAULT_STAGES = ("l1", "streams", "analytic", "analytic-streams", "vector")
 
 
 def check_seed(

@@ -103,6 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="unit-stride filter entries for the base config (0 = no filter)",
     )
+    sweep.add_argument(
+        "--analytic",
+        action="store_true",
+        help="predict the grid from one miss-spectrum pass per workload "
+        "instead of replaying every cell; the best predicted cell is "
+        "witnessed by real replay (see docs/analytic.md)",
+    )
     _add_engine_flags(sweep)
     _add_obs_flags(sweep)
 
@@ -126,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the miss stream's stack-distance locality profile "
         "(exact FA LRU hit-rate curve; see docs/analytic.md)",
+    )
+    profile.add_argument(
+        "--streams",
+        action="store_true",
+        help="also print the miss stream's run-length/stride spectrum and "
+        "the closed-form stream-model predictions for the paper's "
+        "configurations (see docs/analytic.md)",
     )
 
     compare = sub.add_parser(
@@ -479,6 +493,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else StreamConfig.jouppi()
     )
     values = sorted(set(args.n_streams))
+    if args.analytic:
+        return _cmd_sweep_analytic(args, base, values, store)
     tasks = [
         SweepTask(
             key=(name, n),
@@ -526,6 +542,55 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if errors else 0
 
 
+def _cmd_sweep_analytic(args, base, values, store) -> int:
+    """The ``repro sweep --analytic`` path: one spectrum pass per
+    workload predicts every cell; the best cell is replay-witnessed."""
+    from repro.reporting.tables import render_table
+    from repro.sim.compare import analytic_stream_sweep
+    from repro.sim.runner import MissTraceCache
+
+    cache = MissTraceCache(store=store)
+    configs = {n: base.with_(n_streams=n) for n in values}
+    obs = _ObsSession(args, "sweep")
+    started = time.perf_counter()
+    rows = []
+    witnesses = []
+    for name in args.workloads:
+        cells = analytic_stream_sweep(
+            name, configs, scale=args.scale, seed=args.seed, cache=cache
+        )
+        rows.append([name] + [100.0 * cells[n].predicted_hit_rate for n in values])
+        for n in values:
+            cell = cells[n]
+            if cell.witnessed:
+                witnesses.append(
+                    f"  {name} @{n}: predicted {100 * cell.predicted_hit_rate:.1f}% "
+                    f"+/- {100 * cell.bound:.1f}, replayed "
+                    f"{100 * cell.simulated_hit_rate:.1f}%"
+                )
+    elapsed = time.perf_counter() - started
+    print(
+        render_table(
+            ["bench"] + [f"hit% @{n}" for n in values],
+            rows,
+            title=(
+                f"Analytic sweep: {len(args.workloads)} workloads x "
+                f"{len(values)} predicted configs (scale {args.scale:g})"
+            ),
+        )
+    )
+    print("\nwitnessed cells (real replay, within declared bound):")
+    for line in witnesses:
+        print(line)
+    print(
+        f"\n{len(args.workloads) * len(values)} cells predicted, "
+        f"{len(witnesses)} replayed in {elapsed:.2f}s"
+        + (f"; store: {args.trace_store}" if store else "")
+    )
+    obs.finish()
+    return 0
+
+
 def _cmd_exhibit(args: argparse.Namespace) -> int:
     driver, renderer = _EXHIBITS[args.name]
     store = TraceStore(args.trace_store) if args.trace_store else None
@@ -563,6 +628,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(f"mean block run    : {profile.mean_block_run:.1f} blocks")
     if args.locality:
         _print_locality(workload)
+    if args.streams:
+        _print_spectrum(workload)
     return 0
 
 
@@ -590,6 +657,50 @@ def _print_locality(workload) -> int:
             for size in PAPER_L2_SIZES
         )
         print(f"    FA LRU hit rate : {curve}")
+    return 0
+
+
+def _print_spectrum(workload) -> int:
+    """The ``repro profile --streams`` section: miss-spectrum summary
+    plus closed-form model predictions for the paper's configurations."""
+    from repro.analytic import predict_streams, stream_envelope_config
+    from repro.sim.runner import MissTraceCache
+    from repro.trace.spectrum import extract_spectrum
+
+    miss_trace, _ = MissTraceCache().get(workload)
+    spectrum = extract_spectrum(miss_trace)
+    demand = spectrum.demand_misses
+    covered = spectrum.run_misses
+    pct = 100.0 * covered / demand if demand else 0.0
+    print("stream spectrum (one-pass run-length/stride decomposition):")
+    print(
+        f"  demand misses   : {demand} ({spectrum.ifetch_misses} ifetch, "
+        f"{spectrum.writebacks} writebacks alongside)"
+    )
+    print(
+        f"  runs            : {spectrum.n_runs} covering {covered} misses "
+        f"({pct:.1f}%); {spectrum.lone_misses} lone"
+    )
+    top = sorted(
+        spectrum.stride_histogram().items(), key=lambda kv: -kv[1]
+    )[:6]
+    print(
+        "  top strides     : "
+        + "  ".join(f"{stride:+d}blk:{misses}" for stride, misses in top)
+    )
+    print("  closed-form predictions (hit% +/- declared bound):")
+    named = (
+        ("no filter", StreamConfig.jouppi()),
+        ("unit filter", StreamConfig.filtered()),
+        ("filter + czone", StreamConfig.non_unit(czone_bits=19)),
+    )
+    for label, config in named:
+        prediction = predict_streams(spectrum, stream_envelope_config(config))
+        print(
+            f"    {label:<15}: {100 * prediction.hit_rate:5.1f}% "
+            f"+/- {100 * prediction.bound:.1f}  "
+            f"(EB~{prediction.eb_estimate:.0f}%)"
+        )
     return 0
 
 

@@ -77,7 +77,11 @@ class WorkerHandle:
         self.alive = True
         self.strikes = 0
         self.pid: Optional[int] = None
+        # Two clocks per heartbeat: the unix stamp is display-only (it
+        # jumps with NTP steps and manual clock changes); every liveness
+        # *decision* reads the monotonic stamp via heartbeat_age_s().
         self.last_heartbeat_unix: Optional[float] = None
+        self.last_heartbeat_mono: Optional[float] = None
         self.inflight = 0
         self.dispatched_chunks = 0
         self.dispatched_cells = 0
@@ -90,6 +94,15 @@ class WorkerHandle:
         self.strikes = 0
         self.pid = pid
         self.last_heartbeat_unix = time.time()
+        self.last_heartbeat_mono = time.monotonic()
+
+    def heartbeat_age_s(self) -> Optional[float]:
+        """Seconds since the last successful heartbeat, or None before
+        the first one.  Monotonic — immune to wall-clock steps — so it
+        is safe to compare against staleness thresholds."""
+        if self.last_heartbeat_mono is None:
+            return None
+        return time.monotonic() - self.last_heartbeat_mono
 
     def mark_strike(self, dead_after: int) -> None:
         self.strikes += 1
@@ -112,6 +125,7 @@ class WorkerHandle:
             "retries": self.retries,
             "failed_over_cells": self.failed_over_cells,
             "last_heartbeat_unix": self.last_heartbeat_unix,
+            "heartbeat_age_s": self.heartbeat_age_s(),
         }
 
 

@@ -36,7 +36,9 @@ from repro.workloads.base import Workload
 __all__ = [
     "SizePoint",
     "MatchResult",
+    "StreamSweepCell",
     "min_matching_l2_size",
+    "analytic_stream_sweep",
     "probe_size",
     "search_min_match",
     "format_size",
@@ -231,6 +233,126 @@ def min_matching_l2_size(
         method="simulated",
         probe_seconds=probe_clock[0],
     )
+
+
+@dataclass(frozen=True)
+class StreamSweepCell:
+    """One configuration cell of an analytic stream sweep.
+
+    Attributes:
+        config: the envelope-coerced configuration evaluated.
+        predicted_hit_rate: the closed-form model's stream hit rate.
+        bound: the prediction's declared absolute error bound.
+        eb_estimate: modeled extra-bandwidth estimate (percent of
+            demand misses, Table 2/3 units).
+        simulated_hit_rate: real replayed hit rate when this cell was
+            witnessed, else None.
+        within_bound: for witnessed cells, whether the replay landed
+            inside the declared bound; vacuously True otherwise.
+    """
+
+    config: StreamConfig
+    predicted_hit_rate: float
+    bound: float
+    eb_estimate: float
+    simulated_hit_rate: Optional[float] = None
+
+    @property
+    def witnessed(self) -> bool:
+        return self.simulated_hit_rate is not None
+
+    @property
+    def within_bound(self) -> bool:
+        if self.simulated_hit_rate is None:
+            return True
+        return abs(self.simulated_hit_rate - self.predicted_hit_rate) <= self.bound
+
+
+def analytic_stream_sweep(
+    workload: WorkloadRef,
+    configs: dict,
+    scale: float = 1.0,
+    seed: int = 0,
+    cache: Optional[MissTraceCache] = None,
+    witness: str = "best",
+) -> dict:
+    """Predict a stream-configuration sweep from one spectrum pass.
+
+    The replay-based sweeps (:mod:`repro.sim.sweep`) simulate every
+    cell; this path extracts the miss spectrum once (cached in the
+    :class:`~repro.trace.store.TraceStore` under the trace digest) and
+    evaluates every cell with the closed-form model of
+    :mod:`repro.analytic.streams`.  Like the Table 4 screen, predictions
+    never stand alone: the ``witness`` policy picks cells to replay for
+    real and :meth:`StreamSweepCell.within_bound` records whether the
+    replay landed inside each prediction's declared error bound.
+
+    Args:
+        workload: registry name or instance (same resolution as
+            :func:`min_matching_l2_size`).
+        configs: ``{key: StreamConfig}`` cells, e.g. a Figure 3
+            ``n_streams`` ladder.  Each config is coerced onto the model
+            envelope via :func:`~repro.analytic.streams.stream_envelope_config`.
+        witness: ``"best"`` replays the cell with the highest predicted
+            hit rate (the one a consumer would report), ``"all"`` replays
+            every cell, ``"none"`` replays nothing (pure prediction).
+
+    Returns:
+        ``{key: StreamSweepCell}`` in the input order.
+
+    Raises:
+        RuntimeError: when a witnessed cell's replayed hit rate falls
+            outside the prediction's declared bound — the model's
+            contract is broken and no cell should be trusted.
+    """
+    from repro.analytic.streams import (
+        ensure_spectrum,
+        predict_streams,
+        stream_envelope_config,
+    )
+    from repro.sim.runner import resolve_workload_ref
+
+    if witness not in ("best", "all", "none"):
+        raise ValueError(f"unknown witness policy {witness!r}")
+    cache = cache if cache is not None else default_cache()
+    name, scale, seed, _ = resolve_workload_ref(workload, scale, seed)
+    miss_trace, _ = cache.get(workload, scale=scale, seed=seed)
+    digest = None
+    if cache.store is not None:
+        digest = cache.trace_key(name, scale, seed)
+    spectrum = ensure_spectrum(miss_trace, store=cache.store, digest=digest)
+
+    predictions = {
+        key: predict_streams(spectrum, stream_envelope_config(config))
+        for key, config in configs.items()
+    }
+    witness_keys: List = []
+    if witness == "all":
+        witness_keys = list(predictions)
+    elif witness == "best" and predictions:
+        witness_keys = [max(predictions, key=lambda k: predictions[k].hit_rate)]
+
+    cells = {}
+    for key, prediction in predictions.items():
+        simulated = None
+        if key in witness_keys:
+            with get_tracer().span("streams.witness", key=str(key)):
+                simulated = replay_streams(prediction.config, miss_trace).hit_rate
+        cell = StreamSweepCell(
+            config=prediction.config,
+            predicted_hit_rate=prediction.hit_rate,
+            bound=prediction.bound,
+            eb_estimate=prediction.eb_estimate,
+            simulated_hit_rate=simulated,
+        )
+        if not cell.within_bound:
+            raise RuntimeError(
+                f"analytic stream sweep witness out of bound at {key!r}: "
+                f"predicted {cell.predicted_hit_rate:.6f} +/- {cell.bound:.6f}, "
+                f"replayed {simulated:.6f} ({name}@{scale})"
+            )
+        cells[key] = cell
+    return cells
 
 
 def format_size(size_bytes: Optional[int]) -> str:

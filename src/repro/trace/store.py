@@ -62,11 +62,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import StreamConfig
     from repro.core.prefetcher import StreamStats
     from repro.sim.results import L1Summary
+    from repro.trace.spectrum import MissSpectrum
 
 __all__ = [
     "STORE_FORMAT_VERSION",
     "RESULT_FORMAT_VERSION",
     "PROFILE_FORMAT_VERSION",
+    "SPECTRUM_FORMAT_VERSION",
     "TraceStore",
     "canonical_scale",
     "trace_digest",
@@ -86,7 +88,14 @@ RESULT_FORMAT_VERSION = 1
 #: Bump when the locality-profile layout or the profiling semantics
 #: change (see :mod:`repro.analytic.profile`); stale profiles then load
 #: as misses and are recomputed.
-PROFILE_FORMAT_VERSION = 1
+#: v2: profiles carry per-bucket footprint/demand arrays for the
+#: combined-locality set-associative estimator, so v1 profiles are stale.
+PROFILE_FORMAT_VERSION = 2
+
+#: Bump when the miss-spectrum layout or the extraction semantics change
+#: (see :mod:`repro.trace.spectrum`); stale spectra then load as misses
+#: and are recomputed.
+SPECTRUM_FORMAT_VERSION = 1
 
 #: Everything a missing/truncated/foreign trace archive can raise.
 #: ``np.load`` surfaces zip-container damage as ``BadZipFile``/``EOFError``
@@ -275,6 +284,7 @@ class TraceStore:
         self._traces_dir = self.root / "traces"
         self._results_dir = self.root / "results"
         self._profiles_dir = self.root / "profiles"
+        self._spectra_dir = self.root / "spectra"
         self.clean_orphans(ORPHAN_TTL_SECONDS)
 
     def __repr__(self) -> str:
@@ -468,6 +478,10 @@ class TraceStore:
         for block_size, profile in profiles.items():
             arrays[f"read_hist_{block_size}"] = profile.read_hist
             arrays[f"write_hist_{block_size}"] = profile.write_hist
+            if profile.bucket_footprint is not None:
+                arrays[f"bucket_footprint_{block_size}"] = profile.bucket_footprint
+            if profile.bucket_demand is not None:
+                arrays[f"bucket_demand_{block_size}"] = profile.bucket_demand
         path = self.profile_path(digest)
 
         def _write(tmp: str) -> None:
@@ -506,6 +520,15 @@ class TraceStore:
                 profiles = {}
                 for key, counters in meta["blocks"].items():
                     block_size = int(key)
+                    footprint = demand = None
+                    if f"bucket_footprint_{block_size}" in archive:
+                        footprint = archive[
+                            f"bucket_footprint_{block_size}"
+                        ].astype(np.int64, copy=True)
+                    if f"bucket_demand_{block_size}" in archive:
+                        demand = archive[f"bucket_demand_{block_size}"].astype(
+                            np.int64, copy=True
+                        )
                     profiles[block_size] = LocalityProfile(
                         block_size=block_size,
                         read_hist=archive[f"read_hist_{block_size}"].astype(
@@ -518,6 +541,8 @@ class TraceStore:
                         cold_writes=int(counters["cold_writes"]),
                         writebacks=int(counters["writebacks"]),
                         unique_blocks=int(counters["unique_blocks"]),
+                        bucket_footprint=footprint,
+                        bucket_demand=demand,
                     )
         except _TRACE_DEFECTS:
             self._emit(
@@ -532,6 +557,129 @@ class TraceStore:
         )
         return profiles
 
+    # -- spectrum layer ----------------------------------------------------
+
+    def spectrum_path(self, digest: str) -> Path:
+        return self._spectra_dir / f"{digest}.npz"
+
+    def save_spectrum(self, digest: str, spectrum: "MissSpectrum") -> Path:
+        """Persist a trace's miss spectrum under its digest (atomic).
+
+        One archive per trace digest, as produced by
+        :func:`repro.trace.spectrum.extract_spectrum`; the analytic
+        stream model evaluates every sweep config from this one entry.
+        """
+        meta = {
+            "spectrum_version": SPECTRUM_FORMAT_VERSION,
+            "scalars": {
+                "block_bits": spectrum.block_bits,
+                "n_events": spectrum.n_events,
+                "demand_misses": spectrum.demand_misses,
+                "writebacks": spectrum.writebacks,
+                "ifetch_misses": spectrum.ifetch_misses,
+                "lone_misses": spectrum.lone_misses,
+                "seed_events": spectrum.seed_events,
+                "alloc_events": spectrum.alloc_events,
+                "window": spectrum.window,
+                "zone_bits": spectrum.zone_bits,
+            },
+        }
+        arrays = {
+            "meta": np.frombuffer(_canonical(meta).encode(), dtype=np.uint8),
+            "run_start_addr": spectrum.run_start_addr,
+            "run_stride_bytes": spectrum.run_stride_bytes,
+            "run_length": spectrum.run_length,
+            "run_wb_next": spectrum.run_wb_next,
+            "run_wb_window": spectrum.run_wb_window,
+            "run_primer_age": spectrum.run_primer_age,
+            "run_kind": spectrum.run_kind,
+            "run_byte_uniform": spectrum.run_byte_uniform,
+            "run_gaps_ge": spectrum.run_gaps_ge,
+            "run_conc_ge": spectrum.run_conc_ge,
+        }
+        path = self.spectrum_path(digest)
+
+        def _write(tmp: str) -> None:
+            # Same open-handle trick as save_trace: the temp name ends in
+            # ".tmp" and numpy would append ".npz" to a bare path.
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+
+        started = time.perf_counter()
+        with get_tracer().span("store.save_spectrum", digest=digest[:12]):
+            self._write_atomic(path, _write)
+        self._emit(
+            "spectrum_saved",
+            digest=digest,
+            nbytes=self._size_of(path),
+            duration_s=time.perf_counter() - started,
+        )
+        return path
+
+    def load_spectrum(self, digest: str) -> Optional["MissSpectrum"]:
+        """The stored miss spectrum, or None on any defect."""
+        from repro.trace.spectrum import MissSpectrum
+
+        path = self.spectrum_path(digest)
+        started = time.perf_counter()
+        try:
+            with np.load(path) as archive:
+                meta = json.loads(bytes(archive["meta"]).decode())
+                if meta["spectrum_version"] != SPECTRUM_FORMAT_VERSION:
+                    self._emit(
+                        "spectrum_miss",
+                        digest=digest,
+                        duration_s=time.perf_counter() - started,
+                    )
+                    return None
+                scalars = meta["scalars"]
+                spectrum = MissSpectrum(
+                    block_bits=int(scalars["block_bits"]),
+                    n_events=int(scalars["n_events"]),
+                    demand_misses=int(scalars["demand_misses"]),
+                    writebacks=int(scalars["writebacks"]),
+                    ifetch_misses=int(scalars["ifetch_misses"]),
+                    lone_misses=int(scalars["lone_misses"]),
+                    seed_events=int(scalars["seed_events"]),
+                    alloc_events=int(scalars["alloc_events"]),
+                    run_start_addr=archive["run_start_addr"].astype(
+                        np.int64, copy=True
+                    ),
+                    run_stride_bytes=archive["run_stride_bytes"].astype(
+                        np.int64, copy=True
+                    ),
+                    run_length=archive["run_length"].astype(np.int64, copy=True),
+                    run_wb_next=archive["run_wb_next"].astype(np.int64, copy=True),
+                    run_wb_window=archive["run_wb_window"].astype(
+                        np.int64, copy=True
+                    ),
+                    run_primer_age=archive["run_primer_age"].astype(
+                        np.int64, copy=True
+                    ),
+                    run_kind=archive["run_kind"].astype(np.uint8, copy=True),
+                    run_byte_uniform=archive["run_byte_uniform"].astype(
+                        np.uint8, copy=True
+                    ),
+                    run_gaps_ge=archive["run_gaps_ge"].astype(np.int64, copy=True),
+                    run_conc_ge=archive["run_conc_ge"].astype(np.int64, copy=True),
+                    window=int(scalars["window"]),
+                    zone_bits=int(scalars["zone_bits"]),
+                )
+        except _TRACE_DEFECTS:
+            self._emit(
+                "spectrum_miss",
+                digest=digest,
+                duration_s=time.perf_counter() - started,
+            )
+            return None
+        self._emit(
+            "spectrum_hit",
+            digest=digest,
+            nbytes=self._size_of(path),
+            duration_s=time.perf_counter() - started,
+        )
+        return spectrum
+
     # -- blob layer (fleet replication) ------------------------------------
     #
     # Workers in a sweep fleet replicate entries by digest: a worker that
@@ -543,7 +691,7 @@ class TraceStore:
     # is recomputed/overwritten locally.
 
     #: Blob kinds the replication layer moves, mapped to path resolvers.
-    BLOB_KINDS = ("trace", "result", "profile")
+    BLOB_KINDS = ("trace", "result", "profile", "spectrum")
 
     def blob_path(self, kind: str, digest: str) -> Path:
         """On-disk path of one entry, by blob kind."""
@@ -553,6 +701,8 @@ class TraceStore:
             return self.result_path(digest)
         if kind == "profile":
             return self.profile_path(digest)
+        if kind == "spectrum":
+            return self.spectrum_path(digest)
         raise ValueError(f"unknown blob kind {kind!r}; known: {self.BLOB_KINDS}")
 
     def has_blob(self, kind: str, digest: str) -> bool:
@@ -616,6 +766,11 @@ class TraceStore:
             return 0
         return sum(1 for _ in self._profiles_dir.glob("*.npz"))
 
+    def n_spectra(self) -> int:
+        if not self._spectra_dir.is_dir():
+            return 0
+        return sum(1 for _ in self._spectra_dir.glob("*.npz"))
+
     def prune(self) -> int:
         """Delete entries whose format version is stale; return the count."""
         removed = 0
@@ -652,14 +807,67 @@ class TraceStore:
             if not ok:
                 path.unlink(missing_ok=True)
                 removed += 1
+        for path in (
+            self._spectra_dir.glob("*.npz") if self._spectra_dir.is_dir() else ()
+        ):
+            try:
+                with np.load(path) as archive:
+                    meta = json.loads(bytes(archive["meta"]).decode())
+                    ok = meta["spectrum_version"] == SPECTRUM_FORMAT_VERSION
+            except _TRACE_DEFECTS:
+                ok = False
+            if not ok:
+                path.unlink(missing_ok=True)
+                removed += 1
         return removed
 
     def clear(self) -> None:
-        """Delete every stored trace, result and profile."""
-        for directory in (self._traces_dir, self._results_dir, self._profiles_dir):
+        """Delete every stored trace, result, profile and spectrum."""
+        for directory in (
+            self._traces_dir,
+            self._results_dir,
+            self._profiles_dir,
+            self._spectra_dir,
+        ):
             if directory.is_dir():
                 for path in directory.iterdir():
                     path.unlink(missing_ok=True)
+
+    def _fs_now(self) -> float:
+        """The filesystem's notion of "now", for mtime-age comparisons.
+
+        ``clean_orphans`` ages ``*.tmp`` files by their mtime, which the
+        filesystem stamped — so the reference point must come from the
+        same clock.  Comparing mtimes against ``time.time()`` breaks
+        under an NTP step: a backward step makes a fresh temp file look
+        ancient and reaps an in-flight writer's staging file.  Writing a
+        probe file and reading its mtime measures the filesystem clock
+        directly; the probe's name shape (no ``.tmp``/``.npz``/``.json``
+        suffix) is invisible to every store glob.  Falls back to
+        ``time.time()`` when no layer directory exists yet or the probe
+        fails — in that degraded case there is nothing to reap anyway, or
+        the same OSError will skip the reaping loop too.
+        """
+        for directory in (
+            self._traces_dir,
+            self._results_dir,
+            self._profiles_dir,
+            self._spectra_dir,
+        ):
+            if not directory.is_dir():
+                continue
+            try:
+                fd, probe = tempfile.mkstemp(
+                    dir=directory, prefix=".clock.", suffix=".probe"
+                )
+                try:
+                    os.close(fd)
+                    return os.stat(probe).st_mtime
+                finally:
+                    os.unlink(probe)
+            except OSError:
+                continue
+        return time.time()
 
     def clean_orphans(self, max_age_seconds: float = 0.0) -> int:
         """Reap ``*.tmp`` staging files older than ``max_age_seconds``.
@@ -670,13 +878,21 @@ class TraceStore:
         opening a store sweeps out any old enough that their writer must
         be gone.  Live writers are protected by the age threshold — and a
         lost race with one merely re-orphans a file the next open reaps.
+        Ages are measured against the filesystem clock (:meth:`_fs_now`),
+        not the process wall clock, so an NTP step cannot make a fresh
+        staging file look old.
 
         Returns:
             Number of temp files removed.
         """
         removed = 0
-        now = time.time()
-        for directory in (self._traces_dir, self._results_dir, self._profiles_dir):
+        now = self._fs_now()
+        for directory in (
+            self._traces_dir,
+            self._results_dir,
+            self._profiles_dir,
+            self._spectra_dir,
+        ):
             if not directory.is_dir():
                 continue
             for path in directory.glob("*.tmp"):

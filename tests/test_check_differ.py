@@ -117,3 +117,55 @@ class TestDivergenceRendering:
         text = str(d)
         assert "seed=7" in text
         assert "repro check --replay streams:7" in text
+
+
+class TestAnalyticStreamsStage:
+    def test_registered_and_on_by_default(self):
+        assert "analytic-streams" in differ.STAGE_FUNCTIONS
+        assert "analytic-streams" in differ.DEFAULT_STAGES
+
+    def test_clean_across_seeds(self):
+        for seed in range(6):
+            divergence = differ.diff_analytic_streams(seed, n_events=900)
+            assert divergence is None, str(divergence)
+
+    def test_seed_replay_is_deterministic(self):
+        assert differ.diff_analytic_streams(4, n_events=700) == differ.diff_analytic_streams(
+            4, n_events=700
+        )
+
+    def test_detects_spectrum_mutation(self, monkeypatch):
+        # A miscounted concurrency histogram must trip the fast-vs-naive
+        # bit-exactness check.
+        from repro.trace import spectrum as spectrum_mod
+
+        real = spectrum_mod.extract_spectrum
+
+        def broken(miss_trace):
+            result = real(miss_trace)
+            if len(result.run_conc_ge):
+                result.run_conc_ge[0, 0] += 1
+            return result
+
+        monkeypatch.setattr(spectrum_mod, "extract_spectrum", broken)
+        found = [
+            s for s in range(8) if differ.diff_analytic_streams(s, n_events=900)
+        ]
+        assert found, "corrupted conc histogram went undetected across 8 seeds"
+
+    def test_detects_model_mutation(self, monkeypatch):
+        # An over-confident bound must surface as out-of-bound seeds.
+        from repro.analytic import streams as streams_mod
+
+        real = streams_mod.predict_streams
+
+        def overconfident(spectrum, config):
+            prediction = real(spectrum, config)
+            object.__setattr__(prediction, "bound", 0.0)
+            return prediction
+
+        monkeypatch.setattr(streams_mod, "predict_streams", overconfident)
+        found = [
+            s for s in range(8) if differ.diff_analytic_streams(s, n_events=900)
+        ]
+        assert found, "zeroed error bound went undetected across 8 seeds"

@@ -410,3 +410,45 @@ class TestConfigValidation:
 
         with pytest.raises(ValueError):
             ServiceConfig(fetch_policy="sometimes")
+
+
+class TestWorkerClocks:
+    """Liveness decisions must survive wall-clock steps (NTP, manual
+    changes): `heartbeat_age_s` reads the monotonic clock only; the unix
+    stamp is display-only."""
+
+    def _handle(self):
+        from repro.fleet.dispatch import WorkerHandle
+
+        return WorkerHandle(NODES[0], max_inflight=2)
+
+    def test_age_none_before_first_heartbeat(self):
+        handle = self._handle()
+        assert handle.heartbeat_age_s() is None
+        assert handle.summary()["heartbeat_age_s"] is None
+
+    def test_age_small_after_mark_alive(self):
+        handle = self._handle()
+        handle.mark_alive(pid=123)
+        age = handle.heartbeat_age_s()
+        assert age is not None and 0.0 <= age < 5.0
+        assert handle.summary()["last_heartbeat_unix"] == pytest.approx(
+            time.time(), abs=5.0
+        )
+
+    @pytest.mark.parametrize("step", [1e6, -1e6])
+    def test_age_immune_to_wall_clock_steps(self, step, monkeypatch):
+        handle = self._handle()
+        handle.mark_alive(pid=123)
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() + step)
+        # the decision clock does not move with the wall clock
+        age = handle.heartbeat_age_s()
+        assert age is not None and 0.0 <= age < 5.0
+
+    def test_age_tracks_monotonic_elapsed(self, monkeypatch):
+        handle = self._handle()
+        handle.mark_alive(pid=123)
+        real_mono = time.monotonic
+        monkeypatch.setattr(time, "monotonic", lambda: real_mono() + 120.0)
+        assert handle.heartbeat_age_s() >= 120.0

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.caches.cache import Cache, CacheConfig, MissEventKind, MissTrace
-from repro.caches.sampling import SamplingPlan, sampled_hit_rate, sampling_error_bound
+from repro.caches.sampling import (
+    SamplingPlan,
+    sampled_hit_rate,
+    sampling_error_bound,
+    sampling_halfwidth,
+)
 from repro.caches.secondary import (
     PAPER_L2_SIZES,
     best_hit_rate_at_size,
@@ -111,6 +116,30 @@ class TestSetSampling:
         assert sampling_error_bound([], []) == 0.0
         with pytest.raises(ValueError):
             sampling_error_bound([0.5], [])
+
+    @pytest.mark.parametrize(
+        "sampled,population,expected",
+        [
+            (0, None, 1.0),  # empty sample, unknown population: vacuous
+            (-3, None, 1.0),
+            (0, 100, 1.0),  # empty sample of a real population: vacuous
+            (100, 100, 0.0),  # full coverage is an exact measurement
+            (150, 100, 0.0),  # over-coverage cannot be worse than exact
+            (100, 0, 0.0),  # empty population: nothing to mis-estimate
+            (0, 0, 0.0),  # empty sample of an empty population: exact
+            (100, -5, 0.0),
+        ],
+    )
+    def test_halfwidth_degenerate_pins(self, sampled, population, expected):
+        assert sampling_halfwidth(sampled, population=population) == expected
+
+    def test_halfwidth_normal_band(self):
+        # the binomial band, untouched by the pins
+        expected = 3.0 * np.sqrt(0.25 / 400)
+        assert sampling_halfwidth(400, population=100_000) == pytest.approx(expected)
+        assert sampling_halfwidth(400) == pytest.approx(expected)
+        # shrinks with sample size, never negative
+        assert sampling_halfwidth(1600) < sampling_halfwidth(400)
 
     def test_plan_validation(self):
         with pytest.raises(ValueError):

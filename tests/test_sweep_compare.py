@@ -117,3 +117,48 @@ class TestFormatSize:
 
     def test_unmatched(self):
         assert format_size(None) == ">4 MB"
+
+
+class TestAnalyticStreamSweep:
+    def _configs(self, n_values=(1, 4, 8)):
+        return {n: StreamConfig.filtered(n_streams=n) for n in n_values}
+
+    def test_best_witness_lands_in_bound(self, cache):
+        from repro.sim.compare import analytic_stream_sweep
+
+        cells = analytic_stream_sweep(
+            "sweep", self._configs(), scale=0.25, cache=cache
+        )
+        assert list(cells) == [1, 4, 8]
+        witnessed = [cell for cell in cells.values() if cell.witnessed]
+        assert len(witnessed) == 1  # "best" replays exactly one cell
+        (cell,) = witnessed
+        assert cell.within_bound
+        assert cell.predicted_hit_rate == max(
+            c.predicted_hit_rate for c in cells.values()
+        )
+
+    def test_none_witness_simulates_nothing(self, cache):
+        from repro.sim.compare import analytic_stream_sweep
+
+        cells = analytic_stream_sweep(
+            "sweep", self._configs((2, 6)), scale=0.25, cache=cache, witness="none"
+        )
+        assert all(not cell.witnessed for cell in cells.values())
+        assert all(cell.simulated_hit_rate is None for cell in cells.values())
+        assert all(cell.within_bound for cell in cells.values())  # vacuous
+        for cell in cells.values():
+            assert 0.0 <= cell.predicted_hit_rate <= 1.0
+            assert 0.0 < cell.bound <= 1.0
+
+    def test_configs_coerced_onto_envelope(self, cache):
+        from repro.analytic.streams import in_envelope
+        from repro.sim.compare import analytic_stream_sweep
+
+        off_envelope = StreamConfig.filtered(n_streams=4).with_(
+            partitioned=True, i_streams=2
+        )
+        cells = analytic_stream_sweep(
+            "sweep", {"x": off_envelope}, scale=0.25, cache=cache, witness="none"
+        )
+        assert in_envelope(cells["x"].config)

@@ -380,3 +380,36 @@ class TestCacheLruBound:
     def test_rejects_nonpositive_bound(self):
         with pytest.raises(ValueError):
             MissTraceCache(max_entries=0)
+
+
+class TestOrphanClockSteps:
+    """`clean_orphans` ages temp files against the *filesystem* clock, so
+    a wall-clock step cannot make a freshly-staged file look ancient."""
+
+    def test_wall_clock_step_does_not_reap_fresh_temp(self, tmp_path, monkeypatch):
+        import time
+
+        store = TraceStore(tmp_path)
+        fresh = store.trace_path("w").parent / "w.npz.9.tmp"
+        fresh.parent.mkdir(parents=True, exist_ok=True)
+        fresh.write_bytes(b"in progress")
+        real_time = time.time
+        # a huge backward step: under time.time() aging, `fresh` would
+        # look ~1e6 seconds old and be reaped out from under its writer
+        monkeypatch.setattr(time, "time", lambda: real_time() - 1e6)
+        assert store.clean_orphans(60.0) == 0
+        assert fresh.exists()
+
+    def test_genuinely_old_temp_still_reaped_under_step(self, tmp_path, monkeypatch):
+        import os
+        import time
+
+        store = TraceStore(tmp_path)
+        stale = store.trace_path("x").parent / "x.npz.1.tmp"
+        stale.parent.mkdir(parents=True, exist_ok=True)
+        stale.write_bytes(b"orphan")
+        os.utime(stale, (1e9, 1e9))
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() + 1e6)
+        assert store.clean_orphans(60.0) == 1
+        assert not stale.exists()
