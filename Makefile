@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-quick obs-smoke obs-bench profile-bench analytic-bench vector-bench vector-smoke check-diff check-diff-long exhibits examples serve smoke-service fleet-smoke fleet-bench clean
+.PHONY: install test bench bench-quick obs-smoke obs-bench profile-bench analytic-bench vector-bench vector-smoke zoo-smoke zoo-bench check-diff check-diff-long exhibits examples serve smoke-service fleet-smoke fleet-bench clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -52,6 +52,19 @@ vector-bench:
 # reports (`repro check --replay vector:SEED` reproduces one).
 vector-smoke:
 	PYTHONPATH=src python -m repro check --seeds 50 --no-registry --stages vector
+
+# Mechanism-zoo differ stages on a small corpus: the production victim
+# cache, miss cache and hybrid stacks vs their golden oracles, per-event
+# and through run()/replay_secondary() (docs/mechanisms.md).
+zoo-smoke:
+	PYTHONPATH=src python -m repro check --seeds 50 --no-registry \
+		--stages victim,misscache,hybrid
+
+# PR 9 mechanism-zoo gate: the mechzoo exhibit (min matching L2 per
+# secondary mechanism) over a reduced slice, cold vs warm store, every
+# match witnessed by a probed simulation; results in BENCH_PR9.json.
+zoo-bench:
+	PYTHONPATH=src python benchmarks/bench_mechzoo.py
 
 # Differential check: optimized simulators vs the golden reference
 # models over a fixed random corpus (docs/modeling.md).  Fails on any

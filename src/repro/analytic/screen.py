@@ -41,7 +41,8 @@ from repro.caches.cache import MissTrace
 from repro.caches.sampling import SamplingPlan, sampling_halfwidth
 from repro.caches.secondary import PAPER_L2_SIZES
 from repro.core.config import StreamConfig
-from repro.sim.vector import replay_streams
+from repro.mechanisms import MechanismConfig, mechanism_label
+from repro.sim.vector import replay_secondary, replay_streams
 from repro.obs.metrics import engine_registry
 from repro.obs.spans import get_tracer
 from repro.sim.compare import (
@@ -99,6 +100,7 @@ def min_matching_l2_size_analytic(
     sampling: SamplingPlan = SamplingPlan(sample_every=8),
     cache: Optional[MissTraceCache] = None,
     estimator_slack: float = ESTIMATOR_SLACK,
+    mechanism: Optional[MechanismConfig] = None,
 ) -> MatchResult:
     """Analytically screened version of ``min_matching_l2_size``.
 
@@ -107,12 +109,32 @@ def min_matching_l2_size_analytic(
     any size both paths simulate — but typically an order of magnitude
     fewer configurations simulated (``configs_simulated`` records the
     actual count; ``analytic_estimates`` the screen's per-size values).
+
+    The screen applies to *every* mechanism, not just streams: the
+    stack-distance estimates describe the candidate **L2** sizes, and the
+    mechanism only sets the target hit rate those estimates are pruned
+    against.  A certain-miss decision (``estimate + margin < target``)
+    is therefore mechanism-agnostic, and every match is still witnessed
+    by real sampled simulation regardless of which mechanism produced
+    the target.
     """
+    if mechanism is not None and stream_config is not None:
+        raise ValueError("pass either stream_config or mechanism, not both")
     cache = cache if cache is not None else default_cache()
-    config = stream_config if stream_config is not None else StreamConfig.non_unit()
     name, scale, seed, _ = resolve_workload_ref(workload, scale, seed)
     miss_trace, _ = cache.get(workload, scale=scale, seed=seed)
-    stream_stats = replay_streams(config, miss_trace)
+    if mechanism is not None and mechanism.kind != "streams":
+        stream_stats = replay_secondary(mechanism, miss_trace)
+        label = mechanism_label(mechanism)
+    else:
+        if mechanism is not None:
+            config = mechanism.streams
+        else:
+            config = (
+                stream_config if stream_config is not None else StreamConfig.non_unit()
+            )
+        stream_stats = replay_streams(config, miss_trace)
+        label = "streams"
     target = stream_stats.hit_rate
 
     digest = None
@@ -183,4 +205,5 @@ def min_matching_l2_size_analytic(
         analytic_estimates=tuple(zip(sizes_sorted, estimates)),
         sizes_pruned=pruned[0],
         probe_seconds=probe_clock[0],
+        mechanism=label,
     )

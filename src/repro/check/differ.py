@@ -31,7 +31,14 @@ Three stages:
 * :func:`diff_vector` — the batch engines of :mod:`repro.sim.vector`
   (L1, stream replay, sampled L2 probe) vs their scalar counterparts on
   configurations coerced into the vector support envelope
-  (``repro check --replay vector:SEED``).
+  (``repro check --replay vector:SEED``);
+* :func:`diff_victim` / :func:`diff_misscache` / :func:`diff_hybrid` —
+  the production secondary mechanisms of :mod:`repro.mechanisms`
+  (victim cache, miss cache, serial hybrid stacks) vs the golden models
+  of :mod:`repro.check.mech_oracle`, per-event and via the bulk
+  ``run()`` and :func:`~repro.sim.vector.replay_secondary` paths (for
+  hybrids the latter proves the two-phase residual formulation equal to
+  the oracle's online composition).
 """
 
 from __future__ import annotations
@@ -44,12 +51,14 @@ import numpy as np
 
 from repro.caches.cache import Cache, CacheConfig, MissEventKind, MissTrace
 from repro.caches.secondary import simulate_secondary
-from repro.check import oracle
+from repro.check import mech_oracle, oracle
 from repro.core.bank import Lookup
 from repro.core.config import StreamConfig, StrideDetector
 from repro.core.prefetcher import StreamPrefetcher
+from repro.mechanisms import MechanismConfig, build_mechanism
 from repro.sim.runner import simulate_l1
 from repro.sim.vector import (
+    replay_secondary,
     vector_replay_streams,
     vector_simulate_cache,
     vector_simulate_secondary,
@@ -64,8 +73,14 @@ __all__ = [
     "random_cache_config",
     "random_stream_config",
     "random_miss_trace",
+    "random_victim_config",
+    "random_misscache_config",
+    "random_hybrid_config",
     "diff_l1",
     "diff_streams",
+    "diff_victim",
+    "diff_misscache",
+    "diff_hybrid",
     "diff_analytic",
     "diff_analytic_streams",
     "diff_vector",
@@ -271,6 +286,41 @@ def random_miss_trace(
         np.asarray(kinds, dtype=np.uint8),
         block_bits,
     )
+
+
+def random_victim_config(rng: random.Random, block_bits: int = 6) -> MechanismConfig:
+    """A random valid victim-cache configuration point.
+
+    Small shadow geometries are deliberately over-represented so the
+    shadow tag array actually overflows and produces victims within a
+    2000-event trace.
+    """
+    return MechanismConfig.victim(
+        entries=rng.randrange(1, 33),
+        shadow_sets=rng.choice([4, 16, 64, 256]),
+        shadow_assoc=rng.randrange(1, 5),
+        block_bits=block_bits,
+    )
+
+
+def random_misscache_config(rng: random.Random, block_bits: int = 6) -> MechanismConfig:
+    """A random valid miss-cache configuration point."""
+    return MechanismConfig.misscache(entries=rng.randrange(1, 33), block_bits=block_bits)
+
+
+def random_hybrid_config(rng: random.Random, block_bits: int = 6) -> MechanismConfig:
+    """A random valid hybrid stack: 1-2 buffer members, usually + streams."""
+    members = []
+    for _ in range(rng.randrange(1, 3)):
+        if rng.random() < 0.5:
+            members.append(random_victim_config(rng, block_bits))
+        else:
+            members.append(random_misscache_config(rng, block_bits))
+    if rng.random() < 0.7 or len(members) < 2:
+        members.append(
+            MechanismConfig.for_streams(random_stream_config(rng, block_bits))
+        )
+    return MechanismConfig.hybrid(*members)
 
 
 class _FixedWorkload(Workload):
@@ -498,6 +548,148 @@ def diff_streams(seed: int, n_events: int = 2000) -> Optional[Divergence]:
         ],
         context,
     )
+
+
+def _run_optimized_mechanism_per_event(
+    config: MechanismConfig, miss_trace: MissTrace
+) -> Tuple[List[str], object]:
+    """Drive a production mechanism event by event, recording outcomes."""
+    mechanism = build_mechanism(config)
+    outcomes: List[str] = []
+    wb = int(MissEventKind.WRITEBACK)
+    for addr, kind in zip(miss_trace.addrs.tolist(), miss_trace.kinds.tolist()):
+        if kind == wb:
+            mechanism.handle_writeback(addr)
+            outcomes.append("writeback")
+        else:
+            outcomes.append("hit" if mechanism.handle_miss(addr, kind) else "miss")
+    return outcomes, mechanism.finalize()
+
+
+def _mech_counter_pairs(stats, ref: dict) -> List[Tuple[str, object, object]]:
+    pairs = [
+        (name, getattr(stats, name), ref[name]) for name in mech_oracle.MECH_COUNTERS
+    ]
+    if "member_hits" in ref:
+        pairs.append(("member_hits", list(stats.member_hits), ref["member_hits"]))
+    return pairs
+
+
+def _diff_mechanism(
+    stage: str, seed: int, config: MechanismConfig, miss_trace: MissTrace
+) -> Optional[Divergence]:
+    """Shared body of the mechanism-zoo differ stages.
+
+    Per-event outcomes vs the golden model, then the full counter
+    surface, then two production cross-checks: the bulk ``run()`` loop
+    and the :func:`~repro.sim.vector.replay_secondary` dispatcher (for
+    hybrids the latter is the two-phase residual formulation, so its
+    agreement with the oracle's *online* composition is the equivalence
+    proof for the composition rules in docs/mechanisms.md).
+    """
+    context = f"config={config}"
+    opt_outcomes, opt_stats = _run_optimized_mechanism_per_event(config, miss_trace)
+
+    ref = mech_oracle.build_ref_mechanism(config).run(
+        miss_trace.addrs.tolist(), miss_trace.kinds.tolist()
+    )
+    for i, (opt_outcome, ref_outcome) in enumerate(zip(opt_outcomes, ref["outcomes"])):
+        if opt_outcome != ref_outcome:
+            return Divergence(
+                stage=stage,
+                seed=seed,
+                what=f"outcome[{i}] (addr={miss_trace.addrs[i]:#x}, kind={miss_trace.kinds[i]})",
+                optimized=opt_outcome,
+                expected=ref_outcome,
+                context=context,
+            )
+    divergence = _compare_counters(
+        stage, seed, _mech_counter_pairs(opt_stats, ref), context
+    )
+    if divergence is not None:
+        return divergence
+    if opt_stats.streams is not None and "streams" in ref:
+        divergence = _compare_counters(
+            stage,
+            seed,
+            [
+                (f"streams.{name}", opt_value, ref_value)
+                for name, opt_value, ref_value in _stats_counter_pairs(
+                    opt_stats.streams, ref["streams"]
+                )
+            ],
+            context,
+        )
+        if divergence is not None:
+            return divergence
+
+    # The bulk run() loop must agree with the per-event drive above.
+    bulk_stats = build_mechanism(config).run(miss_trace)
+    divergence = _compare_counters(
+        stage,
+        seed,
+        [
+            (f"run() vs per-event: {name}", getattr(bulk_stats, name), getattr(opt_stats, name))
+            for name in mech_oracle.MECH_COUNTERS
+        ]
+        + [
+            (
+                "run() vs per-event: member_hits",
+                list(bulk_stats.member_hits),
+                list(opt_stats.member_hits),
+            )
+        ],
+        context,
+    )
+    if divergence is not None:
+        return divergence
+
+    # The store/sweep dispatcher — two-phase residual for hybrids.
+    replayed = replay_secondary(config, miss_trace, engine="scalar")
+    return _compare_counters(
+        stage,
+        seed,
+        [
+            (
+                f"replay_secondary vs per-event: {name}",
+                getattr(replayed, name),
+                getattr(opt_stats, name),
+            )
+            for name in mech_oracle.MECH_COUNTERS
+        ]
+        + [
+            (
+                "replay_secondary vs per-event: member_hits",
+                list(replayed.member_hits),
+                list(opt_stats.member_hits),
+            )
+        ],
+        context,
+    )
+
+
+def diff_victim(seed: int, n_events: int = 2000) -> Optional[Divergence]:
+    """One seeded victim-cache differential check."""
+    rng = random.Random(seed * 3266489917 % (1 << 31))
+    config = random_victim_config(rng)
+    miss_trace = random_miss_trace(rng, n_events, block_bits=config.block_bits)
+    return _diff_mechanism("victim", seed, config, miss_trace)
+
+
+def diff_misscache(seed: int, n_events: int = 2000) -> Optional[Divergence]:
+    """One seeded miss-cache differential check."""
+    rng = random.Random(seed * 668265263 % (1 << 31))
+    config = random_misscache_config(rng)
+    miss_trace = random_miss_trace(rng, n_events, block_bits=config.block_bits)
+    return _diff_mechanism("misscache", seed, config, miss_trace)
+
+
+def diff_hybrid(seed: int, n_events: int = 2000) -> Optional[Divergence]:
+    """One seeded hybrid-stack differential check."""
+    rng = random.Random(seed * 374761393 % (1 << 31))
+    config = random_hybrid_config(rng)
+    miss_trace = random_miss_trace(rng, n_events, block_bits=config.block_bits)
+    return _diff_mechanism("hybrid", seed, config, miss_trace)
 
 
 #: Fully-associative capacities (in blocks) the analytic differ checks.
@@ -911,13 +1103,25 @@ def diff_registry_workload(
 STAGE_FUNCTIONS = {
     "l1": diff_l1,
     "streams": diff_streams,
+    "victim": diff_victim,
+    "misscache": diff_misscache,
+    "hybrid": diff_hybrid,
     "analytic": diff_analytic,
     "analytic-streams": diff_analytic_streams,
     "vector": diff_vector,
 }
 
 #: Stages a default corpus run exercises per seed, in order.
-DEFAULT_STAGES = ("l1", "streams", "analytic", "analytic-streams", "vector")
+DEFAULT_STAGES = (
+    "l1",
+    "streams",
+    "victim",
+    "misscache",
+    "hybrid",
+    "analytic",
+    "analytic-streams",
+    "vector",
+)
 
 
 def check_seed(

@@ -110,6 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of replaying every cell; the best predicted cell is "
         "witnessed by real replay (see docs/analytic.md)",
     )
+    sweep.add_argument(
+        "--mechanism",
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help="sweep these secondary mechanisms instead of the stream-count "
+        "axis (e.g. streams victim:16 misscache:16 victim:16+streams); "
+        "see docs/mechanisms.md",
+    )
     _add_engine_flags(sweep)
     _add_obs_flags(sweep)
 
@@ -153,6 +162,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the analytically screened streams-vs-L2 search instead "
         "(Table 4 fast path; see docs/analytic.md)",
+    )
+    compare.add_argument(
+        "--mechanism",
+        default=None,
+        metavar="SPEC",
+        help="find the minimum matching L2 for this secondary mechanism "
+        "(e.g. victim:16, misscache:16, victim:16+streams) instead of "
+        "the baseline table; combines with --analytic "
+        "(see docs/mechanisms.md)",
     )
     compare.add_argument(
         "--trace-store",
@@ -326,14 +344,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="LIST",
         help="comma-separated per-seed stages to run (default: "
-        "l1,streams,analytic,vector)",
+        "l1,streams,victim,misscache,hybrid,analytic,analytic-streams,"
+        "vector)",
     )
     check.add_argument(
         "--replay",
         default=None,
         metavar="STAGE:SEED",
         help="re-run one diverging stage (l1:SEED, streams:SEED, "
-        "analytic:SEED or vector:SEED) and exit",
+        "victim:SEED, misscache:SEED, hybrid:SEED, analytic:SEED or "
+        "vector:SEED) and exit",
     )
 
     obs = sub.add_parser(
@@ -487,6 +507,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sim.results import RunResult
 
     store = TraceStore(args.trace_store) if args.trace_store else None
+    if args.mechanism:
+        if args.analytic:
+            print("--mechanism and --analytic are mutually exclusive", file=sys.stderr)
+            return 2
+        return _cmd_sweep_mechanisms(args, store)
     base = (
         StreamConfig.filtered(entries=args.filter_entries)
         if args.filter_entries
@@ -528,6 +553,67 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=(
                 f"Sweep: {len(args.workloads)} workloads x {len(values)} configs "
                 f"(scale {args.scale:g}, jobs {args.jobs})"
+            ),
+        )
+    )
+    print(
+        f"\n{len(tasks)} cells in {elapsed:.2f}s "
+        f"({len(tasks) / elapsed:.1f} cells/s)"
+        + (f"; store: {args.trace_store}" if store else "")
+    )
+    obs.finish()
+    for error in errors:
+        print(f"FAILED {error.key!r}: {error.error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+def _cmd_sweep_mechanisms(args, store) -> int:
+    """The ``repro sweep --mechanism`` path: a (workload x mechanism)
+    grid through the same parallel engine and persistent store."""
+    from repro.mechanisms import mechanism_label, parse_mechanism_spec
+    from repro.reporting.tables import render_table
+    from repro.sim.parallel import SweepTask, TaskError, run_grid
+    from repro.sim.results import RunResult
+
+    try:
+        mechs = [parse_mechanism_spec(spec) for spec in args.mechanism]
+    except ValueError as exc:
+        print(f"bad --mechanism: {exc}", file=sys.stderr)
+        return 2
+    labels = [mechanism_label(mech) for mech in mechs]
+    tasks = [
+        SweepTask(
+            key=(name, label),
+            workload=name,
+            config=mech,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        for name in args.workloads
+        for label, mech in zip(labels, mechs)
+    ]
+    obs = _ObsSession(args, "sweep")
+    started = time.perf_counter()
+    results = run_grid(tasks, jobs=args.jobs, store=store)
+    elapsed = time.perf_counter() - started
+    obs.add_results(tasks, results)
+
+    by_key = {task.key: result for task, result in zip(tasks, results)}
+    errors = [r for r in results if isinstance(r, TaskError)]
+    rows = []
+    for name in args.workloads:
+        row: List = [name]
+        for label in labels:
+            cell = by_key[(name, label)]
+            row.append(cell.hit_rate_percent if isinstance(cell, RunResult) else None)
+        rows.append(row)
+    print(
+        render_table(
+            ["bench"] + [f"hit% {label}" for label in labels],
+            rows,
+            title=(
+                f"Mechanism sweep: {len(args.workloads)} workloads x "
+                f"{len(labels)} mechanisms (scale {args.scale:g}, jobs {args.jobs})"
             ),
         )
     )
@@ -707,6 +793,8 @@ def _print_spectrum(workload) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     if args.analytic:
         return _cmd_compare_analytic(args)
+    if args.mechanism:
+        return _cmd_compare_mechanism(args)
     from repro.baselines import (
         OneBlockLookahead,
         PrefetchingCache,
@@ -744,6 +832,60 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compare_mechanism(args: argparse.Namespace) -> int:
+    """The ``repro compare --mechanism`` path: brute-force minimum
+    matching L2 search for one secondary mechanism."""
+    from repro.mechanisms import parse_mechanism_spec
+    from repro.reporting.tables import render_table
+    from repro.sim.compare import format_size, min_matching_l2_size
+
+    try:
+        mechanism = parse_mechanism_spec(args.mechanism)
+    except ValueError as exc:
+        print(f"bad --mechanism: {exc}", file=sys.stderr)
+        return 2
+    store = TraceStore(args.trace_store) if args.trace_store else None
+    cache = MissTraceCache(store=store)
+    obs = _ObsSession(args, "compare")
+    match = min_matching_l2_size(
+        args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        cache=cache,
+        mechanism=mechanism,
+    )
+    obs.set_meta(
+        workload=match.workload,
+        scale=match.scale,
+        mechanism=match.mechanism,
+        matched_size=match.matched_size,
+        configs_simulated=match.configs_simulated,
+    )
+    rows = [
+        [
+            format_size(point.size),
+            100.0 * point.hit_rate,
+            f"{point.assoc}-way/{point.block_size}B",
+        ]
+        for point in match.l2_hit_rates
+    ]
+    print(
+        render_table(
+            ["L2 size", "hit %", "best config"],
+            rows,
+            title=(
+                f"Min matching L2 for {match.mechanism} on {match.workload} "
+                f"(scale {match.scale:g})"
+            ),
+        )
+    )
+    print(f"\n{match.mechanism} hit rate : {match.stream_hit_rate_percent:.1f}%")
+    print(f"min matching L2 : {format_size(match.matched_size)}")
+    print(f"simulated       : {match.configs_simulated} candidate configs")
+    obs.finish()
+    return 0
+
+
 def _cmd_compare_analytic(args: argparse.Namespace) -> int:
     """The ``repro compare --analytic`` path: screened Table-4 search."""
     from repro.analytic import min_matching_l2_size_analytic
@@ -751,15 +893,29 @@ def _cmd_compare_analytic(args: argparse.Namespace) -> int:
     from repro.reporting.tables import render_table
     from repro.sim.compare import format_size
 
+    mechanism = None
+    if args.mechanism:
+        from repro.mechanisms import parse_mechanism_spec
+
+        try:
+            mechanism = parse_mechanism_spec(args.mechanism)
+        except ValueError as exc:
+            print(f"bad --mechanism: {exc}", file=sys.stderr)
+            return 2
     store = TraceStore(args.trace_store) if args.trace_store else None
     cache = MissTraceCache(store=store)
     obs = _ObsSession(args, "compare")
     match = min_matching_l2_size_analytic(
-        args.workload, scale=args.scale, seed=args.seed, cache=cache
+        args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        cache=cache,
+        mechanism=mechanism,
     )
     obs.set_meta(
         workload=match.workload,
         scale=match.scale,
+        mechanism=match.mechanism,
         matched_size=match.matched_size,
         configs_simulated=match.configs_simulated,
         sizes_pruned=match.sizes_pruned,
@@ -787,7 +943,8 @@ def _cmd_compare_analytic(args: argparse.Namespace) -> int:
         )
     )
     grid = len(match.analytic_estimates) * len(PAPER_L2_ASSOCS) * len(PAPER_L2_BLOCKS)
-    print(f"\nstream hit rate : {match.stream_hit_rate_percent:.1f}%")
+    print(f"\nmechanism       : {match.mechanism}")
+    print(f"target hit rate : {match.stream_hit_rate_percent:.1f}%")
     print(f"min matching L2 : {format_size(match.matched_size)}")
     print(f"simulated       : {match.configs_simulated}/{grid} candidate configs")
     print(

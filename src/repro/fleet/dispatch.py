@@ -311,6 +311,7 @@ class FleetDispatcher:
     def _encode_cells(tasks: Sequence[SweepTask]) -> List[dict]:
         import dataclasses
 
+        from repro.mechanisms import MechanismConfig, mechanism_to_dict
         from repro.sim.parallel import _json_key
 
         cells = []
@@ -318,15 +319,17 @@ class FleetDispatcher:
             name, scale, seed, _ = resolve_workload_ref(
                 task.workload, task.scale, task.seed
             )
-            cells.append(
-                {
-                    "key": _json_key(task.key),
-                    "workload": name,
-                    "scale": scale,
-                    "seed": seed,
-                    "config": dataclasses.asdict(task.config),
-                }
-            )
+            cell = {
+                "key": _json_key(task.key),
+                "workload": name,
+                "scale": scale,
+                "seed": seed,
+            }
+            if isinstance(task.config, MechanismConfig):
+                cell["mechanism"] = mechanism_to_dict(task.config)
+            else:
+                cell["config"] = dataclasses.asdict(task.config)
+            cells.append(cell)
         return cells
 
     async def run_batch(self, tasks: Sequence[SweepTask]) -> List[CellResult]:

@@ -1,0 +1,51 @@
+"""Secondary mechanisms: stream buffers and their Jouppi '90 siblings.
+
+The paper's question — can a small hardware structure replace a
+megabyte-class L2? — is asked here for the whole mechanism zoo:
+
+* :class:`StreamMechanism` — the paper's stream buffers (adapter over
+  :class:`~repro.core.prefetcher.StreamPrefetcher`);
+* :class:`VictimCache` — small FA buffer of L1 evictions (exclusive);
+* :class:`MissCache` — small FA cache of missed blocks (inclusive);
+* :class:`HybridStack` — serial composition (VC+SB, MC+SB).
+
+All share the :class:`SecondaryMechanism` protocol and produce
+:class:`MechStats`.  Engine-aware replay (vector dispatch for stream
+members) lives in :func:`repro.sim.vector.replay_secondary`; this package
+stays free of sim-layer imports so oracles and tools can use it directly.
+
+See ``docs/mechanisms.md`` for semantics and composition rules.
+"""
+
+from repro.mechanisms.base import (
+    MECHANISM_KINDS,
+    MechanismConfig,
+    MechStats,
+    SecondaryMechanism,
+    mechanism_from_dict,
+    mechanism_label,
+    mechanism_to_dict,
+    parse_mechanism_spec,
+)
+from repro.mechanisms.hybrid import HybridStack, build_mechanism, combine_member_stats
+from repro.mechanisms.misscache import MissCache
+from repro.mechanisms.streams import StreamMechanism, mech_stats_from_streams
+from repro.mechanisms.victim import VictimCache
+
+__all__ = [
+    "MECHANISM_KINDS",
+    "MechanismConfig",
+    "MechStats",
+    "SecondaryMechanism",
+    "mechanism_label",
+    "mechanism_to_dict",
+    "mechanism_from_dict",
+    "parse_mechanism_spec",
+    "HybridStack",
+    "build_mechanism",
+    "combine_member_stats",
+    "MissCache",
+    "StreamMechanism",
+    "mech_stats_from_streams",
+    "VictimCache",
+]

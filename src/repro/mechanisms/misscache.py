@@ -1,0 +1,52 @@
+"""Miss cache as a secondary mechanism (Jouppi '90, Section 3.1).
+
+A miss cache is a tiny fully-associative LRU cache loaded with every
+block that misses in L1 — it *duplicates* L1 contents (inclusive), so it
+only helps when a block is evicted from L1 and re-missed while its copy
+still survives the miss cache's own LRU churn.
+
+Event semantics, fixed by :class:`RefMissCache` in ``repro.check``:
+
+* demand miss on ``b``: probe — a hit moves ``b`` to MRU; a miss installs
+  ``b`` MRU (``allocations``), dropping the LRU entry on overflow
+  (``evictions``; never dirty, the copy in L1 owns the dirty state).
+* write-back of ``b``: L1 evicted dirty ``b`` — the duplicate is now the
+  only copy but a miss cache holds clean duplicates only, so invalidate
+  it (``invalidations``).  No write traffic is added (``writebacks_out``
+  stays 0).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.mechanisms.base import MechanismConfig, SecondaryMechanism
+
+__all__ = ["MissCache"]
+
+
+class MissCache(SecondaryMechanism):
+    """Fully-associative LRU cache of recently-missed blocks."""
+
+    def __init__(self, config: MechanismConfig):
+        if config.kind != "misscache":
+            raise ValueError(f"MissCache requires kind='misscache', got {config.kind!r}")
+        super().__init__(config)
+        self._buffer: "OrderedDict[int, None]" = OrderedDict()
+
+    def _probe(self, addr: int, block: int, kind: int) -> bool:
+        buffer = self._buffer
+        if block in buffer:
+            buffer.move_to_end(block)
+            return True
+        buffer[block] = None
+        self.stats.allocations += 1
+        if len(buffer) > self.config.entries:
+            buffer.popitem(last=False)
+            self.stats.evictions += 1
+        return False
+
+    def _writeback(self, block: int) -> None:
+        if block in self._buffer:
+            del self._buffer[block]
+            self.stats.invalidations += 1

@@ -1,0 +1,86 @@
+"""Victim cache as a secondary mechanism (Jouppi '90, Section 3.2).
+
+A victim cache is a small fully-associative buffer that holds blocks
+*evicted* from L1 — it is exclusive of L1, so conflict misses that
+ping-pong between a few blocks in one set can be serviced on-chip.
+
+The simulator is trace-driven: it sees the L1 *miss* stream, not the L1's
+internal evictions.  We therefore reconstruct evictions with a **shadow
+tag array** mirroring the L1 geometry (``shadow_sets`` × ``shadow_assoc``),
+maintained in miss order with MRU replacement: each demand miss installs
+its block, and the shadow victim of that install enters the victim buffer.
+This is the standard trace-level victim-cache approximation (the true L1
+uses random replacement, whose eviction choices are not recoverable from
+the miss trace alone); the golden oracle and differ pin the approximation
+bit-exactly.
+
+Event semantics, fixed by :class:`RefVictimCache` in ``repro.check``:
+
+* demand miss on ``b``: probe the buffer — a hit removes ``b`` (it swaps
+  back into L1; the dirty bit returns with it).  Then shadow-install
+  ``b``; if the set overflows, the shadow victim enters the buffer MRU as
+  a clean block (``allocations``), and a buffer overflow drops the LRU
+  entry (``evictions``; dirty drops count ``writebacks_out``).
+* write-back of ``b``: L1 evicted dirty ``b``.  Remove ``b`` from the
+  shadow set and insert it dirty into the buffer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from repro.mechanisms.base import MechanismConfig, SecondaryMechanism
+
+__all__ = ["VictimCache"]
+
+
+class VictimCache(SecondaryMechanism):
+    """Fully-associative LRU victim buffer behind a shadow L1 tag array."""
+
+    def __init__(self, config: MechanismConfig):
+        if config.kind != "victim":
+            raise ValueError(f"VictimCache requires kind='victim', got {config.kind!r}")
+        super().__init__(config)
+        # Shadow sets are MRU-first block lists; the buffer maps
+        # block -> dirty with LRU order (oldest first).
+        self._shadow: List[List[int]] = [[] for _ in range(config.shadow_sets)]
+        self._buffer: "OrderedDict[int, bool]" = OrderedDict()
+
+    def _probe(self, addr: int, block: int, kind: int) -> bool:
+        buffer = self._buffer
+        serviced = block in buffer
+        if serviced:
+            # Swap back into L1; the (possibly dirty) block now lives there
+            # and its next eviction will re-surface via the trace.
+            del buffer[block]
+        tags = self._shadow[block & (self.config.shadow_sets - 1)]
+        if block in tags:
+            tags.remove(block)
+            tags.insert(0, block)
+        else:
+            tags.insert(0, block)
+            if len(tags) > self.config.shadow_assoc:
+                self._insert_victim(tags.pop(), dirty=False)
+        return serviced
+
+    def _writeback(self, block: int) -> None:
+        tags = self._shadow[block & (self.config.shadow_sets - 1)]
+        if block in tags:
+            tags.remove(block)
+        self._insert_victim(block, dirty=True)
+
+    def _insert_victim(self, block: int, dirty: bool) -> None:
+        stats = self.stats
+        buffer = self._buffer
+        stats.allocations += 1
+        if block in buffer:
+            buffer[block] = buffer[block] or dirty
+            buffer.move_to_end(block)
+            return
+        buffer[block] = dirty
+        if len(buffer) > self.config.entries:
+            _, old_dirty = buffer.popitem(last=False)
+            stats.evictions += 1
+            if old_dirty:
+                stats.writebacks_out += 1

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import StreamConfig
 from repro.core.lengths import LENGTH_BUCKETS, bucket_label
+from repro.mechanisms import MechanismConfig, mechanism_label
 from repro.reporting import paper_data
 from repro.reporting.figures import render_series
 from repro.reporting.tables import render_table
@@ -46,6 +47,9 @@ __all__ = [
     "render_table4",
     "analytic4",
     "render_analytic4",
+    "default_zoo",
+    "mechzoo",
+    "render_mechzoo",
 ]
 
 #: The czone size used wherever the paper's non-unit stride filter is on
@@ -540,6 +544,125 @@ def render_analytic4(rows: List[AnalyticScreenRow]) -> str:
     return table + "\n\nall matched sizes agree with brute-force simulation"
 
 
+# -- mechanism zoo ----------------------------------------------------------
+
+
+def default_zoo() -> Dict[str, MechanismConfig]:
+    """The headline mechanism set: streams, VC, MC, and both hybrids.
+
+    The victim/miss caches use Jouppi's canonical fully-associative
+    sizes (16 entries); the victim cache's shadow tag array defaults to
+    the paper L1 geometry (256 sets, 4-way).  Labels come from
+    :func:`~repro.mechanisms.mechanism_label` so they match CLI specs.
+    """
+    zoo = (
+        MechanismConfig.for_streams(),
+        MechanismConfig.victim(16),
+        MechanismConfig.misscache(16),
+        MechanismConfig.hybrid(
+            MechanismConfig.victim(16), MechanismConfig.for_streams()
+        ),
+        MechanismConfig.hybrid(
+            MechanismConfig.misscache(16), MechanismConfig.for_streams()
+        ),
+    )
+    return {mechanism_label(mech): mech for mech in zoo}
+
+
+@dataclass(frozen=True)
+class MechZooRow:
+    """One (workload, scale, mechanism) cell of the mechanism zoo."""
+
+    name: str
+    scale: float
+    mechanism: str
+    hit_pct: float
+    min_l2: str
+    configs_simulated: int
+    sizes_pruned: int
+    match: MatchResult
+
+
+def mechzoo(
+    names: Optional[Sequence[str]] = None,
+    scales: Optional[Dict[str, Tuple[float, float]]] = None,
+    cache: Optional[MissTraceCache] = None,
+    mechanisms: Optional[Dict[str, MechanismConfig]] = None,
+    analytic: bool = True,
+) -> List[MechZooRow]:
+    """Minimum matching L2 per secondary mechanism (the headline zoo).
+
+    For every benchmark (at its Table 4 scales where defined, else 1.0)
+    and every mechanism in the zoo, find the smallest secondary cache
+    whose hit rate matches the mechanism's — Table 4 generalised from
+    streams to the whole mechanism family.  The default path goes
+    through the analytic screen (mechanism-agnostic pruning; see
+    docs/analytic.md), so every reported match is still witnessed by
+    real sampled simulation; ``analytic=False`` forces the brute-force
+    search instead.
+    """
+    names = names if names is not None else PAPER_BENCHMARKS
+    scales = scales if scales is not None else TABLE4_SCALES
+    cache = cache if cache is not None else default_cache()
+    mechanisms = mechanisms if mechanisms is not None else default_zoo()
+    rows = []
+    for name in names:
+        for scale in scales.get(name, (1.0,)):
+            for mech in mechanisms.values():
+                if analytic:
+                    from repro.analytic import min_matching_l2_size_analytic
+
+                    match = min_matching_l2_size_analytic(
+                        name, scale=scale, cache=cache, mechanism=mech
+                    )
+                else:
+                    match = min_matching_l2_size(
+                        name, scale=scale, cache=cache, mechanism=mech
+                    )
+                rows.append(
+                    MechZooRow(
+                        name=name,
+                        scale=scale,
+                        mechanism=match.mechanism,
+                        hit_pct=match.stream_hit_rate_percent,
+                        min_l2=format_size(match.matched_size),
+                        configs_simulated=match.configs_simulated,
+                        sizes_pruned=match.sizes_pruned,
+                        match=match,
+                    )
+                )
+    return rows
+
+
+def render_mechzoo(rows: List[MechZooRow]) -> str:
+    """Render the zoo as a (bench, scale) x mechanism pivot table."""
+    order: List[str] = []
+    cells: Dict[Tuple[str, float, str], str] = {}
+    keys: List[Tuple[str, float]] = []
+    for r in rows:
+        if r.mechanism not in order:
+            order.append(r.mechanism)
+        if (r.name, r.scale) not in keys:
+            keys.append((r.name, r.scale))
+        cells[(r.name, r.scale, r.mechanism)] = f"{r.min_l2} @{r.hit_pct:.1f}%"
+    table = render_table(
+        ["bench", "scale"] + order,
+        [
+            [name, scale] + [cells.get((name, scale, mech), "-") for mech in order]
+            for name, scale in keys
+        ],
+        title="Mechanism zoo: min matching L2 (hit % matched) per mechanism",
+        precision=2,
+    )
+    simulated = sum(r.configs_simulated for r in rows)
+    pruned = sum(r.sizes_pruned for r in rows)
+    return table + (
+        f"\n\ncells: {len(rows)}; L2 configurations simulated: {simulated}; "
+        f"ladder sizes pruned analytically: {pruned}; "
+        "every reported match witnessed by sampled simulation"
+    )
+
+
 # -- exhibit registry -------------------------------------------------------
 
 #: Canonical (driver, renderer) registry of every exhibit, shared by the
@@ -554,6 +677,7 @@ EXHIBITS = {
     "figure9": (figure9, render_figure9),
     "table4": (table4, render_table4),
     "analytic4": (analytic4, render_analytic4),
+    "mechzoo": (mechzoo, render_mechzoo),
 }
 
 #: Exhibits whose drivers fan out through the parallel sweep engine and

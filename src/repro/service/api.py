@@ -22,7 +22,12 @@ Three request kinds map onto the three CLI verbs:
 
 ``config`` objects take any :class:`~repro.core.config.StreamConfig`
 field plus an optional ``"preset"`` (``jouppi``/``filtered``/
-``non_unit``) the remaining fields override.  All names are validated
+``non_unit``) the remaining fields override.  ``run`` bodies and fleet
+chunk cells may instead carry a ``"mechanism"`` — a CLI spec string
+(``"victim:16+streams"``) or a
+:func:`~repro.mechanisms.mechanism_to_dict` object — and ``sweep``
+bodies a ``"mechanisms"`` list, selecting the mechanism-zoo path
+(mutually exclusive with ``config``).  All names are validated
 against the workload and exhibit registries *before* anything is
 queued, so a bad request costs nothing and fails with a precise 400.
 
@@ -41,10 +46,17 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import StreamConfig
+from repro.mechanisms import (
+    MechanismConfig,
+    MechStats,
+    mechanism_from_dict,
+    mechanism_label,
+    parse_mechanism_spec,
+)
 from repro.reporting.experiments import EXHIBITS
 from repro.sim.parallel import SweepTask, TaskError, _json_key
 from repro.sim.results import RunResult
-from repro.trace.store import stats_to_dict
+from repro.trace.store import mech_stats_to_dict, stats_to_dict
 from repro.workloads import workload_names
 
 __all__ = [
@@ -56,6 +68,7 @@ __all__ = [
     "ExhibitRequest",
     "ChunkRequest",
     "config_from_payload",
+    "mechanism_from_payload",
     "parse_run_request",
     "parse_sweep_request",
     "parse_exhibit_request",
@@ -95,11 +108,16 @@ class ValidationError(ValueError):
 
 @dataclass(frozen=True)
 class CellSpec:
-    """One validated grid cell of a run/sweep request."""
+    """One validated grid cell of a run/sweep request.
+
+    ``config`` is a :class:`StreamConfig` for stream cells or a
+    :class:`~repro.mechanisms.MechanismConfig` for mechanism-zoo cells;
+    the sweep engine dispatches on the type (see repro.sim.parallel).
+    """
 
     key: Tuple
     workload: str
-    config: StreamConfig
+    config: "StreamConfig | MechanismConfig"
     scale: float = 1.0
     seed: int = 0
 
@@ -244,15 +262,48 @@ def config_from_payload(payload: Optional[dict]) -> StreamConfig:
         raise ValidationError(f"invalid config: {exc}") from exc
 
 
+def mechanism_from_payload(payload) -> MechanismConfig:
+    """Build a validated :class:`MechanismConfig` from its wire form.
+
+    Accepts either a CLI spec string (``"victim:16+streams"`` — see
+    :func:`~repro.mechanisms.parse_mechanism_spec`) or the JSON object
+    produced by :func:`~repro.mechanisms.mechanism_to_dict`.  Every
+    mechanism invariant violation is re-raised as a
+    :class:`ValidationError`.
+    """
+    try:
+        if isinstance(payload, str):
+            return parse_mechanism_spec(payload)
+        if isinstance(payload, dict):
+            return mechanism_from_dict(payload)
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ValidationError(f"invalid mechanism: {exc}") from exc
+    raise ValidationError(
+        f"mechanism must be a spec string or a JSON object, got {payload!r}"
+    )
+
+
 def parse_run_request(payload) -> CellsRequest:
     """Validate a ``run`` body into a one-cell :class:`CellsRequest`."""
     payload = _require_dict(payload)
     _check_version(payload)
     known = workload_names()
     workload = _parse_workload(payload.get("workload"), known)
-    config = config_from_payload(payload.get("config"))
     scale = _parse_scale(payload)
     seed = _parse_seed(payload)
+    if payload.get("mechanism") is not None:
+        if payload.get("config") is not None:
+            raise ValidationError("pass either config or mechanism, not both")
+        mechanism = mechanism_from_payload(payload["mechanism"])
+        cell = CellSpec(
+            key=(workload, mechanism_label(mechanism)),
+            workload=workload,
+            config=mechanism,
+            scale=scale,
+            seed=seed,
+        )
+        return CellsRequest(kind="run", cells=(cell,), timeout_s=_parse_timeout(payload))
+    config = config_from_payload(payload.get("config"))
     cell = CellSpec(
         key=(workload, config.n_streams),
         workload=workload,
@@ -272,6 +323,36 @@ def parse_sweep_request(payload) -> CellsRequest:
     if not isinstance(workloads, list) or not workloads:
         raise ValidationError("workloads must be a non-empty list of names")
     workloads = [_parse_workload(name, known) for name in workloads]
+    if payload.get("mechanisms") is not None:
+        if payload.get("config") is not None or payload.get("n_streams") is not None:
+            raise ValidationError(
+                "mechanisms is mutually exclusive with config/n_streams"
+            )
+        raw_mechs = payload["mechanisms"]
+        if not isinstance(raw_mechs, list) or not raw_mechs:
+            raise ValidationError("mechanisms must be a non-empty list")
+        mechs = [mechanism_from_payload(raw) for raw in raw_mechs]
+        if len(workloads) * len(mechs) > MAX_CELLS_PER_REQUEST:
+            raise ValidationError(
+                f"grid of {len(workloads) * len(mechs)} cells exceeds the "
+                f"per-request cap of {MAX_CELLS_PER_REQUEST}"
+            )
+        scale = _parse_scale(payload)
+        seed = _parse_seed(payload)
+        cells = tuple(
+            CellSpec(
+                key=(name, mechanism_label(mech)),
+                workload=name,
+                config=mech,
+                scale=scale,
+                seed=seed,
+            )
+            for name in workloads
+            for mech in mechs
+        )
+        return CellsRequest(
+            kind="sweep", cells=cells, timeout_s=_parse_timeout(payload)
+        )
     n_streams = payload.get("n_streams", list(range(1, 11)))
     if not isinstance(n_streams, list) or not n_streams:
         raise ValidationError("n_streams must be a non-empty list of integers")
@@ -334,11 +415,17 @@ def parse_chunk_request(payload) -> ChunkRequest:
     for raw in raw_cells:
         raw = _require_dict(raw)
         workload = _parse_workload(raw.get("workload"), known)
+        if raw.get("mechanism") is not None:
+            if raw.get("config") is not None:
+                raise ValidationError("pass either config or mechanism, not both")
+            config = mechanism_from_payload(raw["mechanism"])
+        else:
+            config = config_from_payload(raw.get("config"))
         cells.append(
             CellSpec(
                 key=key_from_json(raw.get("key", [workload])),
                 workload=workload,
-                config=config_from_payload(raw.get("config")),
+                config=config,
                 scale=_parse_scale(raw),
                 seed=_parse_seed(raw),
             )
@@ -403,19 +490,28 @@ def encode_cell_result(cell: CellSpec, result: RunResult) -> dict:
     along so fleet frontends can rebuild the exact :class:`RunResult` a
     remote worker produced — manifests then attribute every cell to the
     process that actually ran it, across hosts.
+
+    Stream cells keep the original ``"stats"`` shape byte-for-byte;
+    mechanism-zoo cells carry ``"mech"``
+    (:func:`~repro.trace.store.mech_stats_to_dict`) instead, so old
+    clients never see an unfamiliar ``stats`` object.
     """
-    return {
+    body = {
         "key": _json_key(cell.key),
         "workload": result.workload,
         "scale": result.scale,
         "seed": result.seed,
         "hit_rate_percent": result.hit_rate_percent,
         "l1": dataclasses.asdict(result.l1),
-        "stats": stats_to_dict(result.streams),
         "wall_time_s": result.wall_time_s,
         "worker": result.worker,
         "source": result.source,
     }
+    if isinstance(result.streams, MechStats):
+        body["mech"] = mech_stats_to_dict(result.streams)
+    else:
+        body["stats"] = stats_to_dict(result.streams)
+    return body
 
 
 def decode_cell_result(payload: dict) -> RunResult:
@@ -430,14 +526,18 @@ def decode_cell_result(payload: dict) -> RunResult:
         KeyError/TypeError/ValueError: on malformed payloads.
     """
     from repro.sim.results import L1Summary
-    from repro.trace.store import stats_from_dict
+    from repro.trace.store import mech_stats_from_dict, stats_from_dict
 
+    if "mech" in payload:
+        streams = mech_stats_from_dict(payload["mech"])
+    else:
+        streams = stats_from_dict(payload["stats"])
     return RunResult(
         workload=payload["workload"],
         scale=float(payload["scale"]),
         seed=int(payload["seed"]),
         l1=L1Summary(**payload["l1"]),
-        streams=stats_from_dict(payload["stats"]),
+        streams=streams,
         wall_time_s=float(payload.get("wall_time_s", 0.0)),
         worker=int(payload.get("worker", 0)),
         source=str(payload.get("source", "")),

@@ -27,10 +27,11 @@ from repro.caches.sampling import SamplingPlan, sampled_hit_rate
 from repro.caches.secondary import PAPER_L2_SIZES, candidate_configs
 from repro.core.config import StreamConfig
 from repro.core.prefetcher import StreamStats
+from repro.mechanisms import MechanismConfig, mechanism_label
 from repro.obs.metrics import engine_registry
 from repro.obs.spans import get_tracer
 from repro.sim.runner import MissTraceCache, default_cache, resolve_workload_ref
-from repro.sim.vector import replay_streams
+from repro.sim.vector import replay_secondary, replay_streams
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -72,9 +73,16 @@ class MatchResult:
     Attributes:
         workload: benchmark name.
         scale: input scale used.
-        stream_stats: the stream run being matched.
-        matched_size: smallest L2 capacity reaching the stream hit rate,
-            or None if even the largest candidate fell short.
+        stream_stats: the secondary-mechanism run being matched — a
+            :class:`StreamStats` for the default stream search, a
+            :class:`~repro.mechanisms.MechStats` for any other mechanism.
+        mechanism: label of the mechanism that produced the match target
+            (:func:`~repro.mechanisms.mechanism_label`), ``"streams"``
+            historically and by default.  Recorded explicitly so
+            manifests and exhibits stay unambiguous now that several
+            mechanisms can be searched.
+        matched_size: smallest L2 capacity reaching the mechanism hit
+            rate, or None if even the largest candidate fell short.
         l2_hit_rates: per-size best probe results, ascending by size.
             Only sizes the search actually simulated appear.
         configs_simulated: L2 configurations simulated during the search.
@@ -99,6 +107,7 @@ class MatchResult:
     analytic_estimates: Tuple[Tuple[int, float], ...] = field(default=())
     sizes_pruned: int = 0
     probe_seconds: float = field(default=0.0, compare=False)
+    mechanism: str = "streams"
 
     @property
     def stream_hit_rate_percent(self) -> float:
@@ -193,20 +202,37 @@ def min_matching_l2_size(
     sizes: Sequence[int] = PAPER_L2_SIZES,
     sampling: SamplingPlan = SamplingPlan(sample_every=8),
     cache: Optional[MissTraceCache] = None,
+    mechanism: Optional[MechanismConfig] = None,
 ) -> MatchResult:
-    """Find the minimum L2 size matching the stream hit rate.
+    """Find the minimum L2 size matching a secondary mechanism's hit rate.
 
-    The default stream configuration is the paper's Table 4 setup: ten
-    streams, a 16-entry unit filter backed by a 16-entry non-unit stride
-    filter.  The size ladder is binary-searched (see the module
+    The default is the paper's Table 4 setup: ten streams, a 16-entry
+    unit filter backed by a 16-entry non-unit stride filter.  Passing
+    ``mechanism`` searches against any other secondary mechanism (victim
+    cache, miss cache, hybrid stack); ``stream_config`` remains the
+    backward-compatible spelling of the streams case and may not be
+    combined with it.  The size ladder is binary-searched (see the module
     docstring), so only O(log n) of the candidate sizes are simulated.
     """
+    if mechanism is not None and stream_config is not None:
+        raise ValueError("pass either stream_config or mechanism, not both")
     cache = cache if cache is not None else default_cache()
-    config = stream_config if stream_config is not None else StreamConfig.non_unit()
     # Provenance must match the simulation: an instance's own scale wins.
     name, scale, seed, _ = resolve_workload_ref(workload, scale, seed)
     miss_trace, _ = cache.get(workload, scale=scale, seed=seed)
-    stream_stats = replay_streams(config, miss_trace)
+    if mechanism is not None and mechanism.kind != "streams":
+        mech_stats = replay_secondary(mechanism, miss_trace)
+        stream_stats = mech_stats
+        label = mechanism_label(mechanism)
+    else:
+        if mechanism is not None:
+            config = mechanism.streams
+        else:
+            config = (
+                stream_config if stream_config is not None else StreamConfig.non_unit()
+            )
+        stream_stats = replay_streams(config, miss_trace)
+        label = "streams"
     target = stream_stats.hit_rate
 
     sizes_sorted = sorted(sizes)
@@ -232,6 +258,7 @@ def min_matching_l2_size(
         configs_simulated=counter[0],
         method="simulated",
         probe_seconds=probe_clock[0],
+        mechanism=label,
     )
 
 

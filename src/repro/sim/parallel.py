@@ -35,12 +35,13 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Union
 from repro.caches.cache import CacheConfig
 from repro.core.config import StreamConfig
 from repro.core.prefetcher import StreamStats
+from repro.mechanisms import MechanismConfig, MechStats
 from repro.obs.metrics import engine_registry
 from repro.obs.spans import get_tracer
 from repro.sim.results import RunResult
 from repro.sim.runner import MissTraceCache, resolve_workload_ref
-from repro.sim.vector import replay_streams
-from repro.trace.store import TraceStore, result_digest
+from repro.sim.vector import replay_secondary, replay_streams
+from repro.trace.store import TraceStore, mech_result_digest, result_digest
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -65,14 +66,16 @@ class SweepTask:
         workload: registered workload name, or an instance.  Names are
             preferred for ``jobs > 1`` — instances are pickled to the
             workers wholesale, including any already-built trace.
-        config: stream configuration to replay.
+        config: stream configuration to replay, or any
+            :class:`~repro.mechanisms.MechanismConfig` (a mechanism cell's
+            ``RunResult.streams`` then holds :class:`MechStats`).
         scale: input scale (ignored if ``workload`` is an instance).
         seed: workload seed (ignored if ``workload`` is an instance).
     """
 
     key: Hashable
     workload: WorkloadRef
-    config: StreamConfig
+    config: Union[StreamConfig, MechanismConfig]
     scale: float = 1.0
     seed: int = 0
 
@@ -159,18 +162,33 @@ def _run_one(task: SweepTask, cache: MissTraceCache) -> Union[RunResult, TaskErr
         with get_tracer().span("cell", key=str(task.key), workload=name):
             miss_trace, summary = cache.get(task.workload, scale=scale, seed=seed)
             store = cache.store
-            stats: Optional[StreamStats] = None
+            config = task.config
+            stats: Optional[Union[StreamStats, MechStats]] = None
             digest = None
-            if store is not None:
-                digest = result_digest(cache.trace_key(name, scale, seed), task.config)
-                stats = store.load_result(digest)
-            source = "store"
-            if stats is None:
-                source = "replayed"
-                with get_tracer().span("stream.replay", workload=name):
-                    stats = replay_streams(task.config, miss_trace)
+            if isinstance(config, MechanismConfig):
                 if store is not None:
-                    store.save_result(digest, stats)
+                    digest = mech_result_digest(
+                        cache.trace_key(name, scale, seed), config
+                    )
+                    stats = store.load_mech_result(digest, config)
+                source = "store"
+                if stats is None:
+                    source = "replayed"
+                    with get_tracer().span("mech.replay", workload=name):
+                        stats = replay_secondary(config, miss_trace)
+                    if store is not None:
+                        store.save_mech_result(digest, stats)
+            else:
+                if store is not None:
+                    digest = result_digest(cache.trace_key(name, scale, seed), config)
+                    stats = store.load_result(digest)
+                source = "store"
+                if stats is None:
+                    source = "replayed"
+                    with get_tracer().span("stream.replay", workload=name):
+                        stats = replay_streams(config, miss_trace)
+                    if store is not None:
+                        store.save_result(digest, stats)
         wall = time.perf_counter() - started
         _count_cell(registry, source, wall)
         return RunResult(
@@ -400,7 +418,7 @@ def grid_stats(
     cache: Optional[MissTraceCache] = None,
     store: Optional[TraceStore] = None,
     **kwargs: Any,
-) -> Dict[Hashable, StreamStats]:
+) -> Dict[Hashable, Union[StreamStats, MechStats]]:
     """Like :func:`run_grid`, keyed by task key and reduced to stats.
 
     Raises:

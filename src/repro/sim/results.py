@@ -69,13 +69,18 @@ class RunResult:
     (``"replayed"``).  They default to empty for results built outside
     the engine and are deliberately excluded from equality — two runs
     of the same cell are the *same result* however long they took.
+
+    ``streams`` holds :class:`StreamStats` for stream cells and
+    :class:`~repro.mechanisms.MechStats` for mechanism-generic cells —
+    the two share the reporting surface this class touches
+    (``stream_hits``, ``hit_rate_percent``, ``bandwidth``, ``config``).
     """
 
     workload: str
     scale: float
     seed: int
     l1: L1Summary
-    streams: StreamStats
+    streams: "StreamStats"
     wall_time_s: float = field(default=0.0, compare=False)
     worker: int = field(default=0, compare=False)
     source: str = field(default="", compare=False)

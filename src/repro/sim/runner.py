@@ -35,9 +35,11 @@ from repro.obs.spans import get_tracer
 from repro.core.config import StreamConfig
 from repro.core.prefetcher import StreamStats
 from repro.mem.address import AddressSpace
+from repro.mechanisms import MechanismConfig, MechStats
 from repro.sim.results import L1Summary, RunResult
 from repro.sim.vector import (
     ENGINE_VECTOR,
+    replay_secondary,
     replay_streams,
     resolve_engine,
     vector_simulate_cache,
@@ -51,6 +53,7 @@ __all__ = [
     "MissTraceCache",
     "default_cache",
     "resolve_workload_ref",
+    "run_secondary",
     "run_streams",
     "run_result",
     "simulate_l1",
@@ -350,6 +353,27 @@ def default_cache() -> MissTraceCache:
     return _DEFAULT_CACHE
 
 
+def run_secondary(
+    workload: Union[str, Workload],
+    mechanism: MechanismConfig,
+    scale: float = 1.0,
+    seed: int = 0,
+    cache: Optional[MissTraceCache] = None,
+    engine: Optional[str] = None,
+) -> MechStats:
+    """Simulate any secondary mechanism over a workload's miss stream.
+
+    The mechanism-generic dispatcher behind :func:`run_streams`: the
+    cached miss trace replays through the mechanism described by
+    ``mechanism`` (streams, victim cache, miss cache, or a hybrid stack)
+    with engine dispatch handled by
+    :func:`~repro.sim.vector.replay_secondary`.
+    """
+    cache = cache if cache is not None else default_cache()
+    miss_trace, _ = cache.get(workload, scale=scale, seed=seed)
+    return replay_secondary(mechanism, miss_trace, engine=engine)
+
+
 def run_streams(
     workload: Union[str, Workload],
     config: StreamConfig,
@@ -358,10 +382,21 @@ def run_streams(
     cache: Optional[MissTraceCache] = None,
     engine: Optional[str] = None,
 ) -> StreamStats:
-    """Simulate one stream configuration over a workload's miss stream."""
-    cache = cache if cache is not None else default_cache()
-    miss_trace, _ = cache.get(workload, scale=scale, seed=seed)
-    return replay_streams(config, miss_trace, engine=engine)
+    """Simulate one stream configuration over a workload's miss stream.
+
+    Backward-compatible wrapper over :func:`run_secondary` for the
+    ``streams`` mechanism.
+    """
+    stats = run_secondary(
+        workload,
+        MechanismConfig.for_streams(config),
+        scale=scale,
+        seed=seed,
+        cache=cache,
+        engine=engine,
+    )
+    assert stats.streams is not None
+    return stats.streams
 
 
 def run_result(

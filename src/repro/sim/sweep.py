@@ -18,6 +18,7 @@ from typing import Dict, Optional, Sequence, Union
 
 from repro.core.config import StreamConfig, StrideDetector
 from repro.core.prefetcher import StreamStats
+from repro.mechanisms import MechanismConfig, MechStats
 from repro.sim.parallel import SweepTask, grid_stats
 from repro.sim.runner import MissTraceCache, default_cache
 from repro.trace.store import TraceStore
@@ -28,6 +29,7 @@ __all__ = [
     "sweep_czone_bits",
     "sweep_depth",
     "compare_configs",
+    "sweep_mechanisms",
 ]
 
 WorkloadRef = Union[str, Workload]
@@ -94,6 +96,31 @@ def sweep_depth(
         SweepTask(key=depth, workload=workload, config=base.with_(depth=depth),
                   scale=scale, seed=seed)
         for depth in depth_values
+    ]
+    return grid_stats(tasks, jobs=jobs, cache=cache, store=store)
+
+
+def sweep_mechanisms(
+    workload: WorkloadRef,
+    mechanisms: Dict[str, MechanismConfig],
+    scale: float = 1.0,
+    seed: int = 0,
+    cache: Optional[MissTraceCache] = None,
+    jobs: int = 1,
+    store: Optional[TraceStore] = None,
+) -> Dict[str, MechStats]:
+    """Run several named secondary mechanisms over one miss trace.
+
+    The mechanism-zoo sibling of :func:`compare_configs`: each cell
+    replays the same cached miss trace through a different
+    :class:`~repro.mechanisms.MechanismConfig` (streams, victim cache,
+    miss cache, or a hybrid stack), via the same store-memoised grid
+    engine.
+    """
+    cache = cache if cache is not None else default_cache()
+    tasks = [
+        SweepTask(key=label, workload=workload, config=mech, scale=scale, seed=seed)
+        for label, mech in mechanisms.items()
     ]
     return grid_stats(tasks, jobs=jobs, cache=cache, store=store)
 

@@ -55,7 +55,7 @@ from __future__ import annotations
 import os
 import random
 from collections import Counter, OrderedDict
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -68,6 +68,9 @@ from repro.core.lengths import StreamLengthHistogram, bucket_of
 from repro.core.prefetcher import StreamPrefetcher, StreamStats
 from repro.trace.events import AccessKind, Trace
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mechanisms import MechanismConfig, MechStats
+
 __all__ = [
     "ENGINE_SCALAR",
     "ENGINE_VECTOR",
@@ -79,6 +82,7 @@ __all__ = [
     "streams_vector_supported",
     "vector_replay_streams",
     "replay_streams",
+    "replay_secondary",
     "secondary_vector_supported",
     "vector_simulate_secondary",
 ]
@@ -585,6 +589,48 @@ def replay_streams(
         if stats is not None:
             return stats
     return StreamPrefetcher(config).run(miss_trace)
+
+
+def replay_secondary(
+    mechanism: "MechanismConfig", miss_trace: MissTrace, engine: Optional[str] = None
+) -> "MechStats":
+    """Replay a miss trace through any secondary mechanism.
+
+    The mechanism-generic sibling of :func:`replay_streams` and the single
+    entry point for the runner/sweep/compare layers.  Engine dispatch is
+    best-effort and never errors on unsupported shapes:
+
+    * ``streams`` delegates to :func:`replay_streams` (vector flat-window
+      when selected and supported, scalar otherwise);
+    * ``victim``/``misscache`` always run the scalar mechanism — the
+      flat-window engine cannot represent their buffer state, so the
+      vector engine simply stands down;
+    * ``hybrid`` runs front members scalar via the two-phase residual
+      composition and replays a trailing stream member with full engine
+      dispatch, so ``REPRO_ENGINE=vector`` + a hybrid config is served
+      (vector where possible, scalar elsewhere) rather than rejected.
+    """
+    from repro.mechanisms import build_mechanism
+    from repro.mechanisms.hybrid import combine_member_stats
+    from repro.mechanisms.streams import mech_stats_from_streams
+
+    if mechanism.kind == "streams":
+        assert mechanism.streams is not None
+        return mech_stats_from_streams(
+            mechanism, replay_streams(mechanism.streams, miss_trace, engine=engine)
+        )
+    if mechanism.kind == "hybrid":
+        member_stats = []
+        residual = miss_trace
+        last = len(mechanism.members) - 1
+        for i, member in enumerate(mechanism.members):
+            if i == last:
+                member_stats.append(replay_secondary(member, residual, engine=engine))
+            else:
+                stats, residual = build_mechanism(member).run_filter(residual)
+                member_stats.append(stats)
+        return combine_member_stats(mechanism, member_stats)
+    return build_mechanism(mechanism).run(miss_trace)
 
 
 # ---------------------------------------------------------------------------

@@ -61,20 +61,25 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.caches.cache import CacheConfig, MissTrace
     from repro.core.config import StreamConfig
     from repro.core.prefetcher import StreamStats
+    from repro.mechanisms.base import MechanismConfig, MechStats
     from repro.sim.results import L1Summary
     from repro.trace.spectrum import MissSpectrum
 
 __all__ = [
     "STORE_FORMAT_VERSION",
     "RESULT_FORMAT_VERSION",
+    "MECH_RESULT_FORMAT_VERSION",
     "PROFILE_FORMAT_VERSION",
     "SPECTRUM_FORMAT_VERSION",
     "TraceStore",
     "canonical_scale",
     "trace_digest",
     "result_digest",
+    "mech_result_digest",
     "stats_to_dict",
     "stats_from_dict",
+    "mech_stats_to_dict",
+    "mech_stats_from_dict",
 ]
 
 #: Bump when the trace archive layout or the L1 simulation changes.
@@ -84,6 +89,12 @@ STORE_FORMAT_VERSION = 2
 
 #: Bump when the stream replay semantics change (stale results must die).
 RESULT_FORMAT_VERSION = 1
+
+#: Bump when non-stream mechanism semantics change (victim shadow-tag
+#: reconstruction, miss-cache invalidation, hybrid residual composition).
+#: Stream-mechanism results ride on :data:`RESULT_FORMAT_VERSION` instead
+#: so they stay interchangeable with ``run_streams`` results.
+MECH_RESULT_FORMAT_VERSION = 1
 
 #: Bump when the locality-profile layout or the profiling semantics
 #: change (see :mod:`repro.analytic.profile`); stale profiles then load
@@ -166,6 +177,32 @@ def result_digest(trace_key: str, config: StreamConfig) -> str:
     return hashlib.sha256(_canonical(payload).encode()).hexdigest()
 
 
+def mech_result_digest(trace_key: str, mechanism: "MechanismConfig") -> str:
+    """Stable content key of one mechanism replay.
+
+    A ``streams`` mechanism delegates to :func:`result_digest` so stream
+    results stay interchangeable between ``run_streams`` and the
+    mechanism-generic path — a warm store from either serves both.  The
+    other kinds fold the mechanism identity (the new key component) under
+    their own format version.
+    """
+    if mechanism.kind == "streams":
+        assert mechanism.streams is not None
+        return result_digest(trace_key, mechanism.streams)
+    payload = {
+        "mech_result_version": MECH_RESULT_FORMAT_VERSION,
+        "trace": trace_key,
+        "mechanism": _mechanism_to_dict(mechanism),
+    }
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+def _mechanism_to_dict(mechanism: "MechanismConfig") -> dict:
+    from repro.mechanisms.base import mechanism_to_dict
+
+    return mechanism_to_dict(mechanism)
+
+
 # -- StreamStats (de)serialisation -----------------------------------------
 
 _COUNTER_FIELDS = (
@@ -238,6 +275,53 @@ def stats_from_dict(payload: dict) -> StreamStats:
         config=config,
         lengths=lengths,
         **{name: int(counters[name]) for name in _COUNTER_FIELDS},
+    )
+
+
+# -- MechStats (de)serialisation --------------------------------------------
+
+_MECH_COUNTER_FIELDS = (
+    "demand_misses",
+    "hits",
+    "ifetch_misses",
+    "writebacks",
+    "invalidations",
+    "allocations",
+    "evictions",
+    "writebacks_out",
+    "prefetches_issued",
+    "prefetches_used",
+)
+
+
+def mech_stats_to_dict(stats: "MechStats") -> dict:
+    """Flatten a :class:`MechStats` to JSON-safe plain types (exact)."""
+    from repro.mechanisms.base import mechanism_to_dict
+
+    return {
+        "mechanism": mechanism_to_dict(stats.config),
+        "counters": {name: getattr(stats, name) for name in _MECH_COUNTER_FIELDS},
+        "member_hits": list(stats.member_hits),
+        "streams": None if stats.streams is None else stats_to_dict(stats.streams),
+    }
+
+
+def mech_stats_from_dict(payload: dict) -> "MechStats":
+    """Rebuild a :class:`MechStats` written by :func:`mech_stats_to_dict`.
+
+    Raises:
+        KeyError/TypeError/ValueError: on malformed payloads (callers
+        treat any of these as a store miss).
+    """
+    from repro.mechanisms.base import MechStats, mechanism_from_dict
+
+    counters = payload["counters"]
+    streams = payload.get("streams")
+    return MechStats(
+        config=mechanism_from_dict(payload["mechanism"]),
+        member_hits=tuple(int(h) for h in payload.get("member_hits") or ()),
+        streams=None if streams is None else stats_from_dict(streams),
+        **{name: int(counters[name]) for name in _MECH_COUNTER_FIELDS},
     )
 
 
@@ -433,6 +517,71 @@ class TraceStore:
                     )
                     return None
                 stats = stats_from_dict(payload["stats"])
+        except (OSError, KeyError, ValueError, TypeError):
+            self._emit(
+                "result_miss", digest=digest, duration_s=time.perf_counter() - started
+            )
+            return None
+        self._emit(
+            "result_hit",
+            digest=digest,
+            nbytes=len(text),
+            duration_s=time.perf_counter() - started,
+        )
+        return stats
+
+    def save_mech_result(self, digest: str, stats: "MechStats") -> Path:
+        """Persist one mechanism replay's statistics (atomic).
+
+        ``streams`` mechanisms are stored through :meth:`save_result`
+        under the plain stream payload — their digest is the stream
+        result digest, so either load path can serve either producer.
+        """
+        if stats.config.kind == "streams":
+            assert stats.streams is not None
+            return self.save_result(digest, stats.streams)
+        payload = {
+            "mech_result_version": MECH_RESULT_FORMAT_VERSION,
+            "stats": mech_stats_to_dict(stats),
+        }
+        path = self.result_path(digest)
+        data = json.dumps(payload, sort_keys=True, indent=None)
+        started = time.perf_counter()
+        with get_tracer().span("store.save_mech_result", digest=digest[:12]):
+            self._write_atomic(path, lambda tmp: Path(tmp).write_text(data))
+        self._emit(
+            "result_saved",
+            digest=digest,
+            nbytes=len(data),
+            duration_s=time.perf_counter() - started,
+        )
+        return path
+
+    def load_mech_result(
+        self, digest: str, mechanism: "MechanismConfig"
+    ) -> Optional["MechStats"]:
+        """The stored mechanism replay statistics, or None on any defect."""
+        if mechanism.kind == "streams":
+            from repro.mechanisms.streams import mech_stats_from_streams
+
+            stream_stats = self.load_result(digest)
+            if stream_stats is None:
+                return None
+            return mech_stats_from_streams(mechanism, stream_stats)
+        path = self.result_path(digest)
+        started = time.perf_counter()
+        try:
+            with get_tracer().span("store.load_mech_result", digest=digest[:12]):
+                text = path.read_text()
+                payload = json.loads(text)
+                if payload["mech_result_version"] != MECH_RESULT_FORMAT_VERSION:
+                    self._emit(
+                        "result_miss",
+                        digest=digest,
+                        duration_s=time.perf_counter() - started,
+                    )
+                    return None
+                stats = mech_stats_from_dict(payload["stats"])
         except (OSError, KeyError, ValueError, TypeError):
             self._emit(
                 "result_miss", digest=digest, duration_s=time.perf_counter() - started
@@ -789,7 +938,10 @@ class TraceStore:
         ):
             try:
                 payload = json.loads(path.read_text())
-                ok = payload["result_version"] == RESULT_FORMAT_VERSION
+                if "mech_result_version" in payload:
+                    ok = payload["mech_result_version"] == MECH_RESULT_FORMAT_VERSION
+                else:
+                    ok = payload["result_version"] == RESULT_FORMAT_VERSION
             except (OSError, KeyError, ValueError):
                 ok = False
             if not ok:
