@@ -9,9 +9,10 @@ replication would pay —
 
 * **disabled** (the default): tracer off, no manifest; the only
   telemetry cost is engine-registry counter bumps;
-* **enabled**: tracer on plus the full artifact path (ManifestBuilder
-  construction, per-cell records, manifest build from the drained
-  spans).
+* **enabled**: tracer on (with a bound trace context, so every span
+  pays the trace-id auto-tag), structured logging at INFO, plus the
+  full artifact path (ManifestBuilder construction, per-cell records,
+  manifest build from the drained spans).
 
 Each state is timed ``REPEATS`` times, interleaved to spread thermal /
 cache drift across both, and the minima are compared.  The gate:
@@ -32,8 +33,12 @@ import tempfile
 import time
 from pathlib import Path
 
+from contextlib import nullcontext
+
 import numpy as np
 
+from repro.obs.context import trace_scope
+from repro.obs.log import INFO, get_level, set_level
 from repro.obs.manifest import ManifestBuilder
 from repro.obs.spans import set_tracing
 from repro.sim.parallel import TaskError, run_grid
@@ -63,13 +68,18 @@ def replay_cache(tasks, store: TraceStore) -> MissTraceCache:
 def _one_pass(tasks, cache: MissTraceCache, enabled: bool) -> float:
     tracer = set_tracing(enabled)
     tracer.clear()
+    previous_level = get_level()
+    if enabled:
+        set_level(INFO)  # structured logging on: part of the priced state
     builder = ManifestBuilder("bench_obs") if enabled else None
     started = time.perf_counter()
-    results = run_grid(tasks, jobs=1, cache=cache)
+    with trace_scope() if enabled else nullcontext():
+        results = run_grid(tasks, jobs=1, cache=cache)
     if builder is not None:
         builder.add_results(tasks, results)
         builder.build(span_events=tracer.events())
     elapsed = time.perf_counter() - started
+    set_level(previous_level)
     tracer.enabled = False
     tracer.clear()
     errors = [r for r in results if isinstance(r, TaskError)]

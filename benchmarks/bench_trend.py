@@ -1,0 +1,219 @@
+"""Cross-PR benchmark trend gate: ``make bench-trend``.
+
+Every PR that lands a performance claim writes a ``BENCH_PR<N>.json``
+at the repo root.  Individually each file proves its own PR's claim;
+what none of them can show is a *regression across PRs* — e.g. the
+vector engine's warm-sweep speedup quietly eroding three PRs after it
+was measured.  This gate aggregates the committed BENCH files into
+per-metric series (a "series" is one conceptual metric tracked through
+whichever PR files measured it, newest file last) and fails when the
+latest point of any tracked headline metric is more than
+``BENCH_TREND_TOLERANCE`` (default 10%) worse than the best point of
+its series.  Boolean pass/fail gates recorded by a BENCH file must
+simply still hold.
+
+Two deliberate exclusions: near-zero noisy ratios (PR5's
+``overhead_fraction`` swings sign run to run — its ``pass`` gate is the
+tracked signal instead) and wall-clock seconds measured on different
+machines (speedups and fractions are dimensionless, so they travel).
+
+Writes ``BENCH_TREND.json`` (the full series table plus the verdict)
+and exits 1 on any regression or broken gate.  Missing BENCH files
+skip their points with a warning — the gate must stay runnable on a
+partial checkout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_TREND.json"
+DEFAULT_TOLERANCE = 0.10
+
+# One conceptual metric per entry; points are (bench file, dotted JSON
+# path), oldest PR first.  "higher" metrics regress downward, "lower"
+# metrics regress upward.
+SERIES = [
+    {
+        "name": "warm_sweep_speedup_vs_serial_cold",
+        "better": "higher",
+        "points": [("BENCH_PR1.json", "warm_speedup_vs_serial_cold")],
+    },
+    {
+        "name": "service_requests_per_second",
+        "better": "higher",
+        "points": [
+            ("BENCH_PR2.json", "requests_per_second"),
+            ("BENCH_PR7.json", "single_host_anchor_req_s"),
+        ],
+    },
+    {
+        "name": "service_cells_per_second",
+        "better": "higher",
+        "points": [("BENCH_PR2.json", "cells_per_second")],
+    },
+    {
+        "name": "analytic_screen_config_fraction",
+        "better": "lower",
+        "points": [
+            ("BENCH_PR4.json", "max_config_fraction"),
+            ("BENCH_PR8.json", "max_config_fraction"),
+        ],
+    },
+    {
+        "name": "analytic_warm_speedup_vs_brute",
+        "better": "higher",
+        "points": [("BENCH_PR4.json", "warm_speedup_vs_brute")],
+    },
+    {
+        "name": "vector_l1_simulate_speedup",
+        "better": "higher",
+        "points": [("BENCH_PR6.json", "l1_simulate_span.speedup")],
+    },
+    {
+        "name": "vector_warm_sweep_speedup",
+        "better": "higher",
+        "points": [("BENCH_PR6.json", "warm_sweep_jobs1.speedup")],
+    },
+    {
+        "name": "analytic_stream_sweep_simulated_fraction",
+        "better": "lower",
+        "points": [("BENCH_PR8.json", "streams.simulated_fraction")],
+    },
+    {
+        "name": "mechzoo_warm_speedup",
+        "better": "higher",
+        "points": [("BENCH_PR9.json", "seconds.speedup")],
+    },
+]
+
+# Boolean gates that must simply still be true in the committed files.
+GATES = [
+    ("BENCH_PR5.json", "pass"),
+    ("BENCH_PR6.json", "pass"),
+]
+
+
+def dig(payload: dict, path: str):
+    """Resolve a dotted path ("a.b.c") into a nested dict, or None."""
+    node = payload
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def load_bench(cache: dict, name: str):
+    """Load (and memoise) one BENCH file; None when absent/unreadable."""
+    if name not in cache:
+        try:
+            cache[name] = json.loads((ROOT / name).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"bench-trend: skipping {name}: {exc}", file=sys.stderr)
+            cache[name] = None
+    return cache[name]
+
+
+def evaluate(tolerance: float) -> dict:
+    """Build the full trend report: every series scored, gates checked."""
+    cache: dict = {}
+    series_reports = []
+    for spec in SERIES:
+        points = []
+        for file_name, path in spec["points"]:
+            payload = load_bench(cache, file_name)
+            value = dig(payload, path) if payload else None
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                points.append({"file": file_name, "path": path, "value": value})
+            else:
+                print(
+                    f"bench-trend: {file_name}:{path} missing, point skipped",
+                    file=sys.stderr,
+                )
+        report = {
+            "name": spec["name"],
+            "better": spec["better"],
+            "points": points,
+        }
+        if points:
+            values = [p["value"] for p in points]
+            latest = values[-1]
+            best = max(values) if spec["better"] == "higher" else min(values)
+            if spec["better"] == "higher":
+                # Fractional shortfall of the latest point vs the series best.
+                drift = (best - latest) / best if best else 0.0
+            else:
+                drift = (latest - best) / best if best else 0.0
+            report.update(
+                latest=latest,
+                best=best,
+                drift=round(drift, 4),
+                regressed=drift > tolerance,
+            )
+        series_reports.append(report)
+    gate_reports = []
+    for file_name, path in GATES:
+        payload = load_bench(cache, file_name)
+        value = dig(payload, path) if payload else None
+        gate_reports.append(
+            {
+                "file": file_name,
+                "path": path,
+                "value": value,
+                # An absent file skips; a present-but-false gate fails.
+                "ok": value is not False,
+            }
+        )
+    regressions = [s["name"] for s in series_reports if s.get("regressed")]
+    broken_gates = [g["file"] for g in gate_reports if not g["ok"]]
+    return {
+        "benchmark": "bench_trend: cross-PR headline-metric regression gate",
+        "tolerance": tolerance,
+        "series": series_reports,
+        "gates": gate_reports,
+        "regressions": regressions,
+        "broken_gates": broken_gates,
+        "pass": not regressions and not broken_gates,
+    }
+
+
+def main() -> int:
+    """Score the trend, print the table, write BENCH_TREND.json."""
+    tolerance = float(os.environ.get("BENCH_TREND_TOLERANCE", DEFAULT_TOLERANCE))
+    report = evaluate(tolerance)
+    print(f"{'metric':<42s} {'best':>9s} {'latest':>9s} {'drift':>7s}  verdict")
+    for series in report["series"]:
+        if "latest" not in series:
+            print(f"{series['name']:<42s} {'-':>9s} {'-':>9s} {'-':>7s}  no data")
+            continue
+        verdict = "REGRESSED" if series["regressed"] else "ok"
+        print(
+            f"{series['name']:<42s} {series['best']:9.3f} "
+            f"{series['latest']:9.3f} {100 * series['drift']:6.1f}%  {verdict}"
+        )
+    for gate in report["gates"]:
+        state = "ok" if gate["ok"] else "FAIL"
+        print(f"gate {gate['file']}:{gate['path']} = {gate['value']}  {state}")
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    if not report["pass"]:
+        print(
+            "bench-trend FAIL: "
+            + ", ".join(report["regressions"] + report["broken_gates"]),
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"bench-trend PASS: {len(report['series'])} series within "
+        f"{100 * tolerance:.0f}% of best, {len(report['gates'])} gates hold"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

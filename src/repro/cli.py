@@ -12,6 +12,7 @@ Subcommands::
     repro serve [options]          # always-on simulation service (HTTP)
     repro check [options]          # differential check vs golden oracles
     repro obs summarize MANIFEST   # digest a run manifest (slow cells, phases)
+    repro top [--url URL]          # live service dashboard (polls /v1/debug)
 
 Every exhibit prints measured values beside the paper's published ones.
 ``sweep`` and ``exhibit`` accept ``--jobs N`` (process-pool fan-out) and
@@ -302,6 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="worker liveness poll period in seconds (0 disables)",
     )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable the span tracer at startup; the merged timeline is "
+        "served back via GET /v1/trace (workers ship their spans with "
+        "every chunk response)",
+    )
 
     check = sub.add_parser(
         "check",
@@ -370,6 +378,34 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument(
         "--top", type=int, default=10, metavar="N", help="slowest cells to show"
     )
+    summarize.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json mirrors the text digest, for jq)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running service's /v1/debug",
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8077",
+        help="service base URL (default: http://127.0.0.1:8077)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="refresh period in seconds",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (no screen clearing)",
+    )
 
     return parser
 
@@ -426,6 +462,12 @@ class _ObsSession:
     the spans, restores the tracer, and writes whichever artifacts were
     requested.  With neither flag set, every method is a no-op and the
     tracer stays disabled (the zero-overhead default).
+
+    An active session also mints one run-level ``trace_id`` and binds it
+    for the invocation's duration, so every span the parent process
+    records joins one trace; :meth:`tag` stamps the same id onto sweep
+    tasks so spawn-pool workers join it too (the trace-out file then
+    carries Perfetto flow arrows across all processes).
     """
 
     def __init__(self, args: argparse.Namespace, command: str):
@@ -433,16 +475,29 @@ class _ObsSession:
         self.manifest_dir = getattr(args, "manifest", None)
         self.active = bool(self.trace_out or self.manifest_dir)
         self.builder = None
+        self.trace_id = None
+        self._scope = None
         self._was_enabled = False
         if not self.active:
             return
-        from repro.obs import ManifestBuilder, get_tracer
+        from repro.obs import ManifestBuilder, get_tracer, new_trace_id, trace_scope
 
         tracer = get_tracer()
         self._was_enabled = tracer.enabled
         tracer.enabled = True
         tracer.clear()
+        self.trace_id = new_trace_id()
+        self._scope = trace_scope(self.trace_id)
+        self._scope.__enter__()
         self.builder = ManifestBuilder(command, argv=sys.argv[1:])
+
+    def tag(self, tasks):
+        """Stamp the run's trace id onto sweep tasks (no-op when inactive)."""
+        if not self.active:
+            return tasks
+        import dataclasses
+
+        return [dataclasses.replace(task, trace_id=self.trace_id) for task in tasks]
 
     def add_results(self, tasks, results) -> None:
         if self.builder is not None:
@@ -460,6 +515,9 @@ class _ObsSession:
         tracer = get_tracer()
         events = tracer.drain()
         tracer.enabled = self._was_enabled
+        if self._scope is not None:
+            self._scope.__exit__(None, None, None)
+            self._scope = None
         if self.trace_out:
             write_chrome_trace(self.trace_out, events)
             print(f"trace written   : {self.trace_out} ({len(events)} events)")
@@ -532,6 +590,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for n in values
     ]
     obs = _ObsSession(args, "sweep")
+    tasks = obs.tag(tasks)
     started = time.perf_counter()
     results = run_grid(tasks, jobs=args.jobs, store=store)
     elapsed = time.perf_counter() - started
@@ -593,6 +652,7 @@ def _cmd_sweep_mechanisms(args, store) -> int:
         for label, mech in zip(labels, mechs)
     ]
     obs = _ObsSession(args, "sweep")
+    tasks = obs.tag(tasks)
     started = time.perf_counter()
     results = run_grid(tasks, jobs=args.jobs, store=store)
     elapsed = time.perf_counter() - started
@@ -993,6 +1053,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service.server import ServiceConfig, run_server
 
+    if args.trace:
+        from repro.obs import set_tracing
+
+        set_tracing(True)
     workers = tuple(
         url.strip() for url in (args.workers or "").split(",") if url.strip()
     )
@@ -1077,7 +1141,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    from repro.obs import load_manifest, summarize
+    import json
+
+    from repro.obs import load_manifest, summarize, summarize_json
 
     if args.obs_command == "summarize":
         try:
@@ -1085,9 +1151,119 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"cannot read manifest {args.manifest!r}: {exc}", file=sys.stderr)
             return 2
-        print(summarize(manifest, top=args.top))
+        if args.format == "json":
+            print(json.dumps(summarize_json(manifest, top=args.top), indent=2))
+        else:
+            print(summarize(manifest, top=args.top))
         return 0
     raise AssertionError(f"unhandled obs command {args.obs_command!r}")
+
+
+def _render_top(snap: dict, url: str) -> str:
+    """One ``repro top`` frame from a ``/v1/debug`` snapshot."""
+    fleet = snap.get("fleet") or {}
+    queue = snap.get("queue") or {}
+    coalescer = snap.get("coalescer") or {}
+    counters = snap.get("counters") or {}
+    lines = [
+        f"repro top — {url}  pid {snap.get('pid', '?')}  "
+        f"role {fleet.get('role', '?')}  up {snap.get('uptime_s', 0.0):.0f}s",
+        f"queue   : {queue.get('depth', 0)}/{queue.get('limit', 0)} admitted, "
+        f"{queue.get('batcher_pending', 0)} cells awaiting batch flush",
+        f"requests: {counters.get('requests', 0)} total, "
+        f"{counters.get('rejected', 0)} rejected, "
+        f"{counters.get('timeouts', 0)} timeouts, "
+        f"{counters.get('failures', 0)} failures",
+        f"cells   : {counters.get('cells_requested', 0)} requested, "
+        f"{counters.get('cells_executed', 0)} executed, "
+        f"{counters.get('cell_errors', 0)} errors, "
+        f"{counters.get('result_cache_hits', 0)} cache hits, "
+        f"{counters.get('store_fastpath_hits', 0)} store fastpath",
+        f"coalesce: {coalescer.get('inflight', 0)} in flight, "
+        f"{coalescer.get('hits', 0)} joins "
+        f"({100 * coalescer.get('hit_rate', 0.0):.1f}% of requested cells)",
+        "percentiles (ms)         p50       p95       p99     count",
+    ]
+    named = [
+        ("request latency", snap.get("latency_ms") or {}),
+        ("batch queue wait", snap.get("queue_wait_ms") or {}),
+        ("admission wait", snap.get("admission_wait_ms") or {}),
+    ]
+    named += [
+        (f"endpoint {kind}", entry)
+        for kind, entry in sorted((snap.get("endpoints") or {}).items())
+    ]
+    for label, entry in named:
+        lines.append(
+            f"  {label:<20s}{entry.get('p50', 0.0):8.2f}{entry.get('p95', 0.0):10.2f}"
+            f"{entry.get('p99', 0.0):10.2f}{entry.get('count', 0):10d}"
+        )
+    workers = fleet.get("workers") or []
+    if workers:
+        chunk = fleet.get("chunk_ms") or {}
+        lines.append(
+            f"fleet   : {fleet.get('alive', 0)}/{len(workers)} workers alive, "
+            f"chunk p95 {chunk.get('p95', 0.0):.1f} ms (n={chunk.get('count', 0)})"
+        )
+        for worker in workers:
+            age = worker.get("heartbeat_age_s")
+            heartbeat = f"{age:.1f}s ago" if isinstance(age, (int, float)) else "never"
+            lines.append(
+                f"  {worker.get('url', '?'):<28s} "
+                f"{'up' if worker.get('alive') else 'DOWN':<4s} "
+                f"inflight {worker.get('inflight', 0)}  "
+                f"chunks {worker.get('dispatched_chunks', 0)}  "
+                f"cells {worker.get('dispatched_cells', 0)}  "
+                f"retries {worker.get('retries', 0)}  "
+                f"hb {heartbeat}"
+            )
+    log = snap.get("log") or []
+    if log:
+        lines.append("recent log:")
+        for record in log[-8:]:
+            extras = " ".join(
+                f"{key}={value}"
+                for key, value in record.items()
+                if key not in ("ts", "level", "logger", "event")
+            )
+            lines.append(
+                f"  {record.get('level', '?'):<7s} "
+                f"{record.get('logger', '?')}/{record.get('event', '?')} "
+                f"{extras}".rstrip()
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from urllib.parse import urlsplit
+
+    from repro.service.client import RequestFailed, ServiceClient
+
+    url = args.url if "//" in args.url else f"http://{args.url}"
+    parts = urlsplit(url)
+    if not parts.hostname:
+        print(f"bad --url {args.url!r}", file=sys.stderr)
+        return 2
+    client = ServiceClient(
+        parts.hostname, parts.port or 80, timeout=5.0, retries=0
+    )
+    try:
+        while True:
+            try:
+                snap = client.debug()
+            except (RequestFailed, RuntimeError, OSError) as exc:
+                print(f"cannot reach {url}: {exc}", file=sys.stderr)
+                return 1
+            if not args.once:
+                print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+            print(_render_top(snap, url), flush=True)
+            if args.once:
+                return 0
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -1117,6 +1293,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_check(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "top":
+        return _cmd_top(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -43,6 +43,8 @@ import asyncio
 
 from repro.caches.cache import CacheConfig
 from repro.fleet.hashing import rendezvous_owner
+from repro.obs.context import bind_trace
+from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry, engine_registry
 from repro.obs.spans import get_tracer
 from repro.service import api
@@ -201,8 +203,14 @@ class FleetDispatcher:
             "fleet_local_fallback_cells_total", "cells executed on the local fallback"
         )
         self._h_chunk = m.histogram("fleet_chunk_ms", "chunk round-trip wall time, ms")
+        self._log = get_logger("fleet")
         for url in workers:
             self.register(url)
+
+    @property
+    def chunk_latency(self):
+        """The shard round-trip histogram (``/v1/debug`` reads it)."""
+        return self._h_chunk
 
     # -- membership --------------------------------------------------------
 
@@ -325,6 +333,10 @@ class FleetDispatcher:
                 "scale": scale,
                 "seed": seed,
             }
+            if task.trace_id is not None:
+                # Optional v1 field: old workers build cells with
+                # raw.get(...) and simply ignore it.
+                cell["trace_id"] = task.trace_id
             if isinstance(task.config, MechanismConfig):
                 cell["mechanism"] = mechanism_to_dict(task.config)
             else:
@@ -369,6 +381,7 @@ class FleetDispatcher:
 
     async def _run_local(self, tasks: List[SweepTask]) -> List[CellResult]:
         self._c_local.inc(len(tasks))
+        self._log.info("fleet.local_fallback", cells=len(tasks))
         results = list(await self.local_runner(tasks))
         self._log_cells(tasks, results, origin="local")
         return results
@@ -388,20 +401,37 @@ class FleetDispatcher:
         }
         if self.blob_origin:
             payload["blob_origin"] = self.blob_origin
+        # A shard usually serves one request; when it does, the dispatch
+        # span joins that request's trace so the timeline reads
+        # admission -> dispatch -> worker cell in one arrowed chain.
+        traces = {t.trace_id for t in shard if t.trace_id}
+        shared = next(iter(traces)) if len(traces) == 1 else None
         backoff = self.backoff_s
-        for attempt in range(self.max_attempts):
-            if not worker.alive:
-                break  # the heartbeat (or another shard) saw it die
-            if attempt:
-                self._c_retry.inc()
-                worker.retries += 1
-                await asyncio.sleep(backoff)
-                backoff *= 2
-            outcome = await self._attempt_chunk(worker, shard, payload)
-            if outcome is not None:
-                return outcome
+        with bind_trace(shared), get_tracer().span(
+            "fleet.dispatch", worker=worker.url, cells=len(shard)
+        ):
+            for attempt in range(self.max_attempts):
+                if not worker.alive:
+                    break  # the heartbeat (or another shard) saw it die
+                if attempt:
+                    self._c_retry.inc()
+                    worker.retries += 1
+                    self._log.warning(
+                        "fleet.retry",
+                        worker=worker.url,
+                        attempt=attempt,
+                        cells=len(shard),
+                    )
+                    await asyncio.sleep(backoff)
+                    backoff *= 2
+                outcome = await self._attempt_chunk(worker, shard, payload)
+                if outcome is not None:
+                    return outcome
         worker.mark_dead()
         self._gauge_depth(worker)
+        self._log.warning(
+            "fleet.worker_dead", worker=worker.url, cells=len(shard)
+        )
         return await self._failover(worker, shard, excluded)
 
     async def _attempt_chunk(
@@ -476,6 +506,7 @@ class FleetDispatcher:
                         details=error.details,
                         wall_time_s=error.wall_time_s,
                         worker=error.worker,
+                        trace_id=error.trace_id,
                     )
                 )
         telemetry = body.get("telemetry") or {}

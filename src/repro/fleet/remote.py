@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Set
 from urllib.parse import urlsplit
 
+from repro.obs.log import get_logger
 from repro.obs.metrics import engine_registry
 from repro.obs.spans import get_tracer
 from repro.service.client import RequestFailed, ServiceClient
@@ -114,6 +115,7 @@ def replicate_traces(
         storeless workers report every digest missing, for the same
         reason.
     """
+    log = get_logger("fleet")
     missing: Set[str] = set()
     for digest in digests:
         if store is not None and store.has_blob("trace", digest):
@@ -123,8 +125,17 @@ def replicate_traces(
             continue
         try:
             data = fetch_blob(origin, "trace", digest, timeout=timeout)
-        except (BlobNotFound, RemoteStoreError):
+        except (BlobNotFound, RemoteStoreError) as exc:
+            log.warning(
+                "blob.miss",
+                digest=digest[:12],
+                origin=origin,
+                error=type(exc).__name__,
+            )
             missing.add(digest)
             continue
+        log.info(
+            "blob.replicated", digest=digest[:12], origin=origin, bytes=len(data)
+        )
         store.ingest_blob("trace", digest, data)
     return missing

@@ -1,8 +1,14 @@
 """``repro.obs`` — the unified telemetry subsystem.
 
-Dependency-free observability for the whole simulation engine, in four
-pieces (each its own module, each importable alone):
+Dependency-free observability for the whole simulation engine, one
+module per concern (each importable alone):
 
+* :mod:`repro.obs.context` — contextvars-carried trace identity
+  (``trace_id``/``span_id``) propagated across async request handling,
+  the fleet chunk wire and the spawn-pool boundary.
+* :mod:`repro.obs.log` — leveled structured JSON logging into a bounded
+  in-memory ring (surfaced by ``GET /v1/debug`` and run manifests),
+  with opt-in stream emission.
 * :mod:`repro.obs.metrics` — shared Counter/Gauge/Histogram registry
   with a mergeable snapshot format; the process-global
   :func:`~repro.obs.metrics.engine_registry` is where engine layers
@@ -23,7 +29,23 @@ chunk and the parent merges, so one ``run_grid`` yields one registry
 and one timeline covering the whole fleet.  See docs/observability.md.
 """
 
+from repro.obs.context import (
+    bind_trace,
+    current_span_id,
+    current_trace_id,
+    new_span_id,
+    new_trace_id,
+    trace_scope,
+)
 from repro.obs.events import StoreEvent, as_legacy_hook, record_event
+from repro.obs.log import (
+    LogRing,
+    configure,
+    get_level,
+    get_logger,
+    log_ring,
+    set_level,
+)
 from repro.obs.manifest import (
     MANIFEST_VERSION,
     ManifestBuilder,
@@ -31,6 +53,7 @@ from repro.obs.manifest import (
     load_manifest,
     phase_times,
     summarize,
+    summarize_json,
 )
 from repro.obs.metrics import (
     Counter,
@@ -46,6 +69,7 @@ from repro.obs.metrics import (
 from repro.obs.spans import (
     Tracer,
     chrome_trace,
+    flow_events,
     get_tracer,
     set_tracing,
     traced,
@@ -68,6 +92,7 @@ __all__ = [
     "set_tracing",
     "traced",
     "chrome_trace",
+    "flow_events",
     "write_chrome_trace",
     "validate_chrome_events",
     "StoreEvent",
@@ -79,4 +104,17 @@ __all__ = [
     "load_manifest",
     "phase_times",
     "summarize",
+    "summarize_json",
+    "bind_trace",
+    "current_span_id",
+    "current_trace_id",
+    "new_span_id",
+    "new_trace_id",
+    "trace_scope",
+    "LogRing",
+    "configure",
+    "get_level",
+    "get_logger",
+    "log_ring",
+    "set_level",
 ]

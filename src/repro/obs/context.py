@@ -1,0 +1,86 @@
+"""Request-scoped trace context carried on contextvars.
+
+A *trace* groups every span and log record produced on behalf of one
+logical request — from frontend admission through chunk dispatch to the
+worker replay that ultimately executes each cell.  The context is a pair
+of identifiers:
+
+* ``trace_id`` — minted once per request (or once per CLI run) and
+  propagated everywhere: into coalesced followers, over the fleet chunk
+  wire as an optional per-cell field, and into pool worker processes via
+  the pickled :class:`~repro.sim.parallel.SweepTask`.
+* ``span_id`` — identifies the current unit of work inside the trace;
+  re-minted by :func:`trace_scope` so child scopes are distinguishable.
+
+Everything here is stdlib-only and import-light on purpose: the tracer
+(`repro.obs.spans`) and the logger (`repro.obs.log`) both read the
+current trace id on their hot paths, so lookups must stay a single
+``ContextVar.get``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+_TRACE_ID: ContextVar[Optional[str]] = ContextVar("repro_trace_id", default=None)
+_SPAN_ID: ContextVar[Optional[str]] = ContextVar("repro_span_id", default=None)
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 16-hex-digit trace identifier."""
+
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    """Mint a fresh 8-hex-digit span identifier."""
+
+    return os.urandom(4).hex()
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id bound to the current context, or None outside a trace."""
+
+    return _TRACE_ID.get()
+
+
+def current_span_id() -> Optional[str]:
+    """The span id bound to the current context, or None outside a trace."""
+
+    return _SPAN_ID.get()
+
+
+@contextmanager
+def trace_scope(trace_id: Optional[str] = None) -> Iterator[str]:
+    """Bind ``trace_id`` (minting one when None) for the dynamic extent.
+
+    Yields the bound trace id.  A fresh ``span_id`` is minted alongside,
+    so nested scopes on the same trace remain distinguishable in logs.
+    """
+
+    bound = trace_id if trace_id is not None else new_trace_id()
+    trace_token = _TRACE_ID.set(bound)
+    span_token = _SPAN_ID.set(new_span_id())
+    try:
+        yield bound
+    finally:
+        _SPAN_ID.reset(span_token)
+        _TRACE_ID.reset(trace_token)
+
+
+@contextmanager
+def bind_trace(trace_id: Optional[str]) -> Iterator[Optional[str]]:
+    """Like :func:`trace_scope` but a no-op when ``trace_id`` is None.
+
+    Used on execution paths (e.g. ``_run_one``) where a missing trace id
+    means "untraced work" and must not mint a synthetic trace.
+    """
+
+    if trace_id is None:
+        yield _TRACE_ID.get()
+        return
+    with trace_scope(trace_id) as bound:
+        yield bound

@@ -1,0 +1,193 @@
+"""Dependency-free leveled structured logging with a bounded ring buffer.
+
+Every record is a flat JSON-serialisable dict::
+
+    {"ts": <unix seconds>, "level": "INFO", "logger": "service",
+     "event": "request.admit", "trace_id": "0f3a...", **fields}
+
+``trace_id`` is attached automatically from :mod:`repro.obs.context`
+when a trace is bound, which is what lets ``GET /v1/debug`` and
+``repro top`` correlate the recent log ring with spans.
+
+Records always land in a process-local bounded ring (introspected live
+by the service debug endpoint and folded into run manifests); emission
+to a stream is opt-in (``configure(stream=...)`` or
+``REPRO_LOG_STDERR=1``) so the default cost of an enabled-level call is
+one dict build plus a deque append.  Disabled-level calls cost a single
+integer compare — that is what keeps the traced+logged overhead gate
+(benchmarks/bench_obs.py) under 5%.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, TextIO
+
+from repro.obs.context import current_trace_id
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+LEVELS: Dict[str, int] = {"DEBUG": DEBUG, "INFO": INFO, "WARNING": WARNING, "ERROR": ERROR}
+_LEVEL_NAMES: Dict[int, str] = {value: name for name, value in LEVELS.items()}
+
+DEFAULT_RING_SIZE = 2048
+
+
+def parse_level(level: Any) -> int:
+    """Accept a numeric level or a case-insensitive name ("info")."""
+
+    if isinstance(level, int):
+        return level
+    name = str(level).strip().upper()
+    if name not in LEVELS:
+        raise ValueError(f"unknown log level: {level!r}")
+    return LEVELS[name]
+
+
+class LogRing:
+    """Thread-safe bounded ring of the most recent log records."""
+
+    def __init__(self, maxlen: int = DEFAULT_RING_SIZE) -> None:
+        self._records: deque = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+
+    def append(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def tail(self, n: int = 50) -> List[Dict[str, Any]]:
+        """The most recent ``n`` records, oldest first."""
+
+        with self._lock:
+            records = list(self._records)
+        if n <= 0:
+            return []
+        return records[-n:]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class Logger:
+    """A named handle onto the shared ring/level/stream state."""
+
+    def __init__(self, name: str, state: "_LogState") -> None:
+        self.name = name
+        self._state = state
+
+    def is_enabled(self, level: int) -> bool:
+        return level >= self._state.level
+
+    def log(self, level: int, event: str, **fields: Any) -> None:
+        state = self._state
+        if level < state.level:
+            return
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": _LEVEL_NAMES.get(level, str(level)),
+            "logger": self.name,
+            "event": event,
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        if fields:
+            record.update(fields)
+        state.ring.append(record)
+        stream = state.stream
+        if stream is not None:
+            try:
+                stream.write(json.dumps(record, default=str) + "\n")
+            except (OSError, ValueError):
+                pass
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log(DEBUG, event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log(INFO, event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log(WARNING, event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log(ERROR, event, **fields)
+
+
+class _LogState:
+    def __init__(self) -> None:
+        self.level = self._initial_level()
+        self.ring = LogRing()
+        self.stream: Optional[TextIO] = sys.stderr if os.environ.get("REPRO_LOG_STDERR") else None
+        self.loggers: Dict[str, Logger] = {}
+        self.lock = threading.Lock()
+
+    @staticmethod
+    def _initial_level() -> int:
+        raw = os.environ.get("REPRO_LOG_LEVEL")
+        if not raw:
+            return INFO
+        try:
+            return parse_level(raw)
+        except ValueError:
+            return INFO
+
+
+_STATE = _LogState()
+
+
+def get_logger(name: str = "repro") -> Logger:
+    """Fetch (or create) the named logger backed by the shared ring."""
+
+    with _STATE.lock:
+        logger = _STATE.loggers.get(name)
+        if logger is None:
+            logger = Logger(name, _STATE)
+            _STATE.loggers[name] = logger
+        return logger
+
+
+def set_level(level: Any) -> None:
+    """Set the global threshold; records below it are dropped outright."""
+
+    _STATE.level = parse_level(level)
+
+
+def get_level() -> int:
+    """The current global threshold level."""
+
+    return _STATE.level
+
+
+def log_ring() -> LogRing:
+    """The process-wide ring of recent records."""
+
+    return _STATE.ring
+
+
+def configure(
+    level: Any = None,
+    stream: Optional[TextIO] = None,
+    ring_size: Optional[int] = None,
+) -> None:
+    """Adjust logging state in one call (level, emit stream, ring size)."""
+
+    if level is not None:
+        set_level(level)
+    if stream is not None:
+        _STATE.stream = stream
+    if ring_size is not None:
+        _STATE.ring = LogRing(ring_size)

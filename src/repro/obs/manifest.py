@@ -48,6 +48,7 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.obs.log import log_ring
 from repro.obs.metrics import diff_snapshots, engine_registry
 from repro.obs.spans import get_tracer
 
@@ -58,6 +59,7 @@ __all__ = [
     "ManifestBuilder",
     "load_manifest",
     "summarize",
+    "summarize_json",
 ]
 
 MANIFEST_VERSION = 1
@@ -81,19 +83,38 @@ def git_sha(cwd: Optional[Union[str, os.PathLike]] = None) -> Optional[str]:
     return sha if proc.returncode == 0 and sha else None
 
 
+def _nearest_rank(ordered: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    rank = max(1, -(-int(pct * len(ordered)) // 100))  # ceil without float drift
+    return ordered[min(rank, len(ordered)) - 1]
+
+
 def phase_times(events: Iterable[dict]) -> Dict[str, dict]:
-    """Aggregate span events into per-phase count/total/max milliseconds."""
-    phases: Dict[str, dict] = {}
+    """Aggregate span events into per-phase timing statistics.
+
+    Each phase entry carries ``count``, ``total_ms``, ``max_ms`` and the
+    nearest-rank ``p50_ms``/``p95_ms``/``p99_ms`` over individual span
+    durations — totals say where the time went, percentiles say whether
+    it went there uniformly or in a long tail.
+    """
+    durations: Dict[str, List[float]] = {}
     for event in events:
         if event.get("ph") != "X":
             continue
-        entry = phases.setdefault(
-            event["name"], {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+        durations.setdefault(event["name"], []).append(
+            event.get("dur", 0) / 1000.0
         )
-        duration_ms = event.get("dur", 0) / 1000.0
-        entry["count"] += 1
-        entry["total_ms"] = round(entry["total_ms"] + duration_ms, 3)
-        entry["max_ms"] = round(max(entry["max_ms"], duration_ms), 3)
+    phases: Dict[str, dict] = {}
+    for name, values in durations.items():
+        values.sort()
+        phases[name] = {
+            "count": len(values),
+            "total_ms": round(sum(values), 3),
+            "max_ms": round(values[-1], 3),
+            "p50_ms": round(_nearest_rank(values, 50.0), 3),
+            "p95_ms": round(_nearest_rank(values, 95.0), 3),
+            "p99_ms": round(_nearest_rank(values, 99.0), 3),
+        }
     return phases
 
 
@@ -129,6 +150,7 @@ class ManifestBuilder:
         self.started_at_unix = time.time()
         self._started = time.perf_counter()
         self._before = self._registry.snapshot()
+        self._log_mark = len(log_ring())
         self._cells: List[dict] = []
         self.meta: Dict[str, object] = {}
 
@@ -223,6 +245,11 @@ class ManifestBuilder:
             },
             "phase_times": phase_times(events),
             "metrics_delta": delta,
+            # Structured-log records emitted during this run (bounded;
+            # the ring may have wrapped under heavy logging).
+            "log": log_ring().tail(
+                min(max(0, len(log_ring()) - self._log_mark), 100)
+            ),
             "meta": dict(self.meta),
         }
 
@@ -293,8 +320,45 @@ def summarize(manifest: dict, top: int = 10) -> str:
             phases.items(), key=lambda item: item[1].get("total_ms", 0.0), reverse=True
         )
         for name, entry in ordered:
-            lines.append(
+            line = (
                 f"  {entry.get('total_ms', 0.0):10.2f} ms  {name:20s} "
-                f"x{entry.get('count', 0)}  (max {entry.get('max_ms', 0.0):.2f} ms)"
+                f"x{entry.get('count', 0)}  (max {entry.get('max_ms', 0.0):.2f} ms"
             )
+            if "p95_ms" in entry:
+                line += (
+                    f", p50 {entry.get('p50_ms', 0.0):.2f}"
+                    f", p95 {entry.get('p95_ms', 0.0):.2f}"
+                    f", p99 {entry.get('p99_ms', 0.0):.2f}"
+                )
+            lines.append(line + ")")
     return "\n".join(lines)
+
+
+def summarize_json(manifest: dict, top: int = 10) -> dict:
+    """Machine-readable digest mirroring :func:`summarize`'s text.
+
+    Same selection logic (top-k slowest cells, phases ordered by total
+    time) but structured, for piping ``repro obs summarize --format
+    json`` into jq or a dashboard.
+    """
+    cells = sorted(
+        manifest.get("cells", ()), key=lambda c: c.get("wall_time_s", 0.0), reverse=True
+    )
+    phases = manifest.get("phase_times", {})
+    return {
+        "command": manifest.get("command"),
+        "git_sha": manifest.get("git_sha"),
+        "cells": manifest.get("grid", {}).get("cells", 0),
+        "wall_time_s": manifest.get("wall_time_s", 0.0),
+        "outcomes": dict(manifest.get("outcomes", {})),
+        "store_io": dict(manifest.get("store_io", {})),
+        "slowest_cells": cells[:top],
+        "phase_times": {
+            name: dict(entry)
+            for name, entry in sorted(
+                phases.items(),
+                key=lambda item: item[1].get("total_ms", 0.0),
+                reverse=True,
+            )
+        },
+    }

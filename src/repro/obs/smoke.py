@@ -1,17 +1,29 @@
-"""The ``make obs-smoke`` gate: one traced sweep, artifacts validated.
+"""The ``make obs-smoke`` gate: traced sweeps validated end to end.
 
-Mirrors ``repro.service.smoke``: drive the real CLI end to end —
-``repro sweep --jobs 2 --trace-store ... --trace-out ... --manifest
-...`` — then hold the artifacts to the contracts docs/observability.md
-promises:
+Two phases, both driving real entry points:
+
+**Phase 1 — CLI sweep.** ``repro sweep --jobs 2 --trace-store ...
+--trace-out ... --manifest ...`` then hold the artifacts to the
+contracts docs/observability.md promises:
 
 * the trace file is schema-valid Chrome trace-event JSON
   (:func:`repro.obs.spans.validate_chrome_events`) and contains exactly
   one ``cell`` span per executed grid cell, from more than one process;
+* every cell span carries the invocation's single run-level
+  ``trace_id`` and the trace includes matching Perfetto flow events;
 * the manifest's outcome counts (store hits + store misses +
   analytically pruned + skipped) sum to the grid size, and every cell
   record carries a wall time and worker id;
-* ``repro obs summarize`` renders it without error.
+* ``repro obs summarize`` renders it (text and ``--format json``).
+
+**Phase 2 — fleet propagation.** Boot 1 frontend + 2 worker
+subprocesses, all with ``--trace``; run one sweep; then assert from the
+outside that the request's ``trace_id`` (returned in the response meta)
+appears on ``cell`` spans from at least two distinct pids in the
+frontend's merged ``GET /v1/trace`` timeline, connected by schema-valid
+flow events; that ``GET /v1/debug`` answers with queue depth,
+percentiles and per-worker state; and that ``repro top --once`` renders
+a snapshot against the live fleet.
 
 Exits 0 on success, 1 with a diagnostic on the first violated contract.
 """
@@ -19,18 +31,26 @@ Exits 0 on success, 1 with a diagnostic on the first violated contract.
 from __future__ import annotations
 
 import json
+import signal
 import sys
 import tempfile
 from pathlib import Path
 
+import asyncio
+
 from repro.cli import main as cli_main
+from repro.fleet.smoke import _read_address, _spawn, _wait_for_workers
 from repro.obs.manifest import load_manifest
 from repro.obs.spans import validate_chrome_events
+from repro.service.client import ServiceClient, arequest
 
 WORKLOADS = ("sweep", "stride")
 N_STREAMS = (1, 2, 4)
 SCALE = 0.25
 JOBS = 2
+
+FLEET_WORKLOADS = ("sweep", "stride", "interleaved", "random")
+FLEET_SEED_ROUNDS = 7
 
 
 def fail(message: str) -> int:
@@ -39,8 +59,8 @@ def fail(message: str) -> int:
     return 1
 
 
-def main() -> int:
-    """Run the traced sweep and validate its artifacts; exit code."""
+def check_cli_sweep() -> int:
+    """Phase 1: the traced CLI sweep and its artifacts; 0 on success."""
     cells = len(WORKLOADS) * len(N_STREAMS)
     with tempfile.TemporaryDirectory(prefix="repro-obs-smoke-") as tmp:
         tmp_path = Path(tmp)
@@ -72,6 +92,14 @@ def main() -> int:
         pids = {e["pid"] for e in cell_spans}
         if JOBS > 1 and len(pids) < 2:
             return fail(f"cell spans came from one process ({pids}) despite jobs={JOBS}")
+        trace_ids = {e.get("args", {}).get("trace_id") for e in cell_spans}
+        if len(trace_ids) != 1 or None in trace_ids:
+            return fail(
+                f"cell spans should share one run-level trace_id, got {trace_ids}"
+            )
+        flows = [e for e in events if e.get("ph") in ("s", "f")]
+        if JOBS > 1 and not flows:
+            return fail("multi-process trace carries no flow events")
 
         manifests = sorted(manifest_dir.glob("run-*.json"))
         if len(manifests) != 1:
@@ -89,14 +117,165 @@ def main() -> int:
         for cell in manifest["cells"]:
             if cell["wall_time_s"] <= 0 or cell["worker"] <= 0:
                 return fail(f"cell without wall time / worker id: {cell}")
+        phases = manifest["phase_times"]
+        if "cell" not in phases or "p95_ms" not in phases["cell"]:
+            return fail(f"phase_times lack percentiles: {phases.get('cell')}")
 
         if cli_main(["obs", "summarize", str(manifests[0]), "--top", "3"]) != 0:
             return fail("obs summarize exited nonzero")
+        if cli_main(
+            ["obs", "summarize", str(manifests[0]), "--format", "json"]
+        ) != 0:
+            return fail("obs summarize --format json exited nonzero")
 
     print(
-        f"obs-smoke PASS: {cells} cells, {len(cell_spans)} cell spans "
-        f"across {len(pids)} processes, manifest outcomes consistent"
+        f"obs-smoke phase 1 OK: {cells} cells, {len(cell_spans)} cell spans "
+        f"across {len(pids)} processes sharing trace {trace_ids.pop()}, "
+        "manifest outcomes consistent"
     )
+    return 0
+
+
+def _fleet_sweep(host: str, port: int, seed: int):
+    payload = {
+        "workloads": list(FLEET_WORKLOADS),
+        "n_streams": [1],
+        "scale": SCALE,
+        "seed": seed,
+        "timeout_s": 300,
+    }
+    return asyncio.run(arequest(host, port, "POST", "/v1/sweep", payload, timeout=360))
+
+
+def check_fleet_propagation() -> int:
+    """Phase 2: traced subprocess fleet + debug surface; 0 on success."""
+    procs = []
+    with tempfile.TemporaryDirectory(prefix="repro-obs-fleet-") as root:
+        try:
+            frontend = _spawn(["--trace", "--trace-store", f"{root}/front"])
+            procs.append(frontend)
+            host, port = _read_address(frontend)
+            frontend_url = f"http://{host}:{port}"
+            for i in range(2):
+                worker = _spawn(
+                    [
+                        "--worker",
+                        "--trace",
+                        "--trace-store",
+                        f"{root}/w{i}",
+                        "--register",
+                        frontend_url,
+                    ]
+                )
+                procs.append(worker)
+                _read_address(worker)
+            client = ServiceClient(host, port, timeout=120.0)
+            _wait_for_workers(client, want=2)
+
+            # Rendezvous sharding may land one seed's traces on a single
+            # worker; shift seeds until one request's cells span >= 2 pids.
+            propagated = None
+            for seed in range(FLEET_SEED_ROUNDS):
+                status, body = _fleet_sweep(host, port, seed)
+                if status != 200 or not body.get("ok") or body.get("errors"):
+                    return fail(f"fleet sweep failed: {status} {body}")
+                trace_id = body.get("meta", {}).get("trace_id")
+                if not trace_id:
+                    return fail(f"sweep response meta lacks trace_id: {body.get('meta')}")
+                status, document = client.request("GET", "/v1/trace")
+                if status != 200:
+                    return fail(f"GET /v1/trace returned {status}")
+                events = document["traceEvents"]
+                try:
+                    validate_chrome_events(events)
+                except ValueError as exc:
+                    return fail(f"/v1/trace schema: {exc}")
+                spans = [
+                    e
+                    for e in events
+                    if e.get("ph") == "X"
+                    and e.get("args", {}).get("trace_id") == trace_id
+                ]
+                cell_pids = {e["pid"] for e in spans if e.get("name") == "cell"}
+                names = {e.get("name") for e in spans}
+                flows = [
+                    e
+                    for e in events
+                    if e.get("ph") in ("s", "f")
+                    and str(e.get("id", "")).startswith(trace_id)
+                ]
+                if len(cell_pids) >= 2:
+                    propagated = (trace_id, spans, cell_pids, names, flows)
+                    break
+            if propagated is None:
+                return fail(
+                    f"no request spanned >= 2 worker pids in "
+                    f"{FLEET_SEED_ROUNDS} seed rounds"
+                )
+            trace_id, spans, cell_pids, names, flows = propagated
+            if "request.admit" not in names:
+                return fail(f"trace {trace_id} lacks the frontend admission span: {names}")
+            if not flows:
+                return fail(f"trace {trace_id} spans {len(cell_pids)} pids but has no flow events")
+
+            snap = client.debug()
+            queue = snap.get("queue", {})
+            if "depth" not in queue or "limit" not in queue:
+                return fail(f"/v1/debug queue malformed: {queue}")
+            if snap.get("latency_ms", {}).get("count", 0) < 1:
+                return fail(f"/v1/debug latency empty: {snap.get('latency_ms')}")
+            if snap.get("counters", {}).get("requests", 0) < 1:
+                return fail(f"/v1/debug counters empty: {snap.get('counters')}")
+            workers = snap.get("fleet", {}).get("workers", [])
+            if len(workers) != 2:
+                return fail(f"/v1/debug fleet lists {len(workers)} workers, want 2")
+            if not isinstance(snap.get("log"), list):
+                return fail(f"/v1/debug log is not a list: {type(snap.get('log'))}")
+
+            if cli_main(["top", "--once", "--url", frontend_url]) != 0:
+                return fail("repro top --once exited nonzero")
+
+            for proc in procs:
+                proc.send_signal(signal.SIGINT)
+            for proc in procs:
+                rc = proc.wait(timeout=30)
+                if rc != 0:
+                    return fail(f"process exited {rc} on SIGINT (want 0)")
+            print(
+                f"obs-smoke phase 2 OK: trace {trace_id} spans pids "
+                f"{sorted(cell_pids)} with {len(flows)} flow events; "
+                "/v1/debug and repro top healthy; clean shutdown"
+            )
+            return 0
+        except Exception as exc:
+            print(f"obs-smoke FAIL: {exc}", file=sys.stderr)
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                assert proc.stdout is not None
+                tail = proc.stdout.read() or ""
+                if tail:
+                    print(
+                        f"--- output of pid {proc.pid} ---\n" + tail[-3000:],
+                        file=sys.stderr,
+                    )
+            return 1
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+
+def main() -> int:
+    """Run both phases; exit code 0 only when both hold."""
+    rc = check_cli_sweep()
+    if rc != 0:
+        return rc
+    rc = check_fleet_propagation()
+    if rc != 0:
+        return rc
+    print("obs-smoke PASS")
     return 0
 
 

@@ -21,12 +21,21 @@ Design constraints, in order:
    ``perf_counter`` is CLOCK_MONOTONIC-based on Linux so timestamps
    from processes on one machine share a timebase.
 3. **Dependency-free.**  Plain dicts and ``json``; nothing here
-   imports the rest of ``repro``.
+   imports the rest of ``repro`` beyond the stdlib-only trace context
+   (:mod:`repro.obs.context`).
 
 Span naming convention (see docs/observability.md): dotted
 ``layer.operation`` — ``grid.run``, ``grid.chunk``, ``cell``,
 ``l1.simulate``, ``stream.replay``, ``store.load_trace``,
-``analytic.profile``, ``l2.probe`` …
+``analytic.profile``, ``l2.probe``, ``request.admit``,
+``fleet.dispatch``, ``coalesce.join`` …
+
+When a trace id is bound (:func:`repro.obs.context.trace_scope`),
+every recorded span is tagged with ``args.trace_id``; at export time
+:func:`flow_events` derives Chrome flow (``"s"``/``"f"``) arrows that
+connect each trace's root span to its first span on every other
+``(pid, tid)``, rendering one causally-linked timeline across the
+frontend and all workers in Perfetto.
 """
 
 from __future__ import annotations
@@ -39,12 +48,15 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Union
 
+from repro.obs.context import current_trace_id
+
 __all__ = [
     "Tracer",
     "get_tracer",
     "set_tracing",
     "traced",
     "chrome_trace",
+    "flow_events",
     "write_chrome_trace",
     "validate_chrome_events",
 ]
@@ -111,6 +123,10 @@ class Tracer:
     def _record(
         self, name: str, start_ns: int, end_ns: int, args: Optional[dict]
     ) -> None:
+        trace_id = current_trace_id()
+        if trace_id is not None and (args is None or "trace_id" not in args):
+            args = dict(args or {})
+            args["trace_id"] = trace_id
         event = {
             "name": name,
             "ph": "X",
@@ -190,14 +206,79 @@ def traced(name: str) -> Callable:
 # -- Chrome trace-event export ----------------------------------------------
 
 
+def flow_events(events: Iterable[dict]) -> List[dict]:
+    """Derive Chrome flow (``"s"``/``"f"``) arrows from trace-tagged spans.
+
+    Spans sharing an ``args.trace_id`` form one trace.  For each trace
+    spanning more than one ``(pid, tid)``, the earliest-starting span is
+    taken as the root (frontend admission, in the service) and one
+    ``"s"``→``"f"`` arrow pair is emitted from the root to the first
+    span on every other thread, so Perfetto draws the causal fan-out
+    from the request to each worker that executed part of it.
+    """
+    by_trace: Dict[str, List[dict]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        trace_id = (event.get("args") or {}).get("trace_id")
+        if trace_id:
+            by_trace.setdefault(str(trace_id), []).append(event)
+    flows: List[dict] = []
+    sequence = 0
+    for trace_id in sorted(by_trace):
+        spans = sorted(by_trace[trace_id], key=lambda e: e["ts"])
+        root = spans[0]
+        root_thread = (root["pid"], root["tid"])
+        entries: Dict[tuple, dict] = {}
+        for span in spans:
+            entries.setdefault((span["pid"], span["tid"]), span)
+        for thread, entry in entries.items():
+            if thread == root_thread:
+                continue
+            sequence += 1
+            flow_id = f"{trace_id}:{sequence}"
+            flows.append(
+                {
+                    "name": "trace",
+                    "cat": "trace",
+                    "ph": "s",
+                    "id": flow_id,
+                    "ts": root["ts"],
+                    "pid": root["pid"],
+                    "tid": root["tid"],
+                    "args": {"trace_id": trace_id},
+                }
+            )
+            flows.append(
+                {
+                    "name": "trace",
+                    "cat": "trace",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    # Clamp: worker clocks share a timebase on one machine,
+                    # but never let an arrow point backwards in the file.
+                    "ts": max(entry["ts"], root["ts"]),
+                    "pid": entry["pid"],
+                    "tid": entry["tid"],
+                    "args": {"trace_id": trace_id},
+                }
+            )
+    return flows
+
+
 def chrome_trace(
-    events: Iterable[dict], process_labels: Optional[Dict[int, str]] = None
+    events: Iterable[dict],
+    process_labels: Optional[Dict[int, str]] = None,
+    flows: bool = True,
 ) -> dict:
     """Wrap span events as a Chrome trace-event JSON object.
 
     Adds ``process_name`` metadata records so Perfetto's track headers
     read ``parent`` / ``worker-<pid>`` instead of bare pids;
-    ``process_labels`` overrides those names per pid.
+    ``process_labels`` overrides those names per pid.  Unless ``flows``
+    is False, cross-thread flow arrows derived by :func:`flow_events`
+    are appended for every trace-tagged span group.
     """
     events = list(events)
     labels = dict(process_labels or {})
@@ -216,7 +297,8 @@ def chrome_trace(
                 "args": {"name": name},
             }
         )
-    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+    arrows = flow_events(events) if flows else []
+    return {"traceEvents": metadata + events + arrows, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(
@@ -235,19 +317,37 @@ def validate_chrome_events(events: Iterable[dict]) -> None:
     """Assert the trace-event schema this module promises.
 
     Checks every event for the required ``ph``/``ts``/``pid``/``tid``/
-    ``name`` keys and non-negative times, and that within each
-    ``(pid, tid)`` the ``"X"`` events appear in completion order
-    (non-decreasing ``ts + dur`` — spans are recorded as they finish).
-    Raises ``ValueError`` on the first defect; tests and the obs-smoke
-    gate call this on real trace files.
+    ``name`` keys and non-negative times, that within each ``(pid, tid)``
+    the ``"X"`` events appear in completion order (non-decreasing
+    ``ts + dur`` — spans are recorded as they finish), and that flow
+    events pair up: every ``"s"``/``"f"`` carries ``id`` and ``cat``,
+    each flow id has exactly one start and one finish, and the finish
+    does not precede the start.  Raises ``ValueError`` on the first
+    defect; tests and the obs-smoke gate call this on real trace files.
     """
     last_end: Dict[tuple, int] = {}
+    flow_starts: Dict[str, dict] = {}
+    flow_finishes: Dict[str, dict] = {}
     for i, event in enumerate(events):
         for key in ("ph", "ts", "pid", "tid", "name"):
             if key not in event:
                 raise ValueError(f"event {i} missing required key {key!r}: {event}")
         if event["ts"] < 0:
             raise ValueError(f"event {i} has negative ts: {event}")
+        if event["ph"] in ("s", "f"):
+            for key in ("id", "cat"):
+                if key not in event:
+                    raise ValueError(
+                        f"flow event {i} missing required key {key!r}: {event}"
+                    )
+            side = flow_starts if event["ph"] == "s" else flow_finishes
+            if event["id"] in side:
+                raise ValueError(
+                    f"flow event {i} duplicates {event['ph']!r} for id "
+                    f"{event['id']!r}: {event}"
+                )
+            side[event["id"]] = event
+            continue
         if event["ph"] != "X":
             continue
         if event.get("dur", 0) < 0:
@@ -259,3 +359,15 @@ def validate_chrome_events(events: Iterable[dict]) -> None:
                 f"event {i} out of completion order on thread {thread}: {event}"
             )
         last_end[thread] = end
+    for flow_id, start in flow_starts.items():
+        finish = flow_finishes.get(flow_id)
+        if finish is None:
+            raise ValueError(f"flow id {flow_id!r} has a start but no finish")
+        if finish["ts"] < start["ts"]:
+            raise ValueError(
+                f"flow id {flow_id!r} finishes (ts={finish['ts']}) before it "
+                f"starts (ts={start['ts']})"
+            )
+    for flow_id in flow_finishes:
+        if flow_id not in flow_starts:
+            raise ValueError(f"flow id {flow_id!r} has a finish but no start")

@@ -113,6 +113,11 @@ class CellSpec:
     ``config`` is a :class:`StreamConfig` for stream cells or a
     :class:`~repro.mechanisms.MechanismConfig` for mechanism-zoo cells;
     the sweep engine dispatches on the type (see repro.sim.parallel).
+
+    ``trace_id`` is the request trace the cell executes under.  The
+    frontend stamps it at admission; over the fleet chunk wire it rides
+    as an **optional** per-cell field, so old workers (which build cells
+    with ``raw.get``) and old clients are unaffected.
     """
 
     key: Tuple
@@ -120,6 +125,7 @@ class CellSpec:
     config: "StreamConfig | MechanismConfig"
     scale: float = 1.0
     seed: int = 0
+    trace_id: Optional[str] = None
 
     def task(self) -> SweepTask:
         return SweepTask(
@@ -128,6 +134,7 @@ class CellSpec:
             config=self.config,
             scale=self.scale,
             seed=self.seed,
+            trace_id=self.trace_id,
         )
 
 
@@ -421,6 +428,9 @@ def parse_chunk_request(payload) -> ChunkRequest:
             config = mechanism_from_payload(raw["mechanism"])
         else:
             config = config_from_payload(raw.get("config"))
+        trace_id = raw.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise ValidationError(f"trace_id must be a string, got {trace_id!r}")
         cells.append(
             CellSpec(
                 key=key_from_json(raw.get("key", [workload])),
@@ -428,6 +438,7 @@ def parse_chunk_request(payload) -> ChunkRequest:
                 config=config,
                 scale=_parse_scale(raw),
                 seed=_parse_seed(raw),
+                trace_id=trace_id,
             )
         )
     blob_origin = payload.get("blob_origin")
@@ -506,6 +517,7 @@ def encode_cell_result(cell: CellSpec, result: RunResult) -> dict:
         "wall_time_s": result.wall_time_s,
         "worker": result.worker,
         "source": result.source,
+        "trace_id": result.trace_id,
     }
     if isinstance(result.streams, MechStats):
         body["mech"] = mech_stats_to_dict(result.streams)
@@ -541,6 +553,7 @@ def decode_cell_result(payload: dict) -> RunResult:
         wall_time_s=float(payload.get("wall_time_s", 0.0)),
         worker=int(payload.get("worker", 0)),
         source=str(payload.get("source", "")),
+        trace_id=str(payload.get("trace_id", "")),
     )
 
 
@@ -558,6 +571,7 @@ def decode_task_error(payload: dict) -> TaskError:
         details=str(payload.get("traceback", "")),
         wall_time_s=float(payload.get("wall_time_s", 0.0)),
         worker=int(payload.get("worker", 0)),
+        trace_id=str(payload.get("trace_id", "")),
     )
 
 

@@ -46,6 +46,10 @@ class MicroBatcher:
             batch arrived (the "linger"); 0 flushes whatever a single
             loop iteration can drain without sleeping.
         on_flush: called with the batch size at every flush (metrics).
+        on_wait: called with each flushed cell's queue wait in seconds
+            (submit → flush start); this is the real "time spent queued"
+            a request sees, dominated by the linger window plus any
+            flush already in progress.
     """
 
     def __init__(
@@ -54,6 +58,7 @@ class MicroBatcher:
         max_batch: int = 32,
         window_s: float = 0.002,
         on_flush: Optional[Callable[[int], None]] = None,
+        on_wait: Optional[Callable[[float], None]] = None,
     ):
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -63,9 +68,17 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.window_s = window_s
         self._on_flush = on_flush
-        self._queue: "asyncio.Queue[Tuple[SweepTask, asyncio.Future]]" = asyncio.Queue()
+        self._on_wait = on_wait
+        self._queue: "asyncio.Queue[Tuple[SweepTask, asyncio.Future, float]]" = (
+            asyncio.Queue()
+        )
         self._consumer: Optional[asyncio.Task] = None
         self._closed = False
+
+    @property
+    def pending(self) -> int:
+        """Cells submitted but not yet flushed (live queue depth)."""
+        return self._queue.qsize()
 
     async def start(self) -> None:
         if self._consumer is None:
@@ -83,7 +96,7 @@ class MicroBatcher:
                 pass
             self._consumer = None
         while not self._queue.empty():
-            _, future = self._queue.get_nowait()
+            _, future, _ = self._queue.get_nowait()
             if not future.done():
                 future.cancel()
 
@@ -91,8 +104,9 @@ class MicroBatcher:
         """Enqueue one cell; the returned future resolves at flush."""
         if self._closed or self._consumer is None:
             raise RuntimeError("batcher is not running (call start() first)")
-        future: "asyncio.Future[CellResult]" = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((task, future))
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[CellResult]" = loop.create_future()
+        self._queue.put_nowait((task, future, loop.time()))
         return future
 
     async def _consume(self) -> None:
@@ -115,13 +129,18 @@ class MicroBatcher:
             await self._flush(batch)
 
     async def _flush(
-        self, batch: List[Tuple[SweepTask, "asyncio.Future[CellResult]"]]
+        self, batch: List[Tuple[SweepTask, "asyncio.Future[CellResult]", float]]
     ) -> None:
-        live = [(task, fut) for task, fut in batch if not fut.done()]
+        live = [(task, fut) for task, fut, _ in batch if not fut.done()]
         if not live:
             return
         if self._on_flush is not None:
             self._on_flush(len(live))
+        if self._on_wait is not None:
+            now = asyncio.get_running_loop().time()
+            for _, fut, submitted in batch:
+                if not fut.done():
+                    self._on_wait(max(0.0, now - submitted))
         tasks = [task for task, _ in live]
         try:
             results = await self._run_batch(tasks)

@@ -239,6 +239,13 @@ class ServiceClient:
     def health(self) -> Tuple[int, Any]:
         return self.request("GET", "/healthz")
 
+    def debug(self) -> dict:
+        """Fetch the live introspection snapshot (``GET /v1/debug``)."""
+        status, body = self.request("GET", "/v1/debug")
+        if status != 200:
+            raise RuntimeError(f"GET /v1/debug returned {status}")
+        return body
+
     def metrics_text(self) -> str:
         status, body = self.request("GET", "/metrics")
         if status != 200:

@@ -29,10 +29,20 @@ __all__ = ["Coalescer"]
 
 
 class Coalescer:
-    """Registry of in-flight computations keyed by result digest."""
+    """Registry of in-flight computations keyed by result digest.
+
+    Besides the future itself, each in-flight key remembers the
+    ``trace_id`` of the request that *started* the computation (the
+    owner).  Followers that join later belong to different traces; the
+    service records their join onto the owning trace
+    (``coalesce.join`` spans/log records carry both ids), which is what
+    makes a coalesced request's latency explicable from the owner's
+    timeline.
+    """
 
     def __init__(self):
         self._inflight: Dict[str, asyncio.Future] = {}
+        self._owners: Dict[str, Optional[str]] = {}
 
     def __len__(self) -> int:
         return len(self._inflight)
@@ -41,8 +51,15 @@ class Coalescer:
         """The in-flight future for ``key``, if any (a coalesce hit)."""
         return self._inflight.get(key)
 
+    def owner_trace(self, key: str) -> Optional[str]:
+        """Trace id of the request that started ``key``'s computation."""
+        return self._owners.get(key)
+
     def admit(
-        self, key: str, factory: Callable[[], "asyncio.Future"]
+        self,
+        key: str,
+        factory: Callable[[], "asyncio.Future"],
+        trace_id: Optional[str] = None,
     ) -> "tuple[asyncio.Future, bool]":
         """Attach to ``key``'s in-flight future, creating it if absent.
 
@@ -51,6 +68,8 @@ class Coalescer:
             factory: called (synchronously) to start the computation when
                 this is the first request for ``key``; must return a
                 future/task.
+            trace_id: the admitting request's trace; recorded as the
+                key's owner when the computation is started here.
 
         Returns:
             ``(future, coalesced)`` — ``coalesced`` is True when an
@@ -61,5 +80,11 @@ class Coalescer:
             return existing, True
         future = factory()
         self._inflight[key] = future
-        future.add_done_callback(lambda _done, _key=key: self._inflight.pop(_key, None))
+        self._owners[key] = trace_id
+
+        def _done(_done_future, _key=key):
+            self._inflight.pop(_key, None)
+            self._owners.pop(_key, None)
+
+        future.add_done_callback(_done)
         return future, False

@@ -19,6 +19,7 @@ oblivion.  Two pieces:
 
 from __future__ import annotations
 
+import time
 from contextlib import asynccontextmanager
 from typing import Awaitable, Callable, Optional, TypeVar
 
@@ -61,14 +62,26 @@ class AdmissionQueue:
         limit: maximum concurrently admitted requests.
         on_depth: called with the new depth after every change (the
             service wires the queue-depth gauge here).
+        on_wait: called with the seconds a request spent waiting for
+            admission inside :meth:`slot` (the service wires the
+            admission-wait histogram here).  Admission is currently
+            synchronous — reject, never queue — so the observed wait is
+            ~0; the hook keeps the percentile honest if admission ever
+            learns to wait.
     """
 
-    def __init__(self, limit: int, on_depth: Optional[Callable[[int], None]] = None):
+    def __init__(
+        self,
+        limit: int,
+        on_depth: Optional[Callable[[int], None]] = None,
+        on_wait: Optional[Callable[[float], None]] = None,
+    ):
         if limit <= 0:
             raise ValueError(f"limit must be positive, got {limit}")
         self.limit = limit
         self._depth = 0
         self._on_depth = on_depth
+        self._on_wait = on_wait
 
     @property
     def depth(self) -> int:
@@ -91,7 +104,12 @@ class AdmissionQueue:
     @asynccontextmanager
     async def slot(self):
         """``async with queue.slot():`` — admission for one request."""
-        self.acquire()
+        if self._on_wait is not None:
+            started = time.perf_counter()
+            self.acquire()
+            self._on_wait(time.perf_counter() - started)
+        else:
+            self.acquire()
         try:
             yield self
         finally:

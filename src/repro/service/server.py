@@ -40,6 +40,7 @@ interesting machinery is behind it, not in it.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import time
@@ -53,14 +54,17 @@ import asyncio
 from repro.caches.cache import CacheConfig
 from repro.reporting.experiments import EXHIBITS, SWEEP_EXHIBITS
 from repro.service import api
+from repro.obs.context import bind_trace, current_trace_id, new_trace_id, trace_scope
+from repro.obs.log import get_logger, log_ring
 from repro.obs.metrics import (
+    Histogram,
     MetricsRegistry,
     engine_registry,
     merge_snapshots,
     render_snapshot_text,
     strip_samples,
 )
-from repro.obs.spans import get_tracer
+from repro.obs.spans import chrome_trace, get_tracer
 from repro.service.batcher import MicroBatcher
 from repro.service.coalesce import Coalescer
 from repro.service.queue import (
@@ -207,6 +211,13 @@ class SimulationService:
         self._g_queue_depth = m.gauge("queue_depth", "admitted requests in flight")
         self._h_latency = m.histogram("request_latency_ms", "request wall time, ms")
         self._h_batch = m.histogram("batch_cells", "cells per flushed batch")
+        self._h_queue_wait = m.histogram(
+            "queue_wait_ms", "cell wait from batcher submit to flush, ms"
+        )
+        self._h_admission_wait = m.histogram(
+            "admission_wait_ms", "request wait for an admission slot, ms"
+        )
+        self._h_endpoints: Dict[str, Histogram] = {}
         # Store/runner hook events surface as counters named after them.
         self._hook_counters = {
             event: m.counter(f"store_{event}_total", f"TraceStore {event} events")
@@ -236,7 +247,11 @@ class SimulationService:
             store=self.store,
             hooks=self._on_cache_event,
         )
-        self.queue = AdmissionQueue(config.max_queue, on_depth=self._g_queue_depth.set)
+        self.queue = AdmissionQueue(
+            config.max_queue,
+            on_depth=self._g_queue_depth.set,
+            on_wait=lambda s: self._h_admission_wait.observe(1000 * s),
+        )
         self.coalescer = Coalescer()
         self._results = _LRU(config.result_cache_entries)
         self._summaries = _LRU(4096)  # trace digest -> L1Summary
@@ -246,7 +261,10 @@ class SimulationService:
             max_batch=config.max_batch,
             window_s=config.batch_window_s,
             on_flush=self._on_flush,
+            on_wait=lambda s: self._h_queue_wait.observe(1000 * s),
         )
+        self._log = get_logger("service")
+        self._started_unix = time.time()
         # The fleet tier: workers execute chunks themselves and never
         # re-dispatch, so only non-workers get a dispatcher.  Imported
         # here, not at module top: repro.fleet speaks the service wire
@@ -387,13 +405,42 @@ class SimulationService:
         future, coalesced = self.coalescer.admit(
             digest,
             lambda: asyncio.ensure_future(self._compute_cell(cell, tkey, digest)),
+            trace_id=cell.trace_id or current_trace_id(),
         )
         if coalesced:
             self._c_coalesce.inc()
+            self._record_join(cell, digest)
         # Shield: this waiter's deadline/cancellation must not kill the
         # shared computation other waiters are attached to.
         result = await asyncio.shield(future)
         return cell, result
+
+    def _record_join(self, cell: api.CellSpec, digest: str) -> None:
+        """Record a coalesced follower onto the owning request's trace.
+
+        The join is written as a zero-duration ``coalesce.join`` span on
+        the *owner's* trace (plus a debug log record), carrying the
+        follower's trace id — so the owner's timeline shows exactly who
+        piggybacked on its computation, and a coalesced request's
+        latency is explicable from the owner's spans.
+        """
+        owner = self.coalescer.owner_trace(digest)
+        follower = cell.trace_id or current_trace_id()
+        tracer = get_tracer()
+        if tracer.enabled and owner is not None:
+            with bind_trace(owner):
+                with tracer.span(
+                    "coalesce.join",
+                    key=str(cell.key),
+                    follower_trace=follower or "",
+                ):
+                    pass
+        self._log.debug(
+            "coalesce.join",
+            key=api._json_key(cell.key),
+            owner_trace=owner,
+            follower_trace=follower,
+        )
 
     # -- request handlers --------------------------------------------------
 
@@ -401,26 +448,58 @@ class SimulationService:
         timeout = requested if requested is not None else self.config.default_timeout_s
         return min(timeout, self.config.max_timeout_s)
 
+    def _endpoint_latency(self, kind: str) -> "Histogram":
+        histogram = self._h_endpoints.get(kind)
+        if histogram is None:
+            histogram = self.metrics.histogram(
+                f"endpoint_{kind}_latency_ms", f"{kind} request wall time, ms"
+            )
+            self._h_endpoints[kind] = histogram
+        return histogram
+
     async def handle_cells(self, request: api.CellsRequest) -> dict:
-        """Serve a validated run/sweep request; returns the response body."""
+        """Serve a validated run/sweep request; returns the response body.
+
+        A fresh ``trace_id`` is minted here — admission is where a
+        request becomes work — bound for the whole handling extent and
+        stamped onto every cell, so frontend spans, coalescer joins,
+        chunk dispatches and worker replays all tag the same trace.
+        """
         self._c_requests.inc()
         self._c_cells_requested.inc(len(request.cells))
         timeout = self._clamp_timeout(request.timeout_s)
         started = time.perf_counter()
-        try:
-            async with self.queue.slot():
-                pairs = await with_deadline(
-                    asyncio.gather(*(self._one_cell(cell) for cell in request.cells)),
-                    timeout,
+        with trace_scope(new_trace_id()) as trace_id:
+            cells = tuple(
+                dataclasses.replace(cell, trace_id=trace_id)
+                for cell in request.cells
+            )
+            self._log.info(
+                "request.admit", endpoint=request.kind, cells=len(cells)
+            )
+            try:
+                with get_tracer().span(
+                    "request.admit", endpoint=request.kind, cells=len(cells)
+                ):
+                    async with self.queue.slot():
+                        pairs = await with_deadline(
+                            asyncio.gather(*(self._one_cell(cell) for cell in cells)),
+                            timeout,
+                        )
+            except QueueFullError:
+                self._c_rejected.inc()
+                self._log.warning("request.reject", endpoint=request.kind)
+                raise
+            except DeadlineExceeded:
+                self._c_timeouts.inc()
+                self._log.warning(
+                    "request.timeout", endpoint=request.kind, timeout_s=timeout
                 )
-        except QueueFullError:
-            self._c_rejected.inc()
-            raise
-        except DeadlineExceeded:
-            self._c_timeouts.inc()
-            raise
-        finally:
-            self._h_latency.observe(1000 * (time.perf_counter() - started))
+                raise
+            finally:
+                elapsed_ms = 1000 * (time.perf_counter() - started)
+                self._h_latency.observe(elapsed_ms)
+                self._endpoint_latency(request.kind).observe(elapsed_ms)
         results = [
             api.encode_cell_result(cell, result)
             for cell, result in pairs
@@ -433,6 +512,14 @@ class SimulationService:
         ]
         if errors:
             self._c_cell_errors.inc(len(errors))
+        self._log.info(
+            "request.done",
+            endpoint=request.kind,
+            trace_id=trace_id,
+            cells=len(cells),
+            failed=len(errors),
+            elapsed_ms=round(1000 * (time.perf_counter() - started), 3),
+        )
         return api.ok_envelope(
             request.kind,
             results=results,
@@ -440,6 +527,7 @@ class SimulationService:
             meta={
                 "cells": len(request.cells),
                 "failed": len(errors),
+                "trace_id": trace_id,
                 "elapsed_ms": round(1000 * (time.perf_counter() - started), 3),
             },
         )
@@ -449,24 +537,36 @@ class SimulationService:
         self._c_requests.inc()
         timeout = self._clamp_timeout(request.timeout_s)
         started = time.perf_counter()
-        try:
-            async with self.queue.slot():
-                rendered = await with_deadline(
-                    asyncio.to_thread(self._run_exhibit, request), timeout
+        with trace_scope(new_trace_id()) as trace_id:
+            self._log.info("request.admit", endpoint="exhibit", name=request.name)
+            try:
+                with get_tracer().span("request.admit", endpoint="exhibit"):
+                    async with self.queue.slot():
+                        rendered = await with_deadline(
+                            asyncio.to_thread(self._run_exhibit, request), timeout
+                        )
+            except QueueFullError:
+                self._c_rejected.inc()
+                self._log.warning("request.reject", endpoint="exhibit")
+                raise
+            except DeadlineExceeded:
+                self._c_timeouts.inc()
+                self._log.warning(
+                    "request.timeout", endpoint="exhibit", timeout_s=timeout
                 )
-        except QueueFullError:
-            self._c_rejected.inc()
-            raise
-        except DeadlineExceeded:
-            self._c_timeouts.inc()
-            raise
-        finally:
-            self._h_latency.observe(1000 * (time.perf_counter() - started))
+                raise
+            finally:
+                elapsed_ms = 1000 * (time.perf_counter() - started)
+                self._h_latency.observe(elapsed_ms)
+                self._endpoint_latency("exhibit").observe(elapsed_ms)
         return api.ok_envelope(
             "exhibit",
             name=request.name,
             rendered=rendered,
-            meta={"elapsed_ms": round(1000 * (time.perf_counter() - started), 3)},
+            meta={
+                "trace_id": trace_id,
+                "elapsed_ms": round(1000 * (time.perf_counter() - started), 3),
+            },
         )
 
     def _run_exhibit(self, request: api.ExhibitRequest) -> str:
@@ -558,12 +658,16 @@ class SimulationService:
                 )
         except QueueFullError:
             self._c_rejected.inc()
+            self._log.warning("chunk.reject", cells=len(request.cells))
             raise
         except DeadlineExceeded:
             self._c_timeouts.inc()
+            self._log.warning("chunk.timeout", timeout_s=timeout)
             raise
         finally:
-            self._h_latency.observe(1000 * (time.perf_counter() - started))
+            elapsed_ms = 1000 * (time.perf_counter() - started)
+            self._h_latency.observe(elapsed_ms)
+            self._endpoint_latency("chunk").observe(elapsed_ms)
         encoded = []
         failed = 0
         for cell, result in zip(request.cells, results):
@@ -574,6 +678,13 @@ class SimulationService:
                 encoded.append({"ok": False, "error": api.encode_task_error(result)})
         if failed:
             self._c_cell_errors.inc(failed)
+        self._log.info(
+            "chunk.done",
+            cells=len(request.cells),
+            failed=failed,
+            traces=len({c.trace_id for c in request.cells if c.trace_id}),
+            elapsed_ms=round(1000 * (time.perf_counter() - started), 3),
+        )
         tracer = get_tracer()
         return api.ok_envelope(
             "chunk",
@@ -595,6 +706,7 @@ class SimulationService:
         if self.fleet is None:
             raise api.ValidationError("this server is a worker; it has no fleet")
         self.fleet.register(url)
+        self._log.info("fleet.register", url=url, workers=len(self.fleet))
         return api.ok_envelope(
             "register", url=url, workers=len(self.fleet)
         )
@@ -623,6 +735,70 @@ class SimulationService:
                 len(self.fleet.alive_workers()) if self.fleet is not None else 0
             ),
         }
+
+    @staticmethod
+    def _percentiles(histogram: "Histogram") -> dict:
+        return {
+            "p50": round(histogram.percentile(50.0), 3),
+            "p95": round(histogram.percentile(95.0), 3),
+            "p99": round(histogram.percentile(99.0), 3),
+            "count": histogram.count,
+        }
+
+    def debug(self, log_tail: int = 50) -> dict:
+        """Live introspection state behind ``GET /v1/debug``.
+
+        One JSON object that answers "what is this server doing right
+        now": queue depth against its limit, coalescer in-flight count
+        and cumulative hit rate, p50/p95/p99 of request latency and
+        queue waits (overall and per endpoint), per-worker in-flight
+        windows and heartbeat ages, and the tail of the structured log
+        ring.  ``repro top`` polls exactly this.
+        """
+        requested = self._c_cells_requested.value
+        coalesced = self._c_coalesce.value
+        endpoints = {
+            kind: self._percentiles(histogram)
+            for kind, histogram in sorted(self._h_endpoints.items())
+        }
+        fleet: dict = {"role": "worker" if self.config.worker else "frontend"}
+        if self.fleet is not None:
+            status = self.fleet.status()
+            fleet["workers"] = status["workers"]
+            fleet["alive"] = len(self.fleet.alive_workers())
+            fleet["chunk_ms"] = self._percentiles(self.fleet.chunk_latency)
+        return api.ok_envelope(
+            "debug",
+            pid=os.getpid(),
+            uptime_s=round(time.time() - self._started_unix, 3),
+            queue={
+                "depth": self.queue.depth,
+                "limit": self.queue.limit,
+                "batcher_pending": self._batcher.pending,
+            },
+            coalescer={
+                "inflight": len(self.coalescer),
+                "hits": coalesced,
+                "hit_rate": round(coalesced / requested, 4) if requested else 0.0,
+            },
+            latency_ms=self._percentiles(self._h_latency),
+            queue_wait_ms=self._percentiles(self._h_queue_wait),
+            admission_wait_ms=self._percentiles(self._h_admission_wait),
+            endpoints=endpoints,
+            counters={
+                "requests": self._c_requests.value,
+                "rejected": self._c_rejected.value,
+                "timeouts": self._c_timeouts.value,
+                "failures": self._c_failures.value,
+                "cells_requested": requested,
+                "cells_executed": self._c_cells_executed.value,
+                "cell_errors": self._c_cell_errors.value,
+                "result_cache_hits": self._c_result_cache.value,
+                "store_fastpath_hits": self._c_store_fast.value,
+            },
+            fleet=fleet,
+            log=log_ring().tail(log_tail),
+        )
 
 
 # -- HTTP frontend ----------------------------------------------------------
@@ -812,6 +988,19 @@ class ServiceServer:
                 elif path == "/v1/fleet/status":
                     await self._respond_json(
                         writer, 200, self.service.fleet_status(), close=close
+                    )
+                elif path == "/v1/debug":
+                    await self._respond_json(
+                        writer, 200, self.service.debug(), close=close
+                    )
+                elif path == "/v1/trace":
+                    # The merged span buffer (local + worker-shipped) as a
+                    # Perfetto-loadable document, flow arrows included.
+                    await self._respond_json(
+                        writer,
+                        200,
+                        chrome_trace(get_tracer().events()),
+                        close=close,
                     )
                 elif path.startswith("/v1/blob/"):
                     await self._serve_blob(writer, path, close)

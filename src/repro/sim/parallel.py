@@ -36,6 +36,7 @@ from repro.caches.cache import CacheConfig
 from repro.core.config import StreamConfig
 from repro.core.prefetcher import StreamStats
 from repro.mechanisms import MechanismConfig, MechStats
+from repro.obs.context import bind_trace, current_trace_id
 from repro.obs.metrics import engine_registry
 from repro.obs.spans import get_tracer
 from repro.sim.results import RunResult
@@ -71,6 +72,12 @@ class SweepTask:
             ``RunResult.streams`` then holds :class:`MechStats`).
         scale: input scale (ignored if ``workload`` is an instance).
         seed: workload seed (ignored if ``workload`` is an instance).
+        trace_id: optional request trace the cell belongs to
+            (:mod:`repro.obs.context`).  Pickled with the task, so the
+            trace crosses the spawn boundary into pool workers and tags
+            their spans/results.  Provenance only — excluded from
+            equality like the matching fields on
+            :class:`~repro.sim.results.RunResult`.
     """
 
     key: Hashable
@@ -78,6 +85,7 @@ class SweepTask:
     config: Union[StreamConfig, MechanismConfig]
     scale: float = 1.0
     seed: int = 0
+    trace_id: Optional[str] = field(default=None, compare=False)
 
 
 def _json_key(key: Hashable):
@@ -106,6 +114,7 @@ class TaskError:
     details: str = field(default="", repr=False)
     wall_time_s: float = field(default=0.0, compare=False)
     worker: int = field(default=0, compare=False)
+    trace_id: str = field(default="", compare=False)
 
     def to_payload(self) -> dict:
         """JSON-safe rendering carrying the full traceback.
@@ -120,6 +129,7 @@ class TaskError:
             "traceback": self.details,
             "wall_time_s": self.wall_time_s,
             "worker": self.worker,
+            "trace_id": self.trace_id,
         }
 
 
@@ -157,9 +167,12 @@ def _run_one(task: SweepTask, cache: MissTraceCache) -> Union[RunResult, TaskErr
     """
     name, scale, seed, _ = resolve_workload_ref(task.workload, task.scale, task.seed)
     registry = engine_registry()
+    trace_id = task.trace_id or current_trace_id() or ""
     started = time.perf_counter()
     try:
-        with get_tracer().span("cell", key=str(task.key), workload=name):
+        with bind_trace(task.trace_id), get_tracer().span(
+            "cell", key=str(task.key), workload=name
+        ):
             miss_trace, summary = cache.get(task.workload, scale=scale, seed=seed)
             store = cache.store
             config = task.config
@@ -200,6 +213,7 @@ def _run_one(task: SweepTask, cache: MissTraceCache) -> Union[RunResult, TaskErr
             wall_time_s=wall,
             worker=os.getpid(),
             source=source,
+            trace_id=trace_id,
         )
     except Exception as exc:  # tagged, not fatal: one bad cell must not kill a sweep
         wall = time.perf_counter() - started
@@ -211,6 +225,7 @@ def _run_one(task: SweepTask, cache: MissTraceCache) -> Union[RunResult, TaskErr
             details=traceback.format_exc(),
             wall_time_s=wall,
             worker=os.getpid(),
+            trace_id=trace_id,
         )
 
 

@@ -74,6 +74,11 @@ class RunResult:
     :class:`~repro.mechanisms.MechStats` for mechanism-generic cells —
     the two share the reporting surface this class touches
     (``stream_hits``, ``hit_rate_percent``, ``bandwidth``, ``config``).
+
+    ``trace_id`` is the request trace the cell was executed under
+    (:mod:`repro.obs.context`) — the same identifier tagged on the
+    cell's spans and log records, so a result can be joined back to the
+    exact timeline that produced it.  Empty for untraced work.
     """
 
     workload: str
@@ -84,6 +89,7 @@ class RunResult:
     wall_time_s: float = field(default=0.0, compare=False)
     worker: int = field(default=0, compare=False)
     source: str = field(default="", compare=False)
+    trace_id: str = field(default="", compare=False)
 
     @property
     def hit_rate_percent(self) -> float:
@@ -118,4 +124,5 @@ class RunResult:
             "wall_time_s": self.wall_time_s,
             "worker": self.worker,
             "source": self.source,
+            "trace_id": self.trace_id,
         }

@@ -139,7 +139,16 @@ class TestManifestBuilder:
             {"name": "meta", "ph": "M", "ts": 0, "pid": 1, "tid": 0},
         ]
         times = phase_times(events)
-        assert times == {"cell": {"count": 2, "total_ms": 6.0, "max_ms": 4.0}}
+        assert times == {
+            "cell": {
+                "count": 2,
+                "total_ms": 6.0,
+                "max_ms": 4.0,
+                "p50_ms": 2.0,
+                "p95_ms": 4.0,
+                "p99_ms": 4.0,
+            }
+        }
 
     def test_manifest_is_json_and_versioned(self, tmp_path):
         builder = ManifestBuilder("sweep", argv=["--jobs", "2"], registry=MetricsRegistry())

@@ -1,0 +1,282 @@
+"""Distributed-tracing and structured-logging tests.
+
+Covers the observability plumbing end to end:
+
+* ``repro.obs.context`` — contextvars trace identity: minting, scoping,
+  restoration, and the no-op ``bind_trace(None)`` contract;
+* ``repro.obs.log`` — leveled structured records into the bounded ring,
+  automatic ``trace_id`` tagging, level filtering;
+* ``repro.obs.spans`` — flow-event derivation from trace-tagged spans
+  and the extended ``"s"``/``"f"`` schema validation;
+* the service path — one ``/v1/sweep`` request against a frontend +
+  pool-backed worker yields spans on >=2 pids sharing the request's
+  ``trace_id``, connected by schema-valid flow events, with the same id
+  stamped on every returned result (``RunResult.trace_id`` provenance);
+  and coalesced duplicate requests record ``coalesce.join`` spans on
+  the owner's trace naming the follower's.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs import log as obs_log
+from repro.obs.context import (
+    bind_trace,
+    current_span_id,
+    current_trace_id,
+    new_span_id,
+    new_trace_id,
+    trace_scope,
+)
+from repro.obs.spans import (
+    chrome_trace,
+    flow_events,
+    get_tracer,
+    set_tracing,
+    validate_chrome_events,
+)
+from repro.service.client import arequest
+from repro.service.server import ServiceConfig, ServiceServer, SimulationService
+
+
+class TestTraceContext:
+    def test_ids_are_hex_and_unique(self):
+        first, second = new_trace_id(), new_trace_id()
+        assert first != second
+        assert len(first) == 16 and int(first, 16) >= 0
+        assert len(new_span_id()) == 8 and int(new_span_id(), 16) >= 0
+
+    def test_trace_scope_binds_and_restores(self):
+        assert current_trace_id() is None
+        with trace_scope() as trace_id:
+            assert current_trace_id() == trace_id
+            assert current_span_id() is not None
+            with trace_scope("feedbeef00000000") as inner:
+                assert inner == "feedbeef00000000"
+                assert current_trace_id() == inner
+            assert current_trace_id() == trace_id
+        assert current_trace_id() is None
+
+    def test_bind_trace_none_keeps_ambient(self):
+        with trace_scope() as trace_id:
+            with bind_trace(None):
+                assert current_trace_id() == trace_id
+            with bind_trace("aa" * 8):
+                assert current_trace_id() == "aa" * 8
+            assert current_trace_id() == trace_id
+
+
+class TestStructuredLog:
+    @pytest.fixture(autouse=True)
+    def _fresh_ring(self):
+        previous_level = obs_log.get_level()
+        obs_log.configure(ring_size=16)
+        yield
+        obs_log.set_level(previous_level)
+        obs_log.configure(ring_size=obs_log.DEFAULT_RING_SIZE)
+
+    def test_levels_filter_and_fields_land_in_ring(self):
+        logger = obs_log.get_logger("test")
+        obs_log.set_level("WARNING")
+        logger.info("dropped")
+        logger.warning("kept", detail=7)
+        records = obs_log.log_ring().tail(10)
+        assert [r["event"] for r in records] == ["kept"]
+        assert records[0]["level"] == "WARNING"
+        assert records[0]["logger"] == "test"
+        assert records[0]["detail"] == 7
+        assert not logger.is_enabled(obs_log.INFO)
+        assert logger.is_enabled(obs_log.ERROR)
+
+    def test_records_carry_bound_trace(self):
+        logger = obs_log.get_logger("test")
+        obs_log.set_level("INFO")
+        logger.info("untraced")
+        with trace_scope() as trace_id:
+            logger.info("traced")
+        untraced, traced_record = obs_log.log_ring().tail(2)
+        assert "trace_id" not in untraced
+        assert traced_record["trace_id"] == trace_id
+
+    def test_ring_is_bounded_and_oldest_first(self):
+        logger = obs_log.get_logger("test")
+        obs_log.set_level("INFO")
+        for i in range(20):
+            logger.info("tick", i=i)
+        ring = obs_log.log_ring()
+        assert len(ring) == 16
+        tail = ring.tail(3)
+        assert [r["i"] for r in tail] == [17, 18, 19]
+
+    def test_parse_level_rejects_unknown(self):
+        assert obs_log.parse_level("debug") == obs_log.DEBUG
+        assert obs_log.parse_level(35) == 35
+        with pytest.raises(ValueError, match="unknown log level"):
+            obs_log.parse_level("chatty")
+
+
+class TestFlowEvents:
+    def _spans(self):
+        return [
+            {"name": "request.admit", "ph": "X", "ts": 100, "dur": 50,
+             "pid": 1, "tid": 1, "args": {"trace_id": "t1"}},
+            {"name": "cell", "ph": "X", "ts": 120, "dur": 10,
+             "pid": 2, "tid": 1, "args": {"trace_id": "t1"}},
+            {"name": "cell", "ph": "X", "ts": 130, "dur": 10,
+             "pid": 3, "tid": 1, "args": {"trace_id": "t1"}},
+            {"name": "untraced", "ph": "X", "ts": 200, "dur": 5,
+             "pid": 1, "tid": 1},
+        ]
+
+    def test_one_arrow_pair_per_remote_thread(self):
+        flows = flow_events(self._spans())
+        starts = [e for e in flows if e["ph"] == "s"]
+        finishes = [e for e in flows if e["ph"] == "f"]
+        assert len(starts) == 2 and len(finishes) == 2
+        for event in flows:
+            assert event["cat"] == "trace"
+            assert str(event["id"]).startswith("t1:")
+            assert event["args"]["trace_id"] == "t1"
+        # Arrows start at the root (earliest span) and never point backwards.
+        for start in starts:
+            assert (start["pid"], start["ts"]) == (1, 100)
+        for finish in finishes:
+            assert finish["bp"] == "e"
+            assert finish["ts"] >= 100
+        validate_chrome_events(self._spans() + flows)
+
+    def test_single_thread_or_untraced_spans_emit_nothing(self):
+        assert flow_events([self._spans()[0]]) == []
+        assert flow_events([self._spans()[3]]) == []
+
+    def test_chrome_trace_appends_flows(self):
+        document = chrome_trace(self._spans())
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert {"M", "X", "s", "f"} <= phases
+        validate_chrome_events(document["traceEvents"])
+
+    def test_validator_rejects_unpaired_and_duplicate_flows(self):
+        orphan = {"name": "trace", "cat": "trace", "ph": "s", "id": "t1:9",
+                  "ts": 0, "pid": 1, "tid": 1}
+        with pytest.raises(ValueError):
+            validate_chrome_events(self._spans() + [orphan])
+        flows = flow_events(self._spans())
+        with pytest.raises(ValueError):
+            validate_chrome_events(self._spans() + flows + [flows[0]])
+
+
+class TestServiceTracePropagation:
+    @pytest.fixture(autouse=True)
+    def _traced(self):
+        tracer = set_tracing(True)
+        tracer.clear()
+        yield
+        set_tracing(False)
+        get_tracer().clear()
+
+    PAYLOAD = {
+        "workloads": ["sweep", "stride"],
+        "n_streams": [1, 2],
+        "scale": 0.25,
+        "timeout_s": 120,
+    }
+
+    def test_fleet_sweep_spans_share_one_trace_across_pids(self):
+        async def scenario():
+            # jobs=2 gives the worker a real spawn pool, so cell spans
+            # carry pool-process pids distinct from this test process.
+            worker = ServiceServer(
+                SimulationService(ServiceConfig(jobs=2, worker=True))
+            )
+            await worker.start()
+            frontend = ServiceServer(
+                SimulationService(
+                    ServiceConfig(
+                        jobs=1,
+                        max_queue=256,
+                        workers=(f"http://{worker.host}:{worker.port}",),
+                        fleet_heartbeat_s=0,
+                    )
+                )
+            )
+            await frontend.start()
+            try:
+                return await arequest(
+                    frontend.host, frontend.port, "POST", "/v1/sweep",
+                    self.PAYLOAD, timeout=180,
+                )
+            finally:
+                await frontend.close()
+                await worker.close()
+
+        status, body = asyncio.run(scenario())
+        assert status == 200 and body["ok"] and not body["errors"]
+        trace_id = body["meta"]["trace_id"]
+        assert trace_id
+        # Satellite contract: every returned result carries the request's
+        # trace id (RunResult.trace_id provenance over the chunk wire).
+        assert all(cell["trace_id"] == trace_id for cell in body["results"])
+
+        events = get_tracer().events()
+        spans = [
+            e for e in events
+            if e.get("ph") == "X"
+            and (e.get("args") or {}).get("trace_id") == trace_id
+        ]
+        names = {e["name"] for e in spans}
+        assert "request.admit" in names and "cell" in names
+        cell_spans = [e for e in spans if e["name"] == "cell"]
+        assert len(cell_spans) == 4
+        assert len({e["pid"] for e in spans}) >= 2
+
+        document = chrome_trace(events)
+        validate_chrome_events(document["traceEvents"])
+        arrows = [
+            e for e in document["traceEvents"]
+            if e.get("ph") in ("s", "f") and str(e.get("id", "")).startswith(trace_id)
+        ]
+        assert arrows, "multi-pid trace must carry flow events"
+
+    def test_coalesced_duplicates_record_join_on_owner_trace(self):
+        async def scenario():
+            server = ServiceServer(
+                SimulationService(ServiceConfig(jobs=1, max_queue=256))
+            )
+            await server.start()
+            try:
+                responses = await asyncio.gather(
+                    *(
+                        arequest(
+                            server.host, server.port, "POST", "/v1/sweep",
+                            self.PAYLOAD, timeout=180,
+                        )
+                        for _ in range(2)
+                    )
+                )
+                return responses, server.service.debug()
+            finally:
+                await server.close()
+
+        responses, snap = asyncio.run(scenario())
+        assert all(status == 200 for status, _ in responses)
+        trace_ids = {body["meta"]["trace_id"] for _, body in responses}
+        assert len(trace_ids) == 2
+
+        joins = [
+            e for e in get_tracer().events() if e.get("name") == "coalesce.join"
+        ]
+        assert joins, "duplicate concurrent sweeps must record join spans"
+        for event in joins:
+            owner = event["args"]["trace_id"]
+            follower = event["args"]["follower_trace"]
+            assert owner in trace_ids and follower in trace_ids
+            assert owner != follower
+
+        # The debug snapshot answers live-introspection questions.
+        assert snap["queue"]["limit"] == 256
+        assert snap["latency_ms"]["count"] >= 2
+        assert snap["counters"]["requests"] >= 2
+        assert snap["coalescer"]["hits"] >= 1
+        assert "sweep" in snap["endpoints"]
+        assert isinstance(snap["log"], list) and snap["log"]
